@@ -1,0 +1,85 @@
+//! Criterion benches for Figs. 17–19: authenticated queries — ALI
+//! serving + client verification vs the ship-all-blocks basic path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sebdb::{serve_authenticated_query, serve_auxiliary_digest, ThinClient};
+use sebdb_bench::datagen::{range_bed, Placement, ORG1};
+use sebdb_bench::workload::q4_key_predicate;
+use std::time::Duration;
+
+fn fig18_server_side(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_auth_server");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for blocks in [15u64, 30] {
+        let bed = range_bed(blocks, 40, 100, Placement::Uniform, 7);
+        let pred = q4_key_predicate();
+        group.bench_with_input(BenchmarkId::new("ALI", blocks), &bed, |b, bed| {
+            b.iter(|| {
+                serve_authenticated_query(&bed.ledger, Some("donate"), "amount", &pred, None)
+                    .unwrap()
+                    .vo_bytes()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("basic", blocks), &bed, |b, bed| {
+            b.iter(|| {
+                // Basic approach: ship every block.
+                (0..bed.ledger.height())
+                    .map(|h| bed.ledger.read_block(h).unwrap().transactions.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig19_client_side(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_auth_client");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for blocks in [15u64, 30] {
+        let bed = range_bed(blocks, 40, 100, Placement::Uniform, 8);
+        let pred = q4_key_predicate();
+        let response =
+            serve_authenticated_query(&bed.ledger, Some("donate"), "amount", &pred, None).unwrap();
+        let digest = serve_auxiliary_digest(
+            &bed.ledger,
+            Some("donate"),
+            "amount",
+            &pred,
+            None,
+            response.vo.height,
+        )
+        .unwrap();
+        let client = ThinClient::new();
+        group.bench_function(BenchmarkId::new("ALI_verify", blocks), |b| {
+            b.iter(|| {
+                client
+                    .verify(&pred, &response, &[digest, digest], 2)
+                    .unwrap()
+            })
+        });
+
+        let mut basic_client = ThinClient::new();
+        basic_client.sync_headers(&bed.ledger);
+        let shipped: Vec<_> = (0..bed.ledger.height())
+            .map(|h| (*bed.ledger.read_block(h).unwrap()).clone())
+            .collect();
+        group.bench_function(BenchmarkId::new("basic_verify", blocks), |b| {
+            b.iter(|| {
+                basic_client
+                    .verify_blocks_basic(&shipped, |t| t.sender == ORG1)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig18_server_side, fig19_client_side);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for Figs. 20–21: SEBDB tracking vs the
+//! ChainSQL-style baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sebdb::Strategy;
+use sebdb_baseline::ChainSqlBaseline;
+use sebdb_bench::datagen::{tracking2_bed, tracking_bed, Placement, ORG1};
+use sebdb_bench::workload::{run_q2, run_q3};
+use std::time::Duration;
+
+fn fig20_one_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20_vs_chainsql_1d");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for blocks in [20u64, 40] {
+        let bed = tracking_bed(blocks, 40, 200, Placement::Uniform, 9);
+        let baseline = ChainSqlBaseline::new();
+        for b in 0..blocks {
+            baseline.ingest_block(&bed.ledger.read_block(b).unwrap());
+        }
+        group.bench_with_input(BenchmarkId::new("SEBDB", blocks), &bed, |b, bed| {
+            b.iter(|| run_q2(bed, Strategy::Layered).len())
+        });
+        group.bench_function(BenchmarkId::new("ChainSQL", blocks), |b| {
+            b.iter(|| baseline.track_operator(&ORG1).len())
+        });
+    }
+    group.finish();
+}
+
+fn fig21_two_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig21_vs_chainsql_2d");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    // Fixed result (100 transfers by org1), growing org1 volume: the
+    // ChainSQL client filters everything org1 ever sent.
+    for org1_total in [200usize, 800] {
+        let bed = tracking2_bed(30, 40, org1_total, 200, 100, Placement::Uniform, 10);
+        let baseline = ChainSqlBaseline::new();
+        for b in 0..30 {
+            baseline.ingest_block(&bed.ledger.read_block(b).unwrap());
+        }
+        group.bench_with_input(
+            BenchmarkId::new("SEBDB", org1_total),
+            &bed,
+            |b, bed| b.iter(|| run_q3(bed, None, true, true, Strategy::Layered).len()),
+        );
+        group.bench_function(BenchmarkId::new("ChainSQL", org1_total), |b| {
+            b.iter(|| baseline.track_operator_operation(&ORG1, "transfer").len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig20_one_dimension, fig21_two_dimension);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for Fig. 22: block cache vs transaction cache on
+//! warm repeated queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sebdb::Strategy;
+use sebdb_bench::datagen::{range_bed, tracking_bed, Placement};
+use sebdb_bench::workload::{run_q2, run_q4, run_q7};
+use std::time::Duration;
+
+fn fig22_cache_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22_cache");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let cache_bytes = 32 << 20;
+
+    // Q2 tracking (index-driven): the transaction cache should win.
+    let bed = tracking_bed(30, 40, 200, Placement::Uniform, 11);
+    bed.ledger.use_block_cache(cache_bytes);
+    run_q2(&bed, Strategy::Layered);
+    group.bench_function(BenchmarkId::new("Q2", "block_cache"), |b| {
+        b.iter(|| run_q2(&bed, Strategy::Layered).len())
+    });
+    bed.ledger.use_tx_cache(cache_bytes);
+    run_q2(&bed, Strategy::Layered);
+    group.bench_function(BenchmarkId::new("Q2", "tx_cache"), |b| {
+        b.iter(|| run_q2(&bed, Strategy::Layered).len())
+    });
+
+    // Q4 range query.
+    let bed = range_bed(30, 40, 200, Placement::Uniform, 12);
+    bed.ledger.use_block_cache(cache_bytes);
+    run_q4(&bed, Strategy::Layered);
+    group.bench_function(BenchmarkId::new("Q4", "block_cache"), |b| {
+        b.iter(|| run_q4(&bed, Strategy::Layered).len())
+    });
+    bed.ledger.use_tx_cache(cache_bytes);
+    run_q4(&bed, Strategy::Layered);
+    group.bench_function(BenchmarkId::new("Q4", "tx_cache"), |b| {
+        b.iter(|| run_q4(&bed, Strategy::Layered).len())
+    });
+
+    // Q7 whole-block fetch: the block cache should win here.
+    let bed = tracking_bed(30, 40, 200, Placement::Uniform, 13);
+    bed.ledger.use_block_cache(cache_bytes);
+    run_q7(&bed, 15);
+    group.bench_function(BenchmarkId::new("Q7", "block_cache"), |b| {
+        b.iter(|| run_q7(&bed, 15).len())
+    });
+    bed.ledger.use_tx_cache(cache_bytes);
+    run_q7(&bed, 15);
+    group.bench_function(BenchmarkId::new("Q7", "tx_cache"), |b| {
+        b.iter(|| run_q7(&bed, 15).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig22_cache_strategies);
+criterion_main!(benches);

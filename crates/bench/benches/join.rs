@@ -1,0 +1,54 @@
+//! Criterion benches for Figs. 13–16: on-chain join (Q5) and
+//! on-off-chain join (Q6) under hash-scan, hash-bitmap and layered
+//! sort-merge plans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sebdb::Strategy;
+use sebdb_bench::datagen::{join_bed, onoff_bed, Placement};
+use sebdb_bench::workload::{run_q5, run_q6};
+use std::time::Duration;
+
+fn fig13_14_onchain_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_join_q5");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for blocks in [15u64, 30] {
+        for (label, strategy) in [
+            ("hash_scan", Strategy::Scan),
+            ("hash_bitmap", Strategy::Bitmap),
+            ("layered_sortmerge", Strategy::Layered),
+        ] {
+            let bed = join_bed(blocks, 40, 100, Placement::Uniform, 5);
+            group.bench_with_input(BenchmarkId::new(label, blocks), &bed, |b, bed| {
+                b.iter(|| run_q5(bed, strategy).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig15_16_onoff_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_onoff_q6");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for blocks in [15u64, 30] {
+        for (label, strategy) in [
+            ("hash_scan", Strategy::Scan),
+            ("hash_bitmap", Strategy::Bitmap),
+            ("layered_sortmerge", Strategy::Layered),
+        ] {
+            let bed = onoff_bed(blocks, 40, 80, 200, Placement::Uniform, 6);
+            group.bench_with_input(BenchmarkId::new(label, blocks), &bed, |b, bed| {
+                b.iter(|| run_q6(bed, strategy).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13_14_onchain_join, fig15_16_onoff_join);
+criterion_main!(benches);

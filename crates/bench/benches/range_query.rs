@@ -1,0 +1,50 @@
+//! Criterion benches for Figs. 11–12: Q4 range queries under the three
+//! access paths, varying chain size and result size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sebdb::Strategy;
+use sebdb_bench::datagen::{range_bed, Placement};
+use sebdb_bench::workload::run_q4;
+use std::time::Duration;
+
+fn fig11_range_by_chain_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_range_q4");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for blocks in [20u64, 40] {
+        for (label, strategy) in [
+            ("scan", Strategy::Scan),
+            ("bitmap", Strategy::Bitmap),
+            ("layered", Strategy::Layered),
+        ] {
+            let bed = range_bed(blocks, 50, 100, Placement::Uniform, 3);
+            group.bench_with_input(BenchmarkId::new(label, blocks), &bed, |b, bed| {
+                b.iter(|| run_q4(bed, strategy).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn fig12_range_by_result_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_range_q4_results");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for hits in [50usize, 200, 800] {
+        let bed = range_bed(30, 50, hits, Placement::Uniform, 4);
+        group.bench_with_input(BenchmarkId::new("layered", hits), &bed, |b, bed| {
+            b.iter(|| run_q4(bed, Strategy::Layered).len())
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap", hits), &bed, |b, bed| {
+            b.iter(|| run_q4(bed, Strategy::Bitmap).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11_range_by_chain_size, fig12_range_by_result_size);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for Figs. 8–10: the track-trace operation under
+//! scan / bitmap / layered access paths, uniform and Gaussian
+//! placement, one and two dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sebdb::Strategy;
+use sebdb_bench::datagen::{tracking2_bed, tracking_bed, Placement, TestBed};
+use sebdb_bench::workload::{run_q2, run_q3};
+use std::time::Duration;
+
+fn fig8_tracking_by_chain_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_tracking_q2");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for blocks in [20u64, 40] {
+        for (label, strategy, placement) in [
+            ("SU", Strategy::Scan, Placement::Uniform),
+            ("BU", Strategy::Bitmap, Placement::Uniform),
+            ("LU", Strategy::Layered, Placement::Uniform),
+            ("LG", Strategy::Layered, Placement::Gaussian { std_blocks: 4.0 }),
+        ] {
+            let bed = tracking_bed(blocks, 50, 200, placement, 1);
+            group.bench_with_input(
+                BenchmarkId::new(label, blocks),
+                &bed,
+                |b, bed| b.iter(|| run_q2(bed, strategy).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig10_two_dimension_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_tracking_q3");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let bed = tracking2_bed(40, 50, 400, 400, 100, Placement::Uniform, 2);
+    for i in 1..=3u32 {
+        let span = 40 / 2u64.pow(i - 1);
+        let (s, e) = TestBed::window_covering_blocks(40 - span, 39);
+        group.bench_with_input(BenchmarkId::new("TI", format!("TW{i}")), &bed, |b, bed| {
+            b.iter(|| run_q3(bed, Some((s, e)), true, true, Strategy::Layered).len())
+        });
+        group.bench_with_input(BenchmarkId::new("SI", format!("TW{i}")), &bed, |b, bed| {
+            b.iter(|| {
+                run_q3(bed, Some((s, e)), true, false, Strategy::Layered)
+                    .rows
+                    .iter()
+                    .filter(|r| r[4] == sebdb_types::Value::str("transfer"))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8_tracking_by_chain_size, fig10_two_dimension_windows);
+criterion_main!(benches);

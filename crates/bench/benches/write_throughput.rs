@@ -1,0 +1,77 @@
+//! Criterion bench for Fig. 7: write path through the consensus
+//! engines. Criterion measures one submit→commit round-trip; the
+//! multi-client throughput sweep lives in the `figures` binary
+//! (`figures fig7`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sebdb_consensus::tendermint::TendermintConfig;
+use sebdb_consensus::{
+    BatchConfig, Consensus, KafkaOrderer, PbftConfig, PbftEngine, TendermintEngine,
+};
+use sebdb_consensus::traits::now_ms;
+use sebdb_crypto::sig::KeyId;
+use sebdb_types::{Transaction, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tx(i: i64) -> Transaction {
+    Transaction::new(
+        now_ms(),
+        KeyId([1; 8]),
+        "donate",
+        vec![Value::str("bench"), Value::str("edu"), Value::decimal(i)],
+    )
+}
+
+fn commit_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_commit_roundtrip");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+
+    let quick = BatchConfig {
+        max_txs: 1,
+        timeout_ms: 5,
+    };
+
+    let engines: Vec<(&str, Arc<dyn Consensus>)> = vec![
+        ("kafka", KafkaOrderer::start(quick)),
+        (
+            "pbft",
+            PbftEngine::start(PbftConfig {
+                batch: quick,
+                ..PbftConfig::default()
+            }),
+        ),
+        (
+            "tendermint",
+            TendermintEngine::start(TendermintConfig {
+                batch: quick,
+                step_timeout: Duration::from_millis(50),
+                ..TendermintConfig::default()
+            }),
+        ),
+    ];
+    for (name, engine) in &engines {
+        let _sink = engine.subscribe();
+        let mut i = 0i64;
+        group.bench_function(BenchmarkId::new("submit_commit", *name), |b| {
+            b.iter(|| {
+                i += 1;
+                engine
+                    .submit(tx(i))
+                    .recv_timeout(Duration::from_secs(10))
+                    .unwrap()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+    for (_, engine) in engines {
+        engine.shutdown();
+    }
+}
+
+criterion_group!(benches, commit_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! The figure harness: regenerates every table/figure of §VII.
+//!
+//! ```text
+//! cargo run -p sebdb-bench --release --bin figures            # all figures
+//! cargo run -p sebdb-bench --release --bin figures -- fig8    # one figure
+//! cargo run -p sebdb-bench --release --bin figures -- all smoke
+//! ```
+
+use sebdb_bench::figures::{run_figures, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale = match args.get(1).map(String::as_str) {
+        Some("smoke") => Scale::smoke(),
+        _ => Scale::default_run(),
+    };
+    print!("{}", run_figures(which, &scale));
+}

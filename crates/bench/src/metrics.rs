@@ -1,0 +1,169 @@
+//! Measurement helpers and figure-style output.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning (result, elapsed).
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Times `f` over `iters` runs after one warmup, returning the mean.
+pub fn timed_mean<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    let _ = f(); // warmup
+    let start = Instant::now();
+    for _ in 0..iters.max(1) {
+        let _ = f();
+    }
+    start.elapsed() / iters.max(1) as u32
+}
+
+/// One series of a figure: a labelled list of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (e.g. "LU" = layered/uniform).
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: impl ToString, y: f64) {
+        self.points.push((x.to_string(), y));
+    }
+}
+
+/// A figure: a title, an x-axis name, a y-axis name, and series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// E.g. "Fig. 8 — Tracking, varying blockchain size".
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// New empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Renders the figure as an aligned text table (x values as rows,
+    /// one column per series).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        if self.series.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let xs: Vec<&String> = self.series[0].points.iter().map(|(x, _)| x).collect();
+        let mut header = vec![format!("{} \\ {}", self.x_label, self.y_label)];
+        header.extend(self.series.iter().map(|s| s.label.clone()));
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for (i, x) in xs.iter().enumerate() {
+            let mut row = vec![(*x).clone()];
+            for s in &self.series {
+                row.push(match s.points.get(i) {
+                    Some((_, y)) => format_value(*y),
+                    None => "-".to_string(),
+                });
+            }
+            rows.push(row);
+        }
+        let widths: Vec<usize> = (0..rows[0].len())
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        for row in rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>width$}", cell, width = widths[c]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "-".into()
+    } else if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive() {
+        let (v, d) = timed(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn figure_renders_aligned_table() {
+        let mut fig = Figure::new("Fig. X — test", "blocks", "ms");
+        let mut su = Series::new("SU");
+        su.push(500, 12.5);
+        su.push(1000, 24.9);
+        let mut lu = Series::new("LU");
+        lu.push(500, 1.2);
+        lu.push(1000, 1.3);
+        fig.add(su);
+        fig.add(lu);
+        let text = fig.render();
+        assert!(text.contains("Fig. X"));
+        assert!(text.contains("SU"));
+        assert!(text.contains("500"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(12345.6), "12346");
+        assert_eq!(format_value(42.42), "42.4");
+        assert_eq!(format_value(0.5), "0.500");
+        assert_eq!(format_value(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,133 @@
+//! The BChainBench donation schema (§VII-A, Fig. 6).
+//!
+//! Three on-chain tables — `donate`, `transfer`, `distribute` — and
+//! four off-chain tables holding participants' private data:
+//! `donorinfo` (charity), `doneeinfo` (school), `childreninfo`
+//! (welfare), `customer` (nursing home).
+
+use sebdb_types::{Column, DataType, TableSchema};
+
+/// `Donate(donor, project, amount)`.
+pub fn donate() -> TableSchema {
+    TableSchema::new(
+        "donate",
+        vec![
+            Column::new("donor", DataType::Str),
+            Column::new("project", DataType::Str),
+            Column::new("amount", DataType::Decimal),
+        ],
+    )
+}
+
+/// `Transfer(project, donor, organization, amount)`.
+pub fn transfer() -> TableSchema {
+    TableSchema::new(
+        "transfer",
+        vec![
+            Column::new("project", DataType::Str),
+            Column::new("donor", DataType::Str),
+            Column::new("organization", DataType::Str),
+            Column::new("amount", DataType::Decimal),
+        ],
+    )
+}
+
+/// `Distribute(project, donor, organization, donee, amount)`.
+pub fn distribute() -> TableSchema {
+    TableSchema::new(
+        "distribute",
+        vec![
+            Column::new("project", DataType::Str),
+            Column::new("donor", DataType::Str),
+            Column::new("organization", DataType::Str),
+            Column::new("donee", DataType::Str),
+            Column::new("amount", DataType::Decimal),
+        ],
+    )
+}
+
+/// All on-chain schemas.
+pub fn onchain_schemas() -> Vec<TableSchema> {
+    vec![donate(), transfer(), distribute()]
+}
+
+/// Off-chain `DonorInfo(donor, name, contact)` — maintained by the
+/// charity.
+pub fn donorinfo_columns() -> Vec<Column> {
+    vec![
+        Column::new("donor", DataType::Str),
+        Column::new("name", DataType::Str),
+        Column::new("contact", DataType::Str),
+    ]
+}
+
+/// Off-chain `DoneeInfo(donee, income, family_size)` — maintained by a
+/// school.
+pub fn doneeinfo_columns() -> Vec<Column> {
+    vec![
+        Column::new("donee", DataType::Str),
+        Column::new("income", DataType::Decimal),
+        Column::new("family_size", DataType::Int),
+    ]
+}
+
+/// Off-chain `ChildrenInfo(child, age, guardian)` — maintained by the
+/// welfare organization.
+pub fn childreninfo_columns() -> Vec<Column> {
+    vec![
+        Column::new("child", DataType::Str),
+        Column::new("age", DataType::Int),
+        Column::new("guardian", DataType::Str),
+    ]
+}
+
+/// Off-chain `Customer(customer, age, room)` — maintained by the
+/// nursing home.
+pub fn customer_columns() -> Vec<Column> {
+    vec![
+        Column::new("customer", DataType::Str),
+        Column::new("age", DataType::Int),
+        Column::new("room", DataType::Str),
+    ]
+}
+
+/// Creates all four off-chain tables in `db`.
+pub fn create_offchain_tables(db: &sebdb_offchain::OffchainDb) {
+    db.create_table("donorinfo", donorinfo_columns()).unwrap();
+    db.create_table("doneeinfo", doneeinfo_columns()).unwrap();
+    db.create_table("childreninfo", childreninfo_columns()).unwrap();
+    db.create_table("customer", customer_columns()).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_tables_total() {
+        assert_eq!(onchain_schemas().len(), 3);
+        let off = [
+            donorinfo_columns(),
+            doneeinfo_columns(),
+            childreninfo_columns(),
+            customer_columns(),
+        ];
+        assert_eq!(off.len(), 4);
+    }
+
+    #[test]
+    fn offchain_tables_create() {
+        let db = sebdb_offchain::OffchainDb::new();
+        create_offchain_tables(&db);
+        let db = std::sync::Arc::new(db);
+        assert!(db.connect().count("doneeinfo").is_ok());
+        assert!(db.connect().count("customer").is_ok());
+    }
+
+    #[test]
+    fn schemas_resolve_benchmark_columns() {
+        assert!(donate().resolve("amount").is_ok());
+        assert!(transfer().resolve("organization").is_ok());
+        assert!(distribute().resolve("donee").is_ok());
+    }
+}

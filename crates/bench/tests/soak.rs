@@ -1,0 +1,36 @@
+//! Large-scale soak test — paper-magnitude data (hundreds of blocks,
+//! ~100k transactions). Ignored by default; run with:
+//!
+//! ```sh
+//! cargo test -p sebdb-bench --release --test soak -- --ignored
+//! ```
+
+use sebdb::Strategy;
+use sebdb_bench::datagen::{range_bed, tracking_bed, Placement};
+use sebdb_bench::workload::{run_q2, run_q4};
+
+#[test]
+#[ignore = "builds ~100k transactions; run explicitly in release"]
+fn paper_scale_tracking_and_range() {
+    // 500 blocks × 200 tx = 100 000 transactions, result size 10 000 —
+    // the paper's Fig. 8/11 settings.
+    let bed = tracking_bed(500, 200, 10_000, Placement::Uniform, 99);
+    let start = std::time::Instant::now();
+    let r = run_q2(&bed, Strategy::Layered);
+    let layered = start.elapsed();
+    assert_eq!(r.len(), 10_000);
+
+    let start = std::time::Instant::now();
+    let r = run_q2(&bed, Strategy::Scan);
+    let scan = start.elapsed();
+    assert_eq!(r.len(), 10_000);
+    assert!(
+        layered < scan,
+        "layered {layered:?} must beat scan {scan:?} at paper scale"
+    );
+
+    let bed = range_bed(500, 200, 10_000, Placement::gaussian(), 99);
+    let r = run_q4(&bed, Strategy::Layered);
+    assert_eq!(r.len(), 10_000);
+    bed.ledger.verify_chain().unwrap();
+}

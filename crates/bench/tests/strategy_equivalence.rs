@@ -1,0 +1,112 @@
+//! Property: whatever the dataset, every physical strategy returns the
+//! same logical answer — scans are the oracle for the indexes. This is
+//! the invariant the whole indexing layer rests on.
+
+use proptest::prelude::*;
+use sebdb::Strategy as Phys;
+use sebdb_bench::datagen::{
+    join_bed, onoff_bed, range_bed, tracking2_bed, tracking_bed, Placement,
+};
+use sebdb_bench::workload::{run_q2, run_q3, run_q4, run_q5, run_q6};
+use sebdb_bench::datagen::TestBed;
+
+fn placements() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        Just(Placement::Uniform),
+        (1.0f64..10.0).prop_map(|std_blocks| Placement::Gaussian { std_blocks }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tracking_strategies_agree(
+        blocks in 2u64..12,
+        per_block in 1usize..20,
+        hits in 0usize..60,
+        placement in placements(),
+        seed in any::<u64>(),
+    ) {
+        let bed = tracking_bed(blocks, per_block, hits, placement, seed);
+        let scan = run_q2(&bed, Phys::Scan);
+        let bitmap = run_q2(&bed, Phys::Bitmap);
+        let layered = run_q2(&bed, Phys::Layered);
+        prop_assert_eq!(scan.len(), hits);
+        prop_assert_eq!(bitmap.len(), hits);
+        prop_assert_eq!(layered.len(), hits);
+        // Same tid sets, not just counts.
+        let tids = |r: &sebdb::QueryResult| {
+            let mut v: Vec<_> = r.rows.iter().map(|row| row[0].clone()).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(tids(&scan), tids(&layered));
+        prop_assert_eq!(tids(&scan), tids(&bitmap));
+    }
+
+    #[test]
+    fn two_dim_tracking_with_windows_agree(
+        blocks in 3u64..10,
+        overlap in 0usize..20,
+        extra in 0usize..20,
+        win_lo in 0u64..5,
+        win_len in 0u64..8,
+        seed in any::<u64>(),
+    ) {
+        let bed = tracking2_bed(
+            blocks, 8, overlap + extra, overlap + extra, overlap,
+            Placement::Uniform, seed,
+        );
+        let window = Some(TestBed::window_covering_blocks(
+            win_lo.min(blocks - 1),
+            (win_lo + win_len).min(blocks - 1),
+        ));
+        let scan = run_q3(&bed, window, true, true, Phys::Scan);
+        let layered = run_q3(&bed, window, true, true, Phys::Layered);
+        let bitmap = run_q3(&bed, window, true, true, Phys::Bitmap);
+        prop_assert_eq!(scan.len(), layered.len());
+        prop_assert_eq!(scan.len(), bitmap.len());
+    }
+
+    #[test]
+    fn range_strategies_agree(
+        blocks in 2u64..10,
+        per_block in 1usize..16,
+        hits in 0usize..50,
+        placement in placements(),
+        seed in any::<u64>(),
+    ) {
+        let bed = range_bed(blocks, per_block, hits, placement, seed);
+        for strat in [Phys::Scan, Phys::Bitmap, Phys::Layered, Phys::Auto] {
+            prop_assert_eq!(run_q4(&bed, strat).len(), hits, "{:?}", strat);
+        }
+    }
+
+    #[test]
+    fn join_strategies_agree(
+        blocks in 2u64..8,
+        pairs in 0usize..30,
+        placement in placements(),
+        seed in any::<u64>(),
+    ) {
+        let bed = join_bed(blocks, 6, pairs, placement, seed);
+        for strat in [Phys::Scan, Phys::Bitmap, Phys::Layered] {
+            prop_assert_eq!(run_q5(&bed, strat).len(), pairs, "{:?}", strat);
+        }
+    }
+
+    #[test]
+    fn onoff_strategies_agree(
+        blocks in 2u64..8,
+        pairs in 0usize..25,
+        off_extra in 0usize..30,
+        placement in placements(),
+        seed in any::<u64>(),
+    ) {
+        let bed = onoff_bed(blocks, 6, pairs, off_extra, placement, seed);
+        for strat in [Phys::Scan, Phys::Bitmap, Phys::Layered] {
+            prop_assert_eq!(run_q6(&bed, strat).len(), pairs, "{:?}", strat);
+        }
+    }
+}

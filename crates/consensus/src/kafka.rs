@@ -1,0 +1,261 @@
+//! Kafka-style ordering service.
+//!
+//! Models the paper's KAFKA deployment (§VII-B: "we start 1 broker and
+//! create a transaction topic with 1 partition"): a single broker
+//! thread consumes the partition in arrival order, assigns offsets
+//! (tids), cuts blocks at `max_txs` or on the packaging timeout, and
+//! fans the ordered blocks out to all subscribed nodes. Crash fault
+//! tolerant only — no Byzantine protection, which is why it is faster
+//! than the BFT engines in Fig. 7.
+
+use crate::traits::{
+    now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use sebdb_types::Transaction;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type AckSender = Sender<Result<CommitAck, ConsensusError>>;
+
+struct BrokerShared {
+    subscribers: Mutex<Vec<Sender<OrderedBlock>>>,
+    stopped: AtomicBool,
+}
+
+/// The Kafka-style ordering engine.
+pub struct KafkaOrderer {
+    produce: Sender<(Transaction, AckSender)>,
+    shared: Arc<BrokerShared>,
+    broker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl KafkaOrderer {
+    /// Starts the broker with the given packaging policy.
+    pub fn start(config: BatchConfig) -> Arc<Self> {
+        let (tx, rx) = unbounded::<(Transaction, AckSender)>();
+        let shared = Arc::new(BrokerShared {
+            subscribers: Mutex::new(Vec::new()),
+            stopped: AtomicBool::new(false),
+        });
+        let shared2 = Arc::clone(&shared);
+        let broker = std::thread::spawn(move || broker_loop(rx, shared2, config));
+        Arc::new(KafkaOrderer {
+            produce: tx,
+            shared,
+            broker: Mutex::new(Some(broker)),
+        })
+    }
+}
+
+fn broker_loop(
+    rx: Receiver<(Transaction, AckSender)>,
+    shared: Arc<BrokerShared>,
+    config: BatchConfig,
+) {
+    let mut next_tid: u64 = 1;
+    let mut next_seq: u64 = 0;
+    let mut pending: Vec<(Transaction, AckSender)> = Vec::new();
+    let mut batch_started: Option<Instant> = None;
+    let timeout = Duration::from_millis(config.timeout_ms);
+
+    let flush = |pending: &mut Vec<(Transaction, AckSender)>, next_seq: &mut u64| {
+        if pending.is_empty() {
+            return;
+        }
+        let seq = *next_seq;
+        *next_seq += 1;
+        let ts = now_ms();
+        let mut txs = Vec::with_capacity(pending.len());
+        let mut acks = Vec::with_capacity(pending.len());
+        for (tx, ack) in pending.drain(..) {
+            acks.push((tx.tid, ack));
+            txs.push(tx);
+        }
+        let block = OrderedBlock {
+            seq,
+            timestamp_ms: ts,
+            txs,
+        };
+        for sub in shared.subscribers.lock().iter() {
+            let _ = sub.send(block.clone());
+        }
+        for (tid, ack) in acks {
+            let _ = ack.send(Ok(CommitAck { tid, seq }));
+        }
+    };
+
+    loop {
+        if shared.stopped.load(Ordering::Relaxed) {
+            // Reject anything still pending.
+            for (_, ack) in pending.drain(..) {
+                let _ = ack.send(Err(ConsensusError::Stopped));
+            }
+            return;
+        }
+        let wait = match batch_started {
+            Some(start) => timeout
+                .checked_sub(start.elapsed())
+                .unwrap_or(Duration::ZERO),
+            None => timeout,
+        };
+        match rx.recv_timeout(wait) {
+            Ok((mut tx, ack)) => {
+                // The ordering service assigns the globally incremental tid.
+                tx.tid = next_tid;
+                next_tid += 1;
+                if pending.is_empty() {
+                    batch_started = Some(Instant::now());
+                }
+                pending.push((tx, ack));
+                if pending.len() >= config.max_txs {
+                    flush(&mut pending, &mut next_seq);
+                    batch_started = None;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if batch_started.is_some() {
+                    flush(&mut pending, &mut next_seq);
+                    batch_started = None;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                flush(&mut pending, &mut next_seq);
+                return;
+            }
+        }
+    }
+}
+
+impl Consensus for KafkaOrderer {
+    fn submit(&self, tx: Transaction) -> Receiver<Result<CommitAck, ConsensusError>> {
+        let (ack_tx, ack_rx) = bounded(1);
+        if self.produce.send((tx, ack_tx.clone())).is_err() {
+            let _ = ack_tx.send(Err(ConsensusError::Stopped));
+        }
+        ack_rx
+    }
+
+    fn subscribe(&self) -> Receiver<OrderedBlock> {
+        let (tx, rx) = unbounded();
+        self.shared.subscribers.lock().push(tx);
+        rx
+    }
+
+    fn shutdown(&self) {
+        self.shared.stopped.store(true, Ordering::Relaxed);
+        if let Some(h) = self.broker.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "kafka"
+    }
+}
+
+impl Drop for KafkaOrderer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebdb_crypto::sig::KeyId;
+    use sebdb_types::Value;
+
+    fn tx(i: i64) -> Transaction {
+        Transaction::new(now_ms(), KeyId([1; 8]), "donate", vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn batches_cut_at_max_txs() {
+        let k = KafkaOrderer::start(BatchConfig {
+            max_txs: 5,
+            timeout_ms: 10_000,
+        });
+        let sub = k.subscribe();
+        let acks: Vec<_> = (0..5).map(|i| k.submit(tx(i))).collect();
+        let block = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(block.seq, 0);
+        assert_eq!(block.txs.len(), 5);
+        // Tids are 1..=5 and increasing.
+        let tids: Vec<u64> = block.txs.iter().map(|t| t.tid).collect();
+        assert_eq!(tids, vec![1, 2, 3, 4, 5]);
+        for a in acks {
+            let ack = a.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+            assert_eq!(ack.seq, 0);
+        }
+        k.shutdown();
+    }
+
+    #[test]
+    fn timeout_flushes_partial_batch() {
+        let k = KafkaOrderer::start(BatchConfig {
+            max_txs: 1000,
+            timeout_ms: 30,
+        });
+        let sub = k.subscribe();
+        k.submit(tx(1));
+        k.submit(tx(2));
+        let block = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(block.txs.len(), 2);
+        k.shutdown();
+    }
+
+    #[test]
+    fn all_subscribers_see_same_stream() {
+        let k = KafkaOrderer::start(BatchConfig {
+            max_txs: 3,
+            timeout_ms: 50,
+        });
+        let s1 = k.subscribe();
+        let s2 = k.subscribe();
+        for i in 0..6 {
+            k.submit(tx(i));
+        }
+        for _ in 0..2 {
+            let a = s1.recv_timeout(Duration::from_secs(2)).unwrap();
+            let b = s2.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(
+                a.txs.iter().map(|t| t.tid).collect::<Vec<_>>(),
+                b.txs.iter().map(|t| t.tid).collect::<Vec<_>>()
+            );
+        }
+        k.shutdown();
+    }
+
+    #[test]
+    fn sequences_are_consecutive() {
+        let k = KafkaOrderer::start(BatchConfig {
+            max_txs: 2,
+            timeout_ms: 50,
+        });
+        let sub = k.subscribe();
+        for i in 0..8 {
+            k.submit(tx(i));
+        }
+        let seqs: Vec<u64> = (0..4)
+            .map(|_| sub.recv_timeout(Duration::from_secs(2)).unwrap().seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        k.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_engine() {
+        let k = KafkaOrderer::start(BatchConfig::default());
+        k.shutdown();
+        let ack = k.submit(tx(1));
+        // Either the channel is disconnected or we get Stopped.
+        match ack.recv_timeout(Duration::from_millis(500)) {
+            Ok(Err(ConsensusError::Stopped)) | Err(_) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

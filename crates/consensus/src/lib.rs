@@ -1,0 +1,20 @@
+//! # sebdb-consensus
+//!
+//! Pluggable consensus engines for SEBDB (§III-B): a [`kafka`]-style
+//! central ordering service (crash fault tolerant, the fast path of
+//! Fig. 7), normal-case [`pbft`] with `3f+1` replicas over the
+//! simulated network, and a round-based [`tendermint`]-style BFT with
+//! serial CheckTx/DeliverTx (reproducing the bottleneck Fig. 7
+//! discusses). All engines implement [`traits::Consensus`].
+
+#![warn(missing_docs)]
+
+pub mod kafka;
+pub mod pbft;
+pub mod tendermint;
+pub mod traits;
+
+pub use kafka::KafkaOrderer;
+pub use pbft::{PbftConfig, PbftEngine, PbftMsg};
+pub use tendermint::{TendermintConfig, TendermintEngine};
+pub use traits::{BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock};

@@ -1,0 +1,578 @@
+//! PBFT (Castro & Liskov, OSDI'99) over the simulated network.
+//!
+//! The normal-case three-phase protocol with `n = 3f + 1` replicas:
+//! the primary assigns sequence numbers and broadcasts `PRE-PREPARE`;
+//! replicas broadcast `PREPARE` and, once *prepared* (pre-prepare +
+//! `2f` matching prepares), broadcast `COMMIT`; a block is delivered
+//! once *committed-local* (`2f + 1` matching commits). Delivery is
+//! strictly in sequence order, so every honest replica applies the
+//! same block stream.
+//!
+//! Scope note: this engine implements the normal-case operation that
+//! the paper's write benchmark (Fig. 7) exercises; view changes are
+//! out of scope — the primary is assumed non-faulty, while up to `f`
+//! *backup* replicas may be Byzantine (the tests inject one that
+//! equivocates on digests).
+
+use crate::traits::{
+    now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use sebdb_crypto::sha256::{Digest, Sha256};
+use sebdb_network::sim::{NetConfig, NodeId, SimNet};
+use sebdb_types::{Codec, Transaction};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type AckSender = Sender<Result<CommitAck, ConsensusError>>;
+
+/// PBFT protocol messages.
+#[derive(Debug, Clone)]
+pub enum PbftMsg {
+    /// Batcher → primary: an ordered batch awaiting a sequence number.
+    Request(Vec<Transaction>),
+    /// Primary → all: sequence assignment.
+    PrePrepare {
+        /// Protocol view (fixed at 0 — no view changes).
+        view: u64,
+        /// Assigned sequence number.
+        seq: u64,
+        /// Digest of the batch.
+        digest: Digest,
+        /// The batch itself.
+        block: OrderedBlock,
+    },
+    /// Replica → all: prepare vote.
+    Prepare {
+        /// Protocol view.
+        view: u64,
+        /// Sequence being voted.
+        seq: u64,
+        /// Batch digest being voted for.
+        digest: Digest,
+    },
+    /// Replica → all: commit vote.
+    Commit {
+        /// Protocol view.
+        view: u64,
+        /// Sequence being voted.
+        seq: u64,
+        /// Batch digest being voted for.
+        digest: Digest,
+    },
+}
+
+fn block_digest(block: &OrderedBlock) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&block.seq.to_le_bytes());
+    h.update(&block.timestamp_ms.to_le_bytes());
+    for tx in &block.txs {
+        h.update(&tx.to_bytes());
+    }
+    h.finalize()
+}
+
+#[derive(Default)]
+struct SeqState {
+    block: Option<OrderedBlock>,
+    digest: Option<Digest>,
+    /// Votes are buffered even before the pre-prepare arrives (messages
+    /// from different senders may be reordered); only votes matching
+    /// the pre-prepared digest count.
+    prepares: HashSet<(NodeId, Digest)>,
+    commits: HashSet<(NodeId, Digest)>,
+    sent_commit: bool,
+    delivered: bool,
+}
+
+impl SeqState {
+    fn prepare_count(&self) -> usize {
+        match self.digest {
+            Some(d) => self.prepares.iter().filter(|(_, v)| *v == d).count(),
+            None => 0,
+        }
+    }
+
+    fn commit_count(&self) -> usize {
+        match self.digest {
+            Some(d) => self.commits.iter().filter(|(_, v)| *v == d).count(),
+            None => 0,
+        }
+    }
+}
+
+struct Replica {
+    id: NodeId,
+    f: usize,
+    net: Arc<SimNet<PbftMsg>>,
+    inbox: Receiver<sebdb_network::sim::Envelope<PbftMsg>>,
+    seqs: BTreeMap<u64, SeqState>,
+    next_deliver: u64,
+    next_seq: u64, // primary only
+    deliveries: Sender<(NodeId, OrderedBlock)>,
+    /// When set, equivocate: vote for a corrupted digest (test hook).
+    byzantine: bool,
+    stopped: Arc<AtomicBool>,
+}
+
+impl Replica {
+    fn run(mut self) {
+        while !self.stopped.load(Ordering::Relaxed) {
+            match self.inbox.recv_timeout(Duration::from_millis(20)) {
+                Ok(env) => self.handle(env.from, env.msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn broadcast_and_self(&mut self, msg: PbftMsg) {
+        // Deliver to self synchronously (a replica trusts its own vote)
+        // and to peers over the network.
+        self.net.broadcast(self.id, msg.clone());
+        self.handle(self.id, msg);
+    }
+
+    fn corrupt(&self, d: Digest) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"byzantine");
+        h.update(d.as_bytes());
+        h.finalize()
+    }
+
+    fn handle(&mut self, from: NodeId, msg: PbftMsg) {
+        match msg {
+            PbftMsg::Request(txs) => {
+                // Only the primary sequences requests.
+                if self.id != 0 {
+                    return;
+                }
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let block = OrderedBlock {
+                    seq,
+                    timestamp_ms: now_ms(),
+                    txs,
+                };
+                let digest = block_digest(&block);
+                self.broadcast_and_self(PbftMsg::PrePrepare {
+                    view: 0,
+                    seq,
+                    digest,
+                    block,
+                });
+            }
+            PbftMsg::PrePrepare {
+                view,
+                seq,
+                digest,
+                block,
+            } => {
+                if view != 0 || from != 0 {
+                    return; // only the view-0 primary may pre-prepare
+                }
+                // Verify the digest binds the batch.
+                if block_digest(&block) != digest {
+                    return;
+                }
+                let state = self.seqs.entry(seq).or_default();
+                if state.digest.is_some() {
+                    return; // duplicate pre-prepare
+                }
+                state.block = Some(block);
+                state.digest = Some(digest);
+                let vote = if self.byzantine {
+                    self.corrupt(digest)
+                } else {
+                    digest
+                };
+                self.broadcast_and_self(PbftMsg::Prepare {
+                    view: 0,
+                    seq,
+                    digest: vote,
+                });
+                self.try_advance(seq);
+            }
+            PbftMsg::Prepare { view, seq, digest } => {
+                if view != 0 {
+                    return;
+                }
+                let state = self.seqs.entry(seq).or_default();
+                state.prepares.insert((from, digest));
+                self.try_advance(seq);
+            }
+            PbftMsg::Commit { view, seq, digest } => {
+                if view != 0 {
+                    return;
+                }
+                let state = self.seqs.entry(seq).or_default();
+                state.commits.insert((from, digest));
+                self.try_advance(seq);
+            }
+        }
+    }
+
+    fn try_advance(&mut self, seq: u64) {
+        // Prepared: pre-prepare + 2f prepares (own vote counts).
+        let (prepared, digest) = {
+            let Some(state) = self.seqs.get(&seq) else { return };
+            let Some(d) = state.digest else { return };
+            (state.prepare_count() >= 2 * self.f, d)
+        };
+        if prepared && !self.seqs.get(&seq).unwrap().sent_commit {
+            self.seqs.get_mut(&seq).unwrap().sent_commit = true;
+            let vote = if self.byzantine {
+                self.corrupt(digest)
+            } else {
+                digest
+            };
+            self.broadcast_and_self(PbftMsg::Commit {
+                view: 0,
+                seq,
+                digest: vote,
+            });
+        }
+        // Committed-local: 2f + 1 commits. Deliver in order.
+        loop {
+            let deliverable = self
+                .seqs
+                .get(&self.next_deliver)
+                .is_some_and(|s| !s.delivered && s.block.is_some() && s.commit_count() > 2 * self.f);
+            if !deliverable {
+                break;
+            }
+            let state = self.seqs.get_mut(&self.next_deliver).unwrap();
+            state.delivered = true;
+            let block = state.block.clone().unwrap();
+            let _ = self.deliveries.send((self.id, block));
+            self.next_deliver += 1;
+        }
+    }
+}
+
+struct PbftShared {
+    subscribers: Mutex<Vec<Sender<OrderedBlock>>>,
+    pending_acks: Mutex<BTreeMap<u64, Vec<(u64, AckSender)>>>,
+    stopped: Arc<AtomicBool>,
+}
+
+/// The PBFT consensus engine (4 replicas by default, tolerating f=1).
+pub struct PbftEngine {
+    submit_tx: Sender<(Transaction, AckSender)>,
+    shared: Arc<PbftShared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    n: usize,
+}
+
+/// Options for the PBFT engine.
+#[derive(Debug, Clone)]
+pub struct PbftConfig {
+    /// Packaging policy.
+    pub batch: BatchConfig,
+    /// Fault tolerance parameter; `n = 3f + 1` replicas are started.
+    pub f: usize,
+    /// Network behaviour between replicas.
+    pub net: NetConfig,
+    /// Replica ids (excluding 0) that equivocate — test/fault-injection
+    /// hook.
+    pub byzantine: Vec<NodeId>,
+}
+
+impl Default for PbftConfig {
+    fn default() -> Self {
+        PbftConfig {
+            batch: BatchConfig::default(),
+            f: 1,
+            net: NetConfig::default(),
+            byzantine: Vec::new(),
+        }
+    }
+}
+
+impl PbftEngine {
+    /// Starts replicas, the batcher, and the delivery fan-out.
+    pub fn start(config: PbftConfig) -> Arc<Self> {
+        assert!(
+            !config.byzantine.contains(&0),
+            "primary faults require view changes (unsupported)"
+        );
+        let n = 3 * config.f + 1;
+        let net: Arc<SimNet<PbftMsg>> = SimNet::new(config.net.clone());
+        let stopped = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(PbftShared {
+            subscribers: Mutex::new(Vec::new()),
+            pending_acks: Mutex::new(BTreeMap::new()),
+            stopped: Arc::clone(&stopped),
+        });
+        let (deliver_tx, deliver_rx) = unbounded::<(NodeId, OrderedBlock)>();
+        let mut threads = Vec::new();
+
+        // Replicas 0..n.
+        let mut inboxes = Vec::new();
+        for _ in 0..n {
+            inboxes.push(net.register());
+        }
+        // An extra network endpoint for the batcher.
+        let (batcher_id, _batcher_rx) = net.register();
+        for (id, inbox) in inboxes {
+            let replica = Replica {
+                id,
+                f: config.f,
+                net: Arc::clone(&net),
+                inbox,
+                seqs: BTreeMap::new(),
+                next_deliver: 0,
+                next_seq: 0,
+                deliveries: deliver_tx.clone(),
+                byzantine: config.byzantine.contains(&id),
+                stopped: Arc::clone(&stopped),
+            };
+            threads.push(std::thread::spawn(move || replica.run()));
+        }
+        drop(deliver_tx);
+
+        // Batcher: client txs → sequenced requests to the primary.
+        let (submit_tx, submit_rx) = unbounded::<(Transaction, AckSender)>();
+        {
+            let net = Arc::clone(&net);
+            let shared = Arc::clone(&shared);
+            let batch = config.batch;
+            let stopped = Arc::clone(&stopped);
+            threads.push(std::thread::spawn(move || {
+                batcher_loop(submit_rx, net, batcher_id, shared, batch, stopped)
+            }));
+        }
+
+        // Delivery fan-out: replica 0's stream drives subscribers and acks.
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                for (replica, block) in deliver_rx.iter() {
+                    if replica != 0 {
+                        continue;
+                    }
+                    for sub in shared.subscribers.lock().iter() {
+                        let _ = sub.send(block.clone());
+                    }
+                    if let Some(acks) = shared.pending_acks.lock().remove(&block.seq) {
+                        for (tid, ack) in acks {
+                            let _ = ack.send(Ok(CommitAck {
+                                tid,
+                                seq: block.seq,
+                            }));
+                        }
+                    }
+                }
+            }));
+        }
+
+        Arc::new(PbftEngine {
+            submit_tx,
+            shared,
+            threads: Mutex::new(threads),
+            n,
+        })
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.n
+    }
+}
+
+fn batcher_loop(
+    rx: Receiver<(Transaction, AckSender)>,
+    net: Arc<SimNet<PbftMsg>>,
+    batcher_id: NodeId,
+    shared: Arc<PbftShared>,
+    config: BatchConfig,
+    stopped: Arc<AtomicBool>,
+) {
+    let mut next_tid: u64 = 1;
+    let mut next_batch_seq: u64 = 0; // mirrors the primary's assignment
+    let mut pending: Vec<(Transaction, AckSender)> = Vec::new();
+    let timeout = Duration::from_millis(config.timeout_ms);
+    let mut started: Option<std::time::Instant> = None;
+
+    loop {
+        if stopped.load(Ordering::Relaxed) {
+            for (_, ack) in pending.drain(..) {
+                let _ = ack.send(Err(ConsensusError::Stopped));
+            }
+            return;
+        }
+        let wait = match started {
+            Some(s) => timeout.checked_sub(s.elapsed()).unwrap_or(Duration::ZERO),
+            None => timeout,
+        };
+        let flush_now = match rx.recv_timeout(wait) {
+            Ok((mut tx, ack)) => {
+                tx.tid = next_tid;
+                next_tid += 1;
+                if pending.is_empty() {
+                    started = Some(std::time::Instant::now());
+                }
+                pending.push((tx, ack));
+                pending.len() >= config.max_txs
+            }
+            Err(RecvTimeoutError::Timeout) => started.is_some(),
+            Err(RecvTimeoutError::Disconnected) => true,
+        };
+        if flush_now && !pending.is_empty() {
+            let seq = next_batch_seq;
+            next_batch_seq += 1;
+            let mut txs = Vec::with_capacity(pending.len());
+            {
+                let mut acks = shared.pending_acks.lock();
+                let entry = acks.entry(seq).or_default();
+                for (tx, ack) in pending.drain(..) {
+                    entry.push((tx.tid, ack));
+                    txs.push(tx);
+                }
+            }
+            net.send(batcher_id, 0, PbftMsg::Request(txs));
+            started = None;
+        }
+    }
+}
+
+impl Consensus for PbftEngine {
+    fn submit(&self, tx: Transaction) -> Receiver<Result<CommitAck, ConsensusError>> {
+        let (ack_tx, ack_rx) = bounded(1);
+        if self.submit_tx.send((tx, ack_tx.clone())).is_err() {
+            let _ = ack_tx.send(Err(ConsensusError::Stopped));
+        }
+        ack_rx
+    }
+
+    fn subscribe(&self) -> Receiver<OrderedBlock> {
+        let (tx, rx) = unbounded();
+        self.shared.subscribers.lock().push(tx);
+        rx
+    }
+
+    fn shutdown(&self) {
+        self.shared.stopped.store(true, Ordering::Relaxed);
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pbft"
+    }
+}
+
+impl Drop for PbftEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebdb_crypto::sig::KeyId;
+    use sebdb_types::Value;
+
+    fn tx(i: i64) -> Transaction {
+        Transaction::new(now_ms(), KeyId([2; 8]), "donate", vec![Value::Int(i)])
+    }
+
+    fn quick_batch() -> BatchConfig {
+        BatchConfig {
+            max_txs: 4,
+            timeout_ms: 30,
+        }
+    }
+
+    #[test]
+    fn commits_through_three_phases() {
+        let engine = PbftEngine::start(PbftConfig {
+            batch: quick_batch(),
+            ..PbftConfig::default()
+        });
+        assert_eq!(engine.replica_count(), 4);
+        let sub = engine.subscribe();
+        let acks: Vec<_> = (0..4).map(|i| engine.submit(tx(i))).collect();
+        let block = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(block.seq, 0);
+        assert_eq!(block.txs.len(), 4);
+        for a in acks {
+            assert!(a.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn tolerates_one_byzantine_backup() {
+        let engine = PbftEngine::start(PbftConfig {
+            batch: quick_batch(),
+            byzantine: vec![2],
+            ..PbftConfig::default()
+        });
+        let sub = engine.subscribe();
+        for i in 0..8 {
+            engine.submit(tx(i));
+        }
+        let b0 = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        let b1 = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((b0.seq, b1.seq), (0, 1));
+        assert_eq!(b0.txs.len() + b1.txs.len(), 8);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn ordered_delivery_across_many_batches() {
+        let engine = PbftEngine::start(PbftConfig {
+            batch: BatchConfig {
+                max_txs: 2,
+                timeout_ms: 30,
+            },
+            ..PbftConfig::default()
+        });
+        let sub = engine.subscribe();
+        for i in 0..10 {
+            engine.submit(tx(i));
+        }
+        let mut tids = Vec::new();
+        for want_seq in 0..5 {
+            let b = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(b.seq, want_seq);
+            tids.extend(b.txs.iter().map(|t| t.tid));
+        }
+        assert_eq!(tids, (1..=10).collect::<Vec<_>>());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn works_with_network_latency() {
+        let engine = PbftEngine::start(PbftConfig {
+            batch: quick_batch(),
+            net: NetConfig {
+                latency: Duration::from_millis(5),
+                ..NetConfig::default()
+            },
+            ..PbftConfig::default()
+        });
+        let sub = engine.subscribe();
+        let ack = engine.submit(tx(1));
+        // Timeout flush (only 1 tx) then 3 phases over a 5 ms network.
+        let block = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(block.txs.len(), 1);
+        assert!(ack.recv_timeout(Duration::from_secs(5)).unwrap().is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "view changes")]
+    fn byzantine_primary_rejected() {
+        let _ = PbftEngine::start(PbftConfig {
+            byzantine: vec![0],
+            ..PbftConfig::default()
+        });
+    }
+}

@@ -1,0 +1,677 @@
+//! Tendermint-style round-based BFT.
+//!
+//! Models the paper's Tendermint 0.19 deployment (§VII-B). Validators
+//! rotate the proposer per round; each height runs
+//! Propose → Prevote → Precommit with ⌈2n/3⌉+ quorums, advancing to the
+//! next round (with the next proposer) on timeout. Transactions pass
+//! through a *serial* CheckTx before entering the mempool — the paper's
+//! explanation for Tendermint's limited throughput ("each transaction
+//! … is first checked by and then delivered to SEBDB in a serial
+//! manner, which is a slow process"). The per-transaction check cost
+//! is configurable so the Fig. 7 harness can reproduce that shape.
+//!
+//! Scope note: value locking (the POL rule) is omitted — with honest
+//! validators and a reliable simulated network, a round either commits
+//! one proposal or advances with nil votes, so safety is preserved for
+//! the configurations exercised here.
+
+use crate::traits::{
+    now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock,
+};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use sebdb_crypto::sha256::{Digest, Sha256};
+use sebdb_network::sim::{NetConfig, NodeId, SimNet};
+use sebdb_types::{Codec, Transaction};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type AckSender = Sender<Result<CommitAck, ConsensusError>>;
+
+/// Tendermint protocol messages.
+#[derive(Debug, Clone)]
+pub enum TmMsg {
+    /// Proposer → all: the proposed block for (height, round).
+    Proposal {
+        /// Consensus height (= block seq).
+        height: u64,
+        /// Round within the height.
+        round: u32,
+        /// Proposed block.
+        block: OrderedBlock,
+    },
+    /// Validator → all: prevote (`None` = nil).
+    Prevote {
+        /// Height.
+        height: u64,
+        /// Round.
+        round: u32,
+        /// Voted digest, or nil.
+        digest: Option<Digest>,
+    },
+    /// Validator → all: precommit (`None` = nil).
+    Precommit {
+        /// Height.
+        height: u64,
+        /// Round.
+        round: u32,
+        /// Voted digest, or nil.
+        digest: Option<Digest>,
+    },
+}
+
+fn block_digest(block: &OrderedBlock) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&block.seq.to_le_bytes());
+    for tx in &block.txs {
+        h.update(&tx.to_bytes());
+    }
+    h.finalize()
+}
+
+/// Tendermint engine configuration.
+#[derive(Debug, Clone)]
+pub struct TendermintConfig {
+    /// Packaging policy (the paper sets the packaging block size to
+    /// 10 000 so blocks cut on timeout under light load).
+    pub batch: BatchConfig,
+    /// Validator count (quorum is ⌈2n/3⌉+).
+    pub validators: usize,
+    /// Network behaviour between validators.
+    pub net: NetConfig,
+    /// Per-step timeout.
+    pub step_timeout: Duration,
+    /// Serial CheckTx cost per transaction, in microseconds (on top of
+    /// the real hash verification) — models Tendermint's admission
+    /// path.
+    pub checktx_cost_us: u64,
+    /// Validators that never start (liveness fault injection).
+    pub down: Vec<NodeId>,
+}
+
+impl Default for TendermintConfig {
+    fn default() -> Self {
+        TendermintConfig {
+            batch: BatchConfig {
+                max_txs: 10_000,
+                timeout_ms: 200,
+            },
+            validators: 4,
+            net: NetConfig::default(),
+            step_timeout: Duration::from_millis(150),
+            checktx_cost_us: 0,
+            down: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Propose,
+    Prevote,
+    Precommit,
+}
+
+struct HeightState {
+    proposals: HashMap<u32, OrderedBlock>,
+    prevotes: HashMap<(u32, Option<Digest>), HashSet<NodeId>>,
+    precommits: HashMap<(u32, Option<Digest>), HashSet<NodeId>>,
+    sent_prevote: HashSet<u32>,
+    sent_precommit: HashSet<u32>,
+}
+
+impl HeightState {
+    fn new() -> Self {
+        HeightState {
+            proposals: HashMap::new(),
+            prevotes: HashMap::new(),
+            precommits: HashMap::new(),
+            sent_prevote: HashSet::new(),
+            sent_precommit: HashSet::new(),
+        }
+    }
+}
+
+struct Validator {
+    id: NodeId,
+    n: usize,
+    net: Arc<SimNet<TmMsg>>,
+    inbox: Receiver<sebdb_network::sim::Envelope<TmMsg>>,
+    mempool: Arc<Mutex<VecDeque<Transaction>>>,
+    batch: BatchConfig,
+    step_timeout: Duration,
+    height: u64,
+    round: u32,
+    step: Step,
+    deadline: Instant,
+    state: HeightState,
+    deliveries: Sender<(NodeId, OrderedBlock)>,
+    stopped: Arc<AtomicBool>,
+    /// When the current head of the mempool first became visible —
+    /// drives the packaging timeout.
+    batch_started: Option<Instant>,
+}
+
+impl Validator {
+    fn quorum(&self) -> usize {
+        2 * self.n / 3 + 1
+    }
+
+    fn proposer_of(&self, height: u64, round: u32) -> NodeId {
+        ((height + round as u64) % self.n as u64) as NodeId
+    }
+
+    fn run(mut self) {
+        self.deadline = Instant::now() + self.step_timeout;
+        while !self.stopped.load(Ordering::Relaxed) {
+            self.maybe_propose();
+            let wait = self
+                .deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(5));
+            match self.inbox.recv_timeout(wait) {
+                Ok(env) => self.handle(env.from, env.msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            self.on_deadline();
+        }
+    }
+
+    fn broadcast_and_self(&mut self, msg: TmMsg) {
+        self.net.broadcast(self.id, msg.clone());
+        self.handle(self.id, msg);
+    }
+
+    /// If we are the proposer of the current round and have not yet
+    /// proposed, cut a batch when it is full or the packaging timeout
+    /// has elapsed.
+    fn maybe_propose(&mut self) {
+        if self.step != Step::Propose
+            || self.proposer_of(self.height, self.round) != self.id
+            || self.state.proposals.contains_key(&self.round)
+        {
+            return;
+        }
+        let ready = {
+            let pool = self.mempool.lock();
+            if pool.is_empty() {
+                self.batch_started = None;
+                false
+            } else {
+                if self.batch_started.is_none() {
+                    self.batch_started = Some(Instant::now());
+                }
+                pool.len() >= self.batch.max_txs
+                    || self
+                        .batch_started
+                        .is_some_and(|s| s.elapsed() >= Duration::from_millis(self.batch.timeout_ms))
+            }
+        };
+        if !ready {
+            return;
+        }
+        let txs: Vec<Transaction> = {
+            let mut pool = self.mempool.lock();
+            let take = pool.len().min(self.batch.max_txs);
+            pool.drain(..take).collect()
+        };
+        self.batch_started = None;
+        let block = OrderedBlock {
+            seq: self.height,
+            timestamp_ms: now_ms(),
+            txs,
+        };
+        let (height, round) = (self.height, self.round);
+        self.broadcast_and_self(TmMsg::Proposal {
+            height,
+            round,
+            block,
+        });
+    }
+
+    fn handle(&mut self, from: NodeId, msg: TmMsg) {
+        match msg {
+            TmMsg::Proposal {
+                height,
+                round,
+                block,
+            } => {
+                if height != self.height || from != self.proposer_of(height, round) {
+                    return;
+                }
+                if block.seq != height {
+                    return;
+                }
+                let digest = block_digest(&block);
+                self.state.proposals.insert(round, block);
+                // Prevote for the proposal if we haven't voted this round.
+                if round == self.round && self.state.sent_prevote.insert(round) {
+                    self.step = Step::Prevote;
+                    self.deadline = Instant::now() + self.step_timeout;
+                    self.broadcast_and_self(TmMsg::Prevote {
+                        height,
+                        round,
+                        digest: Some(digest),
+                    });
+                }
+                // Votes may have raced ahead of the proposal; re-check.
+                self.check_prevote_quorum(round);
+                self.check_precommit_quorum(round);
+            }
+            TmMsg::Prevote {
+                height,
+                round,
+                digest,
+            } => {
+                if height != self.height {
+                    return;
+                }
+                self.state
+                    .prevotes
+                    .entry((round, digest))
+                    .or_default()
+                    .insert(from);
+                self.check_prevote_quorum(round);
+            }
+            TmMsg::Precommit {
+                height,
+                round,
+                digest,
+            } => {
+                if height != self.height {
+                    return;
+                }
+                self.state
+                    .precommits
+                    .entry((round, digest))
+                    .or_default()
+                    .insert(from);
+                self.check_precommit_quorum(round);
+            }
+        }
+    }
+
+    fn check_prevote_quorum(&mut self, round: u32) {
+        if round != self.round || self.state.sent_precommit.contains(&round) {
+            return;
+        }
+        let quorum = self.quorum();
+        // Quorum for a concrete digest → precommit it.
+        let hit: Option<Option<Digest>> = self
+            .state
+            .prevotes
+            .iter()
+            .find(|((r, d), votes)| *r == round && d.is_some() && votes.len() >= quorum)
+            .map(|((_, d), _)| *d);
+        let nil_quorum = self
+            .state
+            .prevotes
+            .get(&(round, None))
+            .is_some_and(|v| v.len() >= quorum);
+        let vote = if let Some(d) = hit {
+            Some(d)
+        } else if nil_quorum {
+            Some(None)
+        } else {
+            None
+        };
+        if let Some(digest) = vote {
+            self.state.sent_precommit.insert(round);
+            self.step = Step::Precommit;
+            self.deadline = Instant::now() + self.step_timeout;
+            let height = self.height;
+            self.broadcast_and_self(TmMsg::Precommit {
+                height,
+                round,
+                digest,
+            });
+        }
+    }
+
+    fn check_precommit_quorum(&mut self, round: u32) {
+        let quorum = self.quorum();
+        // Commit on a digest quorum at any round of this height.
+        let hit: Option<Digest> = self
+            .state
+            .precommits
+            .iter()
+            .find(|((r, d), votes)| *r == round && d.is_some() && votes.len() >= quorum)
+            .and_then(|((_, d), _)| *d);
+        if let Some(digest) = hit {
+            // We must hold the matching proposal to apply it.
+            let block = self
+                .state
+                .proposals
+                .get(&round)
+                .filter(|b| block_digest(b) == digest)
+                .cloned();
+            if let Some(block) = block {
+                let _ = self.deliveries.send((self.id, block));
+                self.height += 1;
+                self.round = 0;
+                self.step = Step::Propose;
+                self.state = HeightState::new();
+                self.deadline = Instant::now() + self.step_timeout;
+                return;
+            }
+        }
+        // Nil quorum at our round → next round, next proposer.
+        if round == self.round
+            && self
+                .state
+                .precommits
+                .get(&(round, None))
+                .is_some_and(|v| v.len() >= quorum)
+        {
+            self.advance_round();
+        }
+    }
+
+    fn on_deadline(&mut self) {
+        if Instant::now() < self.deadline {
+            return;
+        }
+        let (height, round) = (self.height, self.round);
+        match self.step {
+            Step::Propose => {
+                // No proposal in time → prevote nil. Only when there is
+                // traffic waiting; otherwise stay idle in Propose.
+                let has_traffic = !self.mempool.lock().is_empty()
+                    || !self.state.proposals.is_empty()
+                    || !self.state.prevotes.is_empty();
+                if has_traffic && self.state.sent_prevote.insert(round) {
+                    self.step = Step::Prevote;
+                    self.broadcast_and_self(TmMsg::Prevote {
+                        height,
+                        round,
+                        digest: None,
+                    });
+                }
+                self.deadline = Instant::now() + self.step_timeout;
+            }
+            Step::Prevote => {
+                if self.state.sent_precommit.insert(round) {
+                    self.step = Step::Precommit;
+                    self.broadcast_and_self(TmMsg::Precommit {
+                        height,
+                        round,
+                        digest: None,
+                    });
+                }
+                self.deadline = Instant::now() + self.step_timeout;
+            }
+            Step::Precommit => {
+                self.advance_round();
+            }
+        }
+    }
+
+    fn advance_round(&mut self) {
+        self.round += 1;
+        self.step = Step::Propose;
+        self.deadline = Instant::now() + self.step_timeout;
+    }
+}
+
+struct TmShared {
+    subscribers: Mutex<Vec<Sender<OrderedBlock>>>,
+    acks: Mutex<HashMap<u64, AckSender>>,
+    stopped: Arc<AtomicBool>,
+}
+
+/// The Tendermint-style consensus engine.
+pub struct TendermintEngine {
+    submit_tx: Sender<(Transaction, AckSender)>,
+    shared: Arc<TmShared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    n: usize,
+}
+
+impl TendermintEngine {
+    /// Starts the validators, the serial CheckTx/mempool thread, and
+    /// the delivery fan-out.
+    pub fn start(config: TendermintConfig) -> Arc<Self> {
+        let n = config.validators;
+        assert!(n >= 1);
+        let net: Arc<SimNet<TmMsg>> = SimNet::new(config.net.clone());
+        let stopped = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(TmShared {
+            subscribers: Mutex::new(Vec::new()),
+            acks: Mutex::new(HashMap::new()),
+            stopped: Arc::clone(&stopped),
+        });
+        let mempool = Arc::new(Mutex::new(VecDeque::new()));
+        let (deliver_tx, deliver_rx) = unbounded::<(NodeId, OrderedBlock)>();
+        let mut threads = Vec::new();
+
+        let mut endpoints = Vec::new();
+        for _ in 0..n {
+            endpoints.push(net.register());
+        }
+        for (id, inbox) in endpoints {
+            if config.down.contains(&id) {
+                continue; // faulty validator never starts
+            }
+            let v = Validator {
+                id,
+                n,
+                net: Arc::clone(&net),
+                inbox,
+                mempool: Arc::clone(&mempool),
+                batch: config.batch,
+                step_timeout: config.step_timeout,
+                height: 0,
+                round: 0,
+                step: Step::Propose,
+                deadline: Instant::now(),
+                state: HeightState::new(),
+                deliveries: deliver_tx.clone(),
+                stopped: Arc::clone(&stopped),
+                batch_started: None,
+            };
+            threads.push(std::thread::spawn(move || v.run()));
+        }
+        drop(deliver_tx);
+
+        // Serial CheckTx + mempool admission.
+        let (submit_tx, submit_rx) = unbounded::<(Transaction, AckSender)>();
+        {
+            let mempool = Arc::clone(&mempool);
+            let shared = Arc::clone(&shared);
+            let stopped = Arc::clone(&stopped);
+            let cost = Duration::from_micros(config.checktx_cost_us);
+            threads.push(std::thread::spawn(move || {
+                let mut next_tid: u64 = 1;
+                loop {
+                    if stopped.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match submit_rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok((mut tx, ack)) => {
+                            // CheckTx: re-encode and hash (real work),
+                            // reject empty types.
+                            if tx.tname.is_empty() {
+                                let _ = ack.send(Err(ConsensusError::Rejected(
+                                    "empty transaction type".into(),
+                                )));
+                                continue;
+                            }
+                            let _ = tx.hash();
+                            if !cost.is_zero() {
+                                std::thread::sleep(cost);
+                            }
+                            tx.tid = next_tid;
+                            next_tid += 1;
+                            shared.acks.lock().insert(tx.tid, ack);
+                            mempool.lock().push_back(tx);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            }));
+        }
+
+        // Delivery fan-out: the lowest-id live validator's stream.
+        let canonical: NodeId = (0..n).find(|id| !config.down.contains(id)).unwrap_or(0);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                for (validator, block) in deliver_rx.iter() {
+                    if validator != canonical {
+                        continue;
+                    }
+                    for sub in shared.subscribers.lock().iter() {
+                        let _ = sub.send(block.clone());
+                    }
+                    let mut acks = shared.acks.lock();
+                    for tx in &block.txs {
+                        if let Some(ack) = acks.remove(&tx.tid) {
+                            let _ = ack.send(Ok(CommitAck {
+                                tid: tx.tid,
+                                seq: block.seq,
+                            }));
+                        }
+                    }
+                }
+            }));
+        }
+
+        Arc::new(TendermintEngine {
+            submit_tx,
+            shared,
+            threads: Mutex::new(threads),
+            n,
+        })
+    }
+
+    /// Validator count.
+    pub fn validator_count(&self) -> usize {
+        self.n
+    }
+}
+
+impl Consensus for TendermintEngine {
+    fn submit(&self, tx: Transaction) -> Receiver<Result<CommitAck, ConsensusError>> {
+        let (ack_tx, ack_rx) = bounded(1);
+        if self.submit_tx.send((tx, ack_tx.clone())).is_err() {
+            let _ = ack_tx.send(Err(ConsensusError::Stopped));
+        }
+        ack_rx
+    }
+
+    fn subscribe(&self) -> Receiver<OrderedBlock> {
+        let (tx, rx) = unbounded();
+        self.shared.subscribers.lock().push(tx);
+        rx
+    }
+
+    fn shutdown(&self) {
+        self.shared.stopped.store(true, Ordering::Relaxed);
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tendermint"
+    }
+}
+
+impl Drop for TendermintEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebdb_crypto::sig::KeyId;
+    use sebdb_types::Value;
+
+    fn tx(i: i64) -> Transaction {
+        Transaction::new(now_ms(), KeyId([3; 8]), "donate", vec![Value::Int(i)])
+    }
+
+    fn quick() -> TendermintConfig {
+        TendermintConfig {
+            batch: BatchConfig {
+                max_txs: 4,
+                timeout_ms: 30,
+            },
+            step_timeout: Duration::from_millis(100),
+            ..TendermintConfig::default()
+        }
+    }
+
+    #[test]
+    fn commits_a_block() {
+        let e = TendermintEngine::start(quick());
+        let sub = e.subscribe();
+        let acks: Vec<_> = (0..4).map(|i| e.submit(tx(i))).collect();
+        let block = sub.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(block.seq, 0);
+        assert_eq!(block.txs.len(), 4);
+        for a in acks {
+            assert!(a.recv_timeout(Duration::from_secs(10)).unwrap().is_ok());
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn heights_advance_sequentially() {
+        let e = TendermintEngine::start(quick());
+        let sub = e.subscribe();
+        for i in 0..12 {
+            e.submit(tx(i));
+        }
+        let mut seqs = Vec::new();
+        let mut total = 0;
+        while total < 12 {
+            let b = sub.recv_timeout(Duration::from_secs(10)).unwrap();
+            total += b.txs.len();
+            seqs.push(b.seq);
+        }
+        let want: Vec<u64> = (0..seqs.len() as u64).collect();
+        assert_eq!(seqs, want);
+        e.shutdown();
+    }
+
+    #[test]
+    fn checktx_rejects_bad_transactions() {
+        let e = TendermintEngine::start(quick());
+        let mut bad = tx(1);
+        bad.tname = String::new();
+        let ack = e.submit(bad);
+        match ack.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Err(ConsensusError::Rejected(_)) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn survives_a_down_proposer_via_round_rotation() {
+        // Validator 0 proposes height 0; validator 1 would propose
+        // height 1 round 0 but is down — round rotation must hand the
+        // proposal to validator 2.
+        let e = TendermintEngine::start(TendermintConfig {
+            down: vec![1],
+            ..quick()
+        });
+        let sub = e.subscribe();
+        for i in 0..8 {
+            e.submit(tx(i));
+        }
+        let mut total = 0;
+        while total < 8 {
+            let b = sub.recv_timeout(Duration::from_secs(20)).unwrap();
+            total += b.txs.len();
+        }
+        e.shutdown();
+    }
+}

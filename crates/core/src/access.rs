@@ -1,0 +1,186 @@
+//! Access control (§III-B, application layer).
+//!
+//! "The access control verifies request permission before execution,
+//! where a multi-channel method is adopted to protect users' privacy."
+//! A *channel* groups members with the tables they may touch; a
+//! request is admitted when some channel grants the principal the
+//! needed right on the table. Nodes start in permissive mode (no
+//! channels ⇒ everything allowed) until the first channel is created.
+
+use parking_lot::RwLock;
+use sebdb_crypto::sig::KeyId;
+use std::collections::{HashMap, HashSet};
+
+/// Right being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Permission {
+    /// Query a table.
+    Read,
+    /// Insert into a table.
+    Write,
+}
+
+/// Access-control decision errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessDenied {
+    /// Who asked.
+    pub principal: KeyId,
+    /// What they asked for.
+    pub permission: Permission,
+    /// On which table.
+    pub table: String,
+}
+
+impl std::fmt::Display for AccessDenied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "access denied: {:?} lacks {:?} on '{}'",
+            self.principal, self.permission, self.table
+        )
+    }
+}
+
+impl std::error::Error for AccessDenied {}
+
+#[derive(Debug, Default)]
+struct Channel {
+    members: HashSet<KeyId>,
+    /// table → writable? (readable is implied by membership).
+    tables: HashMap<String, bool>,
+}
+
+/// The multi-channel access controller.
+#[derive(Debug, Default)]
+pub struct AccessController {
+    channels: RwLock<HashMap<String, Channel>>,
+}
+
+impl AccessController {
+    /// Permissive controller (until channels exist).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty channel (idempotent).
+    pub fn create_channel(&self, name: &str) {
+        self.channels
+            .write()
+            .entry(name.to_ascii_lowercase())
+            .or_default();
+    }
+
+    /// Adds a member to a channel.
+    pub fn add_member(&self, channel: &str, member: KeyId) {
+        self.channels
+            .write()
+            .entry(channel.to_ascii_lowercase())
+            .or_default()
+            .members
+            .insert(member);
+    }
+
+    /// Puts a table in a channel; `writable` grants insert rights to
+    /// members.
+    pub fn assign_table(&self, channel: &str, table: &str, writable: bool) {
+        self.channels
+            .write()
+            .entry(channel.to_ascii_lowercase())
+            .or_default()
+            .tables
+            .insert(table.to_ascii_lowercase(), writable);
+    }
+
+    /// Checks `principal`'s `permission` on `table`.
+    pub fn check(
+        &self,
+        principal: KeyId,
+        permission: Permission,
+        table: &str,
+    ) -> Result<(), AccessDenied> {
+        let channels = self.channels.read();
+        if channels.is_empty() {
+            return Ok(()); // permissive bootstrap mode
+        }
+        let table = table.to_ascii_lowercase();
+        let allowed = channels.values().any(|ch| {
+            ch.members.contains(&principal)
+                && match ch.tables.get(&table) {
+                    Some(writable) => permission == Permission::Read || *writable,
+                    None => false,
+                }
+        });
+        if allowed {
+            Ok(())
+        } else {
+            Err(AccessDenied {
+                principal,
+                permission,
+                table: table.clone(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALICE: KeyId = KeyId([1; 8]);
+    const BOB: KeyId = KeyId([2; 8]);
+
+    #[test]
+    fn permissive_until_channels_exist() {
+        let ac = AccessController::new();
+        assert!(ac.check(ALICE, Permission::Write, "donate").is_ok());
+    }
+
+    #[test]
+    fn members_read_and_write_by_flag() {
+        let ac = AccessController::new();
+        ac.create_channel("charity");
+        ac.add_member("charity", ALICE);
+        ac.assign_table("charity", "donate", true);
+        ac.assign_table("charity", "audit", false);
+
+        assert!(ac.check(ALICE, Permission::Write, "donate").is_ok());
+        assert!(ac.check(ALICE, Permission::Read, "audit").is_ok());
+        assert!(ac.check(ALICE, Permission::Write, "audit").is_err());
+    }
+
+    #[test]
+    fn non_members_denied() {
+        let ac = AccessController::new();
+        ac.create_channel("charity");
+        ac.add_member("charity", ALICE);
+        ac.assign_table("charity", "donate", true);
+        let err = ac.check(BOB, Permission::Read, "donate").unwrap_err();
+        assert_eq!(err.principal, BOB);
+        assert!(ac.check(BOB, Permission::Read, "other").is_err());
+    }
+
+    #[test]
+    fn privacy_across_channels() {
+        // Bob's channel does not see Alice's tables — the multi-channel
+        // privacy property.
+        let ac = AccessController::new();
+        ac.create_channel("a");
+        ac.add_member("a", ALICE);
+        ac.assign_table("a", "donorinfo", true);
+        ac.create_channel("b");
+        ac.add_member("b", BOB);
+        ac.assign_table("b", "custinfo", true);
+        assert!(ac.check(BOB, Permission::Read, "donorinfo").is_err());
+        assert!(ac.check(ALICE, Permission::Read, "custinfo").is_err());
+        assert!(ac.check(ALICE, Permission::Read, "donorinfo").is_ok());
+    }
+
+    #[test]
+    fn case_insensitive_names() {
+        let ac = AccessController::new();
+        ac.create_channel("Main");
+        ac.add_member("MAIN", ALICE);
+        ac.assign_table("main", "Donate", true);
+        assert!(ac.check(ALICE, Permission::Write, "DONATE").is_ok());
+    }
+}

@@ -1,0 +1,213 @@
+//! SQL-driven smart contracts (§III-B, application layer).
+//!
+//! "The system supports smart contract embedded SQL-like language to
+//! define a DApp, where SQL-like is responsible for accessing data."
+//! A contract is a named, parameterized sequence of SQL statements;
+//! `?` parameters are numbered cumulatively across the sequence (the
+//! first statement's parameters come first, then the second's, …), so
+//! one argument list drives the whole procedure. Statements execute in
+//! order through the node (writes go through consensus like any other
+//! insert). The last statement's rows, if any, are the invocation
+//! result.
+
+use crate::node::{ExecOutcome, NodeError, SebdbNode};
+use crate::executor::{QueryResult, Strategy};
+use parking_lot::RwLock;
+use sebdb_sql::{parse_script, Expr, Statement, WherePredicate};
+use sebdb_types::Value;
+use std::collections::HashMap;
+
+/// A deployed contract.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    /// Contract name.
+    pub name: String,
+    /// Parsed statements, executed in order.
+    pub statements: Vec<Statement>,
+    /// Total `?` parameters across all statements.
+    pub param_count: usize,
+}
+
+/// The node-local contract registry.
+#[derive(Default)]
+pub struct ContractRegistry {
+    contracts: RwLock<HashMap<String, Contract>>,
+}
+
+/// Contract errors.
+#[derive(Debug)]
+pub enum ContractError {
+    /// Bad deployment script.
+    Deploy(String),
+    /// No such contract.
+    Unknown(String),
+    /// Wrong argument count.
+    Arity {
+        /// Expected.
+        expected: usize,
+        /// Provided.
+        provided: usize,
+    },
+    /// A statement failed mid-run (statements before it have already
+    /// committed — there is no cross-statement rollback on a chain).
+    Execution {
+        /// Index of the failing statement.
+        statement: usize,
+        /// The failure.
+        source: NodeError,
+    },
+}
+
+impl std::fmt::Display for ContractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContractError::Deploy(m) => write!(f, "deploy failed: {m}"),
+            ContractError::Unknown(n) => write!(f, "no contract '{n}'"),
+            ContractError::Arity { expected, provided } => {
+                write!(f, "contract takes {expected} args, {provided} given")
+            }
+            ContractError::Execution { statement, source } => {
+                write!(f, "statement {statement} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+/// Renumbers every `?` parameter in `stmt` by `offset`.
+fn shift_params(stmt: &mut Statement, offset: usize) {
+    fn expr(e: &mut Expr, offset: usize) {
+        if let Expr::Param(i) = e {
+            *i += offset;
+        }
+    }
+    match stmt {
+        Statement::Create { .. } => {}
+        Statement::Insert { values, .. } => {
+            for v in values {
+                expr(v, offset);
+            }
+        }
+        Statement::Select(s) => {
+            for p in &mut s.predicates {
+                match p {
+                    WherePredicate::Compare { value, .. } => expr(value, offset),
+                    WherePredicate::Between { lo, hi, .. } => {
+                        expr(lo, offset);
+                        expr(hi, offset);
+                    }
+                }
+            }
+            if let Some((a, b)) = &mut s.window {
+                expr(a, offset);
+                expr(b, offset);
+            }
+        }
+        Statement::Trace {
+            window,
+            operator,
+            operation,
+        } => {
+            if let Some((a, b)) = window {
+                expr(a, offset);
+                expr(b, offset);
+            }
+            if let Some(o) = operator {
+                expr(o, offset);
+            }
+            if let Some(o) = operation {
+                expr(o, offset);
+            }
+        }
+        Statement::GetBlock(sel) => match sel {
+            sebdb_sql::BlockSelector::ById(e)
+            | sebdb_sql::BlockSelector::ByTid(e)
+            | sebdb_sql::BlockSelector::ByTimestamp(e) => expr(e, offset),
+        },
+        Statement::Explain(inner) => shift_params(inner, offset),
+    }
+}
+
+impl ContractRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploys a contract from a `;`-separated SQL script. `?`
+    /// parameters are renumbered cumulatively across the statements.
+    pub fn deploy(&self, name: &str, script: &str) -> Result<(), ContractError> {
+        let mut statements =
+            parse_script(script).map_err(|e| ContractError::Deploy(e.to_string()))?;
+        if statements.is_empty() {
+            return Err(ContractError::Deploy("empty contract".into()));
+        }
+        let mut offset = 0;
+        for stmt in &mut statements {
+            let here = stmt.param_count();
+            shift_params(stmt, offset);
+            offset += here;
+        }
+        let param_count = offset;
+        self.contracts.write().insert(
+            name.to_ascii_lowercase(),
+            Contract {
+                name: name.to_owned(),
+                statements,
+                param_count,
+            },
+        );
+        Ok(())
+    }
+
+    /// Looks up a deployed contract.
+    pub fn get(&self, name: &str) -> Option<Contract> {
+        self.contracts.read().get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Invokes `name` with `args` on `node`. Returns the last
+    /// statement's rows (empty result if the contract ends in a write).
+    pub fn invoke(
+        &self,
+        node: &SebdbNode,
+        name: &str,
+        args: &[Value],
+    ) -> Result<QueryResult, ContractError> {
+        let contract = self
+            .get(name)
+            .ok_or_else(|| ContractError::Unknown(name.to_owned()))?;
+        if args.len() != contract.param_count {
+            return Err(ContractError::Arity {
+                expected: contract.param_count,
+                provided: args.len(),
+            });
+        }
+        let mut last = QueryResult::empty(vec![]);
+        for (i, stmt) in contract.statements.iter().enumerate() {
+            let plan = sebdb_sql::plan(stmt, args, node.schemas.as_ref())
+                .map_err(|e| ContractError::Execution {
+                    statement: i,
+                    source: NodeError::Sql(e),
+                })?;
+            match node.execute_plan(plan, Strategy::Auto) {
+                Ok(ExecOutcome::Rows(rows)) => last = rows,
+                Ok(_) => {}
+                Err(source) => {
+                    return Err(ContractError::Execution {
+                        statement: i,
+                        source,
+                    })
+                }
+            }
+        }
+        Ok(last)
+    }
+
+    /// Names of deployed contracts.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.contracts.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}

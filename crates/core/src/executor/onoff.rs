@@ -1,0 +1,209 @@
+//! On-chain ⋈ off-chain join (§V-C, Algorithm 3).
+//!
+//! The off-chain side comes from the local RDBMS through the
+//! ODBC/JDBC-shaped connection, pre-sorted on the join attribute; the
+//! on-chain side is pruned by the layered index's first level against
+//! the off-chain `(min, max)` range (continuous) or the OR of the
+//! distinct-value bitmaps (discrete), then each surviving block is
+//! sort-merge joined against the sorted off-chain rows using the
+//! second-level leaves.
+
+use super::range::in_window;
+use super::{materialize, ExecError, Executor, QueryResult, Strategy};
+use sebdb_index::Bitmap;
+use sebdb_types::{Column, ColumnRef, TableSchema, Timestamp, Value};
+
+fn onoff_header(on: &TableSchema, off_table: &str, off_columns: &[Column]) -> Vec<String> {
+    on.full_column_names()
+        .iter()
+        .map(|c| format!("{}.{c}", on.name))
+        .chain(off_columns.iter().map(|c| format!("{off_table}.{}", c.name)))
+        .collect()
+}
+
+impl Executor<'_> {
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn run_onoff_join(
+        &self,
+        on_table: &TableSchema,
+        on_col: ColumnRef,
+        off_table: &str,
+        off_col: usize,
+        off_columns: &[Column],
+        window: Option<(Timestamp, Timestamp)>,
+        strategy: Strategy,
+    ) -> Result<QueryResult, ExecError> {
+        let conn = self.offchain.ok_or_else(|| {
+            ExecError::Unsupported("this node has no off-chain database".into())
+        })?;
+        let off_col_name = &off_columns[off_col].name;
+        // "The query results from off-chain data are sorted on join
+        // attribute" (§V-C).
+        let (_, off_rows) = conn
+            .sorted_by(off_table, off_col_name)
+            .map_err(ExecError::Offchain)?;
+        let mut out = QueryResult::empty(onoff_header(on_table, off_table, off_columns));
+        if off_rows.is_empty() {
+            return Ok(out);
+        }
+
+        let index_name = match on_col {
+            ColumnRef::App(i) => on_table
+                .columns
+                .get(i)
+                .map(|c| c.name.to_ascii_lowercase()),
+            ColumnRef::SenId => Some("sen_id".into()),
+            ColumnRef::Tname => Some("tname".into()),
+            _ => None,
+        };
+        let has_index = index_name
+            .as_deref()
+            .and_then(|n| self.ledger.with_layered(Some(&on_table.name), n, |_| ()))
+            .is_some();
+
+        let strategy = match strategy {
+            Strategy::Auto => {
+                if has_index {
+                    Strategy::Layered
+                } else {
+                    Strategy::Bitmap
+                }
+            }
+            s => s,
+        };
+
+        match strategy {
+            Strategy::Layered => {
+                let index_name = index_name.filter(|_| has_index).ok_or_else(|| {
+                    ExecError::Unsupported(format!(
+                        "no layered index on {}'s join column",
+                        on_table.name
+                    ))
+                })?;
+                let mask = self.ledger.window_mask(window);
+                // Lines 3–7: restrict candidate blocks by the off-chain
+                // value range / distinct values.
+                let continuous = on_col.data_type(on_table).is_continuous();
+                let blocks: Bitmap = self
+                    .ledger
+                    .with_layered(Some(&on_table.name), &index_name, |idx| {
+                        if continuous {
+                            let s_min = off_rows.first().unwrap()[off_col].numeric_rank();
+                            let s_max = off_rows.last().unwrap()[off_col].numeric_rank();
+                            match (s_min, s_max) {
+                                (Some(lo), Some(hi)) => {
+                                    let mut b = Bitmap::new();
+                                    for bid in idx.all_blocks().iter_ones() {
+                                        if idx.block_intersects_range(bid as u64, lo, hi) {
+                                            b.set(bid);
+                                        }
+                                    }
+                                    b
+                                }
+                                _ => idx.all_blocks(),
+                            }
+                        } else {
+                            // Discrete: OR of the unique keys' bitmaps.
+                            let distinct = conn
+                                .distinct(off_table, off_col_name)
+                                .unwrap_or_default();
+                            idx.blocks_for_values(distinct.iter())
+                        }
+                    })
+                    .unwrap()
+                    .and(&mask);
+                // Lines 8–13: per-block sort-merge against the sorted
+                // off-chain rows.
+                for bid in blocks.iter_ones() {
+                    let entries = self
+                        .ledger
+                        .with_layered(Some(&on_table.name), &index_name, |idx| {
+                            idx.block_sorted_entries(bid as u64)
+                        })
+                        .unwrap();
+                    self.merge_block_with_off(&entries, &off_rows, off_col, window, &mut out)?;
+                }
+            }
+            Strategy::Bitmap | Strategy::Scan => {
+                let mask = self.ledger.window_mask(window);
+                let blocks = if strategy == Strategy::Bitmap {
+                    self.ledger
+                        .with_table_index(|ti| ti.blocks_for_table(&on_table.name))
+                        .and(&mask)
+                } else {
+                    mask
+                };
+                // Hash the off-chain rows by join key, probe with
+                // on-chain tuples.
+                let mut build: std::collections::HashMap<Value, Vec<&Vec<Value>>> =
+                    std::collections::HashMap::new();
+                for row in &off_rows {
+                    build.entry(row[off_col].clone()).or_default().push(row);
+                }
+                for bid in blocks.iter_ones() {
+                    let block = self.ledger.read_block(bid as u64)?;
+                    for tx in &block.transactions {
+                        if !tx.tname.eq_ignore_ascii_case(&on_table.name)
+                            || !in_window(tx.ts, window)
+                        {
+                            continue;
+                        }
+                        let Some(v) = tx.get(on_col) else { continue };
+                        if let Some(matches) = build.get(&v) {
+                            for off in matches {
+                                let mut row = materialize(tx);
+                                row.extend((*off).clone());
+                                out.rows.push(row);
+                            }
+                        }
+                    }
+                }
+            }
+            Strategy::Auto => unreachable!(),
+        }
+        Ok(out)
+    }
+
+    /// Sort-merge one block's sorted index entries against the sorted
+    /// off-chain rows.
+    fn merge_block_with_off(
+        &self,
+        entries: &[(Value, sebdb_storage::TxPtr)],
+        off_rows: &[Vec<Value>],
+        off_col: usize,
+        window: Option<(Timestamp, Timestamp)>,
+        out: &mut QueryResult,
+    ) -> Result<(), ExecError> {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < entries.len() && j < off_rows.len() {
+            match entries[i].0.cmp(&off_rows[j][off_col]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let v = &entries[i].0;
+                    let i_end =
+                        entries[i..].iter().take_while(|(x, _)| x == v).count() + i;
+                    let j_end = off_rows[j..]
+                        .iter()
+                        .take_while(|r| &r[off_col] == v)
+                        .count()
+                        + j;
+                    for (_, ptr) in &entries[i..i_end] {
+                        let tx = self.ledger.read_tx(*ptr)?;
+                        if !in_window(tx.ts, window) {
+                            continue;
+                        }
+                        for off in &off_rows[j..j_end] {
+                            let mut row = materialize(&tx);
+                            row.extend(off.clone());
+                            out.rows.push(row);
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,189 @@
+//! The track-trace operation (§V-A, Algorithm 1).
+//!
+//! Tracks from two dimensions — *operator* (who sent, `SenID`) and
+//! *operation* (which transaction type, `Tname`) — within a time
+//! window, using the system-wide layered indexes created on those
+//! columns for all tables. The bitmap and scan strategies match the
+//! paper's comparison runs (Fig. 8–10).
+
+use super::range::in_window;
+use super::{ExecError, Executor, QueryResult, Strategy};
+use sebdb_crypto::sig::KeyId;
+use sebdb_index::{Bitmap, KeyPredicate};
+use sebdb_storage::TxPtr;
+use sebdb_types::{Timestamp, Value};
+use std::collections::HashSet;
+
+/// Internal transaction types (schema sync) are invisible to tracking.
+fn is_internal(tname: &str) -> bool {
+    tname.starts_with("__")
+}
+
+/// Header of tracking results: system columns; application attributes
+/// follow positionally (rows may be ragged across transaction types).
+pub fn tracking_header() -> Vec<String> {
+    ["tid", "ts", "sig", "sen_id", "tname"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect()
+}
+
+impl Executor<'_> {
+    pub(super) fn run_trace(
+        &self,
+        window: Option<(Timestamp, Timestamp)>,
+        operator: Option<&Value>,
+        operation: Option<&str>,
+        strategy: Strategy,
+    ) -> Result<QueryResult, ExecError> {
+        let operator = match operator {
+            Some(Value::Bytes(b)) if b.len() == 8 => {
+                let mut id = [0u8; 8];
+                id.copy_from_slice(b);
+                Some(KeyId(id))
+            }
+            Some(Value::Str(s)) => {
+                return Err(ExecError::Unsupported(format!(
+                    "operator name '{s}' was not resolved to a sender id (node layer does this)"
+                )))
+            }
+            Some(other) => {
+                return Err(ExecError::Unsupported(format!(
+                    "operator must be 8 sender-id bytes, got {other}"
+                )))
+            }
+            None => None,
+        };
+        if operator.is_none() && operation.is_none() {
+            return Err(ExecError::Unsupported(
+                "tracking needs at least one dimension".into(),
+            ));
+        }
+        let strategy = match strategy {
+            // Tracking is selective by construction; the layered path
+            // dominates unless explicitly overridden (§VII-C).
+            Strategy::Auto => Strategy::Layered,
+            s => s,
+        };
+        let mut out = QueryResult::empty(tracking_header());
+
+        match strategy {
+            Strategy::Layered => {
+                // Algorithm 1, lines 1–4: window mask ∧ first-level
+                // bitmaps of the SenID / Tname indexes.
+                let mut mask = self.ledger.window_mask(window);
+                if let Some(op) = &operator {
+                    let pred = KeyPredicate::Eq(Value::Bytes(op.as_bytes().to_vec()));
+                    let b = self
+                        .ledger
+                        .with_layered(None, "sen_id", |idx| idx.candidate_blocks(&pred))
+                        .expect("system sen_id index always exists");
+                    mask = mask.and(&b);
+                }
+                if let Some(tname) = operation {
+                    let pred = KeyPredicate::Eq(Value::str(tname));
+                    let b = self
+                        .ledger
+                        .with_layered(None, "tname", |idx| idx.candidate_blocks(&pred))
+                        .expect("system tname index always exists");
+                    mask = mask.and(&b);
+                }
+                // Lines 6–13: per block, intersect the second-level
+                // pointer sets of the two indexes, then read.
+                for bid in mask.iter_ones() {
+                    let bid = bid as u64;
+                    let ptrs = self.tracked_ptrs_in_block(bid, &operator, operation);
+                    for ptr in ptrs {
+                        let tx = self.ledger.read_tx(ptr)?;
+                        if in_window(tx.ts, window) && !is_internal(&tx.tname) {
+                            out.rows.push(super::materialize(&tx));
+                        }
+                    }
+                }
+            }
+            Strategy::Bitmap => {
+                // Table/sender bitmaps prune blocks; blocks are then
+                // scanned.
+                let mut mask = self.ledger.window_mask(window);
+                if let Some(op) = &operator {
+                    mask = mask.and(&self.ledger.with_table_index(|ti| ti.blocks_for_sender(op)));
+                }
+                if let Some(tname) = operation {
+                    mask = mask.and(
+                        &self
+                            .ledger
+                            .with_table_index(|ti| ti.blocks_for_table(tname)),
+                    );
+                }
+                self.scan_blocks_for_trace(&mask, &operator, operation, window, &mut out)?;
+            }
+            Strategy::Scan => {
+                let mask = self.ledger.window_mask(window);
+                self.scan_blocks_for_trace(&mask, &operator, operation, window, &mut out)?;
+            }
+            Strategy::Auto => unreachable!(),
+        }
+        Ok(out)
+    }
+
+    /// Second-level intersection for one block (Algorithm 1 lines 7–9).
+    fn tracked_ptrs_in_block(
+        &self,
+        bid: u64,
+        operator: &Option<KeyId>,
+        operation: Option<&str>,
+    ) -> Vec<TxPtr> {
+        let by_sender: Option<Vec<TxPtr>> = operator.as_ref().map(|op| {
+            let pred = KeyPredicate::Eq(Value::Bytes(op.as_bytes().to_vec()));
+            self.ledger
+                .with_layered(None, "sen_id", |idx| idx.search_block(bid, &pred))
+                .unwrap_or_default()
+        });
+        let by_tname: Option<Vec<TxPtr>> = operation.map(|tname| {
+            let pred = KeyPredicate::Eq(Value::str(tname));
+            self.ledger
+                .with_layered(None, "tname", |idx| idx.search_block(bid, &pred))
+                .unwrap_or_default()
+        });
+        let mut ptrs = match (by_sender, by_tname) {
+            (Some(a), Some(b)) => {
+                let set: HashSet<TxPtr> = a.into_iter().collect();
+                b.into_iter().filter(|p| set.contains(p)).collect()
+            }
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => Vec::new(),
+        };
+        ptrs.sort();
+        ptrs
+    }
+
+    fn scan_blocks_for_trace(
+        &self,
+        mask: &Bitmap,
+        operator: &Option<KeyId>,
+        operation: Option<&str>,
+        window: Option<(Timestamp, Timestamp)>,
+        out: &mut QueryResult,
+    ) -> Result<(), ExecError> {
+        for bid in mask.iter_ones() {
+            let block = self.ledger.read_block(bid as u64)?;
+            for tx in &block.transactions {
+                if let Some(op) = operator {
+                    if tx.sender != *op {
+                        continue;
+                    }
+                }
+                if let Some(tname) = operation {
+                    if !tx.tname.eq_ignore_ascii_case(tname) {
+                        continue;
+                    }
+                }
+                if in_window(tx.ts, window) && !is_internal(&tx.tname) {
+                    out.rows.push(super::materialize(tx));
+                }
+            }
+        }
+        Ok(())
+    }
+}

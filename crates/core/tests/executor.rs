@@ -1,0 +1,423 @@
+//! Executor-level tests: the three blockchain operators and the range
+//! paths against hand-built ledgers, including edge cases the figure
+//! harness never hits.
+
+use sebdb::{Executor, Ledger, Strategy};
+use sebdb_consensus::OrderedBlock;
+use sebdb_crypto::sig::{KeyId, MacKeypair};
+use sebdb_offchain::OffchainDb;
+use sebdb_sql::{BoundPredicate, BoundPredicateKind, CompareOp, LogicalPlan};
+use sebdb_storage::BlockStore;
+use sebdb_types::{Column, DataType, TableSchema, Transaction, Value};
+use std::sync::Arc;
+
+fn schema(name: &str, cols: &[(&str, DataType)]) -> TableSchema {
+    TableSchema::new(
+        name,
+        cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
+    )
+}
+
+fn ledger() -> Ledger {
+    Ledger::new(
+        Arc::new(BlockStore::in_memory()),
+        MacKeypair::from_key([3; 32]),
+    )
+    .unwrap()
+}
+
+/// Appends one block per tx-group; timestamps are `block*1000 + slot`.
+fn append_blocks(ledger: &Ledger, groups: Vec<Vec<(&str, KeyId, Vec<Value>)>>) {
+    let mut tid = 1;
+    for (b, group) in groups.into_iter().enumerate() {
+        let txs: Vec<Transaction> = group
+            .into_iter()
+            .enumerate()
+            .map(|(slot, (tname, sender, values))| {
+                let mut t =
+                    Transaction::new(b as u64 * 1000 + slot as u64, sender, tname, values);
+                t.tid = tid;
+                tid += 1;
+                t
+            })
+            .collect();
+        ledger
+            .append_ordered(&OrderedBlock {
+                seq: b as u64,
+                timestamp_ms: (b as u64 + 1) * 1000,
+                txs,
+            })
+            .unwrap();
+    }
+}
+
+const A: KeyId = KeyId([1; 8]);
+const B: KeyId = KeyId([2; 8]);
+
+#[test]
+fn empty_chain_queries_return_empty() {
+    let l = ledger();
+    let exec = Executor::new(&l, None);
+    let s = schema("donate", &[("amount", DataType::Decimal)]);
+    let plan = LogicalPlan::Query {
+        schema: s,
+        projection: vec![],
+        predicates: vec![],
+        window: None,
+    };
+    for strat in [Strategy::Scan, Strategy::Bitmap, Strategy::Auto] {
+        assert!(exec.execute(&plan, strat).unwrap().is_empty());
+    }
+    let trace = LogicalPlan::Trace {
+        window: None,
+        operator: Some(Value::Bytes(A.as_bytes().to_vec())),
+        operation: None,
+    };
+    assert!(exec.execute(&trace, Strategy::Layered).unwrap().is_empty());
+}
+
+#[test]
+fn layered_without_index_is_a_clear_error() {
+    let l = ledger();
+    append_blocks(
+        &l,
+        vec![vec![("donate", A, vec![Value::decimal(5)])]],
+    );
+    let exec = Executor::new(&l, None);
+    let s = schema("donate", &[("amount", DataType::Decimal)]);
+    let plan = LogicalPlan::Query {
+        predicates: vec![BoundPredicate {
+            column: s.resolve("amount").unwrap(),
+            kind: BoundPredicateKind::Between(Value::decimal(0), Value::decimal(10)),
+        }],
+        schema: s,
+        projection: vec![],
+        window: None,
+    };
+    let err = exec.execute(&plan, Strategy::Layered).unwrap_err();
+    assert!(err.to_string().contains("no layered index"));
+}
+
+#[test]
+fn non_indexable_predicates_still_filter() {
+    // `<` and `<>` can't drive the layered index but must still apply.
+    let l = ledger();
+    append_blocks(
+        &l,
+        vec![vec![
+            ("donate", A, vec![Value::decimal(5)]),
+            ("donate", A, vec![Value::decimal(10)]),
+            ("donate", A, vec![Value::decimal(15)]),
+        ]],
+    );
+    let exec = Executor::new(&l, None);
+    let s = schema("donate", &[("amount", DataType::Decimal)]);
+    for (op, want) in [
+        (CompareOp::Lt, 1),
+        (CompareOp::Le, 2),
+        (CompareOp::Gt, 1),
+        (CompareOp::Ge, 2),
+        (CompareOp::Ne, 2),
+        (CompareOp::Eq, 1),
+    ] {
+        let plan = LogicalPlan::Query {
+            predicates: vec![BoundPredicate {
+                column: s.resolve("amount").unwrap(),
+                kind: BoundPredicateKind::Compare(op, Value::decimal(10)),
+            }],
+            schema: s.clone(),
+            projection: vec![],
+            window: None,
+        };
+        let got = exec.execute(&plan, Strategy::Scan).unwrap().len();
+        assert_eq!(got, want, "{op:?}");
+    }
+}
+
+#[test]
+fn conjunctive_predicates_all_apply_on_layered_path() {
+    let l = ledger();
+    append_blocks(
+        &l,
+        vec![vec![
+            ("donate", A, vec![Value::str("jack"), Value::decimal(10)]),
+            ("donate", A, vec![Value::str("rose"), Value::decimal(10)]),
+            ("donate", A, vec![Value::str("jack"), Value::decimal(90)]),
+        ]],
+    );
+    let s = schema(
+        "donate",
+        &[("donor", DataType::Str), ("amount", DataType::Decimal)],
+    );
+    l.create_layered_index(&s, "amount", Some(vec![0, 500_000, 1_000_000]))
+        .unwrap();
+    let exec = Executor::new(&l, None);
+    let plan = LogicalPlan::Query {
+        predicates: vec![
+            BoundPredicate {
+                column: s.resolve("amount").unwrap(),
+                kind: BoundPredicateKind::Between(Value::decimal(5), Value::decimal(50)),
+            },
+            BoundPredicate {
+                column: s.resolve("donor").unwrap(),
+                kind: BoundPredicateKind::Compare(CompareOp::Eq, Value::str("jack")),
+            },
+        ],
+        schema: s,
+        projection: vec![],
+        window: None,
+    };
+    // Driver predicate (amount) via the index; residual (donor) must
+    // still filter out rose.
+    assert_eq!(exec.execute(&plan, Strategy::Layered).unwrap().len(), 1);
+    assert_eq!(exec.execute(&plan, Strategy::Scan).unwrap().len(), 1);
+}
+
+#[test]
+fn join_duplicate_keys_produce_cross_products() {
+    let l = ledger();
+    // 2 transfers and 3 distributes share org "x" → 6 join rows.
+    append_blocks(
+        &l,
+        vec![
+            vec![
+                ("transfer", A, vec![Value::str("x")]),
+                ("transfer", A, vec![Value::str("x")]),
+            ],
+            vec![
+                ("distribute", B, vec![Value::str("x")]),
+                ("distribute", B, vec![Value::str("x")]),
+                ("distribute", B, vec![Value::str("x")]),
+            ],
+        ],
+    );
+    let left = schema("transfer", &[("organization", DataType::Str)]);
+    let right = schema("distribute", &[("organization", DataType::Str)]);
+    l.create_layered_index(&left, "organization", None).unwrap();
+    l.create_layered_index(&right, "organization", None).unwrap();
+    let exec = Executor::new(&l, None);
+    let plan = LogicalPlan::OnChainJoin {
+        left_col: left.resolve("organization").unwrap(),
+        right_col: right.resolve("organization").unwrap(),
+        left,
+        right,
+        window: None,
+    };
+    for strat in [Strategy::Scan, Strategy::Bitmap, Strategy::Layered] {
+        assert_eq!(exec.execute(&plan, strat).unwrap().len(), 6, "{strat:?}");
+    }
+}
+
+#[test]
+fn self_join_on_same_table() {
+    let l = ledger();
+    append_blocks(
+        &l,
+        vec![vec![
+            ("transfer", A, vec![Value::str("x")]),
+            ("transfer", B, vec![Value::str("x")]),
+        ]],
+    );
+    let s = schema("transfer", &[("organization", DataType::Str)]);
+    l.create_layered_index(&s, "organization", None).unwrap();
+    let exec = Executor::new(&l, None);
+    let plan = LogicalPlan::OnChainJoin {
+        left_col: s.resolve("organization").unwrap(),
+        right_col: s.resolve("organization").unwrap(),
+        left: s.clone(),
+        right: s,
+        window: None,
+    };
+    // 2 × 2 pairs.
+    for strat in [Strategy::Scan, Strategy::Layered] {
+        assert_eq!(exec.execute(&plan, strat).unwrap().len(), 4, "{strat:?}");
+    }
+}
+
+#[test]
+fn join_respects_time_window() {
+    let l = ledger();
+    append_blocks(
+        &l,
+        vec![
+            vec![("transfer", A, vec![Value::str("x")])], // block 0, ts 0
+            vec![("distribute", B, vec![Value::str("x")])], // block 1, ts 1000
+        ],
+    );
+    let left = schema("transfer", &[("organization", DataType::Str)]);
+    let right = schema("distribute", &[("organization", DataType::Str)]);
+    let exec = Executor::new(&l, None);
+    // Window covering only block 0 excludes the distribute side.
+    let plan = LogicalPlan::OnChainJoin {
+        left_col: left.resolve("organization").unwrap(),
+        right_col: right.resolve("organization").unwrap(),
+        left,
+        right,
+        window: Some((0, 999)),
+    };
+    assert!(exec.execute(&plan, Strategy::Scan).unwrap().is_empty());
+}
+
+#[test]
+fn onoff_join_duplicates_and_empty_sides() {
+    let l = ledger();
+    append_blocks(
+        &l,
+        vec![vec![
+            ("distribute", A, vec![Value::str("tom")]),
+            ("distribute", A, vec![Value::str("tom")]),
+            ("distribute", A, vec![Value::str("none")]),
+        ]],
+    );
+    let on = schema("distribute", &[("donee", DataType::Str)]);
+    l.create_layered_index(&on, "donee", None).unwrap();
+
+    let db = Arc::new(OffchainDb::new());
+    db.create_table(
+        "doneeinfo",
+        vec![
+            Column::new("donee", DataType::Str),
+            Column::new("income", DataType::Decimal),
+        ],
+    )
+    .unwrap();
+    let conn = db.connect();
+    // Two off-chain rows for tom → 2 × 2 = 4 join rows.
+    conn.insert("doneeinfo", vec![Value::str("tom"), Value::decimal(1)])
+        .unwrap();
+    conn.insert("doneeinfo", vec![Value::str("tom"), Value::decimal(2)])
+        .unwrap();
+
+    let exec = Executor::new(&l, Some(&conn));
+    let plan = LogicalPlan::OnOffJoin {
+        on_col: on.resolve("donee").unwrap(),
+        on_table: on.clone(),
+        off_table: "doneeinfo".into(),
+        off_col: 0,
+        off_columns: vec![
+            Column::new("donee", DataType::Str),
+            Column::new("income", DataType::Decimal),
+        ],
+        window: None,
+    };
+    for strat in [Strategy::Scan, Strategy::Bitmap, Strategy::Layered] {
+        assert_eq!(exec.execute(&plan, strat).unwrap().len(), 4, "{strat:?}");
+    }
+
+    // Empty off-chain table → empty join, no error.
+    conn.delete("doneeinfo", &sebdb_offchain::Predicate::True)
+        .unwrap();
+    assert!(exec.execute(&plan, Strategy::Layered).unwrap().is_empty());
+}
+
+#[test]
+fn onoff_join_without_offchain_connection_errors() {
+    let l = ledger();
+    let exec = Executor::new(&l, None);
+    let on = schema("distribute", &[("donee", DataType::Str)]);
+    let plan = LogicalPlan::OnOffJoin {
+        on_col: on.resolve("donee").unwrap(),
+        on_table: on,
+        off_table: "doneeinfo".into(),
+        off_col: 0,
+        off_columns: vec![Column::new("donee", DataType::Str)],
+        window: None,
+    };
+    assert!(exec.execute(&plan, Strategy::Auto).is_err());
+}
+
+#[test]
+fn tracking_dimensions_intersect_exactly() {
+    let l = ledger();
+    append_blocks(
+        &l,
+        vec![
+            vec![
+                ("donate", A, vec![Value::Int(1)]),
+                ("transfer", A, vec![Value::Int(2)]),
+                ("transfer", B, vec![Value::Int(3)]),
+            ],
+            vec![
+                ("transfer", A, vec![Value::Int(4)]),
+                ("donate", B, vec![Value::Int(5)]),
+            ],
+        ],
+    );
+    let exec = Executor::new(&l, None);
+    let run = |operator: Option<KeyId>, operation: Option<&str>, strat| {
+        let plan = LogicalPlan::Trace {
+            window: None,
+            operator: operator.map(|k| Value::Bytes(k.as_bytes().to_vec())),
+            operation: operation.map(str::to_owned),
+        };
+        exec.execute(&plan, strat).unwrap().len()
+    };
+    for strat in [Strategy::Scan, Strategy::Bitmap, Strategy::Layered] {
+        assert_eq!(run(Some(A), None, strat), 3, "{strat:?} A");
+        assert_eq!(run(None, Some("transfer"), strat), 3, "{strat:?} transfer");
+        assert_eq!(run(Some(A), Some("transfer"), strat), 2, "{strat:?} both");
+        assert_eq!(run(Some(B), Some("donate"), strat), 1, "{strat:?} B donate");
+    }
+}
+
+#[test]
+fn tracking_needs_a_dimension() {
+    let l = ledger();
+    let exec = Executor::new(&l, None);
+    let plan = LogicalPlan::Trace {
+        window: None,
+        operator: None,
+        operation: None,
+    };
+    assert!(exec.execute(&plan, Strategy::Layered).is_err());
+}
+
+#[test]
+fn writes_rejected_by_executor() {
+    let l = ledger();
+    let exec = Executor::new(&l, None);
+    let plan = LogicalPlan::Insert {
+        table: "donate".into(),
+        row: vec![],
+    };
+    assert!(exec.execute(&plan, Strategy::Auto).is_err());
+}
+
+#[test]
+fn auto_strategy_picks_layered_for_selective_queries() {
+    let l = ledger();
+    let groups: Vec<Vec<(&str, KeyId, Vec<Value>)>> = (0..30)
+        .map(|b| {
+            (0..20)
+                .map(|i| {
+                    (
+                        "donate",
+                        A,
+                        vec![Value::decimal((b * 20 + i) as i64)],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    append_blocks(&l, groups);
+    let s = schema("donate", &[("amount", DataType::Decimal)]);
+    l.create_layered_index(&s, "amount", None).unwrap();
+    let exec = Executor::new(&l, None);
+    let plan = LogicalPlan::Query {
+        predicates: vec![BoundPredicate {
+            column: s.resolve("amount").unwrap(),
+            kind: BoundPredicateKind::Between(Value::decimal(100), Value::decimal(105)),
+        }],
+        schema: s,
+        projection: vec![],
+        window: None,
+    };
+    l.store().stats.reset();
+    let rows = exec.execute(&plan, Strategy::Auto).unwrap();
+    assert_eq!(rows.len(), 6);
+    let (blocks_read, _, _) = l.store().stats.snapshot();
+    assert!(
+        blocks_read < 30,
+        "auto should not scan all blocks (read {blocks_read})"
+    );
+}

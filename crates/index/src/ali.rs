@@ -1,0 +1,428 @@
+//! ALI — the Authenticated Layered Index (§VI).
+//!
+//! The layered index with the per-block second-level B⁺-tree replaced
+//! by an [`MbTree`]. "Since each block maintains the second level
+//! index, each block height corresponds to a snapshot": a query at
+//! height `h` touches only blocks `< h`, and the auxiliary full node's
+//! digest is the hash of the concatenation of the MB-tree roots of
+//! exactly the blocks the query must visit.
+
+use crate::bitmap::Bitmap;
+use crate::histogram::EqualDepthHistogram;
+use crate::layered::KeyPredicate;
+use crate::mbtree::{AuthEntry, MbTree, RangeProof, VerifyError, DEFAULT_FANOUT};
+use sebdb_crypto::sha256::{Digest, Sha256};
+use sebdb_types::{Block, BlockId, ColumnRef, Value};
+use sebdb_storage::TxPtr;
+use std::collections::HashMap;
+
+/// Authenticated layered index over one attribute.
+#[derive(Debug)]
+pub struct AuthenticatedLayeredIndex {
+    /// Table filter (`None` = all tables, for system columns).
+    pub table: Option<String>,
+    /// Indexed column.
+    pub column: ColumnRef,
+    fanout: usize,
+    first_continuous: Option<(EqualDepthHistogram, Vec<Option<Bitmap>>)>,
+    first_discrete: Option<HashMap<Value, Bitmap>>,
+    /// Per-block MB-trees.
+    trees: Vec<Option<MbTree>>,
+}
+
+/// The verification object returned by a full node for one
+/// authenticated query (phase 1 of §VI's protocol).
+#[derive(Debug, Clone)]
+pub struct QueryVo {
+    /// Chain height when the query executed — the snapshot.
+    pub height: BlockId,
+    /// Blocks the query visited (ascending), with their per-block
+    /// results and range proofs.
+    pub per_block: Vec<BlockVo>,
+}
+
+/// One visited block's contribution to the VO.
+#[derive(Debug, Clone)]
+pub struct BlockVo {
+    /// Visited block.
+    pub block: BlockId,
+    /// Matching entries in this block.
+    pub results: Vec<AuthEntry>,
+    /// Proof tying the results to the block's MB-tree root.
+    pub proof: RangeProof,
+    /// The MB-tree root the proof reconstructs to (also covered by the
+    /// auxiliary digest).
+    pub mb_root: Digest,
+}
+
+impl QueryVo {
+    /// Total VO size in bytes (Fig. 17's metric).
+    pub fn byte_len(&self) -> usize {
+        8 + self
+            .per_block
+            .iter()
+            .map(|b| {
+                8 + 32
+                    + b.proof.byte_len()
+                    + b.results.iter().map(AuthEntry::byte_len).sum::<usize>()
+            })
+            .sum::<usize>()
+    }
+
+    /// All matching transaction pointers across blocks.
+    pub fn result_ptrs(&self) -> Vec<TxPtr> {
+        self.per_block
+            .iter()
+            .flat_map(|b| b.results.iter().map(|e| e.ptr))
+            .collect()
+    }
+}
+
+/// Hashes the MB-roots of the visited blocks into the auxiliary
+/// digest ("the auxiliary full node … generates a digest according to
+/// the roots of MB-trees the query visited").
+pub fn auxiliary_digest(roots: &[(BlockId, Digest)]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[0x04]);
+    for (bid, root) in roots {
+        h.update(&bid.to_le_bytes());
+        h.update(root.as_bytes());
+    }
+    h.finalize()
+}
+
+impl AuthenticatedLayeredIndex {
+    /// Continuous-attribute ALI.
+    pub fn new_continuous(
+        table: Option<String>,
+        column: ColumnRef,
+        hist: EqualDepthHistogram,
+    ) -> Self {
+        AuthenticatedLayeredIndex {
+            table,
+            column,
+            fanout: DEFAULT_FANOUT,
+            first_continuous: Some((hist, Vec::new())),
+            first_discrete: None,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Discrete-attribute ALI.
+    pub fn new_discrete(table: Option<String>, column: ColumnRef) -> Self {
+        AuthenticatedLayeredIndex {
+            table,
+            column,
+            fanout: DEFAULT_FANOUT,
+            first_continuous: None,
+            first_discrete: Some(HashMap::new()),
+            trees: Vec::new(),
+        }
+    }
+
+    /// MB-tree fanout (needed by clients to verify).
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Indexes a newly chained block.
+    pub fn update(&mut self, block: &Block) {
+        let bid = block.header.height as usize;
+        if self.trees.len() <= bid {
+            self.trees.resize_with(bid + 1, || None);
+            if let Some((_, entries)) = &mut self.first_continuous {
+                entries.resize_with(bid + 1, || None);
+            }
+        }
+        let mut auth_entries: Vec<AuthEntry> = Vec::new();
+        for (i, tx) in block.transactions.iter().enumerate() {
+            if let Some(t) = &self.table {
+                if !tx.tname.eq_ignore_ascii_case(t) {
+                    continue;
+                }
+            }
+            let Some(v) = tx.get(self.column) else { continue };
+            if v == Value::Null {
+                continue;
+            }
+            auth_entries.push(AuthEntry {
+                key: v,
+                tx_hash: tx.hash(),
+                ptr: TxPtr {
+                    block: bid as BlockId,
+                    index: i as u32,
+                },
+            });
+        }
+        if auth_entries.is_empty() {
+            return;
+        }
+        if let Some((hist, entries)) = &mut self.first_continuous {
+            let mut bucket_map = Bitmap::with_capacity(hist.bucket_count());
+            for e in &auth_entries {
+                if let Some(rank) = e.key.numeric_rank() {
+                    bucket_map.set(hist.bucket_of(rank));
+                }
+            }
+            entries[bid] = Some(bucket_map);
+        }
+        if let Some(per_value) = &mut self.first_discrete {
+            for e in &auth_entries {
+                per_value.entry(e.key.clone()).or_default().set(bid);
+            }
+        }
+        self.trees[bid] = Some(MbTree::build(auth_entries, self.fanout));
+    }
+
+    /// First-level pruning, as in the plain layered index.
+    pub fn candidate_blocks(&self, pred: &KeyPredicate) -> Bitmap {
+        if let Some((hist, entries)) = &self.first_continuous {
+            let (lo, hi) = pred.bounds();
+            let (Some(lo_r), Some(hi_r)) = (lo.numeric_rank(), hi.numeric_rank()) else {
+                let mut out = Bitmap::new();
+                for (bid, e) in entries.iter().enumerate() {
+                    if e.is_some() {
+                        out.set(bid);
+                    }
+                }
+                return out;
+            };
+            let range = hist.buckets_for_range(lo_r, hi_r);
+            let mut probe = Bitmap::with_capacity(hist.bucket_count());
+            probe.set_range(*range.start(), *range.end());
+            let mut out = Bitmap::new();
+            for (bid, e) in entries.iter().enumerate() {
+                if let Some(e) = e {
+                    if e.intersects(&probe) {
+                        out.set(bid);
+                    }
+                }
+            }
+            return out;
+        }
+        if let Some(per_value) = &self.first_discrete {
+            return match pred {
+                KeyPredicate::Eq(v) => per_value.get(v).cloned().unwrap_or_default(),
+                KeyPredicate::Range(lo, hi) => {
+                    let mut out = Bitmap::new();
+                    for (v, bits) in per_value {
+                        if v >= lo && v <= hi {
+                            out.or_assign(bits);
+                        }
+                    }
+                    out
+                }
+            };
+        }
+        Bitmap::new()
+    }
+
+    /// The MB-tree root of block `bid` (ZERO if the block has no
+    /// indexed entries).
+    pub fn mb_root(&self, bid: BlockId) -> Digest {
+        match self.trees.get(bid as usize) {
+            Some(Some(t)) => t.root(),
+            _ => Digest::ZERO,
+        }
+    }
+
+    /// Phase 1 (full node): execute `pred` over blocks `mask ∩
+    /// candidates` below `height`, producing the VO.
+    pub fn authenticated_query(
+        &self,
+        pred: &KeyPredicate,
+        window_mask: Option<&Bitmap>,
+        height: BlockId,
+    ) -> QueryVo {
+        let mut cand = self.candidate_blocks(pred);
+        if let Some(mask) = window_mask {
+            cand = cand.and(mask);
+        }
+        let (lo, hi) = pred.bounds();
+        let mut per_block = Vec::new();
+        for bid in cand.iter_ones() {
+            if bid as BlockId >= height {
+                break;
+            }
+            let Some(Some(tree)) = self.trees.get(bid) else {
+                continue;
+            };
+            let (results, proof) = tree.range_query(lo, hi);
+            per_block.push(BlockVo {
+                block: bid as BlockId,
+                results,
+                proof,
+                mb_root: tree.root(),
+            });
+        }
+        QueryVo { height, per_block }
+    }
+
+    /// Phase 2 (auxiliary full node): recompute the digest for the same
+    /// query at the snapshot `height` the client relays.
+    pub fn auxiliary_query(
+        &self,
+        pred: &KeyPredicate,
+        window_mask: Option<&Bitmap>,
+        height: BlockId,
+    ) -> Digest {
+        let mut cand = self.candidate_blocks(pred);
+        if let Some(mask) = window_mask {
+            cand = cand.and(mask);
+        }
+        let roots: Vec<(BlockId, Digest)> = cand
+            .iter_ones()
+            .take_while(|&bid| (bid as BlockId) < height)
+            .map(|bid| (bid as BlockId, self.mb_root(bid as BlockId)))
+            .collect();
+        auxiliary_digest(&roots)
+    }
+}
+
+/// Client-side verification of a [`QueryVo`] against the auxiliary
+/// digest: checks every per-block proof (soundness + completeness
+/// within the block) and that the block set + roots hash to `digest`
+/// (no visited block omitted).
+pub fn verify_query_vo(
+    vo: &QueryVo,
+    pred: &KeyPredicate,
+    digest: &Digest,
+    fanout: usize,
+) -> Result<(), VerifyError> {
+    let (lo, hi) = pred.bounds();
+    let mut roots = Vec::with_capacity(vo.per_block.len());
+    for b in &vo.per_block {
+        MbTree::verify_range(&b.mb_root, lo, hi, &b.results, &b.proof, fanout)?;
+        roots.push((b.block, b.mb_root));
+    }
+    if auxiliary_digest(&roots) != *digest {
+        return Err(VerifyError::RootMismatch);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebdb_crypto::sig::KeyId;
+    use sebdb_types::Transaction;
+
+    fn block(height: u64, amounts: &[i64]) -> Block {
+        let txs = amounts
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let mut t = Transaction::new(
+                    height * 100 + i as u64,
+                    KeyId([1; 8]),
+                    "donate",
+                    vec![Value::str("d"), Value::str("p"), Value::decimal(a)],
+                );
+                t.tid = height * 100 + i as u64;
+                t
+            })
+            .collect();
+        Block::seal(Digest::ZERO, height, height, txs, |_| vec![])
+    }
+
+    fn ali_with_blocks(blocks: &[&[i64]]) -> AuthenticatedLayeredIndex {
+        let sample: Vec<i64> = (0..1000)
+            .map(|i| Value::decimal(i).numeric_rank().unwrap())
+            .collect();
+        let mut ali = AuthenticatedLayeredIndex::new_continuous(
+            Some("donate".into()),
+            ColumnRef::App(2),
+            EqualDepthHistogram::from_sample(sample, 10),
+        );
+        for (h, amounts) in blocks.iter().enumerate() {
+            ali.update(&block(h as u64, amounts));
+        }
+        ali
+    }
+
+    #[test]
+    fn two_phase_protocol_end_to_end() {
+        let ali = ali_with_blocks(&[&[10, 20, 500], &[510, 520], &[900, 950]]);
+        let pred = KeyPredicate::Range(Value::decimal(490), Value::decimal(530));
+        // Phase 1: full node.
+        let vo = ali.authenticated_query(&pred, None, 3);
+        assert_eq!(vo.result_ptrs().len(), 3); // 500, 510, 520
+        // Phase 2: auxiliary node.
+        let digest = ali.auxiliary_query(&pred, None, 3);
+        // Client verifies.
+        verify_query_vo(&vo, &pred, &digest, ali.fanout()).unwrap();
+    }
+
+    #[test]
+    fn snapshot_height_limits_blocks() {
+        let ali = ali_with_blocks(&[&[100], &[100], &[100]]);
+        let pred = KeyPredicate::Eq(Value::decimal(100));
+        let vo = ali.authenticated_query(&pred, None, 2);
+        assert_eq!(vo.per_block.len(), 2, "height 2 snapshot sees blocks 0,1");
+        let digest = ali.auxiliary_query(&pred, None, 2);
+        verify_query_vo(&vo, &pred, &digest, ali.fanout()).unwrap();
+    }
+
+    #[test]
+    fn omitted_block_detected_by_digest() {
+        let ali = ali_with_blocks(&[&[100], &[100], &[100]]);
+        let pred = KeyPredicate::Eq(Value::decimal(100));
+        let mut vo = ali.authenticated_query(&pred, None, 3);
+        vo.per_block.remove(1); // malicious full node hides a block
+        let digest = ali.auxiliary_query(&pred, None, 3);
+        assert!(verify_query_vo(&vo, &pred, &digest, ali.fanout()).is_err());
+    }
+
+    #[test]
+    fn tampered_result_detected() {
+        let ali = ali_with_blocks(&[&[100, 200]]);
+        let pred = KeyPredicate::Range(Value::decimal(50), Value::decimal(250));
+        let mut vo = ali.authenticated_query(&pred, None, 1);
+        vo.per_block[0].results[0].tx_hash = sebdb_crypto::sha256(b"fake");
+        let digest = ali.auxiliary_query(&pred, None, 1);
+        assert!(verify_query_vo(&vo, &pred, &digest, ali.fanout()).is_err());
+    }
+
+    #[test]
+    fn dropped_result_within_block_detected() {
+        let ali = ali_with_blocks(&[&[100, 110, 120]]);
+        let pred = KeyPredicate::Range(Value::decimal(90), Value::decimal(130));
+        let mut vo = ali.authenticated_query(&pred, None, 1);
+        vo.per_block[0].results.remove(1);
+        let digest = ali.auxiliary_query(&pred, None, 1);
+        assert!(verify_query_vo(&vo, &pred, &digest, ali.fanout()).is_err());
+    }
+
+    #[test]
+    fn window_mask_respected_by_both_phases() {
+        let ali = ali_with_blocks(&[&[100], &[100], &[100]]);
+        let pred = KeyPredicate::Eq(Value::decimal(100));
+        let mut mask = Bitmap::new();
+        mask.set(1);
+        let vo = ali.authenticated_query(&pred, Some(&mask), 3);
+        assert_eq!(vo.per_block.len(), 1);
+        let digest = ali.auxiliary_query(&pred, Some(&mask), 3);
+        verify_query_vo(&vo, &pred, &digest, ali.fanout()).unwrap();
+    }
+
+    #[test]
+    fn discrete_ali_tracking_query() {
+        let mut ali = AuthenticatedLayeredIndex::new_discrete(None, ColumnRef::SenId);
+        ali.update(&block(0, &[1, 2]));
+        ali.update(&block(1, &[3]));
+        let sender = Value::Bytes(vec![1u8; 8]);
+        let pred = KeyPredicate::Eq(sender);
+        let vo = ali.authenticated_query(&pred, None, 2);
+        assert_eq!(vo.result_ptrs().len(), 3);
+        let digest = ali.auxiliary_query(&pred, None, 2);
+        verify_query_vo(&vo, &pred, &digest, ali.fanout()).unwrap();
+    }
+
+    #[test]
+    fn vo_size_accounting_positive() {
+        let ali = ali_with_blocks(&[&[100, 200, 300]]);
+        let pred = KeyPredicate::Range(Value::decimal(50), Value::decimal(350));
+        let vo = ali.authenticated_query(&pred, None, 1);
+        assert!(vo.byte_len() > 0);
+    }
+}

@@ -1,0 +1,549 @@
+//! An in-memory B⁺-tree.
+//!
+//! Used twice in SEBDB (§IV-B): as the *block-level* index over
+//! `(bid, tid, Ts)` and as the per-block *second level* of the layered
+//! index. Supports point lookups, range scans over linked leaves,
+//! ordered insertion, and O(n) bulk loading (blocks are immutable, so
+//! their per-block trees are built once with full leaves — "leaf nodes
+//! are kept full").
+
+/// Default maximum number of keys per node.
+pub const DEFAULT_ORDER: usize = 64;
+
+/// A B⁺-tree mapping `K` to `V`. Duplicate keys are allowed; a range
+/// scan yields them all in insertion order.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    order: usize,
+    root: Node<K, V>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+    },
+    Internal {
+        /// `separators[i]` is the smallest key in `children[i + 1]`.
+        separators: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
+    /// Empty tree with the default order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Empty tree with a custom order (max keys per node, ≥ 3).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "B+-tree order must be at least 3");
+        BPlusTree {
+            order,
+            root: Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            },
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bulk loads from entries already sorted by key (panics in debug
+    /// builds if unsorted). Leaves are packed full — the append-only
+    /// pattern of §IV-B.
+    pub fn bulk_load(order: usize, entries: Vec<(K, V)>) -> Self {
+        assert!(order >= 3);
+        debug_assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
+        let len = entries.len();
+        if len == 0 {
+            return Self::with_order(order);
+        }
+        // Build full leaves.
+        let mut nodes: Vec<Node<K, V>> = Vec::new();
+        let mut firsts: Vec<K> = Vec::new();
+        let mut it = entries.into_iter().peekable();
+        while it.peek().is_some() {
+            let mut keys = Vec::with_capacity(order);
+            let mut values = Vec::with_capacity(order);
+            for _ in 0..order {
+                match it.next() {
+                    Some((k, v)) => {
+                        keys.push(k);
+                        values.push(v);
+                    }
+                    None => break,
+                }
+            }
+            firsts.push(keys[0].clone());
+            nodes.push(Node::Leaf { keys, values });
+        }
+        // Build internal levels until a single root remains.
+        while nodes.len() > 1 {
+            let mut parents: Vec<Node<K, V>> = Vec::new();
+            let mut parent_firsts: Vec<K> = Vec::new();
+            let fanout = order + 1;
+            while !nodes.is_empty() {
+                let take = fanout.min(nodes.len());
+                let children: Vec<Node<K, V>> = nodes.drain(..take).collect();
+                let mut chunk_firsts: Vec<K> = firsts.drain(..take).collect();
+                parent_firsts.push(chunk_firsts[0].clone());
+                let seps: Vec<K> = chunk_firsts.drain(1..).collect();
+                parents.push(Node::Internal {
+                    separators: seps,
+                    children,
+                });
+            }
+            nodes = parents;
+            firsts = parent_firsts;
+        }
+        BPlusTree {
+            order,
+            root: nodes.pop().unwrap(),
+            len,
+        }
+    }
+
+    /// Inserts an entry (duplicates allowed; a duplicate goes after
+    /// existing equal keys).
+    pub fn insert(&mut self, key: K, value: V) {
+        self.len += 1;
+        if let Some((sep, right)) = insert_rec(&mut self.root, key, value, self.order) {
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Internal {
+                    separators: vec![sep],
+                    children: Vec::new(),
+                },
+            );
+            if let Node::Internal { children, .. } = &mut self.root {
+                children.push(old_root);
+                children.push(right);
+            }
+        }
+    }
+
+    /// All values with key exactly `key`.
+    pub fn get_all(&self, key: &K) -> Vec<&V> {
+        self.range(Some(key), Some(key)).map(|(_, v)| v).collect()
+    }
+
+    /// First value with key exactly `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.range(Some(key), Some(key)).next().map(|(_, v)| v)
+    }
+
+    /// The entry with the greatest key ≤ `key` (predecessor search; the
+    /// block-level index uses this to find "the block containing
+    /// timestamp t").
+    pub fn floor(&self, key: &K) -> Option<(&K, &V)> {
+        let mut node = &self.root;
+        let mut best: Option<(&K, &V)> = None;
+        loop {
+            match node {
+                Node::Leaf { keys, values } => {
+                    // partition_point gives #keys <= key
+                    let n = keys.partition_point(|k| k <= key);
+                    if n > 0 {
+                        best = Some((&keys[n - 1], &values[n - 1]));
+                    }
+                    return best;
+                }
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
+                    let idx = separators.partition_point(|s| s <= key);
+                    // Entries < separators[idx] live in children[..=idx];
+                    // descend into the rightmost candidate.
+                    node = &children[idx];
+                    if idx > 0 {
+                        // A floor certainly exists in an earlier subtree;
+                        // remember the rightmost entry of children[idx-1]
+                        // in case the descent finds nothing.
+                        if let Some(kv) = rightmost(&children[idx - 1]) {
+                            best = Some(kv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`BPlusTree::floor`], but compares through a *monotone*
+    /// projection `f` of the key. The block-level index key
+    /// `(bid, tid, Ts)` has all three components increasing together
+    /// (§IV-B), so one tree answers floor searches by any component.
+    pub fn floor_by<T: Ord>(&self, probe: &T, f: impl Fn(&K) -> T) -> Option<(&K, &V)> {
+        let mut node = &self.root;
+        let mut best: Option<(&K, &V)> = None;
+        loop {
+            match node {
+                Node::Leaf { keys, values } => {
+                    let n = keys.partition_point(|k| f(k) <= *probe);
+                    if n > 0 {
+                        best = Some((&keys[n - 1], &values[n - 1]));
+                    }
+                    return best;
+                }
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
+                    let idx = separators.partition_point(|s| f(s) <= *probe);
+                    node = &children[idx];
+                    if idx > 0 {
+                        if let Some(kv) = rightmost(&children[idx - 1]) {
+                            best = Some(kv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates entries with `lo ≤ key ≤ hi` in key order. `None`
+    /// bounds are open. Bounds are cloned into the iterator.
+    pub fn range(&self, lo: Option<&K>, hi: Option<&K>) -> RangeIter<'_, K, V> {
+        RangeIter {
+            stack: vec![(&self.root, 0usize)],
+            hi: hi.cloned(),
+            lo: lo.cloned(),
+        }
+        .init()
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> RangeIter<'_, K, V> {
+        self.range(None, None)
+    }
+
+    /// Tree height (leaf = 1); exposed for tests and cost accounting.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+}
+
+
+fn rightmost<K, V>(node: &Node<K, V>) -> Option<(&K, &V)> {
+    match node {
+        Node::Leaf { keys, values } => keys.last().map(|k| (k, values.last().unwrap())),
+        Node::Internal { children, .. } => rightmost(children.last().unwrap()),
+    }
+}
+
+/// On overflow returns `(separator, right_sibling)` to push up.
+fn insert_rec<K: Ord + Clone, V: Clone>(
+    node: &mut Node<K, V>,
+    key: K,
+    value: V,
+    order: usize,
+) -> Option<(K, Node<K, V>)> {
+    match node {
+        Node::Leaf { keys, values } => {
+            let pos = keys.partition_point(|k| k <= &key);
+            keys.insert(pos, key);
+            values.insert(pos, value);
+            if keys.len() <= order {
+                return None;
+            }
+            let mid = keys.len() / 2;
+            let right_keys = keys.split_off(mid);
+            let right_values = values.split_off(mid);
+            let sep = right_keys[0].clone();
+            Some((
+                sep,
+                Node::Leaf {
+                    keys: right_keys,
+                    values: right_values,
+                },
+            ))
+        }
+        Node::Internal {
+            separators,
+            children,
+        } => {
+            let idx = separators.partition_point(|s| s <= &key);
+            let split = insert_rec(&mut children[idx], key, value, order)?;
+            separators.insert(idx, split.0);
+            children.insert(idx + 1, split.1);
+            if separators.len() <= order {
+                return None;
+            }
+            let mid = separators.len() / 2;
+            let sep = separators[mid].clone();
+            let right_seps = separators.split_off(mid + 1);
+            separators.pop(); // the promoted separator
+            let right_children = children.split_off(mid + 1);
+            Some((
+                sep,
+                Node::Internal {
+                    separators: right_seps,
+                    children: right_children,
+                },
+            ))
+        }
+    }
+}
+
+/// In-order iterator over a key range.
+pub struct RangeIter<'a, K, V> {
+    stack: Vec<(&'a Node<K, V>, usize)>,
+    lo: Option<K>,
+    hi: Option<K>,
+}
+
+impl<'a, K: Ord + Clone, V> RangeIter<'a, K, V> {
+    fn init(mut self) -> Self {
+        // Position the stack at the first entry >= lo.
+        let mut new_stack = Vec::new();
+        let mut node_idx = self.stack.pop();
+        while let Some((node, _)) = node_idx {
+            match node {
+                Node::Leaf { keys, .. } => {
+                    let start = match &self.lo {
+                        Some(lo) => keys.partition_point(|k| k < lo),
+                        None => 0,
+                    };
+                    new_stack.push((node, start));
+                    break;
+                }
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
+                    // `<` (not `<=`): duplicates equal to a separator may
+                    // live at the tail of the left child.
+                    let idx = match &self.lo {
+                        Some(lo) => separators.partition_point(|s| s < lo),
+                        None => 0,
+                    };
+                    new_stack.push((node, idx));
+                    node_idx = Some((&children[idx], 0));
+                }
+            }
+        }
+        self.stack = new_stack;
+        self
+    }
+
+    fn advance(&mut self) {
+        // Pop exhausted frames and descend into the next subtree.
+        while let Some((node, idx)) = self.stack.pop() {
+            match node {
+                Node::Leaf { .. } => continue,
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
+                    let next = idx + 1;
+                    if next < children.len() {
+                        self.stack.push((node, next));
+                        // Descend to the leftmost leaf of children[next].
+                        let mut n = &children[next];
+                        loop {
+                            match n {
+                                Node::Leaf { .. } => {
+                                    self.stack.push((n, 0));
+                                    return;
+                                }
+                                Node::Internal { children, .. } => {
+                                    self.stack.push((n, 0));
+                                    n = &children[0];
+                                }
+                            }
+                        }
+                    }
+                    let _ = separators;
+                }
+            }
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for RangeIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, idx) = self.stack.last_mut()?;
+            if let Node::Leaf { keys, values } = node {
+                if *idx < keys.len() {
+                    let k = &keys[*idx];
+                    if let Some(hi) = &self.hi {
+                        if k > hi {
+                            return None;
+                        }
+                    }
+                    let v = &values[*idx];
+                    *idx += 1;
+                    return Some((k, v));
+                }
+                // Leaf exhausted: climb and move right.
+                self.advance();
+                if self.stack.is_empty() {
+                    return None;
+                }
+            } else {
+                // Shouldn't happen: stack top is always a leaf between calls.
+                self.advance();
+                if self.stack.is_empty() {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = BPlusTree::with_order(4);
+        for i in [5, 1, 9, 3, 7, 2, 8, 6, 4, 0] {
+            t.insert(i, i * 10);
+        }
+        assert_eq!(t.len(), 10);
+        for i in 0..10 {
+            assert_eq!(t.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(t.get(&42), None);
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..100 {
+            t.insert(i, i);
+        }
+        let got: Vec<i32> = t.range(Some(&10), Some(&20)).map(|(k, _)| *k).collect();
+        assert_eq!(got, (10..=20).collect::<Vec<_>>());
+        let all: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        let none: Vec<i32> = t.range(Some(&200), Some(&300)).map(|(k, _)| *k).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = BPlusTree::with_order(3);
+        for i in 0..20 {
+            t.insert(7, i);
+        }
+        t.insert(6, 100);
+        t.insert(8, 200);
+        assert_eq!(t.get_all(&7).len(), 20);
+        assert_eq!(t.len(), 22);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let entries: Vec<(i32, i32)> = (0..500).map(|i| (i, i * 2)).collect();
+        let bulk = BPlusTree::bulk_load(8, entries.clone());
+        let mut ins = BPlusTree::with_order(8);
+        for (k, v) in entries {
+            ins.insert(k, v);
+        }
+        let a: Vec<(i32, i32)> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<(i32, i32)> = ins.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(a, b);
+        assert_eq!(bulk.len(), 500);
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let t: BPlusTree<i32, i32> = BPlusTree::bulk_load(4, vec![]);
+        assert!(t.is_empty());
+        let t = BPlusTree::bulk_load(4, vec![(1, 10)]);
+        assert_eq!(t.get(&1), Some(&10));
+    }
+
+    #[test]
+    fn floor_lookup() {
+        let mut t = BPlusTree::with_order(4);
+        for i in (0..100).step_by(10) {
+            t.insert(i, i);
+        }
+        assert_eq!(t.floor(&25), Some((&20, &20)));
+        assert_eq!(t.floor(&20), Some((&20, &20)));
+        assert_eq!(t.floor(&0), Some((&0, &0)));
+        assert_eq!(t.floor(&-1), None);
+        assert_eq!(t.floor(&1000), Some((&90, &90)));
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut t = BPlusTree::with_order(4);
+        assert_eq!(t.height(), 1);
+        for i in 0..1000 {
+            t.insert(i, i);
+        }
+        assert!(t.height() >= 4, "height {}", t.height());
+        assert!(t.height() <= 8, "height {}", t.height());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreemap_semantics(ops in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..400)) {
+            let mut tree = BPlusTree::with_order(5);
+            let mut model: Vec<(u16, u16)> = Vec::new();
+            for (k, v) in ops {
+                tree.insert(k, v);
+                model.push((k, v));
+            }
+            model.sort_by_key(|(k, _)| *k);
+            let got: Vec<u16> = tree.iter().map(|(k, _)| *k).collect();
+            let want: Vec<u16> = model.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn range_matches_filter(keys in proptest::collection::vec(any::<u16>(), 0..300), lo in any::<u16>(), hi in any::<u16>()) {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let mut tree = BPlusTree::with_order(4);
+            for k in &keys {
+                tree.insert(*k, ());
+            }
+            let mut want: Vec<u16> = keys.iter().copied().filter(|k| *k >= lo && *k <= hi).collect();
+            want.sort();
+            let got: Vec<u16> = tree.range(Some(&lo), Some(&hi)).map(|(k, _)| *k).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn bulk_load_various_orders(n in 0usize..600, order in 3usize..32) {
+            let entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+            let t = BPlusTree::bulk_load(order, entries);
+            prop_assert_eq!(t.len(), n);
+            let got: Vec<usize> = t.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

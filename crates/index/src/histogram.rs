@@ -1,0 +1,164 @@
+//! Equal-depth histograms for continuous attributes.
+//!
+//! §IV-B: "for a continuous attribute, we will generate an equal-depth
+//! histogram in advance, and each entry represents range of index keys
+//! of a block… created by sampling historical transactions during index
+//! creating; the height of histogram is configurable for different
+//! precisions."
+//!
+//! Bucket `i` covers ranks in `(bounds[i-1], bounds[i]]`, with bucket 0
+//! open below and the last bucket open above: `(-∞, k₁], (k₁, k₂] …
+//! (k_p, ∞)`.
+
+/// An equal-depth (equi-height) histogram over `i64` ranks (see
+/// `Value::numeric_rank`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqualDepthHistogram {
+    /// Interior bucket boundaries, ascending: `bounds.len() + 1` buckets.
+    bounds: Vec<i64>,
+}
+
+impl EqualDepthHistogram {
+    /// Builds a histogram with (up to) `buckets` equal-depth buckets
+    /// from a sample of ranks. Duplicate boundaries are merged, so the
+    /// realized bucket count can be smaller on skewed samples.
+    pub fn from_sample(mut sample: Vec<i64>, buckets: usize) -> Self {
+        assert!(buckets >= 1, "need at least one bucket");
+        if sample.is_empty() || buckets == 1 {
+            return EqualDepthHistogram { bounds: Vec::new() };
+        }
+        sample.sort_unstable();
+        let n = sample.len();
+        let mut bounds = Vec::with_capacity(buckets - 1);
+        for b in 1..buckets {
+            // Boundary at the b/buckets quantile.
+            let idx = (b * n / buckets).min(n - 1);
+            let bound = sample[idx];
+            if bounds.last() != Some(&bound) {
+                bounds.push(bound);
+            }
+        }
+        EqualDepthHistogram { bounds }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    /// The bucket containing `rank`.
+    pub fn bucket_of(&self, rank: i64) -> usize {
+        // Bucket i covers (bounds[i-1], bounds[i]]; partition on `< rank`
+        // so rank == bounds[i] lands in bucket i.
+        self.bounds.partition_point(|b| *b < rank)
+    }
+
+    /// Inclusive bucket-index range covering `[lo, hi]`.
+    pub fn buckets_for_range(&self, lo: i64, hi: i64) -> std::ops::RangeInclusive<usize> {
+        self.bucket_of(lo)..=self.bucket_of(hi.max(lo))
+    }
+
+    /// The rank bounds `(lower_exclusive, upper_inclusive)` of bucket
+    /// `i`; `None` means unbounded on that side.
+    pub fn bucket_bounds(&self, i: usize) -> (Option<i64>, Option<i64>) {
+        let lower = if i == 0 { None } else { Some(self.bounds[i - 1]) };
+        let upper = self.bounds.get(i).copied();
+        (lower, upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_sample_splits_evenly() {
+        let sample: Vec<i64> = (0..1000).collect();
+        let h = EqualDepthHistogram::from_sample(sample, 10);
+        assert_eq!(h.bucket_count(), 10);
+        assert_eq!(h.bucket_of(0), 0);
+        assert_eq!(h.bucket_of(999), 9);
+        // Each bucket should hold ~100 ranks.
+        let counts: Vec<usize> = {
+            let mut c = vec![0usize; h.bucket_count()];
+            for r in 0..1000 {
+                c[h.bucket_of(r)] += 1;
+            }
+            c
+        };
+        for c in counts {
+            assert!((80..=120).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_sample_merges_buckets() {
+        let sample = vec![5i64; 100];
+        let h = EqualDepthHistogram::from_sample(sample, 10);
+        assert!(h.bucket_count() <= 2);
+        assert_eq!(h.bucket_of(5), 0);
+        // Ranks above the only boundary fall in the last bucket.
+        assert_eq!(h.bucket_of(6), h.bucket_count() - 1);
+    }
+
+    #[test]
+    fn empty_sample_single_bucket() {
+        let h = EqualDepthHistogram::from_sample(vec![], 8);
+        assert_eq!(h.bucket_count(), 1);
+        assert_eq!(h.bucket_of(i64::MIN), 0);
+        assert_eq!(h.bucket_of(i64::MAX), 0);
+    }
+
+    #[test]
+    fn boundary_is_inclusive_above() {
+        let sample: Vec<i64> = (0..100).collect();
+        let h = EqualDepthHistogram::from_sample(sample, 2);
+        let boundary = match h.bucket_bounds(0).1 {
+            Some(b) => b,
+            None => panic!("expected a boundary"),
+        };
+        assert_eq!(h.bucket_of(boundary), 0);
+        assert_eq!(h.bucket_of(boundary + 1), 1);
+    }
+
+    #[test]
+    fn range_covers_expected_buckets() {
+        let sample: Vec<i64> = (0..1000).collect();
+        let h = EqualDepthHistogram::from_sample(sample, 10);
+        let r = h.buckets_for_range(0, 999);
+        assert_eq!(*r.start(), 0);
+        assert_eq!(*r.end(), 9);
+        let narrow = h.buckets_for_range(450, 455);
+        assert!(narrow.end() - narrow.start() <= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_of_is_monotone(sample in proptest::collection::vec(any::<i32>(), 1..500),
+                                 buckets in 1usize..32,
+                                 probes in proptest::collection::vec(any::<i32>(), 2..20)) {
+            let h = EqualDepthHistogram::from_sample(sample.iter().map(|&x| x as i64).collect(), buckets);
+            let mut sorted = probes.clone();
+            sorted.sort();
+            let ids: Vec<usize> = sorted.iter().map(|&p| h.bucket_of(p as i64)).collect();
+            prop_assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(ids.iter().all(|&i| i < h.bucket_count()));
+        }
+
+        #[test]
+        fn bounds_are_consistent(sample in proptest::collection::vec(-1000i64..1000, 1..300), buckets in 2usize..16) {
+            let h = EqualDepthHistogram::from_sample(sample, buckets);
+            for i in 0..h.bucket_count() {
+                let (lo, hi) = h.bucket_bounds(i);
+                if let (Some(lo), Some(hi)) = (lo, hi) {
+                    prop_assert!(lo < hi, "bucket {i}: {lo} >= {hi}");
+                }
+                // A rank strictly inside the bucket maps back to it.
+                if let Some(hi) = hi {
+                    prop_assert_eq!(h.bucket_of(hi), i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! The layered index (§IV-B, Fig. 4).
+//!
+//! Two levels:
+//!
+//! * **First level** describes the distribution of an attribute's
+//!   values among blocks. For a *continuous* attribute each block gets
+//!   a bitmap over the buckets of a pre-built equal-depth histogram
+//!   (bit *k* set iff the block holds a transaction whose value falls
+//!   in bucket *k*). For a *discrete* attribute there is one bitmap
+//!   per distinct value (bit *i* set iff block *i* holds that value).
+//! * **Second level** is one per-block B⁺-tree on the attribute, built
+//!   by bulk loading when the block is chained — append-only, never
+//!   rebalanced.
+//!
+//! Queries intersect the first level with a block mask (e.g. a time
+//! window from the block-level index) to prune blocks, then use the
+//! per-block trees to fetch exactly the matching transactions.
+
+use crate::bitmap::Bitmap;
+use crate::bptree::BPlusTree;
+use crate::histogram::EqualDepthHistogram;
+use sebdb_types::{Block, BlockId, ColumnRef, Transaction, Value};
+use sebdb_storage::TxPtr;
+use std::collections::HashMap;
+
+/// Order of second-level trees: sized so a 4 KB page holds one node of
+/// ~64-byte entries (the paper's MB-tree page size, §VII-A).
+pub const SECOND_LEVEL_ORDER: usize = 64;
+
+/// A simple predicate over the indexed attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyPredicate {
+    /// `column = value`.
+    Eq(Value),
+    /// `column BETWEEN lo AND hi` (inclusive).
+    Range(Value, Value),
+}
+
+impl KeyPredicate {
+    /// The (lo, hi) closed interval this predicate covers.
+    pub fn bounds(&self) -> (&Value, &Value) {
+        match self {
+            KeyPredicate::Eq(v) => (v, v),
+            KeyPredicate::Range(lo, hi) => (lo, hi),
+        }
+    }
+
+    /// Whether `v` satisfies the predicate.
+    pub fn matches(&self, v: &Value) -> bool {
+        let (lo, hi) = self.bounds();
+        v >= lo && v <= hi
+    }
+}
+
+#[derive(Debug)]
+enum FirstLevel {
+    Continuous {
+        hist: EqualDepthHistogram,
+        /// Per block: bitmap over histogram buckets (None = block holds
+        /// no indexed transactions).
+        entries: Vec<Option<Bitmap>>,
+    },
+    Discrete {
+        /// Per distinct value: bitmap over blocks.
+        per_value: HashMap<Value, Bitmap>,
+    },
+}
+
+/// A layered index on one attribute of one table (or of *all* tables
+/// for the system columns `SenID` / `Tname`, which drive tracking).
+#[derive(Debug)]
+pub struct LayeredIndex {
+    /// Table the index covers; `None` indexes every table (system
+    /// columns only).
+    pub table: Option<String>,
+    /// Indexed column.
+    pub column: ColumnRef,
+    first: FirstLevel,
+    /// Per-block second-level trees, indexed by block id.
+    second: Vec<Option<BPlusTree<Value, TxPtr>>>,
+    order: usize,
+}
+
+impl LayeredIndex {
+    /// Creates a continuous-attribute index with a pre-sampled
+    /// histogram (§IV-B: "created by sampling historical transactions
+    /// during index creating").
+    pub fn new_continuous(
+        table: Option<String>,
+        column: ColumnRef,
+        hist: EqualDepthHistogram,
+    ) -> Self {
+        LayeredIndex {
+            table,
+            column,
+            first: FirstLevel::Continuous {
+                hist,
+                entries: Vec::new(),
+            },
+            second: Vec::new(),
+            order: SECOND_LEVEL_ORDER,
+        }
+    }
+
+    /// Creates a discrete-attribute index.
+    pub fn new_discrete(table: Option<String>, column: ColumnRef) -> Self {
+        LayeredIndex {
+            table,
+            column,
+            first: FirstLevel::Discrete {
+                per_value: HashMap::new(),
+            },
+            second: Vec::new(),
+            order: SECOND_LEVEL_ORDER,
+        }
+    }
+
+    /// Whether `tx` is covered by this index.
+    fn covers(&self, tx: &Transaction) -> bool {
+        match &self.table {
+            Some(t) => tx.tname.eq_ignore_ascii_case(t),
+            None => true,
+        }
+    }
+
+    /// Indexes a newly chained block: appends a first-level entry and
+    /// bulk-loads the block's second-level tree.
+    pub fn update(&mut self, block: &Block) {
+        let bid = block.header.height as usize;
+        if self.second.len() <= bid {
+            self.second.resize_with(bid + 1, || None);
+            if let FirstLevel::Continuous { entries, .. } = &mut self.first {
+                entries.resize_with(bid + 1, || None);
+            }
+        }
+
+        let mut keyed: Vec<(Value, TxPtr)> = Vec::new();
+        for (i, tx) in block.transactions.iter().enumerate() {
+            if !self.covers(tx) {
+                continue;
+            }
+            let Some(v) = tx.get(self.column) else { continue };
+            if v == Value::Null {
+                continue;
+            }
+            keyed.push((
+                v,
+                TxPtr {
+                    block: bid as BlockId,
+                    index: i as u32,
+                },
+            ));
+        }
+        if keyed.is_empty() {
+            return;
+        }
+
+        match &mut self.first {
+            FirstLevel::Continuous { hist, entries } => {
+                let mut bucket_map = Bitmap::with_capacity(hist.bucket_count());
+                for (v, _) in &keyed {
+                    if let Some(rank) = v.numeric_rank() {
+                        bucket_map.set(hist.bucket_of(rank));
+                    }
+                }
+                entries[bid] = Some(bucket_map);
+            }
+            FirstLevel::Discrete { per_value } => {
+                for (v, _) in &keyed {
+                    per_value.entry(v.clone()).or_default().set(bid);
+                }
+            }
+        }
+
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        self.second[bid] = Some(BPlusTree::bulk_load(self.order, keyed));
+    }
+
+    /// First-level filter: blocks that may contain values matching
+    /// `pred` ("blocks without query results are filtered").
+    pub fn candidate_blocks(&self, pred: &KeyPredicate) -> Bitmap {
+        match &self.first {
+            FirstLevel::Continuous { hist, entries } => {
+                let (lo, hi) = pred.bounds();
+                let (Some(lo_r), Some(hi_r)) = (lo.numeric_rank(), hi.numeric_rank()) else {
+                    // Non-numeric probe on a continuous index: no pruning.
+                    return self.all_blocks();
+                };
+                let range = hist.buckets_for_range(lo_r, hi_r);
+                let mut probe = Bitmap::with_capacity(hist.bucket_count());
+                probe.set_range(*range.start(), *range.end());
+                let mut out = Bitmap::new();
+                for (bid, entry) in entries.iter().enumerate() {
+                    if let Some(e) = entry {
+                        if e.intersects(&probe) {
+                            out.set(bid);
+                        }
+                    }
+                }
+                out
+            }
+            FirstLevel::Discrete { per_value } => match pred {
+                KeyPredicate::Eq(v) => per_value.get(v).cloned().unwrap_or_default(),
+                KeyPredicate::Range(lo, hi) => {
+                    let mut out = Bitmap::new();
+                    for (v, bits) in per_value {
+                        if v >= lo && v <= hi {
+                            out.or_assign(bits);
+                        }
+                    }
+                    out
+                }
+            },
+        }
+    }
+
+    /// Blocks containing any indexed transaction — the
+    /// `First_level_bitmap(I)` of Algorithms 2 and 3.
+    pub fn all_blocks(&self) -> Bitmap {
+        match &self.first {
+            FirstLevel::Continuous { entries, .. } => {
+                let mut out = Bitmap::new();
+                for (bid, e) in entries.iter().enumerate() {
+                    if e.is_some() {
+                        out.set(bid);
+                    }
+                }
+                out
+            }
+            FirstLevel::Discrete { per_value } => {
+                let mut out = Bitmap::new();
+                for bits in per_value.values() {
+                    out.or_assign(bits);
+                }
+                out
+            }
+        }
+    }
+
+    /// Second-level search within one block: pointers to transactions
+    /// whose value matches `pred`, in value order.
+    pub fn search_block(&self, bid: BlockId, pred: &KeyPredicate) -> Vec<TxPtr> {
+        let Some(Some(tree)) = self.second.get(bid as usize) else {
+            return Vec::new();
+        };
+        let (lo, hi) = pred.bounds();
+        tree.range(Some(lo), Some(hi)).map(|(_, p)| *p).collect()
+    }
+
+    /// All (value, pointer) pairs of one block in value order — the
+    /// sorted leaf scan the per-block sort-merge joins rely on
+    /// ("transactions are sorted at the leaf level").
+    pub fn block_sorted_entries(&self, bid: BlockId) -> Vec<(Value, TxPtr)> {
+        match self.second.get(bid as usize) {
+            Some(Some(tree)) => tree.iter().map(|(k, p)| (k.clone(), *p)).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The numeric (lo, hi) envelope of block `bid`'s first-level entry
+    /// (continuous indexes only): the union of its set buckets' bounds.
+    /// `None` on either side means unbounded.
+    pub fn block_rank_envelope(&self, bid: BlockId) -> Option<(Option<i64>, Option<i64>)> {
+        let FirstLevel::Continuous { hist, entries } = &self.first else {
+            return None;
+        };
+        let entry = entries.get(bid as usize)?.as_ref()?;
+        let mut lo: Option<Option<i64>> = None;
+        let mut hi: Option<Option<i64>> = None;
+        for bucket in entry.iter_ones() {
+            let (bl, bh) = hist.bucket_bounds(bucket);
+            if lo.is_none() {
+                lo = Some(bl);
+            }
+            hi = Some(bh);
+        }
+        match (lo, hi) {
+            (Some(l), Some(h)) => Some((l, h)),
+            _ => None,
+        }
+    }
+
+    /// Block-pair pruning for on-chain join (Algorithm 2): do blocks
+    /// `bid_r` (this index) and `bid_s` (the `other` index) possibly
+    /// share join keys?
+    pub fn blocks_intersect(&self, bid_r: BlockId, other: &LayeredIndex, bid_s: BlockId) -> bool {
+        match (&self.first, &other.first) {
+            (FirstLevel::Continuous { hist, entries }, FirstLevel::Continuous { hist: hist_s, entries: entries_s }) => {
+                let (Some(Some(er)), Some(Some(es))) =
+                    (entries.get(bid_r as usize), entries_s.get(bid_s as usize))
+                else {
+                    return false;
+                };
+                // ∃ bucket k in e_r, m in e_s with overlapping bounds
+                // (¬(k.u < m.l ∨ k.l > m.u)).
+                for k in er.iter_ones() {
+                    let (kl, ku) = hist.bucket_bounds(k);
+                    for m in es.iter_ones() {
+                        let (ml, mu) = hist_s.bucket_bounds(m);
+                        let disjoint_low = matches!((ku, ml), (Some(u), Some(l)) if u <= l);
+                        let disjoint_high = matches!((kl, mu), (Some(l), Some(u)) if l >= u);
+                        if !(disjoint_low || disjoint_high) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            (FirstLevel::Discrete { per_value }, FirstLevel::Discrete { per_value: pv_s }) => {
+                // "depends on whether there are join results of each
+                // bitmap key": some shared value present in both blocks.
+                per_value.iter().any(|(v, bits)| {
+                    bits.get(bid_r as usize)
+                        && pv_s.get(v).is_some_and(|b| b.get(bid_s as usize))
+                })
+            }
+            // Mixed continuous/discrete join attributes: cannot prune.
+            _ => true,
+        }
+    }
+
+    /// Generates the candidate block *pairs* for an equi-join of this
+    /// index (relation r, masked by `mask_r`) with `other` (relation s,
+    /// masked by `mask_s`) — Algorithm 2's `intersect` pruning, driven
+    /// from the value side for discrete attributes so cost is
+    /// O(values·pairs) instead of O(blocks²·values).
+    pub fn join_pairs(
+        &self,
+        mask_r: &Bitmap,
+        other: &LayeredIndex,
+        mask_s: &Bitmap,
+    ) -> Vec<(BlockId, BlockId)> {
+        use std::collections::HashSet;
+        match (&self.first, &other.first) {
+            (FirstLevel::Discrete { per_value }, FirstLevel::Discrete { per_value: pv_s }) => {
+                // Iterate the smaller value map, probe the larger.
+                let mut pairs: HashSet<(BlockId, BlockId)> = HashSet::new();
+                let (small, large, swapped) = if per_value.len() <= pv_s.len() {
+                    (per_value, pv_s, false)
+                } else {
+                    (pv_s, per_value, true)
+                };
+                for (v, bits_a) in small {
+                    let Some(bits_b) = large.get(v) else { continue };
+                    let (bits_r, bits_s) = if swapped {
+                        (bits_b, bits_a)
+                    } else {
+                        (bits_a, bits_b)
+                    };
+                    for br in bits_r.and(mask_r).iter_ones() {
+                        for bs in bits_s.and(mask_s).iter_ones() {
+                            pairs.insert((br as BlockId, bs as BlockId));
+                        }
+                    }
+                }
+                let mut out: Vec<_> = pairs.into_iter().collect();
+                out.sort_unstable();
+                out
+            }
+            _ => {
+                // Continuous (or mixed): bucket-envelope check per pair;
+                // bucket bitmaps are ≤ histogram depth, so this is cheap.
+                let r_blocks = self.all_blocks().and(mask_r);
+                let s_blocks = other.all_blocks().and(mask_s);
+                let mut out = Vec::new();
+                for br in r_blocks.iter_ones() {
+                    for bs in s_blocks.iter_ones() {
+                        if self.blocks_intersect(br as BlockId, other, bs as BlockId) {
+                            out.push((br as BlockId, bs as BlockId));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// On-off-chain pruning (Algorithm 3): does block `bid` possibly
+    /// hold values in the off-chain range `[s_min, s_max]`
+    /// (¬(k.u ≤ s_min ∨ k.l ≥ s_max) for some set bucket k)?
+    pub fn block_intersects_range(&self, bid: BlockId, s_min: i64, s_max: i64) -> bool {
+        match &self.first {
+            FirstLevel::Continuous { hist, entries } => {
+                let Some(Some(entry)) = entries.get(bid as usize) else {
+                    return false;
+                };
+                entry.iter_ones().any(|k| {
+                    let (kl, ku) = hist.bucket_bounds(k);
+                    let below = matches!(ku, Some(u) if u <= s_min);
+                    let above = matches!(kl, Some(l) if l >= s_max);
+                    !(below || above)
+                })
+            }
+            FirstLevel::Discrete { .. } => true,
+        }
+    }
+
+    /// Blocks holding any of the given discrete values ("execute OR
+    /// operation on bitmaps of unique keys", Algorithm 3's discrete
+    /// case).
+    pub fn blocks_for_values<'a>(&self, values: impl Iterator<Item = &'a Value>) -> Bitmap {
+        let mut out = Bitmap::new();
+        for v in values {
+            out.or_assign(&self.candidate_blocks(&KeyPredicate::Eq(v.clone())));
+        }
+        out
+    }
+
+    /// The histogram (continuous indexes only).
+    pub fn histogram(&self) -> Option<&EqualDepthHistogram> {
+        match &self.first {
+            FirstLevel::Continuous { hist, .. } => Some(hist),
+            FirstLevel::Discrete { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebdb_crypto::sha256::Digest;
+    use sebdb_crypto::sig::KeyId;
+
+    /// Builds a block whose donate transactions carry the given amounts.
+    fn block(height: u64, amounts: &[i64], tname: &str) -> Block {
+        let txs = amounts
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                let mut t = Transaction::new(
+                    height * 100 + i as u64,
+                    KeyId([(a % 3) as u8; 8]),
+                    tname,
+                    vec![Value::str("donor"), Value::str("proj"), Value::decimal(a)],
+                );
+                t.tid = height * 100 + i as u64;
+                t
+            })
+            .collect();
+        Block::seal(Digest::ZERO, height, height, txs, |_| vec![])
+    }
+
+    fn amount_index() -> LayeredIndex {
+        let sample: Vec<i64> = (0..1000).map(|i| Value::decimal(i).numeric_rank().unwrap()).collect();
+        LayeredIndex::new_continuous(
+            Some("donate".into()),
+            ColumnRef::App(2),
+            EqualDepthHistogram::from_sample(sample, 10),
+        )
+    }
+
+    #[test]
+    fn continuous_first_level_prunes_blocks() {
+        let mut idx = amount_index();
+        idx.update(&block(0, &[10, 20, 30], "donate"));
+        idx.update(&block(1, &[500, 600], "donate"));
+        idx.update(&block(2, &[900, 950], "donate"));
+
+        let pred = KeyPredicate::Range(Value::decimal(550), Value::decimal(650));
+        let cand = idx.candidate_blocks(&pred);
+        assert!(cand.get(1));
+        assert!(!cand.get(0), "block 0 (low amounts) should be pruned");
+        assert!(!cand.get(2), "block 2 (high amounts) should be pruned");
+    }
+
+    #[test]
+    fn second_level_finds_exact_pointers() {
+        let mut idx = amount_index();
+        idx.update(&block(0, &[10, 20, 30, 40], "donate"));
+        let ptrs = idx.search_block(0, &KeyPredicate::Range(Value::decimal(15), Value::decimal(35)));
+        assert_eq!(ptrs.len(), 2);
+        let idxs: Vec<u32> = ptrs.iter().map(|p| p.index).collect();
+        assert_eq!(idxs, vec![1, 2]);
+    }
+
+    #[test]
+    fn ignores_other_tables() {
+        let mut idx = amount_index();
+        idx.update(&block(0, &[10, 20], "transfer"));
+        assert!(idx.all_blocks().is_empty());
+        assert!(idx.search_block(0, &KeyPredicate::Eq(Value::decimal(10))).is_empty());
+    }
+
+    #[test]
+    fn discrete_index_per_value_bitmaps() {
+        let mut idx = LayeredIndex::new_discrete(None, ColumnRef::Tname);
+        idx.update(&block(0, &[1], "donate"));
+        idx.update(&block(1, &[1], "transfer"));
+        idx.update(&block(2, &[1], "donate"));
+
+        let cand = idx.candidate_blocks(&KeyPredicate::Eq(Value::str("donate")));
+        assert_eq!(cand.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        let none = idx.candidate_blocks(&KeyPredicate::Eq(Value::str("missing")));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn discrete_sender_index_tracks_operators() {
+        let mut idx = LayeredIndex::new_discrete(None, ColumnRef::SenId);
+        idx.update(&block(0, &[0, 1, 2], "donate")); // senders 0,1,2
+        idx.update(&block(1, &[0, 0], "donate")); // sender 0 only
+        let sender0 = Value::Bytes(vec![0u8; 8]);
+        let cand = idx.candidate_blocks(&KeyPredicate::Eq(sender0));
+        assert_eq!(cand.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+        let sender1 = Value::Bytes(vec![1u8; 8]);
+        let cand = idx.candidate_blocks(&KeyPredicate::Eq(sender1));
+        assert_eq!(cand.iter_ones().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn join_pruning_continuous() {
+        let mut r = amount_index();
+        let mut s = amount_index();
+        r.update(&block(0, &[10, 20], "donate")); // low
+        r.update(&block(1, &[955], "donate")); // high (same bucket as 950/980)
+        s.update(&block(0, &[950, 980], "donate")); // high
+        assert!(
+            !r.blocks_intersect(0, &s, 0),
+            "low block shouldn't intersect high block"
+        );
+        assert!(r.blocks_intersect(1, &s, 0), "high blocks should intersect");
+        assert!(!r.blocks_intersect(5, &s, 0), "missing block never intersects");
+    }
+
+    #[test]
+    fn join_pruning_discrete() {
+        let mut r = LayeredIndex::new_discrete(None, ColumnRef::Tname);
+        let mut s = LayeredIndex::new_discrete(None, ColumnRef::Tname);
+        r.update(&block(0, &[1], "donate"));
+        s.update(&block(0, &[1], "transfer"));
+        assert!(!r.blocks_intersect(0, &s, 0));
+        let mut s2 = LayeredIndex::new_discrete(None, ColumnRef::Tname);
+        s2.update(&block(0, &[1], "donate"));
+        assert!(r.blocks_intersect(0, &s2, 0));
+    }
+
+    #[test]
+    fn onoff_range_pruning() {
+        let mut idx = amount_index();
+        idx.update(&block(0, &[10, 20], "donate"));
+        idx.update(&block(1, &[900, 950], "donate"));
+        let lo = Value::decimal(800).numeric_rank().unwrap();
+        let hi = Value::decimal(999).numeric_rank().unwrap();
+        assert!(!idx.block_intersects_range(0, lo, hi));
+        assert!(idx.block_intersects_range(1, lo, hi));
+    }
+
+    #[test]
+    fn sorted_entries_are_sorted() {
+        let mut idx = amount_index();
+        idx.update(&block(0, &[30, 10, 20, 40, 5], "donate"));
+        let entries = idx.block_sorted_entries(0);
+        assert_eq!(entries.len(), 5);
+        assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(idx.block_sorted_entries(7).is_empty());
+    }
+
+    #[test]
+    fn rank_envelope() {
+        let mut idx = amount_index();
+        idx.update(&block(0, &[100, 200], "donate"));
+        let (lo, hi) = idx.block_rank_envelope(0).unwrap();
+        // Envelope must contain the actual values.
+        let v100 = Value::decimal(100).numeric_rank().unwrap();
+        let v200 = Value::decimal(200).numeric_rank().unwrap();
+        if let Some(lo) = lo {
+            assert!(lo < v100);
+        }
+        if let Some(hi) = hi {
+            assert!(hi >= v200);
+        }
+        assert!(idx.block_rank_envelope(3).is_none());
+    }
+
+    #[test]
+    fn empty_query_short_circuit() {
+        // The paper's benefit (ii): empty queries are answered by the
+        // first level alone.
+        let mut idx = amount_index();
+        idx.update(&block(0, &[10, 20], "donate"));
+        let pred = KeyPredicate::Range(Value::decimal(5000), Value::decimal(6000));
+        assert!(idx.candidate_blocks(&pred).is_empty());
+    }
+}

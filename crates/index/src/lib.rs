@@ -1,0 +1,38 @@
+//! # sebdb-index
+//!
+//! SEBDB's indexing layer (§IV-B and §VI):
+//!
+//! * [`blockindex::BlockLevelIndex`] — block-level B⁺-tree on
+//!   `(bid, tid, Ts)`;
+//! * [`tableindex::TableBitmapIndex`] — table-level bitmaps over blocks
+//!   (plus sender bitmaps for tracking);
+//! * [`layered::LayeredIndex`] — the two-level layered index
+//!   (histogram/value bitmaps above, bulk-loaded per-block B⁺-trees
+//!   below);
+//! * [`mbtree::MbTree`] + [`ali::AuthenticatedLayeredIndex`] — the
+//!   authenticated variant for thin clients, with soundness- and
+//!   completeness-checking range proofs;
+//! * [`cost::CostParams`] — the select cost model (Eqs. 1–3) driving
+//!   access-path choice.
+
+#![warn(missing_docs)]
+
+pub mod ali;
+pub mod bitmap;
+pub mod blockindex;
+pub mod bptree;
+pub mod cost;
+pub mod histogram;
+pub mod layered;
+pub mod mbtree;
+pub mod tableindex;
+
+pub use ali::{auxiliary_digest, verify_query_vo, AuthenticatedLayeredIndex, BlockVo, QueryVo};
+pub use bitmap::Bitmap;
+pub use blockindex::{BlockKey, BlockLevelIndex};
+pub use bptree::BPlusTree;
+pub use cost::{AccessPath, CostParams};
+pub use histogram::EqualDepthHistogram;
+pub use layered::{KeyPredicate, LayeredIndex};
+pub use mbtree::{AuthEntry, MbTree, RangeProof, VerifyError};
+pub use tableindex::TableBitmapIndex;

@@ -1,0 +1,154 @@
+//! The table-level bitmap index (§IV-B).
+//!
+//! One bitmap per table: bit *i* is set iff block *i* contains at least
+//! one transaction of that table. "When a new table is generated, a new
+//! bitmap is added. When a new block arrives, the bitmap index is
+//! updated by setting corresponding bitmaps." The paper also notes the
+//! same structure "can be created on SenID for tracking query", so we
+//! maintain sender bitmaps alongside.
+
+use crate::bitmap::Bitmap;
+use sebdb_crypto::sig::KeyId;
+use sebdb_types::Block;
+use std::collections::HashMap;
+
+/// Table- and sender-level block bitmaps.
+#[derive(Debug, Default)]
+pub struct TableBitmapIndex {
+    per_table: HashMap<String, Bitmap>,
+    per_sender: HashMap<KeyId, Bitmap>,
+    blocks_seen: u64,
+}
+
+impl TableBitmapIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table so its bitmap exists even before any data
+    /// arrives ("when a new table is generated, a new bitmap is added").
+    pub fn register_table(&mut self, table: &str) {
+        self.per_table
+            .entry(table.to_ascii_lowercase())
+            .or_default();
+    }
+
+    /// Indexes a newly chained block.
+    pub fn update(&mut self, block: &Block) {
+        let bid = block.header.height as usize;
+        for tx in &block.transactions {
+            self.per_table
+                .entry(tx.tname.to_ascii_lowercase())
+                .or_default()
+                .set(bid);
+            self.per_sender.entry(tx.sender).or_default().set(bid);
+        }
+        self.blocks_seen = self.blocks_seen.max(block.header.height + 1);
+    }
+
+    /// Bitmap of blocks containing tuples of `table` (empty bitmap for
+    /// unknown tables).
+    pub fn blocks_for_table(&self, table: &str) -> Bitmap {
+        self.per_table
+            .get(&table.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Bitmap of blocks containing transactions sent by `sender`.
+    pub fn blocks_for_sender(&self, sender: &KeyId) -> Bitmap {
+        self.per_sender.get(sender).cloned().unwrap_or_default()
+    }
+
+    /// Number of blocks observed (for scan fallbacks).
+    pub fn blocks_seen(&self) -> u64 {
+        self.blocks_seen
+    }
+
+    /// Names of tables with at least one bitmap (lowercased).
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.per_table.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebdb_crypto::sha256::Digest;
+    use sebdb_types::{Transaction, Value};
+
+    fn block(height: u64, txs: Vec<(&str, KeyId)>) -> Block {
+        let txs = txs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tname, sender))| {
+                let mut t =
+                    Transaction::new(height, sender, tname, vec![Value::Int(i as i64)]);
+                t.tid = height * 100 + i as u64;
+                t
+            })
+            .collect();
+        Block::seal(Digest::ZERO, height, height, txs, |_| vec![])
+    }
+
+    const ORG1: KeyId = KeyId([1; 8]);
+    const ORG2: KeyId = KeyId([2; 8]);
+
+    #[test]
+    fn tracks_table_distribution() {
+        let mut idx = TableBitmapIndex::new();
+        idx.update(&block(0, vec![("donate", ORG1), ("transfer", ORG2)]));
+        idx.update(&block(1, vec![("donate", ORG1)]));
+        idx.update(&block(2, vec![("distribute", ORG2)]));
+
+        assert_eq!(
+            idx.blocks_for_table("donate").iter_ones().collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(
+            idx.blocks_for_table("TRANSFER").iter_ones().collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert!(idx.blocks_for_table("unknown").is_empty());
+        assert_eq!(idx.blocks_seen(), 3);
+    }
+
+    #[test]
+    fn tracks_sender_distribution() {
+        let mut idx = TableBitmapIndex::new();
+        idx.update(&block(0, vec![("donate", ORG1)]));
+        idx.update(&block(1, vec![("transfer", ORG2)]));
+        idx.update(&block(2, vec![("donate", ORG1), ("transfer", ORG1)]));
+
+        assert_eq!(
+            idx.blocks_for_sender(&ORG1).iter_ones().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(
+            idx.blocks_for_sender(&ORG2).iter_ones().collect::<Vec<_>>(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn registered_empty_table_has_empty_bitmap() {
+        let mut idx = TableBitmapIndex::new();
+        idx.register_table("Donate");
+        assert!(idx.blocks_for_table("donate").is_empty());
+        assert!(idx.tables().any(|t| t == "donate"));
+    }
+
+    #[test]
+    fn and_with_window_mask_filters() {
+        let mut idx = TableBitmapIndex::new();
+        for h in 0..10 {
+            let t = if h % 2 == 0 { "donate" } else { "transfer" };
+            idx.update(&block(h, vec![(t, ORG1)]));
+        }
+        let mut window = Bitmap::new();
+        window.set_range(3, 7);
+        let hits = idx.blocks_for_table("donate").and(&window);
+        assert_eq!(hits.iter_ones().collect::<Vec<_>>(), vec![4, 6]);
+    }
+}

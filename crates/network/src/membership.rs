@@ -1,0 +1,197 @@
+//! Heartbeat-based membership and failure detection.
+//!
+//! §III-B cites gossip's use "in distributed databases for failure
+//! detection and membership protocol" (Dynamo, Cassandra). This is the
+//! classic gossip-style heartbeat table: each node increments its own
+//! counter every tick and merges tables with peers; a member whose
+//! counter hasn't advanced for `suspect_after` ticks is suspected, and
+//! after `fail_after` ticks it is declared failed.
+
+use crate::sim::NodeId;
+use std::collections::HashMap;
+
+/// A member's health as judged by one observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Heartbeats advancing normally.
+    Alive,
+    /// Stale, not yet written off.
+    Suspect,
+    /// Declared failed.
+    Failed,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeartbeatEntry {
+    counter: u64,
+    /// Local tick at which `counter` last advanced.
+    last_advance: u64,
+}
+
+/// One node's view of cluster membership.
+#[derive(Debug)]
+pub struct MembershipView {
+    /// This node.
+    pub me: NodeId,
+    table: HashMap<NodeId, HeartbeatEntry>,
+    clock: u64,
+    suspect_after: u64,
+    fail_after: u64,
+}
+
+impl MembershipView {
+    /// Creates a view for `me` with the given staleness thresholds
+    /// (in ticks).
+    pub fn new(me: NodeId, suspect_after: u64, fail_after: u64) -> Self {
+        assert!(suspect_after < fail_after);
+        let mut table = HashMap::new();
+        table.insert(
+            me,
+            HeartbeatEntry {
+                counter: 0,
+                last_advance: 0,
+            },
+        );
+        MembershipView {
+            me,
+            table,
+            clock: 0,
+            suspect_after,
+            fail_after,
+        }
+    }
+
+    /// Advances local time one tick and beats our own heart.
+    pub fn tick(&mut self) {
+        self.clock += 1;
+        let clock = self.clock;
+        let e = self.table.get_mut(&self.me).unwrap();
+        e.counter += 1;
+        e.last_advance = clock;
+    }
+
+    /// The heartbeat table to gossip to a peer.
+    pub fn digest(&self) -> HashMap<NodeId, u64> {
+        self.table.iter().map(|(id, e)| (*id, e.counter)).collect()
+    }
+
+    /// Merges a peer's digest: any counter newer than ours refreshes
+    /// that member.
+    pub fn merge(&mut self, digest: &HashMap<NodeId, u64>) {
+        for (&id, &counter) in digest {
+            let e = self.table.entry(id).or_insert(HeartbeatEntry {
+                counter: 0,
+                last_advance: self.clock,
+            });
+            if counter > e.counter {
+                e.counter = counter;
+                e.last_advance = self.clock;
+            }
+        }
+    }
+
+    /// This observer's judgement of `node`.
+    pub fn state_of(&self, node: NodeId) -> MemberState {
+        match self.table.get(&node) {
+            None => MemberState::Failed,
+            Some(e) => {
+                let stale = self.clock.saturating_sub(e.last_advance);
+                if stale >= self.fail_after {
+                    MemberState::Failed
+                } else if stale >= self.suspect_after {
+                    MemberState::Suspect
+                } else {
+                    MemberState::Alive
+                }
+            }
+        }
+    }
+
+    /// Members currently judged alive.
+    pub fn alive_members(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .table
+            .keys()
+            .copied()
+            .filter(|&id| self.state_of(id) == MemberState::Alive)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `ticks` rounds over `n` fully-meshed views, with nodes in
+    /// `dead` not ticking or gossiping from `die_at` onwards.
+    fn run(n: usize, ticks: u64, dead: &[NodeId], die_at: u64) -> Vec<MembershipView> {
+        let mut views: Vec<MembershipView> =
+            (0..n).map(|i| MembershipView::new(i, 3, 8)).collect();
+        for t in 0..ticks {
+            for (i, view) in views.iter_mut().enumerate() {
+                if dead.contains(&i) && t >= die_at {
+                    continue;
+                }
+                view.tick();
+            }
+            // Full-mesh digest exchange.
+            let digests: Vec<_> = views.iter().map(|v| v.digest()).collect();
+            for (i, view) in views.iter_mut().enumerate() {
+                if dead.contains(&i) && t >= die_at {
+                    continue;
+                }
+                for (j, d) in digests.iter().enumerate() {
+                    if i != j && !(dead.contains(&j) && t >= die_at) {
+                        view.merge(d);
+                    }
+                }
+            }
+        }
+        views
+    }
+
+    #[test]
+    fn healthy_cluster_all_alive() {
+        let views = run(4, 10, &[], 0);
+        for v in &views {
+            assert_eq!(v.alive_members(), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn dead_node_is_suspected_then_failed() {
+        let views = run(4, 20, &[2], 5);
+        let v = &views[0];
+        assert_eq!(v.state_of(2), MemberState::Failed);
+        assert_eq!(v.alive_members(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn briefly_stale_node_is_suspect_not_failed() {
+        let views = run(4, 9, &[2], 5);
+        // 4 ticks of staleness: past suspect_after=3, before fail_after=8.
+        assert_eq!(views[0].state_of(2), MemberState::Suspect);
+    }
+
+    #[test]
+    fn unknown_node_is_failed() {
+        let v = MembershipView::new(0, 3, 8);
+        assert_eq!(v.state_of(99), MemberState::Failed);
+    }
+
+    #[test]
+    fn merge_refreshes_liveness() {
+        let mut a = MembershipView::new(0, 3, 8);
+        let mut b = MembershipView::new(1, 3, 8);
+        // b ticks 5 times; a ticks 5 times without hearing from b.
+        for _ in 0..5 {
+            a.tick();
+            b.tick();
+        }
+        assert_eq!(a.state_of(1), MemberState::Failed); // never heard of b
+        a.merge(&b.digest());
+        assert_eq!(a.state_of(1), MemberState::Alive);
+    }
+}

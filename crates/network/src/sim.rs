@@ -1,0 +1,297 @@
+//! Simulated point-to-point transport.
+//!
+//! Stands in for the paper's 1 Gbps cluster LAN (DESIGN.md §4): every
+//! node gets a mailbox; sends are delivered by a background pump thread
+//! after a configurable latency, with optional seeded message drop for
+//! fault-injection tests. With zero latency and zero drop the transport
+//! is synchronous and deterministic.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies a node on the simulated network.
+pub type NodeId = usize;
+
+/// Network behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// One-way delivery latency.
+    pub latency: Duration,
+    /// Probability a message is silently dropped (0.0 = reliable).
+    pub drop_probability: f64,
+    /// RNG seed for drops.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: Duration::ZERO,
+            drop_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// An envelope delivered to a mailbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Payload.
+    pub msg: M,
+}
+
+struct Pending<M> {
+    due: Instant,
+    seq: u64,
+    to: NodeId,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap on (due, seq).
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Shared<M> {
+    mailboxes: Mutex<Vec<Sender<Envelope<M>>>>,
+    queue: Mutex<BinaryHeap<Pending<M>>>,
+    rng: Mutex<StdRng>,
+    config: NetConfig,
+    seq: AtomicU64,
+    stopped: AtomicBool,
+    sent: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// The simulated network. Cloneable handle.
+pub struct SimNet<M> {
+    shared: Arc<Shared<M>>,
+    pump: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl<M: Send + 'static> SimNet<M> {
+    /// Creates a network with `config`.
+    pub fn new(config: NetConfig) -> Arc<Self> {
+        let shared = Arc::new(Shared {
+            mailboxes: Mutex::new(Vec::new()),
+            queue: Mutex::new(BinaryHeap::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            config,
+            seq: AtomicU64::new(0),
+            stopped: AtomicBool::new(false),
+            sent: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        });
+        let net = Arc::new(SimNet {
+            shared,
+            pump: Mutex::new(None),
+        });
+        if !net.shared.config.latency.is_zero() {
+            let shared = Arc::clone(&net.shared);
+            let handle = std::thread::spawn(move || pump_loop(shared));
+            *net.pump.lock() = Some(handle);
+        }
+        net
+    }
+
+    /// Registers a node, returning its id and mailbox receiver.
+    pub fn register(&self) -> (NodeId, Receiver<Envelope<M>>) {
+        let (tx, rx) = unbounded();
+        let mut boxes = self.shared.mailboxes.lock();
+        boxes.push(tx);
+        (boxes.len() - 1, rx)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.shared.mailboxes.lock().len()
+    }
+
+    /// Sends `msg` from `from` to `to`. Lossy/slow per config.
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        self.shared.sent.fetch_add(1, Ordering::Relaxed);
+        if self.shared.config.drop_probability > 0.0 {
+            let roll: f64 = self.shared.rng.lock().gen();
+            if roll < self.shared.config.drop_probability {
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let env = Envelope { from, msg };
+        if self.shared.config.latency.is_zero() {
+            if let Some(tx) = self.shared.mailboxes.lock().get(to) {
+                let _ = tx.send(env);
+            }
+        } else {
+            let due = Instant::now() + self.shared.config.latency;
+            self.shared.queue.lock().push(Pending {
+                due,
+                seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+                to,
+                env,
+            });
+        }
+    }
+
+    /// `(sent, dropped)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.shared.sent.load(Ordering::Relaxed),
+            self.shared.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl<M: Send + Clone + 'static> SimNet<M> {
+    /// Sends `msg` from `from` to every other registered node.
+    pub fn broadcast(&self, from: NodeId, msg: M) {
+        let n = self.node_count();
+        for to in 0..n {
+            if to != from {
+                self.send(from, to, msg.clone());
+            }
+        }
+    }
+}
+
+impl<M> Drop for SimNet<M> {
+    fn drop(&mut self) {
+        self.shared.stopped.store(true, Ordering::Relaxed);
+        if let Some(h) = self.pump.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn pump_loop<M: Send + 'static>(shared: Arc<Shared<M>>) {
+    while !shared.stopped.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        let mut due: Vec<(NodeId, Envelope<M>)> = Vec::new();
+        let mut next_due: Option<Instant> = None;
+        {
+            let mut q = shared.queue.lock();
+            while let Some(p) = q.peek() {
+                if p.due <= now {
+                    let p = q.pop().unwrap();
+                    due.push((p.to, p.env));
+                } else {
+                    next_due = Some(p.due);
+                    break;
+                }
+            }
+        }
+        for (to, env) in due {
+            if let Some(tx) = shared.mailboxes.lock().get(to) {
+                let _ = tx.send(env);
+            }
+        }
+        let sleep = match next_due {
+            Some(t) => t.saturating_duration_since(Instant::now()).min(Duration::from_millis(1)),
+            None => Duration::from_micros(200),
+        };
+        std::thread::sleep(sleep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_is_synchronous() {
+        let net: Arc<SimNet<u32>> = SimNet::new(NetConfig::default());
+        let (a, _rx_a) = net.register();
+        let (b, rx_b) = net.register();
+        net.send(a, b, 42);
+        assert_eq!(rx_b.try_recv().unwrap(), Envelope { from: a, msg: 42 });
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let net: Arc<SimNet<&'static str>> = SimNet::new(NetConfig::default());
+        let receivers: Vec<_> = (0..4).map(|_| net.register()).collect();
+        net.broadcast(0, "block");
+        assert!(receivers[0].1.try_recv().is_err());
+        for (id, rx) in &receivers[1..] {
+            let env = rx.try_recv().unwrap_or_else(|_| panic!("node {id} missed broadcast"));
+            assert_eq!(env.msg, "block");
+        }
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net: Arc<SimNet<u32>> = SimNet::new(NetConfig {
+            latency: Duration::from_millis(20),
+            ..NetConfig::default()
+        });
+        let (a, _) = net.register();
+        let (b, rx_b) = net.register();
+        let start = Instant::now();
+        net.send(a, b, 7);
+        assert!(rx_b.try_recv().is_err(), "must not arrive instantly");
+        let env = rx_b.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert_eq!(env.msg, 7);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn drops_are_counted_and_seeded() {
+        let net: Arc<SimNet<u32>> = SimNet::new(NetConfig {
+            drop_probability: 0.5,
+            seed: 7,
+            ..NetConfig::default()
+        });
+        let (a, _) = net.register();
+        let (b, rx_b) = net.register();
+        for i in 0..1000 {
+            net.send(a, b, i);
+        }
+        let (sent, dropped) = net.stats();
+        assert_eq!(sent, 1000);
+        assert!((300..700).contains(&dropped), "dropped {dropped}");
+        let delivered = rx_b.try_iter().count() as u64;
+        assert_eq!(delivered, sent - dropped);
+    }
+
+    #[test]
+    fn ordering_preserved_at_equal_latency() {
+        let net: Arc<SimNet<u32>> = SimNet::new(NetConfig {
+            latency: Duration::from_millis(5),
+            ..NetConfig::default()
+        });
+        let (a, _) = net.register();
+        let (b, rx_b) = net.register();
+        for i in 0..50 {
+            net.send(a, b, i);
+        }
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            got.push(rx_b.recv_timeout(Duration::from_secs(2)).unwrap().msg);
+        }
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+}

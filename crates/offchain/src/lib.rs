@@ -1,0 +1,19 @@
+//! # sebdb-offchain
+//!
+//! A mini-RDBMS standing in for the local MySQL instance each SEBDB
+//! node uses for private off-chain data (§IV-A). Provides exactly what
+//! the on-off-chain join (Algorithm 3) needs from the RDBMS side —
+//! predicate selects, per-column B-tree indexes, `min`/`max`,
+//! `DISTINCT`, and sorted retrieval on the join attribute — plus the
+//! usual insert/update/delete. See DESIGN.md §4 for the substitution
+//! note.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod predicate;
+pub mod table;
+
+pub use engine::{OffchainConnection, OffchainDb};
+pub use predicate::{CmpOp, Predicate};
+pub use table::OffTable;

@@ -1,0 +1,197 @@
+//! Row predicates for the off-chain engine.
+
+use sebdb_types::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator. Any comparison with NULL is false
+    /// (SQL-ish three-valued logic collapsed to false).
+    pub fn eval(&self, left: &Value, right: &Value) -> bool {
+        if *left == Value::Null || *right == Value::Null {
+            return false;
+        }
+        let ord = left.cmp_total(right);
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+/// A predicate over one row, referencing columns by position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// `col <op> literal`.
+    Compare {
+        /// Column position.
+        column: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column position.
+        column: usize,
+        /// Lower bound.
+        lo: Value,
+        /// Upper bound.
+        hi: Value,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against `row`.
+    pub fn eval(&self, row: &[Value]) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Compare { column, op, value } => row
+                .get(*column)
+                .is_some_and(|v| op.eval(v, value)),
+            Predicate::Between { column, lo, hi } => row.get(*column).is_some_and(|v| {
+                *v != Value::Null && v >= lo && v <= hi
+            }),
+            Predicate::And(a, b) => a.eval(row) && b.eval(row),
+            Predicate::Or(a, b) => a.eval(row) || b.eval(row),
+        }
+    }
+
+    /// If the predicate constrains a single column to a closed range,
+    /// returns `(column, lo, hi)` — what an index scan can serve.
+    pub fn index_range(&self) -> Option<(usize, Value, Value)> {
+        match self {
+            Predicate::Compare {
+                column,
+                op: CmpOp::Eq,
+                value,
+            } => Some((*column, value.clone(), value.clone())),
+            Predicate::Between { column, lo, hi } => {
+                Some((*column, lo.clone(), hi.clone()))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(5), Value::str("bob"), Value::decimal(100)]
+    }
+
+    #[test]
+    fn compare_ops() {
+        let r = row();
+        for (op, want) in [
+            (CmpOp::Eq, true),
+            (CmpOp::Ne, false),
+            (CmpOp::Lt, false),
+            (CmpOp::Le, true),
+            (CmpOp::Gt, false),
+            (CmpOp::Ge, true),
+        ] {
+            let p = Predicate::Compare {
+                column: 0,
+                op,
+                value: Value::Int(5),
+            };
+            assert_eq!(p.eval(&r), want, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn null_comparisons_false() {
+        let r = vec![Value::Null];
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Gt] {
+            assert!(!Predicate::Compare {
+                column: 0,
+                op,
+                value: Value::Int(1)
+            }
+            .eval(&r));
+        }
+        assert!(!Predicate::Between {
+            column: 0,
+            lo: Value::Int(0),
+            hi: Value::Int(10)
+        }
+        .eval(&r));
+    }
+
+    #[test]
+    fn between_and_or() {
+        let r = row();
+        let between = Predicate::Between {
+            column: 2,
+            lo: Value::decimal(50),
+            hi: Value::decimal(150),
+        };
+        assert!(between.eval(&r));
+        let name = Predicate::Compare {
+            column: 1,
+            op: CmpOp::Eq,
+            value: Value::str("alice"),
+        };
+        assert!(!Predicate::And(Box::new(between.clone()), Box::new(name.clone())).eval(&r));
+        assert!(Predicate::Or(Box::new(between), Box::new(name)).eval(&r));
+    }
+
+    #[test]
+    fn index_range_extraction() {
+        let eq = Predicate::Compare {
+            column: 1,
+            op: CmpOp::Eq,
+            value: Value::str("x"),
+        };
+        assert_eq!(
+            eq.index_range(),
+            Some((1, Value::str("x"), Value::str("x")))
+        );
+        let lt = Predicate::Compare {
+            column: 1,
+            op: CmpOp::Lt,
+            value: Value::str("x"),
+        };
+        assert_eq!(lt.index_range(), None);
+        assert_eq!(Predicate::True.index_range(), None);
+    }
+
+    #[test]
+    fn out_of_range_column_is_false() {
+        let p = Predicate::Compare {
+            column: 9,
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+        };
+        assert!(!p.eval(&row()));
+    }
+}

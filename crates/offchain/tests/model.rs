@@ -1,0 +1,106 @@
+//! Model-based testing: `OffTable` (with secondary indexes) must
+//! behave exactly like a naive `Vec<Vec<Value>>` under any interleaving
+//! of inserts, updates, deletes, and selects.
+
+use proptest::prelude::*;
+use sebdb_offchain::{CmpOp, OffTable, Predicate};
+use sebdb_types::{Column, DataType, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    UpdateWhereAEq(i64, i64), // set b = _ where a = _
+    DeleteWhereALe(i64),
+    CreateIndexA,
+    CreateIndexB,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (-20i64..20, -20i64..20).prop_map(|(a, b)| Op::Insert(a, b)),
+            (-20i64..20, -20i64..20).prop_map(|(a, b)| Op::UpdateWhereAEq(a, b)),
+            (-20i64..20).prop_map(Op::DeleteWhereALe),
+            Just(Op::CreateIndexA),
+            Just(Op::CreateIndexB),
+        ],
+        0..60,
+    )
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn table_matches_vec_model(ops in ops(), probe_lo in -20i64..20, probe_len in 0i64..20) {
+        let mut table = OffTable::new(
+            "t",
+            vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)],
+        );
+        let mut model: Vec<(i64, i64)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(a, b) => {
+                    table.insert(vec![Value::Int(a), Value::Int(b)]).unwrap();
+                    model.push((a, b));
+                }
+                Op::UpdateWhereAEq(a, new_b) => {
+                    let pred = Predicate::Compare { column: 0, op: CmpOp::Eq, value: Value::Int(a) };
+                    let n = table.update(&pred, 1, Value::Int(new_b)).unwrap();
+                    let mut m = 0;
+                    for row in model.iter_mut() {
+                        if row.0 == a {
+                            row.1 = new_b;
+                            m += 1;
+                        }
+                    }
+                    prop_assert_eq!(n, m);
+                }
+                Op::DeleteWhereALe(a) => {
+                    let pred = Predicate::Compare { column: 0, op: CmpOp::Le, value: Value::Int(a) };
+                    let n = table.delete(&pred);
+                    let before = model.len();
+                    model.retain(|row| row.0 > a);
+                    prop_assert_eq!(n, before - model.len());
+                }
+                Op::CreateIndexA => table.create_index(0),
+                Op::CreateIndexB => table.create_index(1),
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+
+        // Range select must agree (order-insensitive).
+        let probe_hi = probe_lo + probe_len;
+        let pred = Predicate::Between { column: 0, lo: Value::Int(probe_lo), hi: Value::Int(probe_hi) };
+        let got = sorted(table.select(&pred));
+        let want = sorted(
+            model.iter()
+                .filter(|(a, _)| (probe_lo..=probe_hi).contains(a))
+                .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+                .collect(),
+        );
+        prop_assert_eq!(got, want);
+
+        // min / max / distinct / sorted_by must agree too.
+        let want_min = model.iter().map(|(a, _)| *a).min().map(Value::Int);
+        prop_assert_eq!(table.min(0), want_min);
+        let want_max = model.iter().map(|(a, _)| *a).max().map(Value::Int);
+        prop_assert_eq!(table.max(0), want_max);
+        let mut want_distinct: Vec<i64> = model.iter().map(|(a, _)| *a).collect();
+        want_distinct.sort_unstable();
+        want_distinct.dedup();
+        prop_assert_eq!(
+            table.distinct(0),
+            want_distinct.into_iter().map(Value::Int).collect::<Vec<_>>()
+        );
+        let by_a = table.sorted_by(0);
+        prop_assert!(by_a.windows(2).all(|w| w[0][0] <= w[1][0]));
+        prop_assert_eq!(by_a.len(), model.len());
+    }
+}

@@ -1,0 +1,261 @@
+//! Abstract syntax for the SEBDB SQL-like language.
+
+use sebdb_types::{DataType, Value};
+
+/// A literal or a `?` positional parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// The `i`-th `?` parameter (0-based), bound at execution.
+    Param(usize),
+}
+
+impl Expr {
+    /// Resolves the expression against bound parameters.
+    pub fn resolve(&self, params: &[Value]) -> Result<Value, crate::lexer::SqlError> {
+        match self {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => params.get(*i).cloned().ok_or_else(|| {
+                crate::lexer::SqlError::new(
+                    format!("parameter ?{} not bound ({} given)", i + 1, params.len()),
+                    0,
+                )
+            }),
+        }
+    }
+}
+
+/// Comparison operators in `WHERE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One conjunct of a `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WherePredicate {
+    /// `column <op> expr`.
+    Compare {
+        /// Column name (unresolved).
+        column: String,
+        /// Operator.
+        op: CompareOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `column BETWEEN lo AND hi`.
+    Between {
+        /// Column name.
+        column: String,
+        /// Lower bound (inclusive).
+        lo: Expr,
+        /// Upper bound (inclusive).
+        hi: Expr,
+    },
+}
+
+impl WherePredicate {
+    /// The column this predicate constrains.
+    pub fn column(&self) -> &str {
+        match self {
+            WherePredicate::Compare { column, .. } => column,
+            WherePredicate::Between { column, .. } => column,
+        }
+    }
+}
+
+/// Whether a table lives on-chain or in the local RDBMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableSource {
+    /// A blockchain relation (the default).
+    #[default]
+    OnChain,
+    /// A local off-chain RDBMS table.
+    OffChain,
+}
+
+/// A table reference with its source qualifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// `onchain` / `offchain` qualifier (`onchain` by default).
+    pub source: TableSource,
+    /// Table name.
+    pub name: String,
+}
+
+/// `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT COUNT(*)`: return a single count row instead of tuples.
+    pub count: bool,
+    /// Optional `LIMIT n`.
+    pub limit: Option<u64>,
+    /// Projected column names; empty = `*`.
+    pub projection: Vec<String>,
+    /// First (or only) table.
+    pub from: TableRef,
+    /// Join partner and the `ON left.col = right.col` condition.
+    pub join: Option<JoinClause>,
+    /// Conjunctive `WHERE` predicates.
+    pub predicates: Vec<WherePredicate>,
+    /// Optional `[start, end]` time window over transaction timestamps.
+    pub window: Option<(Expr, Expr)>,
+}
+
+/// `FROM a, b ON a.x = b.y`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The right-hand table.
+    pub table: TableRef,
+    /// Left join column, written `left_table.col` (table part optional).
+    pub left_col: String,
+    /// Right join column.
+    pub right_col: String,
+}
+
+/// Which key `GET BLOCK` looks up by (§IV-B's three basic lookups).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockSelector {
+    /// `GET BLOCK ID = ?`
+    ById(Expr),
+    /// `GET BLOCK TID = ?`
+    ByTid(Expr),
+    /// `GET BLOCK TIMESTAMP = ?`
+    ByTimestamp(Expr),
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE <table> (col type, …)`.
+    Create {
+        /// Table name.
+        table: String,
+        /// Application-level columns.
+        columns: Vec<(String, DataType)>,
+    },
+    /// `INSERT [INTO] <table> [VALUES] (expr, …)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row values.
+        values: Vec<Expr>,
+    },
+    /// `SELECT …`.
+    Select(SelectStmt),
+    /// `TRACE [start,end] OPERATOR = expr, OPERATION = expr` — the
+    /// track-trace operation (§V-A); either dimension may be omitted.
+    Trace {
+        /// Optional time window.
+        window: Option<(Expr, Expr)>,
+        /// Who sent the transactions (`SenID` dimension).
+        operator: Option<Expr>,
+        /// Which transaction type (`Tname` dimension).
+        operation: Option<Expr>,
+    },
+    /// `GET BLOCK …`.
+    GetBlock(BlockSelector),
+    /// `EXPLAIN <statement>`: plan without executing.
+    Explain(Box<Statement>),
+}
+
+impl Statement {
+    /// Number of `?` parameters in the statement.
+    pub fn param_count(&self) -> usize {
+        fn expr(e: &Expr, max: &mut usize) {
+            if let Expr::Param(i) = e {
+                *max = (*max).max(i + 1);
+            }
+        }
+        let mut max = 0;
+        match self {
+            Statement::Create { .. } => {}
+            Statement::Insert { values, .. } => {
+                for v in values {
+                    expr(v, &mut max);
+                }
+            }
+            Statement::Select(s) => {
+                for p in &s.predicates {
+                    match p {
+                        WherePredicate::Compare { value, .. } => expr(value, &mut max),
+                        WherePredicate::Between { lo, hi, .. } => {
+                            expr(lo, &mut max);
+                            expr(hi, &mut max);
+                        }
+                    }
+                }
+                if let Some((a, b)) = &s.window {
+                    expr(a, &mut max);
+                    expr(b, &mut max);
+                }
+            }
+            Statement::Trace {
+                window,
+                operator,
+                operation,
+            } => {
+                if let Some((a, b)) = window {
+                    expr(a, &mut max);
+                    expr(b, &mut max);
+                }
+                if let Some(o) = operator {
+                    expr(o, &mut max);
+                }
+                if let Some(o) = operation {
+                    expr(o, &mut max);
+                }
+            }
+            Statement::GetBlock(sel) => match sel {
+                BlockSelector::ById(e)
+                | BlockSelector::ByTid(e)
+                | BlockSelector::ByTimestamp(e) => expr(e, &mut max),
+            },
+            Statement::Explain(inner) => return inner.param_count(),
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_resolution() {
+        let p = Expr::Param(1);
+        let params = vec![Value::Int(1), Value::str("x")];
+        assert_eq!(p.resolve(&params).unwrap(), Value::str("x"));
+        assert!(Expr::Param(5).resolve(&params).is_err());
+        assert_eq!(
+            Expr::Literal(Value::Int(9)).resolve(&[]).unwrap(),
+            Value::Int(9)
+        );
+    }
+
+    #[test]
+    fn param_count_tracks_max_index() {
+        let stmt = Statement::Insert {
+            table: "t".into(),
+            values: vec![Expr::Param(0), Expr::Literal(Value::Int(1)), Expr::Param(2)],
+        };
+        assert_eq!(stmt.param_count(), 3);
+        let none = Statement::Create {
+            table: "t".into(),
+            columns: vec![],
+        };
+        assert_eq!(none.param_count(), 0);
+    }
+}

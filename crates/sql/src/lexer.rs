@@ -1,0 +1,374 @@
+//! Tokenizer for the SEBDB SQL-like language.
+//!
+//! The language is small and deliberately non-standard (§III-A): the
+//! usual `CREATE`/`INSERT`/`SELECT` plus the blockchain-specific
+//! `TRACE` and `GET BLOCK` statements, `onchain.`/`offchain.` source
+//! qualifiers, and `[start, end]` time windows — so we tokenize by
+//! hand rather than bend a SQL crate (DESIGN.md §6).
+
+/// Lexer / parser errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset into the source where the problem starts.
+    pub offset: usize,
+}
+
+impl SqlError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize) -> Self {
+        SqlError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// One token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal (scaled to `Value::Decimal` units later).
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// `?` positional parameter.
+    Param,
+    /// Punctuation / operators.
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A token plus its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where it starts.
+    pub offset: usize,
+}
+
+/// Tokenizes `src`.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Decode the char at `i` properly: a raw byte cast misreads
+        // multi-byte UTF-8 (and then slicing panics mid-codepoint).
+        let c = src[i..].chars().next().expect("i is on a char boundary");
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, offset: start });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { token: Token::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { token: Token::RBracket, offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                out.push(Spanned { token: Token::Dot, offset: start });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semicolon, offset: start });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { token: Token::Star, offset: start });
+                i += 1;
+            }
+            '?' => {
+                out.push(Spanned { token: Token::Param, offset: start });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { token: Token::Eq, offset: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(SqlError::new("expected '=' after '!'", start));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Spanned { token: Token::Le, offset: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Spanned { token: Token::Ne, offset: start });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Spanned { token: Token::Lt, offset: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Ge, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match src[i..].chars().next() {
+                        None => return Err(SqlError::new("unterminated string literal", start)),
+                        Some(q) if q == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            let esc = src[i + 1..]
+                                .chars()
+                                .next()
+                                .ok_or_else(|| SqlError::new("dangling escape", i))?;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            i += 1 + esc.len_utf8();
+                        }
+                        Some(ch) => {
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Spanned { token: Token::Str(s), offset: start });
+            }
+            '-' | '0'..='9' => {
+                let mut j = i;
+                if c == '-' {
+                    j += 1;
+                    if !bytes.get(j).is_some_and(|b| b.is_ascii_digit()) {
+                        return Err(SqlError::new("expected digits after '-'", start));
+                    }
+                }
+                let mut is_float = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'0'..=b'9' => j += 1,
+                        b'.' if !is_float
+                            && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) =>
+                        {
+                            is_float = true;
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[i..j];
+                let token = if is_float {
+                    Token::Float(
+                        text.parse()
+                            .map_err(|_| SqlError::new("bad float literal", start))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| SqlError::new("integer literal out of range", start))?,
+                    )
+                };
+                out.push(Spanned { token, offset: start });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                for ch in src[i..].chars() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Ident(src[i..j].to_owned()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(SqlError::new(format!("unexpected character '{other}'"), start));
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl Token {
+    /// Case-insensitive keyword check for identifier tokens.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_q1() {
+        assert_eq!(
+            toks("INSERT INTO donate VALUES(?,?,?);"),
+            vec![
+                Token::Ident("INSERT".into()),
+                Token::Ident("INTO".into()),
+                Token::Ident("donate".into()),
+                Token::Ident("VALUES".into()),
+                Token::LParen,
+                Token::Param,
+                Token::Comma,
+                Token::Param,
+                Token::Comma,
+                Token::Param,
+                Token::RParen,
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_strings_and_numbers() {
+        assert_eq!(
+            toks(r#"'org1' "two words" 42 -7 3.25"#),
+            vec![
+                Token::Str("org1".into()),
+                Token::Str("two words".into()),
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.25),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        assert_eq!(
+            toks("= <> != < <= > >= . *"),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Dot,
+                Token::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_window_brackets() {
+        assert_eq!(
+            toks("TRACE [0, 100]"),
+            vec![
+                Token::Ident("TRACE".into()),
+                Token::LBracket,
+                Token::Int(0),
+                Token::Comma,
+                Token::Int(100),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\"b\nc""#), vec![Token::Str("a\"b\nc".into())]);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("SELECT @").unwrap_err();
+        assert_eq!(err.offset, 7);
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("1.").is_err() || toks("1.").len() == 2); // "1." = Int(1), Dot
+    }
+
+    #[test]
+    fn utf8_strings_and_identifiers() {
+        assert_eq!(toks("'h\u{e9}llo w\u{f6}rld'"), vec![Token::Str("h\u{e9}llo w\u{f6}rld".into())]);
+        // Unicode identifiers are accepted whole.
+        assert_eq!(toks("pr\u{e9}nom"), vec![Token::Ident("pr\u{e9}nom".into())]);
+        // Garbage multi-byte input errors instead of panicking.
+        assert!(tokenize("\u{1F600}").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let t = Token::Ident("SeLeCt".into());
+        assert!(t.is_kw("select"));
+        assert!(!t.is_kw("insert"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # sebdb-sql
+//!
+//! The SQL-like language of SEBDB (§III-A, Table II): a hand-written
+//! [`lexer`] and recursive-descent [`parser`] for
+//! `CREATE` / `INSERT` / `SELECT` (with `BETWEEN`, joins via
+//! `FROM a, b ON …`, `onchain.`/`offchain.` qualifiers and
+//! `WINDOW [s, e]` time windows), the blockchain-specific `TRACE` and
+//! `GET BLOCK` statements, plus a logical [`plan`](mod@plan)ner that resolves
+//! names against a schema catalog and binds `?` parameters.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{
+    BlockSelector, CompareOp, Expr, JoinClause, SelectStmt, Statement, TableRef, TableSource,
+    WherePredicate,
+};
+pub use lexer::SqlError;
+pub use parser::{parse, parse_script};
+pub use plan::{
+    plan, BoundBlockSelector, BoundPredicate, BoundPredicateKind, Catalog, LogicalPlan,
+};

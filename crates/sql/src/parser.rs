@@ -1,0 +1,698 @@
+//! Recursive-descent parser for the SEBDB SQL-like language.
+//!
+//! Grammar (statements end at `;` or EOF):
+//!
+//! ```text
+//! create  := CREATE [TABLE] ident '(' col type (',' col type)* ')'
+//! insert  := INSERT [INTO] ident [VALUES] '(' expr (',' expr)* ')'
+//! select  := SELECT (COUNT '(' '*' ')' | proj) FROM tableref
+//!            [',' tableref ON qcol '=' qcol]
+//!            [WHERE pred (AND pred)*] [WINDOW '[' expr ',' expr ']']
+//!            [LIMIT int]
+//! trace   := TRACE ['[' expr ',' expr ']']
+//!            [OPERATOR '=' expr] [','] [OPERATION '=' expr]
+//! get     := GET BLOCK (ID|TID|TIMESTAMP) '=' expr
+//! tableref:= [(ONCHAIN|OFFCHAIN) '.'] ident
+//! pred    := col (=|<>|<|<=|>|>=) expr | col BETWEEN expr AND expr
+//! qcol    := [ident '.'] ident
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Spanned, SqlError, Token};
+use sebdb_types::{DataType, Value, value::DECIMAL_SCALE};
+
+/// Parses one statement (a trailing `;` is allowed).
+pub fn parse(src: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
+    let stmt = p.statement()?;
+    p.eat_optional_semicolon();
+    if let Some(t) = p.peek() {
+        return Err(SqlError::new(
+            format!("unexpected trailing input: {:?}", t.token),
+            t.offset,
+        ));
+    }
+    Ok(stmt)
+}
+
+/// Parses a `;`-separated script into statements.
+pub fn parse_script(src: &str) -> Result<Vec<Statement>, SqlError> {
+    src.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    params: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.peek().map(|t| t.offset).unwrap_or(usize::MAX)
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t.token == *want => Ok(()),
+            Some(t) => Err(SqlError::new(
+                format!("expected {what}, found {:?}", t.token),
+                t.offset,
+            )),
+            None => Err(SqlError::new(format!("expected {what}, found end of input"), usize::MAX)),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t.token.is_kw(kw) => Ok(()),
+            Some(t) => Err(SqlError::new(
+                format!("expected keyword {kw}, found {:?}", t.token),
+                t.offset,
+            )),
+            None => Err(SqlError::new(format!("expected keyword {kw}"), usize::MAX)),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.token.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek().is_some_and(|t| t.token == *tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_optional_semicolon(&mut self) {
+        while self.eat(&Token::Semicolon) {}
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) => Ok(s),
+            Some(t) => Err(SqlError::new(
+                format!("expected {what}, found {:?}", t.token),
+                t.offset,
+            )),
+            None => Err(SqlError::new(format!("expected {what}"), usize::MAX)),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_kw("explain") {
+            return Ok(Statement::Explain(Box::new(self.statement()?)));
+        }
+        let t = self
+            .peek()
+            .ok_or_else(|| SqlError::new("empty statement", 0))?;
+        if t.token.is_kw("create") {
+            self.create()
+        } else if t.token.is_kw("insert") {
+            self.insert()
+        } else if t.token.is_kw("select") {
+            self.select()
+        } else if t.token.is_kw("trace") {
+            self.trace()
+        } else if t.token.is_kw("get") {
+            self.get_block()
+        } else {
+            Err(SqlError::new(
+                format!("expected a statement keyword, found {:?}", t.token),
+                t.offset,
+            ))
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("create")?;
+        self.eat_kw("table"); // optional
+        let table = self.ident("table name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let mut columns = Vec::new();
+        loop {
+            let name = self.ident("column name")?;
+            let off = self.offset();
+            let tyname = self.ident("column type")?;
+            let dtype = DataType::parse(&tyname)
+                .ok_or_else(|| SqlError::new(format!("unknown type '{tyname}'"), off))?;
+            columns.push((name, dtype));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Statement::Create { table, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("insert")?;
+        self.eat_kw("into"); // optional, per Example 1
+        let table = self.ident("table name")?;
+        self.eat_kw("values"); // optional, per Example 1
+        self.expect(&Token::LParen, "'('")?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.expr()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Statement::Insert { table, values })
+    }
+
+    fn select(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("select")?;
+        let mut count = false;
+        let projection = if self.eat_kw("count") {
+            self.expect(&Token::LParen, "'(' after COUNT")?;
+            self.expect(&Token::Star, "'*' in COUNT(*)")?;
+            self.expect(&Token::RParen, "')'")?;
+            count = true;
+            Vec::new()
+        } else if self.eat(&Token::Star) {
+            Vec::new()
+        } else {
+            let mut cols = vec![self.ident("column")?];
+            while self.eat(&Token::Comma) {
+                cols.push(self.ident("column")?);
+            }
+            cols
+        };
+        self.expect_kw("from")?;
+        let from = self.table_ref()?;
+        let join = if self.eat(&Token::Comma) {
+            let table = self.table_ref()?;
+            self.expect_kw("on")?;
+            let left_col = self.qualified_column()?;
+            self.expect(&Token::Eq, "'=' in join condition")?;
+            let right_col = self.qualified_column()?;
+            Some(JoinClause {
+                table,
+                left_col,
+                right_col,
+            })
+        } else {
+            None
+        };
+        let mut predicates = Vec::new();
+        if self.eat_kw("where") {
+            predicates.push(self.predicate()?);
+            while self.eat_kw("and") {
+                predicates.push(self.predicate()?);
+            }
+        }
+        let window = if self.eat_kw("window") {
+            Some(self.window_literal()?)
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Spanned {
+                    token: Token::Int(n),
+                    ..
+                }) if n >= 0 => Some(n as u64),
+                Some(t) => {
+                    return Err(SqlError::new(
+                        format!("LIMIT needs a non-negative integer, found {:?}", t.token),
+                        t.offset,
+                    ))
+                }
+                None => return Err(SqlError::new("LIMIT needs an integer", usize::MAX)),
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Select(SelectStmt {
+            count,
+            limit,
+            projection,
+            from,
+            join,
+            predicates,
+            window,
+        }))
+    }
+
+    fn trace(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("trace")?;
+        let window = if self.peek().is_some_and(|t| t.token == Token::LBracket) {
+            Some(self.window_literal()?)
+        } else {
+            None
+        };
+        let mut operator = None;
+        let mut operation = None;
+        loop {
+            if self.eat_kw("operator") {
+                self.expect(&Token::Eq, "'='")?;
+                operator = Some(self.expr()?);
+            } else if self.eat_kw("operation") {
+                self.expect(&Token::Eq, "'='")?;
+                operation = Some(self.expr()?);
+            } else if self.eat(&Token::Comma) {
+                continue;
+            } else {
+                break;
+            }
+        }
+        if operator.is_none() && operation.is_none() {
+            return Err(SqlError::new(
+                "TRACE needs at least one of OPERATOR / OPERATION",
+                self.offset(),
+            ));
+        }
+        Ok(Statement::Trace {
+            window,
+            operator,
+            operation,
+        })
+    }
+
+    fn get_block(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("get")?;
+        self.expect_kw("block")?;
+        let off = self.offset();
+        let key = self.ident("ID / TID / TIMESTAMP")?;
+        self.expect(&Token::Eq, "'='")?;
+        let e = self.expr()?;
+        let sel = match key.to_ascii_lowercase().as_str() {
+            "id" | "bid" | "height" => BlockSelector::ById(e),
+            "tid" => BlockSelector::ByTid(e),
+            "timestamp" | "ts" => BlockSelector::ByTimestamp(e),
+            other => {
+                return Err(SqlError::new(
+                    format!("unknown block selector '{other}'"),
+                    off,
+                ))
+            }
+        };
+        Ok(Statement::GetBlock(sel))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let first = self.ident("table name")?;
+        if self.eat(&Token::Dot) {
+            let name = self.ident("table name")?;
+            let source = match first.to_ascii_lowercase().as_str() {
+                "onchain" => TableSource::OnChain,
+                "offchain" => TableSource::OffChain,
+                other => {
+                    return Err(SqlError::new(
+                        format!("unknown table source '{other}' (use onchain/offchain)"),
+                        self.offset(),
+                    ))
+                }
+            };
+            Ok(TableRef { source, name })
+        } else {
+            Ok(TableRef {
+                source: TableSource::OnChain,
+                name: first,
+            })
+        }
+    }
+
+    /// A possibly table-qualified column; only the column part is kept
+    /// (the executor resolves which side it binds to).
+    fn qualified_column(&mut self) -> Result<String, SqlError> {
+        let first = self.ident("column")?;
+        if self.eat(&Token::Dot) {
+            self.ident("column")
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn predicate(&mut self) -> Result<WherePredicate, SqlError> {
+        let column = self.qualified_column()?;
+        if self.eat_kw("between") {
+            let lo = self.expr()?;
+            self.expect_kw("and")?;
+            let hi = self.expr()?;
+            return Ok(WherePredicate::Between { column, lo, hi });
+        }
+        let op = match self.next() {
+            Some(t) => match t.token {
+                Token::Eq => CompareOp::Eq,
+                Token::Ne => CompareOp::Ne,
+                Token::Lt => CompareOp::Lt,
+                Token::Le => CompareOp::Le,
+                Token::Gt => CompareOp::Gt,
+                Token::Ge => CompareOp::Ge,
+                other => {
+                    return Err(SqlError::new(
+                        format!("expected comparison operator, found {other:?}"),
+                        t.offset,
+                    ))
+                }
+            },
+            None => return Err(SqlError::new("expected comparison operator", usize::MAX)),
+        };
+        let value = self.expr()?;
+        Ok(WherePredicate::Compare { column, op, value })
+    }
+
+    fn window_literal(&mut self) -> Result<(Expr, Expr), SqlError> {
+        self.expect(&Token::LBracket, "'['")?;
+        let start = self.expr()?;
+        self.expect(&Token::Comma, "','")?;
+        let end = self.expr()?;
+        self.expect(&Token::RBracket, "']'")?;
+        Ok((start, end))
+    }
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Int(i),
+                ..
+            }) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Spanned {
+                token: Token::Float(f),
+                ..
+            }) => Ok(Expr::Literal(Value::Decimal(
+                (f * DECIMAL_SCALE as f64).round() as i64,
+            ))),
+            Some(Spanned {
+                token: Token::Str(s),
+                ..
+            }) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Spanned {
+                token: Token::Param,
+                ..
+            }) => {
+                let i = self.params;
+                self.params += 1;
+                Ok(Expr::Param(i))
+            }
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) if s.eq_ignore_ascii_case("true") => Ok(Expr::Literal(Value::Bool(true))),
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) if s.eq_ignore_ascii_case("false") => Ok(Expr::Literal(Value::Bool(false))),
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) if s.eq_ignore_ascii_case("null") => Ok(Expr::Literal(Value::Null)),
+            Some(t) => Err(SqlError::new(
+                format!("expected a literal or '?', found {:?}", t.token),
+                t.offset,
+            )),
+            None => Err(SqlError::new("expected a literal or '?'", usize::MAX)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create() {
+        let stmt =
+            parse("CREATE Donate (donor string, project string, amount decimal)").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Create {
+                table: "Donate".into(),
+                columns: vec![
+                    ("donor".into(), DataType::Str),
+                    ("project".into(), DataType::Str),
+                    ("amount".into(), DataType::Decimal),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_insert_both_forms() {
+        // Example 1 form (no VALUES keyword).
+        let a = parse(r#"INSERT into Donate ("Jack", "Education", 100)"#).unwrap();
+        // Q1 form.
+        let b = parse("INSERT INTO Donate VALUES(?,?,?);").unwrap();
+        match a {
+            Statement::Insert { table, values } => {
+                assert_eq!(table, "Donate");
+                assert_eq!(values[0], Expr::Literal(Value::str("Jack")));
+                assert_eq!(values[2], Expr::Literal(Value::Int(100)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match b {
+            Statement::Insert { values, .. } => {
+                assert_eq!(values, vec![Expr::Param(0), Expr::Param(1), Expr::Param(2)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_q4_range_select() {
+        let stmt = parse("SELECT * FROM donate WHERE amount BETWEEN ? AND ?;").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert!(s.projection.is_empty());
+                assert_eq!(s.from.name, "donate");
+                assert_eq!(s.from.source, TableSource::OnChain);
+                assert_eq!(
+                    s.predicates,
+                    vec![WherePredicate::Between {
+                        column: "amount".into(),
+                        lo: Expr::Param(0),
+                        hi: Expr::Param(1),
+                    }]
+                );
+                assert!(s.join.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_q5_onchain_join() {
+        let stmt = parse(
+            "SELECT * FROM transfer, distribute ON transfer.organization = distribute.organization;",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                let j = s.join.unwrap();
+                assert_eq!(j.table.name, "distribute");
+                assert_eq!(j.left_col, "organization");
+                assert_eq!(j.right_col, "organization");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_q6_onoff_join() {
+        let stmt = parse(
+            "SELECT * FROM onchain.distribute, offchain.donorinfo ON distribute.donee = donorinfo.donee;",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.from.source, TableSource::OnChain);
+                let j = s.join.unwrap();
+                assert_eq!(j.table.source, TableSource::OffChain);
+                assert_eq!(j.table.name, "donorinfo");
+                assert_eq!(j.left_col, "donee");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_q2_and_q3_trace() {
+        let q2 = parse(r#"TRACE OPERATOR = "org1";"#).unwrap();
+        assert_eq!(
+            q2,
+            Statement::Trace {
+                window: None,
+                operator: Some(Expr::Literal(Value::str("org1"))),
+                operation: None,
+            }
+        );
+        let q3 = parse(r#"TRACE [0, 99] OPERATOR = "org1", OPERATION = "transfer";"#).unwrap();
+        match q3 {
+            Statement::Trace {
+                window: Some((lo, hi)),
+                operator: Some(_),
+                operation: Some(op),
+            } => {
+                assert_eq!(lo, Expr::Literal(Value::Int(0)));
+                assert_eq!(hi, Expr::Literal(Value::Int(99)));
+                assert_eq!(op, Expr::Literal(Value::str("transfer")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_requires_a_dimension() {
+        assert!(parse("TRACE [0, 10]").is_err());
+    }
+
+    #[test]
+    fn parses_q7_get_block() {
+        assert_eq!(
+            parse("GET BLOCK ID=?;").unwrap(),
+            Statement::GetBlock(BlockSelector::ById(Expr::Param(0)))
+        );
+        assert_eq!(
+            parse("GET BLOCK TIMESTAMP = 12345").unwrap(),
+            Statement::GetBlock(BlockSelector::ByTimestamp(Expr::Literal(Value::Int(12345))))
+        );
+        assert!(parse("GET BLOCK HASH = 1").is_err());
+    }
+
+    #[test]
+    fn parses_select_with_window() {
+        let stmt =
+            parse(r#"SELECT * FROM donate WHERE donor = "Jack" WINDOW [100, 200]"#).unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert!(s.window.is_some());
+                assert_eq!(s.predicates.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_projection_list() {
+        let stmt = parse("SELECT donor, amount FROM donate WHERE amount >= 10").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.projection, vec!["donor".to_string(), "amount".to_string()]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_literals_become_decimals() {
+        let stmt = parse("SELECT * FROM donate WHERE amount = 1.5").unwrap();
+        match stmt {
+            Statement::Select(s) => match &s.predicates[0] {
+                WherePredicate::Compare { value, .. } => {
+                    assert_eq!(*value, Expr::Literal(Value::Decimal(15_000)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_and_limit() {
+        let stmt = parse("SELECT COUNT(*) FROM donate WHERE amount >= 10").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert!(s.count);
+                assert!(s.limit.is_none());
+                assert!(s.projection.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        let stmt = parse("SELECT * FROM donate LIMIT 5").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert!(!s.count);
+                assert_eq!(s.limit, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+        let stmt =
+            parse("SELECT COUNT(*) FROM donate WHERE amount BETWEEN 1 AND 2 WINDOW [0, 9] LIMIT 1")
+                .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert!(s.count && s.limit == Some(1) && s.window.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("SELECT COUNT(amount) FROM donate").is_err());
+        assert!(parse("SELECT * FROM t LIMIT -3").is_err());
+        assert!(parse("SELECT * FROM t LIMIT x").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("DROP TABLE donate").is_err());
+        assert!(parse("SELECT FROM donate").is_err());
+        assert!(parse("INSERT INTO t (1,2,") .is_err());
+        assert!(parse("SELECT * FROM a, b").is_err()); // join without ON
+        assert!(parse("SELECT * FROM mars.x, b ON x.a = b.a").is_err());
+        assert!(parse("SELECT * FROM t WHERE a = 1 extra").is_err());
+    }
+
+    #[test]
+    fn parses_explain() {
+        let stmt = parse("EXPLAIN SELECT * FROM t WHERE a = 1").unwrap();
+        match stmt {
+            Statement::Explain(inner) => {
+                assert!(matches!(*inner, Statement::Select(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Nested EXPLAIN is accepted (idempotent description).
+        assert!(parse("EXPLAIN EXPLAIN GET BLOCK ID = 1").is_ok());
+        // Params flow through.
+        assert_eq!(parse("EXPLAIN INSERT INTO t VALUES (?, ?)").unwrap().param_count(), 2);
+        assert!(parse("EXPLAIN").is_err());
+    }
+
+    #[test]
+    fn parse_script_splits_statements() {
+        let stmts = parse_script(
+            "CREATE t (a int); INSERT INTO t VALUES (1); SELECT * FROM t WHERE a = 1;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn params_numbered_left_to_right() {
+        let stmt = parse("SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ? WINDOW [?, ?]").unwrap();
+        assert_eq!(stmt.param_count(), 5);
+    }
+}

@@ -1,0 +1,61 @@
+//! Robustness: the lexer/parser must never panic, whatever the input,
+//! and parsing is stable under re-rendering for schemas.
+
+use proptest::prelude::*;
+use sebdb_sql::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (as lossy strings) never panic the parser.
+    #[test]
+    fn parser_never_panics_on_garbage(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Statement-shaped garbage: keywords with random tails.
+    #[test]
+    fn parser_never_panics_on_keyword_prefixes(
+        kw in prop::sample::select(vec!["SELECT", "INSERT", "CREATE", "TRACE", "GET"]),
+        tail in "[ -~]{0,120}",
+    ) {
+        let _ = parse(&format!("{kw} {tail}"));
+    }
+
+    /// Valid SELECTs with random identifiers and literals round-trip
+    /// through the parser without error.
+    #[test]
+    fn well_formed_selects_parse(
+        table in "[a-z][a-z0-9_]{0,10}",
+        col in "[a-z][a-z0-9_]{0,10}",
+        lo in -1000i64..1000,
+        len in 0i64..100,
+    ) {
+        let sql = format!("SELECT * FROM {table} WHERE {col} BETWEEN {lo} AND {}", lo + len);
+        let stmt = parse(&sql).expect("well-formed select parses");
+        prop_assert_eq!(stmt.param_count(), 0);
+    }
+
+    /// Valid INSERTs with string literals containing escapes parse.
+    #[test]
+    fn inserts_with_escaped_strings_parse(
+        table in "[a-z][a-z0-9_]{0,10}",
+        text in "[a-zA-Z0-9 _.-]{0,30}",
+        n in any::<i32>(),
+    ) {
+        let sql = format!(r#"INSERT INTO {table} VALUES ("{text}", {n})"#);
+        parse(&sql).expect("well-formed insert parses");
+    }
+
+    /// Deeply nested-ish predicates (many ANDs) parse linearly.
+    #[test]
+    fn long_predicate_chains_parse(n in 1usize..40) {
+        let preds: Vec<String> = (0..n).map(|i| format!("c{i} = {i}")).collect();
+        let sql = format!("SELECT * FROM t WHERE {}", preds.join(" AND "));
+        let stmt = parse(&sql).expect("chain parses");
+        match stmt {
+            sebdb_sql::Statement::Select(s) => prop_assert_eq!(s.predicates.len(), n),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

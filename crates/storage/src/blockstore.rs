@@ -1,0 +1,552 @@
+//! The block store: append-only persistence for the chain.
+//!
+//! Blocks are the *only* copy of on-chain data (§I: "the system only
+//! maintains one copy of the data"). The store appends serialized
+//! blocks to [`segment`](crate::segment) files, records their
+//! [`Location`]s in an append-only manifest for restart, and serves
+//! random reads by block id. A memory backend backs unit tests and
+//! pure-CPU benchmarks.
+
+use crate::cache::{BlockCache, TxCache};
+use crate::segment::{Location, Result, SegmentSet, SegmentWriter, StorageError};
+use parking_lot::{Mutex, RwLock};
+use sebdb_types::{Block, BlockId, Codec, Transaction};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Points at one transaction inside one block — what the second-level
+/// index leaves store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxPtr {
+    /// Containing block.
+    pub block: BlockId,
+    /// Position within the block body.
+    pub index: u32,
+}
+
+impl TxPtr {
+    /// Packs the pointer into a cache key.
+    pub fn as_u64(&self) -> u64 {
+        (self.block << 24) | self.index as u64
+    }
+}
+
+/// Block store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Segment file size; the paper's default is 256 MB.
+    pub segment_size: u64,
+    /// Fsync every appended block (off for benchmarks).
+    pub sync_writes: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            segment_size: 256 * 1024 * 1024,
+            sync_writes: false,
+        }
+    }
+}
+
+/// Read/write counters the benchmark harness reports (the paper's cost
+/// model, Eqs. 1–3, counts block accesses and tuple reads).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Blocks fetched from disk (or the memory backend).
+    pub blocks_read: AtomicU64,
+    /// Blocks appended.
+    pub blocks_written: AtomicU64,
+    /// Individual transactions materialized.
+    pub txs_read: AtomicU64,
+}
+
+impl IoStats {
+    /// Snapshot as (blocks_read, blocks_written, txs_read).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.blocks_read.load(Ordering::Relaxed),
+            self.blocks_written.load(Ordering::Relaxed),
+            self.txs_read.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.blocks_written.store(0, Ordering::Relaxed);
+        self.txs_read.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Backend {
+    Disk {
+        writer: Mutex<SegmentWriter>,
+        reader: SegmentSet,
+        manifest: Mutex<BufWriter<File>>,
+        locations: RwLock<Vec<Location>>,
+    },
+    /// Blocks kept as *encoded bytes* so every read pays the realistic
+    /// decode cost (an in-memory store handing out `Arc<Block>` clones
+    /// would make full scans artificially free and erase the access-
+    /// path cost differences the paper measures).
+    Memory {
+        blocks: RwLock<Vec<MemBlock>>,
+    },
+}
+
+struct MemBlock {
+    bytes: Arc<Vec<u8>>,
+    /// Byte range of each transaction within `bytes`, enabling
+    /// tuple-granular random reads (the layered index's
+    /// `p · (t_S + t_T)` cost, Eq. 3).
+    tx_ranges: Arc<Vec<(u32, u32)>>,
+}
+
+/// Computes each transaction's byte range within a block's encoding
+/// (header ‖ u32 count ‖ transactions).
+fn tx_ranges_of(block: &Block) -> Vec<(u32, u32)> {
+    let mut enc = sebdb_types::Encoder::new();
+    block.header.encode(&mut enc);
+    let mut off = (enc.len() + 4) as u32;
+    block
+        .transactions
+        .iter()
+        .map(|tx| {
+            let len = tx.to_bytes().len() as u32;
+            let range = (off, len);
+            off += len;
+            range
+        })
+        .collect()
+}
+
+/// The append-only block store.
+pub struct BlockStore {
+    backend: Backend,
+    config: StoreConfig,
+    /// I/O counters.
+    pub stats: IoStats,
+}
+
+const MANIFEST: &str = "manifest.idx";
+/// One manifest record: bid(8) seg(4) off(8) len(4).
+const MANIFEST_REC: usize = 24;
+
+impl BlockStore {
+    /// Opens (or creates) a disk-backed store in `dir`, replaying the
+    /// manifest to restore block locations.
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let locations = Self::replay_manifest(&dir.join(MANIFEST))?;
+        let resume = locations
+            .last()
+            .map(|l| (l.segment, l.offset + l.len as u64));
+        let writer = SegmentWriter::open(dir, config.segment_size, resume)?;
+        let manifest_file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(MANIFEST))?;
+        // Drop any torn trailing manifest record.
+        manifest_file.set_len((locations.len() * MANIFEST_REC) as u64)?;
+        Ok(BlockStore {
+            backend: Backend::Disk {
+                writer: Mutex::new(writer),
+                reader: SegmentSet::new(dir),
+                manifest: Mutex::new(BufWriter::new(manifest_file)),
+                locations: RwLock::new(locations),
+            },
+            config,
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Creates a memory-backed store (tests, pure-CPU benchmarks).
+    /// Blocks are held encoded; reads decode, so access-path costs stay
+    /// realistic.
+    pub fn in_memory() -> Self {
+        BlockStore {
+            backend: Backend::Memory {
+                blocks: RwLock::new(Vec::new()),
+            },
+            config: StoreConfig::default(),
+            stats: IoStats::default(),
+        }
+    }
+
+    fn replay_manifest(path: &PathBuf) -> Result<Vec<Location>> {
+        let mut locations = Vec::new();
+        let Ok(mut f) = File::open(path) else {
+            return Ok(locations);
+        };
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        for (i, rec) in buf.chunks_exact(MANIFEST_REC).enumerate() {
+            let bid = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+            if bid != i as u64 {
+                return Err(StorageError::Corrupt(format!(
+                    "manifest record {i} has bid {bid}"
+                )));
+            }
+            locations.push(Location {
+                segment: u32::from_le_bytes(rec[8..12].try_into().unwrap()),
+                offset: u64::from_le_bytes(rec[12..20].try_into().unwrap()),
+                len: u32::from_le_bytes(rec[20..24].try_into().unwrap()),
+            });
+        }
+        Ok(locations)
+    }
+
+    /// Number of stored blocks (= chain height).
+    pub fn height(&self) -> u64 {
+        match &self.backend {
+            Backend::Disk { locations, .. } => locations.read().len() as u64,
+            Backend::Memory { blocks } => blocks.read().len() as u64,
+        }
+    }
+
+    /// Appends a sealed block. The block's height must equal the current
+    /// store height (blocks arrive strictly in order).
+    pub fn append(&self, block: &Block) -> Result<()> {
+        let expect = self.height();
+        if block.header.height != expect {
+            return Err(StorageError::Corrupt(format!(
+                "appending block height {} but store height is {}",
+                block.header.height, expect
+            )));
+        }
+        self.stats.blocks_written.fetch_add(1, Ordering::Relaxed);
+        match &self.backend {
+            Backend::Disk {
+                writer,
+                manifest,
+                locations,
+                ..
+            } => {
+                let bytes = block.to_bytes();
+                let mut w = writer.lock();
+                let loc = w.append(&bytes)?;
+                if self.config.sync_writes {
+                    w.sync()?;
+                } else {
+                    w.flush()?;
+                }
+                drop(w);
+                let mut rec = [0u8; MANIFEST_REC];
+                rec[0..8].copy_from_slice(&block.header.height.to_le_bytes());
+                rec[8..12].copy_from_slice(&loc.segment.to_le_bytes());
+                rec[12..20].copy_from_slice(&loc.offset.to_le_bytes());
+                rec[20..24].copy_from_slice(&loc.len.to_le_bytes());
+                let mut m = manifest.lock();
+                m.write_all(&rec)?;
+                m.flush()?;
+                locations.write().push(loc);
+            }
+            Backend::Memory { blocks } => {
+                blocks.write().push(MemBlock {
+                    bytes: Arc::new(block.to_bytes()),
+                    tx_ranges: Arc::new(tx_ranges_of(block)),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads block `bid` from the backend (no caching here — see
+    /// [`CachedStore`]).
+    pub fn read(&self, bid: BlockId) -> Result<Arc<Block>> {
+        self.stats.blocks_read.fetch_add(1, Ordering::Relaxed);
+        match &self.backend {
+            Backend::Disk {
+                reader, locations, ..
+            } => {
+                let loc = *locations
+                    .read()
+                    .get(bid as usize)
+                    .ok_or(StorageError::NotFound(bid))?;
+                let bytes = reader.read(loc)?;
+                let block = Block::from_bytes(&bytes)
+                    .map_err(|e| StorageError::Corrupt(format!("block {bid}: {e}")))?;
+                Ok(Arc::new(block))
+            }
+            Backend::Memory { blocks } => {
+                let bytes = blocks
+                    .read()
+                    .get(bid as usize)
+                    .map(|m| Arc::clone(&m.bytes))
+                    .ok_or(StorageError::NotFound(bid))?;
+                let block = Block::from_bytes(&bytes)
+                    .map_err(|e| StorageError::Corrupt(format!("block {bid}: {e}")))?;
+                Ok(Arc::new(block))
+            }
+        }
+    }
+
+    /// Reads *one transaction* without materializing its block — the
+    /// tuple-granular random read of the layered-index cost model
+    /// (Eq. 3). Falls back to a full block read on backends without a
+    /// transaction offset table.
+    pub fn read_tx_direct(&self, ptr: TxPtr) -> Result<Transaction> {
+        match &self.backend {
+            Backend::Memory { blocks } => {
+                let (bytes, range) = {
+                    let guard = blocks.read();
+                    let m = guard
+                        .get(ptr.block as usize)
+                        .ok_or(StorageError::NotFound(ptr.block))?;
+                    let range = *m
+                        .tx_ranges
+                        .get(ptr.index as usize)
+                        .ok_or(StorageError::NotFound(ptr.block))?;
+                    (Arc::clone(&m.bytes), range)
+                };
+                let (off, len) = (range.0 as usize, range.1 as usize);
+                self.stats.txs_read.fetch_add(1, Ordering::Relaxed);
+                Transaction::from_bytes(&bytes[off..off + len]).map_err(|e| {
+                    StorageError::Corrupt(format!("tx {:?}: {e}", ptr))
+                })
+            }
+            Backend::Disk { .. } => {
+                self.stats.txs_read.fetch_add(1, Ordering::Relaxed);
+                let block = self.read(ptr.block)?;
+                block
+                    .transactions
+                    .get(ptr.index as usize)
+                    .cloned()
+                    .ok_or(StorageError::NotFound(ptr.block))
+            }
+        }
+    }
+
+    /// Serialized size of block `bid` in bytes.
+    pub fn block_size(&self, bid: BlockId) -> Result<usize> {
+        match &self.backend {
+            Backend::Disk { locations, .. } => Ok(locations
+                .read()
+                .get(bid as usize)
+                .ok_or(StorageError::NotFound(bid))?
+                .len as usize),
+            Backend::Memory { blocks } => blocks
+                .read()
+                .get(bid as usize)
+                .map(|m| m.bytes.len())
+                .ok_or(StorageError::NotFound(bid)),
+        }
+    }
+}
+
+/// Which cache fronts the store — the two contenders of Fig. 22.
+pub enum CacheMode {
+    /// No caching; every read hits the backend.
+    None,
+    /// Cache recently read whole blocks.
+    Block(BlockCache),
+    /// Cache recently read individual transactions.
+    Tx(TxCache),
+}
+
+/// A block store fronted by the selected cache.
+pub struct CachedStore {
+    /// The raw store.
+    pub store: Arc<BlockStore>,
+    /// Selected caching strategy.
+    pub cache: CacheMode,
+}
+
+impl CachedStore {
+    /// Wraps `store` with `cache`.
+    pub fn new(store: Arc<BlockStore>, cache: CacheMode) -> Self {
+        CachedStore { store, cache }
+    }
+
+    /// Reads a whole block, consulting the block cache when enabled.
+    pub fn read_block(&self, bid: BlockId) -> Result<Arc<Block>> {
+        if let CacheMode::Block(cache) = &self.cache {
+            if let Some(b) = cache.get(bid) {
+                return Ok(b);
+            }
+            let b = self.store.read(bid)?;
+            let size = self.store.block_size(bid).unwrap_or(b.byte_len());
+            cache.put(bid, Arc::clone(&b), size);
+            return Ok(b);
+        }
+        self.store.read(bid)
+    }
+
+    /// Reads one transaction through the selected cache. With the
+    /// transaction cache, a hit avoids touching the block entirely —
+    /// the behaviour Fig. 22 measures. Misses (and the no-cache mode)
+    /// use tuple-granular reads; the block-cache mode reads whole
+    /// blocks (that is the strategy being compared).
+    pub fn read_tx(&self, ptr: TxPtr) -> Result<Arc<Transaction>> {
+        match &self.cache {
+            CacheMode::Tx(cache) => {
+                if let Some(tx) = cache.get(ptr.as_u64()) {
+                    self.store.stats.txs_read.fetch_add(1, Ordering::Relaxed);
+                    return Ok(tx);
+                }
+                let tx = Arc::new(self.store.read_tx_direct(ptr)?);
+                cache.put(ptr.as_u64(), Arc::clone(&tx), tx.byte_len());
+                Ok(tx)
+            }
+            CacheMode::Block(_) => {
+                let block = self.read_block(ptr.block)?;
+                let tx = block
+                    .transactions
+                    .get(ptr.index as usize)
+                    .cloned()
+                    .ok_or(StorageError::NotFound(ptr.block))?;
+                self.store.stats.txs_read.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::new(tx))
+            }
+            CacheMode::None => Ok(Arc::new(self.store.read_tx_direct(ptr)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebdb_crypto::sha256::Digest;
+    use sebdb_types::Value;
+
+    fn block(height: u64, prev: Digest, ntx: usize) -> Block {
+        let txs = (0..ntx)
+            .map(|i| {
+                let mut t = Transaction::new(
+                    height * 1000 + i as u64,
+                    sebdb_crypto::sig::KeyId([1; 8]),
+                    "donate",
+                    vec![Value::Int(i as i64)],
+                );
+                t.tid = height * 100 + i as u64;
+                t
+            })
+            .collect();
+        Block::seal(prev, height, height, txs, |_| vec![0u8; 4])
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sebdb-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn memory_append_read() {
+        let s = BlockStore::in_memory();
+        let b0 = block(0, Digest::ZERO, 3);
+        s.append(&b0).unwrap();
+        assert_eq!(s.height(), 1);
+        assert_eq!(*s.read(0).unwrap(), b0);
+        assert!(s.read(1).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_order_append() {
+        let s = BlockStore::in_memory();
+        let b = block(5, Digest::ZERO, 1);
+        assert!(s.append(&b).is_err());
+    }
+
+    #[test]
+    fn disk_roundtrip_and_restart() {
+        let dir = tmpdir("roundtrip");
+        let b0 = block(0, Digest::ZERO, 2);
+        let b1 = block(1, b0.header.block_hash, 3);
+        {
+            let s = BlockStore::open(&dir, StoreConfig::default()).unwrap();
+            s.append(&b0).unwrap();
+            s.append(&b1).unwrap();
+            assert_eq!(*s.read(1).unwrap(), b1);
+        }
+        // Reopen and check the manifest replay.
+        let s = BlockStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.height(), 2);
+        assert_eq!(*s.read(0).unwrap(), b0);
+        assert_eq!(*s.read(1).unwrap(), b1);
+        // And we can continue appending.
+        let b2 = block(2, b1.header.block_hash, 1);
+        s.append(&b2).unwrap();
+        assert_eq!(*s.read(2).unwrap(), b2);
+    }
+
+    #[test]
+    fn disk_small_segments_roll() {
+        let dir = tmpdir("roll");
+        let cfg = StoreConfig {
+            segment_size: 256, // force a roll every block or two
+            sync_writes: false,
+        };
+        let s = BlockStore::open(&dir, cfg.clone()).unwrap();
+        let mut prev = Digest::ZERO;
+        let mut blocks = Vec::new();
+        for h in 0..6 {
+            let b = block(h, prev, 2);
+            prev = b.header.block_hash;
+            s.append(&b).unwrap();
+            blocks.push(b);
+        }
+        for (h, b) in blocks.iter().enumerate() {
+            assert_eq!(*s.read(h as u64).unwrap(), *b);
+        }
+        // More than one segment file must exist.
+        let segs = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("seg-")
+            })
+            .count();
+        assert!(segs > 1, "expected multiple segments, got {segs}");
+    }
+
+    #[test]
+    fn block_cache_avoids_backend_reads() {
+        let store = Arc::new(BlockStore::in_memory());
+        store.append(&block(0, Digest::ZERO, 2)).unwrap();
+        let cached = CachedStore::new(Arc::clone(&store), CacheMode::Block(BlockCache::new(1 << 20)));
+        cached.read_block(0).unwrap();
+        cached.read_block(0).unwrap();
+        cached.read_block(0).unwrap();
+        assert_eq!(store.stats.snapshot().0, 1, "only first read hits backend");
+    }
+
+    #[test]
+    fn tx_cache_avoids_block_reads() {
+        let store = Arc::new(BlockStore::in_memory());
+        store.append(&block(0, Digest::ZERO, 4)).unwrap();
+        let cached = CachedStore::new(Arc::clone(&store), CacheMode::Tx(TxCache::new(1 << 20)));
+        let ptr = TxPtr { block: 0, index: 2 };
+        let a = cached.read_tx(ptr).unwrap();
+        let b = cached.read_tx(ptr).unwrap();
+        assert_eq!(a, b);
+        // Miss uses a tuple-granular read (no block read), hit uses the
+        // cache.
+        assert_eq!(store.stats.snapshot().0, 0);
+        assert_eq!(store.stats.snapshot().2, 2);
+    }
+
+    #[test]
+    fn no_cache_reads_backend_every_time() {
+        let store = Arc::new(BlockStore::in_memory());
+        store.append(&block(0, Digest::ZERO, 2)).unwrap();
+        let cached = CachedStore::new(Arc::clone(&store), CacheMode::None);
+        cached.read_block(0).unwrap();
+        cached.read_block(0).unwrap();
+        assert_eq!(store.stats.snapshot().0, 2);
+    }
+
+    #[test]
+    fn txptr_packing_is_injective_for_small_indices() {
+        let a = TxPtr { block: 1, index: 0 };
+        let b = TxPtr { block: 0, index: 1 };
+        assert_ne!(a.as_u64(), b.as_u64());
+    }
+}

@@ -1,0 +1,360 @@
+//! LRU caches.
+//!
+//! §IV-A: "Although the storage unit is a block, the cache unit is a
+//! transaction type" — and §VII-H compares a *block cache* (recently
+//! read blocks) against a *transaction cache* (recently read
+//! transactions located via an index). Both are LRU with byte-budget
+//! eviction, built on the generic [`Lru`] below.
+
+use parking_lot::Mutex;
+use sebdb_types::{Block, BlockId, Transaction, TxId};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Intrusive-list LRU with byte-size accounting.
+///
+/// Entries live in a slab; the recency list is threaded through
+/// `prev`/`next` slab indices so both lookup and eviction are O(1).
+pub struct Lru<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    bytes: usize,
+    capacity_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    size: usize,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// Creates an LRU with a byte budget.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            capacity_bytes,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                if idx != self.head {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-promoting, non-counting peek (for tests/introspection).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slab[idx].value)
+    }
+
+    /// Inserts `key -> value` accounting `size` bytes, evicting LRU
+    /// entries as needed. An entry larger than the whole budget is not
+    /// cached at all.
+    pub fn put(&mut self, key: K, value: V, size: usize) {
+        if size > self.capacity_bytes {
+            return;
+        }
+        if let Some(idx) = self.map.get(&key).copied() {
+            self.bytes = self.bytes - self.slab[idx].size + size;
+            self.slab[idx].value = value;
+            self.slab[idx].size = size;
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+        } else {
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.slab[i] = Entry {
+                        key: key.clone(),
+                        value,
+                        size,
+                        prev: NIL,
+                        next: NIL,
+                    };
+                    i
+                }
+                None => {
+                    self.slab.push(Entry {
+                        key: key.clone(),
+                        value,
+                        size,
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    self.slab.len() - 1
+                }
+            };
+            self.map.insert(key, idx);
+            self.push_front(idx);
+            self.bytes += size;
+        }
+        while self.bytes > self.capacity_bytes {
+            self.evict_one();
+        }
+    }
+
+    fn evict_one(&mut self) {
+        let idx = self.tail;
+        if idx == NIL {
+            return;
+        }
+        self.unlink(idx);
+        self.bytes -= self.slab[idx].size;
+        let key = self.slab[idx].key.clone();
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.bytes = 0;
+    }
+}
+
+/// Thread-safe block cache: recently read whole blocks.
+pub struct BlockCache {
+    inner: Mutex<Lru<BlockId, Arc<Block>>>,
+}
+
+impl BlockCache {
+    /// Creates a block cache with a byte budget.
+    pub fn new(capacity_bytes: usize) -> Self {
+        BlockCache {
+            inner: Mutex::new(Lru::new(capacity_bytes)),
+        }
+    }
+
+    /// Fetches a cached block.
+    pub fn get(&self, bid: BlockId) -> Option<Arc<Block>> {
+        self.inner.lock().get(&bid).cloned()
+    }
+
+    /// Caches a block, charged at its serialized size.
+    pub fn put(&self, bid: BlockId, block: Arc<Block>, size: usize) {
+        self.inner.lock().put(bid, block, size);
+    }
+
+    /// (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        self.inner.lock().stats()
+    }
+
+    /// Drops all cached blocks.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+/// Thread-safe transaction cache: recently read individual transactions
+/// (keyed by tid), the winning strategy for index-driven queries in
+/// Fig. 22.
+pub struct TxCache {
+    inner: Mutex<Lru<TxId, Arc<Transaction>>>,
+}
+
+impl TxCache {
+    /// Creates a transaction cache with a byte budget.
+    pub fn new(capacity_bytes: usize) -> Self {
+        TxCache {
+            inner: Mutex::new(Lru::new(capacity_bytes)),
+        }
+    }
+
+    /// Fetches a cached transaction.
+    pub fn get(&self, tid: TxId) -> Option<Arc<Transaction>> {
+        self.inner.lock().get(&tid).cloned()
+    }
+
+    /// Caches a transaction, charged at its serialized size.
+    pub fn put(&self, tid: TxId, tx: Arc<Transaction>, size: usize) {
+        self.inner.lock().put(tid, tx, size);
+    }
+
+    /// (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        self.inner.lock().stats()
+    }
+
+    /// Drops all cached transactions.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_put() {
+        let mut lru: Lru<u32, String> = Lru::new(100);
+        lru.put(1, "one".into(), 10);
+        lru.put(2, "two".into(), 10);
+        assert_eq!(lru.get(&1), Some(&"one".to_string()));
+        assert_eq!(lru.get(&3), None);
+        assert_eq!(lru.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru: Lru<u32, u32> = Lru::new(30);
+        lru.put(1, 1, 10);
+        lru.put(2, 2, 10);
+        lru.put(3, 3, 10);
+        lru.get(&1); // promote 1; now 2 is LRU
+        lru.put(4, 4, 10); // evicts 2
+        assert!(lru.peek(&2).is_none());
+        assert!(lru.peek(&1).is_some());
+        assert!(lru.peek(&3).is_some());
+        assert!(lru.peek(&4).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_not_cached() {
+        let mut lru: Lru<u32, u32> = Lru::new(10);
+        lru.put(1, 1, 11);
+        assert!(lru.peek(&1).is_none());
+        assert_eq!(lru.bytes(), 0);
+    }
+
+    #[test]
+    fn update_existing_key_adjusts_bytes() {
+        let mut lru: Lru<u32, u32> = Lru::new(100);
+        lru.put(1, 1, 10);
+        lru.put(1, 2, 30);
+        assert_eq!(lru.bytes(), 30);
+        assert_eq!(lru.peek(&1), Some(&2));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn eviction_cascade_on_large_insert() {
+        let mut lru: Lru<u32, u32> = Lru::new(30);
+        lru.put(1, 1, 10);
+        lru.put(2, 2, 10);
+        lru.put(3, 3, 10);
+        lru.put(4, 4, 25); // must evict 1, 2, 3
+        assert_eq!(lru.len(), 1);
+        assert!(lru.peek(&4).is_some());
+        assert_eq!(lru.bytes(), 25);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru: Lru<u32, u32> = Lru::new(30);
+        lru.put(1, 1, 10);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.bytes(), 0);
+        lru.put(2, 2, 10);
+        assert!(lru.peek(&2).is_some());
+    }
+
+    #[test]
+    fn slab_reuse_after_eviction() {
+        let mut lru: Lru<u32, u32> = Lru::new(20);
+        for i in 0..100 {
+            lru.put(i, i, 10);
+        }
+        // Only two fit at a time; slab should not have grown to 100.
+        assert!(lru.len() <= 2);
+        assert!(lru.slab.len() <= 3);
+    }
+
+    #[test]
+    fn stress_consistency() {
+        let mut lru: Lru<u64, u64> = Lru::new(1000);
+        for i in 0..10_000u64 {
+            lru.put(i % 157, i, (i % 13 + 1) as usize * 10);
+            if i % 3 == 0 {
+                lru.get(&(i % 101));
+            }
+            assert!(lru.bytes() <= 1000);
+        }
+        // Recompute bytes from the map and compare.
+        let total: usize = lru.map.values().map(|&idx| lru.slab[idx].size).sum();
+        assert_eq!(total, lru.bytes());
+    }
+}

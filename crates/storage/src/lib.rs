@@ -1,0 +1,16 @@
+//! # sebdb-storage
+//!
+//! On-chain persistence for SEBDB (§IV-A): append-only
+//! [`segment`] files, the [`blockstore::BlockStore`] keeping the single
+//! copy of all block data, and the two LRU [`cache`] strategies the
+//! paper compares in §VII-H (block cache vs transaction cache).
+
+#![warn(missing_docs)]
+
+pub mod blockstore;
+pub mod cache;
+pub mod segment;
+
+pub use blockstore::{BlockStore, CacheMode, CachedStore, IoStats, StoreConfig, TxPtr};
+pub use cache::{BlockCache, Lru, TxCache};
+pub use segment::{Location, SegmentSet, SegmentWriter, StorageError};

@@ -1,0 +1,83 @@
+//! Model-based testing for the LRU cache: behaviour must match a naive
+//! reference (ordered Vec) for any operation sequence, and the byte
+//! budget must never be exceeded.
+
+use proptest::prelude::*;
+use sebdb_storage::Lru;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u32, usize),
+    Get(u8),
+}
+
+/// Naive reference: most-recent first.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(u8, u32, usize)>, // key, value, size
+    cap: usize,
+}
+
+impl Model {
+    fn put(&mut self, k: u8, v: u32, size: usize) {
+        if size > self.cap {
+            return;
+        }
+        self.entries.retain(|(key, _, _)| *key != k);
+        self.entries.insert(0, (k, v, size));
+        while self.bytes() > self.cap {
+            self.entries.pop();
+        }
+    }
+
+    fn get(&mut self, k: u8) -> Option<u32> {
+        let pos = self.entries.iter().position(|(key, _, _)| *key == k)?;
+        let e = self.entries.remove(pos);
+        let v = e.1;
+        self.entries.insert(0, e);
+        Some(v)
+    }
+
+    fn bytes(&self) -> usize {
+        self.entries.iter().map(|(_, _, s)| s).sum()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lru_matches_reference(
+        cap in 10usize..200,
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (any::<u8>(), any::<u32>(), 1usize..60).prop_map(|(k, v, s)| Op::Put(k, v, s)),
+                any::<u8>().prop_map(Op::Get),
+            ],
+            0..200,
+        ),
+    ) {
+        let mut lru: Lru<u8, u32> = Lru::new(cap);
+        let mut model = Model { cap, ..Default::default() };
+        for op in ops {
+            match op {
+                Op::Put(k, v, s) => {
+                    lru.put(k, v, s);
+                    model.put(k, v, s);
+                }
+                Op::Get(k) => {
+                    let got = lru.get(&k).copied();
+                    let want = model.get(k);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert!(lru.bytes() <= cap, "budget exceeded: {} > {}", lru.bytes(), cap);
+            prop_assert_eq!(lru.bytes(), model.bytes());
+            prop_assert_eq!(lru.len(), model.entries.len());
+        }
+        // Final contents agree.
+        for (k, v, _) in &model.entries {
+            prop_assert_eq!(lru.peek(k), Some(v));
+        }
+    }
+}

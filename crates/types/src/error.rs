@@ -1,0 +1,84 @@
+//! Error types shared across the SEBDB stack.
+
+use crate::value::DataType;
+
+/// Errors raised by the type layer: codec failures, schema violations,
+/// value coercion problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Decoder ran out of bytes.
+    UnexpectedEof {
+        /// What the decoder was trying to read.
+        context: &'static str,
+    },
+    /// Decoder saw an unknown tag byte.
+    BadTag {
+        /// What the decoder was trying to read.
+        context: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow {
+        /// The decoded length.
+        len: u64,
+    },
+    /// Decoded bytes were not valid UTF-8.
+    BadUtf8,
+    /// A tuple did not match its schema.
+    SchemaMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A value had the wrong type for an operation.
+    TypeMismatch {
+        /// Expected type.
+        expected: DataType,
+        /// Actual type.
+        actual: DataType,
+    },
+    /// Referenced a column that does not exist.
+    NoSuchColumn {
+        /// The missing column name.
+        column: String,
+    },
+    /// Referenced a table that does not exist.
+    NoSuchTable {
+        /// The missing table name.
+        table: String,
+    },
+    /// A table was declared twice.
+    DuplicateTable {
+        /// The duplicated table name.
+        table: String,
+    },
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            TypeError::BadTag { context, tag } => {
+                write!(f, "invalid tag byte {tag:#04x} while reading {context}")
+            }
+            TypeError::LengthOverflow { len } => {
+                write!(f, "length prefix {len} exceeds sanity limit")
+            }
+            TypeError::BadUtf8 => write!(f, "decoded string is not valid UTF-8"),
+            TypeError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            TypeError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected:?}, got {actual:?}")
+            }
+            TypeError::NoSuchColumn { column } => write!(f, "no such column: {column}"),
+            TypeError::NoSuchTable { table } => write!(f, "no such table: {table}"),
+            TypeError::DuplicateTable { table } => write!(f, "duplicate table: {table}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, TypeError>;

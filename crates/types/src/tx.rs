@@ -1,0 +1,207 @@
+//! Transactions: tuples with system- and application-level attributes.
+//!
+//! A transaction (§IV-A) carries `Tid` (assigned by the ordering
+//! service, globally incremental), `Ts` (client send time), `Sig`
+//! (unforgeability), `SenID` (sender identity) and `Tname` (transaction
+//! type = table name), followed by the user-defined application
+//! attributes.
+
+use crate::codec::{Codec, Decoder, Encoder};
+use crate::error::TypeError;
+use crate::schema::ColumnRef;
+use crate::value::Value;
+use sebdb_crypto::sha256::{sha256, Digest};
+use sebdb_crypto::sig::KeyId;
+
+/// Globally incremental transaction id.
+pub type TxId = u64;
+/// Block height / block id.
+pub type BlockId = u64;
+/// Milliseconds since the Unix epoch.
+pub type Timestamp = u64;
+
+/// One on-chain transaction (= one tuple of table `tname`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Transaction id; `0` until assigned by the ordering service.
+    pub tid: TxId,
+    /// Client-side send timestamp (ms).
+    pub ts: Timestamp,
+    /// Serialized signature over [`Transaction::signing_payload`].
+    pub sig: Vec<u8>,
+    /// Sender identity.
+    pub sender: KeyId,
+    /// Transaction type, i.e. the table this tuple belongs to.
+    pub tname: String,
+    /// Application-level attribute values, in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Transaction {
+    /// Builds an unsigned, unordered transaction.
+    pub fn new(
+        ts: Timestamp,
+        sender: KeyId,
+        tname: impl Into<String>,
+        values: Vec<Value>,
+    ) -> Self {
+        Transaction {
+            tid: 0,
+            ts,
+            sig: Vec::new(),
+            sender,
+            tname: tname.into(),
+            values,
+        }
+    }
+
+    /// Canonical bytes covered by the signature: everything except `tid`
+    /// (assigned later by the ordering service) and `sig` itself.
+    pub fn signing_payload(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(64 + self.values.len() * 16);
+        enc.put_u64(self.ts);
+        enc.put_raw(self.sender.as_bytes());
+        enc.put_str(&self.tname);
+        enc.put_values(&self.values);
+        enc.finish()
+    }
+
+    /// Content hash of the fully-assembled transaction (what Merkle
+    /// leaves commit to).
+    pub fn hash(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+
+    /// Reads a column (system or application) as a [`Value`].
+    ///
+    /// System columns are materialized: `tid`/`ts` as integers,
+    /// `sig`/`sen_id` as bytes, `tname` as a string. Returns `None` for
+    /// an out-of-range application column.
+    pub fn get(&self, col: ColumnRef) -> Option<Value> {
+        Some(match col {
+            ColumnRef::Tid => Value::Int(self.tid as i64),
+            ColumnRef::Ts => Value::Timestamp(self.ts),
+            ColumnRef::Sig => Value::Bytes(self.sig.clone()),
+            ColumnRef::SenId => Value::Bytes(self.sender.as_bytes().to_vec()),
+            ColumnRef::Tname => Value::Str(self.tname.clone()),
+            ColumnRef::App(i) => self.values.get(i)?.clone(),
+        })
+    }
+
+    /// Approximate serialized size in bytes (used by block packaging to
+    /// enforce the configured block size).
+    pub fn byte_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+impl Codec for Transaction {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.tid);
+        enc.put_u64(self.ts);
+        enc.put_bytes(&self.sig);
+        enc.put_raw(self.sender.as_bytes());
+        enc.put_str(&self.tname);
+        enc.put_values(&self.values);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, TypeError> {
+        let tid = dec.get_u64("tid")?;
+        let ts = dec.get_u64("ts")?;
+        let sig = dec.get_bytes("sig")?.to_vec();
+        let sender_bytes = dec.get_raw(8, "sen_id")?;
+        let mut sender = [0u8; 8];
+        sender.copy_from_slice(sender_bytes);
+        let tname = dec.get_str("tname")?.to_owned();
+        let values = dec.get_values()?;
+        Ok(Transaction {
+            tid,
+            ts,
+            sig,
+            sender: KeyId(sender),
+            tname,
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sebdb_crypto::sig::{MacKeypair, Signer, Verifier};
+
+    fn sample() -> Transaction {
+        Transaction::new(
+            1234,
+            KeyId([1, 2, 3, 4, 5, 6, 7, 8]),
+            "donate",
+            vec![Value::str("Jack"), Value::str("Education"), Value::decimal(100)],
+        )
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut tx = sample();
+        tx.tid = 42;
+        tx.sig = vec![9u8; 33];
+        let decoded = Transaction::from_bytes(&tx.to_bytes()).unwrap();
+        assert_eq!(decoded, tx);
+    }
+
+    #[test]
+    fn signing_payload_excludes_tid_and_sig() {
+        let mut a = sample();
+        let mut b = sample();
+        a.tid = 1;
+        b.tid = 2;
+        a.sig = vec![1];
+        b.sig = vec![2];
+        assert_eq!(a.signing_payload(), b.signing_payload());
+    }
+
+    #[test]
+    fn signing_payload_covers_content() {
+        let a = sample();
+        let mut b = sample();
+        b.values[2] = Value::decimal(101);
+        assert_ne!(a.signing_payload(), b.signing_payload());
+        let mut c = sample();
+        c.tname = "transfer".into();
+        assert_ne!(a.signing_payload(), c.signing_payload());
+    }
+
+    #[test]
+    fn sign_then_verify_via_payload() {
+        let kp = MacKeypair::from_key([7u8; 32]);
+        let mut tx = sample();
+        tx.sender = kp.key_id();
+        let sig = kp.sign(&tx.signing_payload());
+        tx.sig = sig.to_bytes();
+        // Ordering service assigns a tid; the signature must survive.
+        tx.tid = 99;
+        assert!(kp.verify(&tx.signing_payload(), &sig));
+    }
+
+    #[test]
+    fn get_system_columns() {
+        let mut tx = sample();
+        tx.tid = 7;
+        assert_eq!(tx.get(ColumnRef::Tid), Some(Value::Int(7)));
+        assert_eq!(tx.get(ColumnRef::Ts), Some(Value::Timestamp(1234)));
+        assert_eq!(tx.get(ColumnRef::Tname), Some(Value::str("donate")));
+        assert_eq!(
+            tx.get(ColumnRef::SenId),
+            Some(Value::Bytes(vec![1, 2, 3, 4, 5, 6, 7, 8]))
+        );
+        assert_eq!(tx.get(ColumnRef::App(2)), Some(Value::decimal(100)));
+        assert_eq!(tx.get(ColumnRef::App(9)), None);
+    }
+
+    #[test]
+    fn hash_changes_with_content() {
+        let a = sample();
+        let mut b = sample();
+        b.ts += 1;
+        assert_ne!(a.hash(), b.hash());
+    }
+}

@@ -1,0 +1,317 @@
+//! Attribute values and data types.
+//!
+//! The paper's data model (§III-A): "The attribute types can be string,
+//! various flavors of numbers, etc." We support 64-bit integers,
+//! fixed-point decimals (money amounts in the donation schema),
+//! strings, booleans, timestamps and raw bytes.
+//!
+//! `Value` carries a total order *within* a type, which the layered
+//! index and the sort-merge joins rely on. Decimals are fixed-point
+//! (scale 10⁻⁴) so that comparisons are exact — no float surprises in
+//! query results.
+
+use crate::error::TypeError;
+
+/// Fixed-point scale for [`Value::Decimal`]: values are stored as
+/// `units = amount * 10^4`.
+pub const DECIMAL_SCALE: i64 = 10_000;
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// Fixed-point decimal with four fractional digits.
+    Decimal,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Milliseconds since the Unix epoch.
+    Timestamp,
+    /// Raw bytes.
+    Bytes,
+}
+
+impl DataType {
+    /// Parses a type name as written in `CREATE` statements.
+    pub fn parse(name: &str) -> Option<DataType> {
+        match name.to_ascii_lowercase().as_str() {
+            "int" | "integer" | "bigint" => Some(DataType::Int),
+            "decimal" | "numeric" | "money" => Some(DataType::Decimal),
+            "string" | "varchar" | "text" => Some(DataType::Str),
+            "bool" | "boolean" => Some(DataType::Bool),
+            "timestamp" | "datetime" => Some(DataType::Timestamp),
+            "bytes" | "blob" => Some(DataType::Bytes),
+            _ => None,
+        }
+    }
+
+    /// The keyword used when rendering a schema back to SQL.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Decimal => "decimal",
+            DataType::Str => "string",
+            DataType::Bool => "bool",
+            DataType::Timestamp => "timestamp",
+            DataType::Bytes => "bytes",
+        }
+    }
+
+    /// Whether the layered index treats this attribute as continuous
+    /// (histogram buckets) or discrete (per-value bitmaps). §IV-B.
+    pub fn is_continuous(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Decimal | DataType::Timestamp)
+    }
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Fixed-point decimal in `10^-4` units.
+    Decimal(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Milliseconds since the Unix epoch.
+    Timestamp(u64),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Builds a decimal from whole units (e.g. `Value::decimal(100)` is
+    /// "100.0000").
+    pub fn decimal(whole: i64) -> Value {
+        Value::Decimal(whole * DECIMAL_SCALE)
+    }
+
+    /// Builds a decimal from a float, rounding to the fixed scale.
+    pub fn decimal_f64(v: f64) -> Value {
+        Value::Decimal((v * DECIMAL_SCALE as f64).round() as i64)
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The value's data type, or `None` for NULL (which is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Decimal(_) => Some(DataType::Decimal),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+            Value::Bytes(_) => Some(DataType::Bytes),
+        }
+    }
+
+    /// True if this value may be stored in a column of type `ty`.
+    /// NULL is storable anywhere; an `Int` literal is accepted by
+    /// `Decimal` and `Timestamp` columns (widening).
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), DataType::Decimal | DataType::Timestamp) => true,
+            (v, t) => v.data_type() == Some(t),
+        }
+    }
+
+    /// Coerces this value to column type `ty` (applying the widenings
+    /// allowed by [`Value::conforms_to`]).
+    pub fn coerce(self, ty: DataType) -> Result<Value, TypeError> {
+        match (self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(i), DataType::Decimal) => Ok(Value::Decimal(i * DECIMAL_SCALE)),
+            (Value::Int(i), DataType::Timestamp) if i >= 0 => Ok(Value::Timestamp(i as u64)),
+            (v, t) if v.data_type() == Some(t) => Ok(v),
+            (v, t) => Err(TypeError::TypeMismatch {
+                expected: t,
+                actual: v.data_type().unwrap_or(DataType::Bytes),
+            }),
+        }
+    }
+
+    /// A numeric rank used by the layered index's equal-depth histogram
+    /// for continuous attributes. `None` for non-continuous values.
+    pub fn numeric_rank(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Decimal(d) => Some(*d),
+            Value::Timestamp(t) => Some(*t as i64),
+            _ => None,
+        }
+    }
+
+    /// Total order across values of the *same* type; values of different
+    /// types order by type tag (stable, arbitrary) so sorting mixed
+    /// columns is still deterministic. NULL sorts first.
+    pub fn cmp_total(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Decimal(a), Decimal(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Timestamp(a), Timestamp(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            // Mixed-type comparison falls back to the tag order. With
+            // schema enforcement this only happens for Int-vs-Decimal
+            // literals, which we normalize at insert time.
+            (a, b) => a.type_tag().cmp(&b.type_tag()),
+        }
+    }
+
+    fn type_tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Decimal(_) => 2,
+            Value::Str(_) => 3,
+            Value::Bool(_) => 4,
+            Value::Timestamp(_) => 5,
+            Value::Bytes(_) => 6,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp_total(other)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Decimal(d) => {
+                let whole = d / DECIMAL_SCALE;
+                let frac = (d % DECIMAL_SCALE).abs();
+                if frac == 0 {
+                    write!(f, "{whole}")
+                } else {
+                    write!(f, "{whole}.{frac:04}")
+                }
+            }
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+            Value::Bytes(b) => write!(f, "x'{}'", hex(b)),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_type_names() {
+        assert_eq!(DataType::parse("STRING"), Some(DataType::Str));
+        assert_eq!(DataType::parse("decimal"), Some(DataType::Decimal));
+        assert_eq!(DataType::parse("Int"), Some(DataType::Int));
+        assert_eq!(DataType::parse("widget"), None);
+    }
+
+    #[test]
+    fn continuous_vs_discrete() {
+        assert!(DataType::Int.is_continuous());
+        assert!(DataType::Decimal.is_continuous());
+        assert!(DataType::Timestamp.is_continuous());
+        assert!(!DataType::Str.is_continuous());
+        assert!(!DataType::Bool.is_continuous());
+    }
+
+    #[test]
+    fn decimal_display() {
+        assert_eq!(Value::decimal(100).to_string(), "100");
+        assert_eq!(Value::decimal_f64(99.5).to_string(), "99.5000");
+        assert_eq!(Value::Decimal(-12_345).to_string(), "-1.2345");
+    }
+
+    #[test]
+    fn coercion() {
+        assert_eq!(
+            Value::Int(7).coerce(DataType::Decimal),
+            Ok(Value::decimal(7))
+        );
+        assert_eq!(
+            Value::Int(5).coerce(DataType::Timestamp),
+            Ok(Value::Timestamp(5))
+        );
+        assert!(Value::str("x").coerce(DataType::Int).is_err());
+        assert_eq!(Value::Null.coerce(DataType::Int), Ok(Value::Null));
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::decimal(1) < Value::decimal_f64(1.5));
+        assert!(Value::Null < Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn numeric_rank() {
+        assert_eq!(Value::Int(3).numeric_rank(), Some(3));
+        assert_eq!(Value::decimal(2).numeric_rank(), Some(2 * DECIMAL_SCALE));
+        assert_eq!(Value::str("x").numeric_rank(), None);
+    }
+
+    #[test]
+    fn conforms() {
+        assert!(Value::Int(1).conforms_to(DataType::Int));
+        assert!(Value::Int(1).conforms_to(DataType::Decimal));
+        assert!(Value::Null.conforms_to(DataType::Str));
+        assert!(!Value::Bool(true).conforms_to(DataType::Int));
+    }
+}

@@ -1,0 +1,380 @@
+//! Thin-client authenticated queries (§VI): the two-phase protocol,
+//! adversarial full nodes, Byzantine auxiliary sampling, and the basic
+//! ship-all-blocks comparison path.
+
+use sebdb::ledger::Ledger;
+use sebdb::{
+    byzantine_risk, serve_authenticated_query, serve_auxiliary_digest, ThinClient,
+};
+use sebdb_consensus::OrderedBlock;
+use sebdb_crypto::sha256::sha256;
+use sebdb_crypto::sig::{KeyId, MacKeypair};
+use sebdb_index::KeyPredicate;
+use sebdb_storage::BlockStore;
+use sebdb_types::{Column, DataType, TableSchema, Transaction, Value};
+use std::sync::Arc;
+
+const ORG1: KeyId = KeyId([0xA1; 8]);
+
+fn donate_schema() -> TableSchema {
+    TableSchema::new(
+        "donate",
+        vec![
+            Column::new("donor", DataType::Str),
+            Column::new("project", DataType::Str),
+            Column::new("amount", DataType::Decimal),
+        ],
+    )
+}
+
+/// A ledger with `blocks` blocks of donate transactions; amounts are
+/// `100 * (global index)`; every third transaction is sent by org1.
+fn populated_ledger(blocks: u64, per_block: usize) -> Ledger {
+    let ledger = Ledger::new(
+        Arc::new(BlockStore::in_memory()),
+        MacKeypair::from_key([1; 32]),
+    )
+    .unwrap();
+    let mut tid = 1u64;
+    for b in 0..blocks {
+        let txs: Vec<Transaction> = (0..per_block)
+            .map(|i| {
+                let n = (b as usize * per_block + i) as i64;
+                let sender = if n % 3 == 0 { ORG1 } else { KeyId([2; 8]) };
+                let mut t = Transaction::new(
+                    b * 1000 + i as u64,
+                    sender,
+                    "donate",
+                    vec![
+                        Value::str("jack"),
+                        Value::str("education"),
+                        Value::decimal(100 * n),
+                    ],
+                );
+                t.tid = tid;
+                tid += 1;
+                t
+            })
+            .collect();
+        ledger
+            .append_ordered(&OrderedBlock {
+                seq: b,
+                timestamp_ms: (b + 1) * 1000,
+                txs,
+            })
+            .unwrap();
+    }
+    ledger
+        .create_layered_index(&donate_schema(), "amount", None)
+        .unwrap();
+    ledger
+}
+
+fn amount_range(lo: i64, hi: i64) -> KeyPredicate {
+    KeyPredicate::Range(Value::decimal(lo), Value::decimal(hi))
+}
+
+#[test]
+fn honest_two_phase_protocol_verifies() {
+    let full = populated_ledger(6, 10);
+    let aux1 = populated_ledger(6, 10); // same deterministic content
+    let aux2 = populated_ledger(6, 10);
+    let pred = amount_range(1000, 2500);
+
+    // Phase 1: the randomly chosen full node answers with results + VO.
+    let response =
+        serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
+    assert!(!response.transactions.is_empty());
+
+    // Phase 2: auxiliary nodes answer at the relayed snapshot height.
+    let h = response.vo.height;
+    let d1 = serve_auxiliary_digest(&aux1, Some("donate"), "amount", &pred, None, h).unwrap();
+    let d2 = serve_auxiliary_digest(&aux2, Some("donate"), "amount", &pred, None, h).unwrap();
+
+    // Client: 2 identical digests suffice under 4-node PBFT (Example 4).
+    let client = ThinClient::new();
+    client.verify(&pred, &response, &[d1, d2], 2).unwrap();
+
+    // All returned amounts are in range (soundness spot check).
+    for tx in &response.transactions {
+        let Value::Decimal(a) = tx.values[2] else { panic!() };
+        assert!((1000 * 10_000..=2500 * 10_000).contains(&a));
+    }
+}
+
+#[test]
+fn tracking_query_authenticates_too() {
+    let full = populated_ledger(5, 9);
+    let pred = KeyPredicate::Eq(Value::Bytes(ORG1.as_bytes().to_vec()));
+    let response = serve_authenticated_query(&full, None, "sen_id", &pred, None).unwrap();
+    assert_eq!(response.transactions.len(), 15); // every 3rd of 45
+    let d = serve_auxiliary_digest(&full, None, "sen_id", &pred, None, response.vo.height).unwrap();
+    ThinClient::new()
+        .verify(&pred, &response, &[d, d], 2)
+        .unwrap();
+}
+
+#[test]
+fn malicious_full_node_dropping_results_is_caught() {
+    let full = populated_ledger(6, 10);
+    let pred = amount_range(1000, 2500);
+    let mut response =
+        serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
+    let h = response.vo.height;
+    let d = serve_auxiliary_digest(&full, Some("donate"), "amount", &pred, None, h).unwrap();
+
+    // Drop one result transaction and its VO entry consistently.
+    response.transactions.remove(0);
+    let block_vo = &mut response.vo.per_block[0];
+    block_vo.results.remove(0);
+
+    assert!(ThinClient::new()
+        .verify(&pred, &response, &[d, d], 2)
+        .is_err());
+}
+
+#[test]
+fn malicious_full_node_substituting_payload_is_caught() {
+    let full = populated_ledger(6, 10);
+    let pred = amount_range(1000, 2500);
+    let mut response =
+        serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
+    let h = response.vo.height;
+    let d = serve_auxiliary_digest(&full, Some("donate"), "amount", &pred, None, h).unwrap();
+
+    // Substitute a forged transaction body with an in-range amount.
+    response.transactions[0].values[0] = Value::str("mallory");
+    assert!(matches!(
+        ThinClient::new().verify(&pred, &response, &[d, d], 2),
+        Err(sebdb::ClientVerifyError::TxHashMismatch { .. })
+    ));
+}
+
+#[test]
+fn malicious_full_node_hiding_a_block_is_caught() {
+    let full = populated_ledger(6, 10);
+    let pred = amount_range(0, 1_000_000);
+    let mut response =
+        serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
+    let h = response.vo.height;
+    let d = serve_auxiliary_digest(&full, Some("donate"), "amount", &pred, None, h).unwrap();
+    assert!(response.vo.per_block.len() > 1);
+    // Hide an entire block's worth of results (and its VO entry).
+    let hidden = response.vo.per_block.remove(2);
+    let keep: Vec<Transaction> = response
+        .transactions
+        .iter()
+        .filter(|t| !hidden.results.iter().any(|e| e.tx_hash == t.hash()))
+        .cloned()
+        .collect();
+    response.transactions = keep;
+    assert!(ThinClient::new()
+        .verify(&pred, &response, &[d, d], 2)
+        .is_err());
+}
+
+#[test]
+fn byzantine_auxiliary_minority_is_outvoted() {
+    let full = populated_ledger(4, 8);
+    let pred = amount_range(0, 500);
+    let response =
+        serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
+    let h = response.vo.height;
+    let honest = serve_auxiliary_digest(&full, Some("donate"), "amount", &pred, None, h).unwrap();
+    let byzantine = sha256(b"whatever I want");
+
+    // 3 honest, 1 Byzantine: majority digest wins and verifies.
+    ThinClient::new()
+        .verify(&pred, &response, &[honest, byzantine, honest, honest], 2)
+        .unwrap();
+
+    // All-Byzantine sample: the agreed digest doesn't match the VO.
+    assert!(ThinClient::new()
+        .verify(&pred, &response, &[byzantine, byzantine], 2)
+        .is_err());
+
+    // Too few matching digests.
+    assert!(matches!(
+        ThinClient::new().verify(&pred, &response, &[honest], 2),
+        Err(sebdb::ClientVerifyError::InsufficientDigests { .. })
+    ));
+}
+
+#[test]
+fn snapshot_isolation_across_heights() {
+    // An auxiliary node that has advanced past the snapshot must still
+    // produce the phase-1 digest, because only blocks < h are visited.
+    let full = populated_ledger(4, 8);
+    let ahead = populated_ledger(6, 8); // same prefix, two more blocks
+    let pred = amount_range(0, 1_000_000);
+    let response =
+        serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
+    let h = response.vo.height;
+    assert_eq!(h, 4);
+    let d = serve_auxiliary_digest(&ahead, Some("donate"), "amount", &pred, None, h).unwrap();
+    ThinClient::new().verify(&pred, &response, &[d, d], 2).unwrap();
+}
+
+#[test]
+fn basic_approach_verifies_and_detects_tampering() {
+    let ledger = populated_ledger(5, 8);
+    let mut client = ThinClient::new();
+    client.sync_headers(&ledger);
+    let blocks: Vec<_> = (0..5).map(|b| (*ledger.read_block(b).unwrap()).clone()).collect();
+
+    let results = client
+        .verify_blocks_basic(&blocks, |t| t.sender == ORG1)
+        .expect("honest blocks verify");
+    assert_eq!(results.len(), 14); // every 3rd of 40: ceil(40/3)
+
+    // Tamper with one transaction inside a shipped block.
+    let mut bad = blocks.clone();
+    bad[2].transactions[0].values[2] = Value::decimal(1);
+    assert!(client.verify_blocks_basic(&bad, |_| true).is_none());
+}
+
+#[test]
+fn risk_bound_matches_paper_shape() {
+    // More matching digests → lower risk; more than max Byzantine → 0.
+    let p = 0.25;
+    let risks: Vec<f64> = (1..=5).map(|m| byzantine_risk(p, 8, m, 10)).collect();
+    for w in risks.windows(2) {
+        assert!(w[0] >= w[1], "{risks:?}");
+    }
+    assert_eq!(byzantine_risk(p, 8, 4, 3), 0.0);
+}
+
+mod authenticated_join {
+    use super::*;
+    use sebdb::{serve_authenticated_join, verify_and_join};
+    use sebdb_types::ColumnRef;
+
+    fn org_value(tx: &Transaction) -> Option<Value> {
+        tx.get(ColumnRef::App(0))
+    }
+
+    /// Two relations sharing organization keys, indexed for the ALI.
+    fn join_ledger() -> Ledger {
+        let ledger = Ledger::new(
+            Arc::new(BlockStore::in_memory()),
+            MacKeypair::from_key([5; 32]),
+        )
+        .unwrap();
+        let mut tid = 1;
+        for b in 0..4u64 {
+            let mut txs = Vec::new();
+            for i in 0..3 {
+                let org = format!("org-{}", (b + i) % 5);
+                for tname in ["transfer", "distribute"] {
+                    let mut t = Transaction::new(
+                        b * 1000 + i,
+                        KeyId([1; 8]),
+                        tname,
+                        vec![Value::Str(org.clone()), Value::decimal(10)],
+                    );
+                    t.tid = tid;
+                    tid += 1;
+                    txs.push(t);
+                }
+            }
+            ledger
+                .append_ordered(&OrderedBlock {
+                    seq: b,
+                    timestamp_ms: (b + 1) * 1000,
+                    txs,
+                })
+                .unwrap();
+        }
+        let transfer = TableSchema::new(
+            "transfer",
+            vec![
+                Column::new("organization", DataType::Str),
+                Column::new("amount", DataType::Decimal),
+            ],
+        );
+        let distribute = TableSchema::new(
+            "distribute",
+            vec![
+                Column::new("organization", DataType::Str),
+                Column::new("amount", DataType::Decimal),
+            ],
+        );
+        ledger.create_layered_index(&transfer, "organization", None).unwrap();
+        ledger.create_layered_index(&distribute, "organization", None).unwrap();
+        ledger
+    }
+
+    fn full_range() -> KeyPredicate {
+        KeyPredicate::Range(Value::str(""), Value::str("zzzz"))
+    }
+
+    #[test]
+    fn authenticated_join_end_to_end() {
+        let ledger = join_ledger();
+        let pred = full_range();
+        let resp = serve_authenticated_join(
+            &ledger,
+            ("transfer", "organization"),
+            ("distribute", "organization"),
+            &pred,
+            None,
+        )
+        .unwrap();
+        let h = resp.left.vo.height;
+        let dl = serve_auxiliary_digest(&ledger, Some("transfer"), "organization", &pred, None, h)
+            .unwrap();
+        let dr =
+            serve_auxiliary_digest(&ledger, Some("distribute"), "organization", &pred, None, h)
+                .unwrap();
+        let rows = verify_and_join(
+            &resp, &pred, &[dl, dl], &[dr, dr], 2, org_value, org_value,
+        )
+        .unwrap();
+        // Each block has 3 orgs appearing once per relation; orgs repeat
+        // across blocks, so compute the oracle with a plain hash join.
+        let mut by_org: std::collections::HashMap<Value, usize> = Default::default();
+        for tx in &resp.right.transactions {
+            *by_org.entry(org_value(tx).unwrap()).or_default() += 1;
+        }
+        let expected: usize = resp
+            .left
+            .transactions
+            .iter()
+            .filter_map(|t| by_org.get(&org_value(t).unwrap()))
+            .sum();
+        assert_eq!(rows.len(), expected);
+        assert!(expected > 12, "orgs repeat across blocks: {expected}");
+        // Every joined pair actually shares the key.
+        for (l, r) in &rows {
+            assert_eq!(org_value(l), org_value(r));
+        }
+    }
+
+    #[test]
+    fn authenticated_join_detects_hidden_right_rows() {
+        let ledger = join_ledger();
+        let pred = full_range();
+        let mut resp = serve_authenticated_join(
+            &ledger,
+            ("transfer", "organization"),
+            ("distribute", "organization"),
+            &pred,
+            None,
+        )
+        .unwrap();
+        let h = resp.left.vo.height;
+        let dl = serve_auxiliary_digest(&ledger, Some("transfer"), "organization", &pred, None, h)
+            .unwrap();
+        let dr =
+            serve_auxiliary_digest(&ledger, Some("distribute"), "organization", &pred, None, h)
+                .unwrap();
+        // Hide one right-side transaction (and its VO entry) to shrink
+        // the join: must be detected.
+        resp.right.transactions.remove(0);
+        resp.right.vo.per_block[0].results.remove(0);
+        assert!(verify_and_join(
+            &resp, &pred, &[dl, dl], &[dr, dr], 2, org_value, org_value,
+        )
+        .is_err());
+    }
+}
