@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn replication_and_get_transaction() {
         let b = ChainSqlBaseline::new();
-        b.ingest_block(&block(0, vec![("donate", ORG1), ("transfer", ORG1), ("donate", ORG2)]));
+        b.ingest_block(&block(
+            0,
+            vec![("donate", ORG1), ("transfer", ORG1), ("donate", ORG2)],
+        ));
         b.ingest_block(&block(1, vec![("transfer", ORG2)]));
         assert_eq!(b.replicated(), 4);
         let org1 = b.get_transaction(&ORG1);
@@ -208,8 +211,12 @@ mod tests {
         let a = small.track_operator_operation(&ORG1, "transfer");
         let b = large.track_operator_operation(&ORG1, "transfer");
         assert_eq!(a.len(), b.len());
-        let sb = small.bytes_served.load(std::sync::atomic::Ordering::Relaxed);
-        let lb = large.bytes_served.load(std::sync::atomic::Ordering::Relaxed);
+        let sb = small
+            .bytes_served
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let lb = large
+            .bytes_served
+            .load(std::sync::atomic::Ordering::Relaxed);
         assert!(lb > sb * 5, "large {lb} vs small {sb}");
     }
 

@@ -10,12 +10,12 @@
 //!   kept full").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sebdb_crypto::sha256::Digest;
+use sebdb_crypto::sig::KeyId;
 use sebdb_index::mbtree::{AuthEntry, MbTree};
 use sebdb_index::{BPlusTree, EqualDepthHistogram, KeyPredicate, LayeredIndex};
 use sebdb_storage::TxPtr;
 use sebdb_types::{Block, ColumnRef, Transaction, Value};
-use sebdb_crypto::sha256::Digest;
-use sebdb_crypto::sig::KeyId;
 use std::time::Duration;
 
 fn donate_block(height: u64, amounts: &[i64]) -> Block {
@@ -125,7 +125,9 @@ fn second_level_build(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
     let n = 10_000usize;
-    let mut entries: Vec<(u64, u64)> = (0..n as u64).map(|i| ((i * 2_654_435_761) % 1_000_003, i)).collect();
+    let mut entries: Vec<(u64, u64)> = (0..n as u64)
+        .map(|i| ((i * 2_654_435_761) % 1_000_003, i))
+        .collect();
     entries.sort();
     group.bench_function("bulk_load_sorted", |b| {
         b.iter(|| BPlusTree::bulk_load(64, entries.clone()).len())

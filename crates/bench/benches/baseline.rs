@@ -44,11 +44,9 @@ fn fig21_two_dimension(c: &mut Criterion) {
         for b in 0..30 {
             baseline.ingest_block(&bed.ledger.read_block(b).unwrap());
         }
-        group.bench_with_input(
-            BenchmarkId::new("SEBDB", org1_total),
-            &bed,
-            |b, bed| b.iter(|| run_q3(bed, None, true, true, Strategy::Layered).len()),
-        );
+        group.bench_with_input(BenchmarkId::new("SEBDB", org1_total), &bed, |b, bed| {
+            b.iter(|| run_q3(bed, None, true, true, Strategy::Layered).len())
+        });
         group.bench_function(BenchmarkId::new("ChainSQL", org1_total), |b| {
             b.iter(|| baseline.track_operator_operation(&ORG1, "transfer").len())
         });

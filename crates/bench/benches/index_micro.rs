@@ -87,7 +87,11 @@ fn merkle_and_mbtree(c: &mut Criterion) {
     });
     let tree = MbTree::build(entries, 64);
     group.bench_function("mbtree_range_proof", |b| {
-        b.iter(|| tree.range_query(&Value::Int(100), &Value::Int(200)).1.byte_len())
+        b.iter(|| {
+            tree.range_query(&Value::Int(100), &Value::Int(200))
+                .1
+                .byte_len()
+        })
     });
     let (results, proof) = tree.range_query(&Value::Int(100), &Value::Int(200));
     group.bench_function("mbtree_verify", |b| {

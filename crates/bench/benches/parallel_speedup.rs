@@ -1,0 +1,163 @@
+//! Scaling sweep for the parallel hot paths: seal+append of a 1k-tx
+//! block (parallel leaf hashing, MAC verification, index updates) and
+//! a layered range scan (grouped block fetch + parallel materialize),
+//! each at worker caps 1, 2, 4, and 8.
+//!
+//! Besides the criterion output, the run writes `BENCH_parallel.json`
+//! at the repository root with mean ns/iter per (workload, threads)
+//! and the host's CPU count, so speedups are interpretable: on a
+//! single-core host every cap collapses to sequential execution and
+//! the honest speedup is ~1.0×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sebdb::{Ledger, Strategy};
+use sebdb_bench::datagen::{range_bed, Placement, TestBed};
+use sebdb_bench::workload::run_q4;
+use sebdb_consensus::OrderedBlock;
+use sebdb_crypto::hmac::hmac_sha256;
+use sebdb_crypto::sig::KeyId;
+use sebdb_crypto::MacKeypair;
+use sebdb_storage::BlockStore;
+use sebdb_types::{Codec, Transaction, Value};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const THREAD_CAPS: [usize; 4] = [1, 2, 4, 8];
+const BLOCK_TXS: usize = 1024;
+
+fn bench_txs() -> Vec<Transaction> {
+    (0..BLOCK_TXS)
+        .map(|i| {
+            let mut t = Transaction::new(
+                i as u64,
+                KeyId([0xA1; 8]),
+                "donate",
+                vec![
+                    Value::str(format!("donor-{i}")),
+                    Value::str("education"),
+                    Value::decimal(i as i64 + 1),
+                ],
+            );
+            t.tid = i as u64 + 1;
+            t.sig = vec![0u8; 33];
+            t
+        })
+        .collect()
+}
+
+/// One seal+append round: fresh in-memory ledger, an installed MAC
+/// verifier (real HMAC work per transaction), one 1k-tx block.
+fn seal_append_once(txs: &[Transaction]) -> u64 {
+    let ledger = Ledger::new(
+        Arc::new(BlockStore::in_memory()),
+        MacKeypair::from_key([0xBE; 32]),
+    )
+    .unwrap();
+    ledger.set_tx_verifier(Some(Box::new(|tx: &Transaction| {
+        // Placeholder sigs carry no tag; charge the real MAC cost and
+        // accept, so the parallel verify path is exercised end to end.
+        let tag = hmac_sha256(&[0xBE; 32], &tx.to_bytes());
+        tag.as_bytes()[0] as usize != usize::MAX
+    })));
+    let block = ledger
+        .append_ordered(OrderedBlock {
+            seq: 0,
+            timestamp_ms: 1000,
+            txs: txs.to_vec(),
+        })
+        .unwrap();
+    block.header.height
+}
+
+fn layered_scan_once(bed: &TestBed) -> usize {
+    run_q4(bed, Strategy::Layered).len()
+}
+
+/// Mean ns/iter over `iters` runs after one warm-up call.
+fn measure(mut f: impl FnMut(), iters: u32) -> u64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (start.elapsed().as_nanos() / u128::from(iters)) as u64
+}
+
+fn parallel_speedup(c: &mut Criterion) {
+    let txs = bench_txs();
+    let bed = range_bed(32, 64, 256, Placement::Uniform, 42);
+    let mut json_rows: Vec<(String, usize, u64)> = Vec::new();
+
+    let mut group = c.benchmark_group("parallel_speedup");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
+    for threads in THREAD_CAPS {
+        sebdb_parallel::set_max_threads(threads);
+        group.bench_function(BenchmarkId::new("seal_append_1k", threads), |b| {
+            b.iter(|| seal_append_once(&txs))
+        });
+        group.bench_function(BenchmarkId::new("layered_range_scan", threads), |b| {
+            b.iter(|| layered_scan_once(&bed))
+        });
+        json_rows.push((
+            "seal_append_1k".into(),
+            threads,
+            measure(
+                || {
+                    let _ = seal_append_once(&txs);
+                },
+                20,
+            ),
+        ));
+        json_rows.push((
+            "layered_range_scan".into(),
+            threads,
+            measure(
+                || {
+                    let _ = layered_scan_once(&bed);
+                },
+                20,
+            ),
+        ));
+    }
+    group.finish();
+    sebdb_parallel::set_max_threads(1);
+
+    write_json(&json_rows);
+}
+
+fn write_json(rows: &[(String, usize, u64)]) {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let baseline = |workload: &str| {
+        rows.iter()
+            .find(|(w, t, _)| w == workload && *t == 1)
+            .map(|(_, _, ns)| *ns)
+            .unwrap_or(1)
+    };
+    let mut entries = String::new();
+    for (workload, threads, ns) in rows {
+        let speedup = baseline(workload) as f64 / (*ns).max(1) as f64;
+        entries.push_str(&format!(
+            "    {{\"workload\": \"{workload}\", \"threads\": {threads}, \
+             \"mean_ns_per_iter\": {ns}, \"speedup_vs_1\": {speedup:.3}}},\n"
+        ));
+    }
+    entries.pop();
+    entries.pop();
+    let body = format!(
+        "{{\n  \"bench\": \"parallel_speedup\",\n  \"cpus\": {cpus},\n  \
+         \"note\": \"speedup_vs_1 is bounded by the host cpu count; on a \
+         1-cpu host all caps run effectively sequentially\",\n  \
+         \"results\": [\n{entries}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, body).expect("write BENCH_parallel.json");
+    eprintln!("wrote {path}");
+}
+
+criterion_group!(benches, parallel_speedup);
+criterion_main!(benches);

@@ -46,5 +46,9 @@ fn fig12_range_by_result_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig11_range_by_chain_size, fig12_range_by_result_size);
+criterion_group!(
+    benches,
+    fig11_range_by_chain_size,
+    fig12_range_by_result_size
+);
 criterion_main!(benches);

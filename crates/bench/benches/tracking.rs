@@ -19,14 +19,16 @@ fn fig8_tracking_by_chain_size(c: &mut Criterion) {
             ("SU", Strategy::Scan, Placement::Uniform),
             ("BU", Strategy::Bitmap, Placement::Uniform),
             ("LU", Strategy::Layered, Placement::Uniform),
-            ("LG", Strategy::Layered, Placement::Gaussian { std_blocks: 4.0 }),
+            (
+                "LG",
+                Strategy::Layered,
+                Placement::Gaussian { std_blocks: 4.0 },
+            ),
         ] {
             let bed = tracking_bed(blocks, 50, 200, placement, 1);
-            group.bench_with_input(
-                BenchmarkId::new(label, blocks),
-                &bed,
-                |b, bed| b.iter(|| run_q2(bed, strategy).len()),
-            );
+            group.bench_with_input(BenchmarkId::new(label, blocks), &bed, |b, bed| {
+                b.iter(|| run_q2(bed, strategy).len())
+            });
         }
     }
     group.finish();
@@ -58,5 +60,9 @@ fn fig10_two_dimension_windows(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig8_tracking_by_chain_size, fig10_two_dimension_windows);
+criterion_group!(
+    benches,
+    fig8_tracking_by_chain_size,
+    fig10_two_dimension_windows
+);
 criterion_main!(benches);

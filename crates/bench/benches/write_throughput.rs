@@ -5,10 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sebdb_consensus::tendermint::TendermintConfig;
+use sebdb_consensus::traits::now_ms;
 use sebdb_consensus::{
     BatchConfig, Consensus, KafkaOrderer, PbftConfig, PbftEngine, TendermintEngine,
 };
-use sebdb_consensus::traits::now_ms;
 use sebdb_crypto::sig::KeyId;
 use sebdb_types::{Transaction, Value};
 use std::sync::Arc;

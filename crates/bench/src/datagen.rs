@@ -169,7 +169,7 @@ impl TestBed {
         for (i, txs) in blocks.into_iter().enumerate() {
             let seq = base + i as u64;
             self.ledger
-                .append_ordered(&OrderedBlock {
+                .append_ordered(OrderedBlock {
                     seq,
                     timestamp_ms: (seq + 1) * 1000,
                     txs,

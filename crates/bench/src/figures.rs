@@ -65,12 +65,12 @@ impl Scale {
     /// Minutes per figure on one core.
     pub fn default_run() -> Scale {
         Scale {
-            blocks: vec![25, 50, 75, 100, 125], // paper: 500..2500
-            txs_per_block: 100,                 // paper: ~14k (4 MB / 300 B)
-            fixed_hits: 500,                    // paper: 10 000
+            blocks: vec![25, 50, 75, 100, 125],            // paper: 500..2500
+            txs_per_block: 100,                            // paper: ~14k (4 MB / 300 B)
+            fixed_hits: 500,                               // paper: 10 000
             result_sizes: vec![100, 250, 500, 1000, 2000], // paper: 1k..10k / 2k..1.25M
             client_counts: vec![1, 4, 16, 64, 128, 256],   // paper: up to 480
-            txs_per_client: 50,                 // paper: 100
+            txs_per_client: 50,                            // paper: 100
             iters: 3,
             seed: 42,
         }
@@ -110,7 +110,13 @@ fn sweep_blocks(
     for (label, strategy, placement) in combos {
         let mut series = Series::new(label);
         for &blocks in &scale.blocks {
-            let bed = build(blocks, scale.txs_per_block, scale.fixed_hits, placement, scale.seed);
+            let bed = build(
+                blocks,
+                scale.txs_per_block,
+                scale.fixed_hits,
+                placement,
+                scale.seed,
+            );
             let d = timed_mean(scale.iters, || run(&bed, strategy));
             series.push(blocks, ms(d));
         }

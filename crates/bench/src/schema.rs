@@ -95,7 +95,8 @@ pub fn customer_columns() -> Vec<Column> {
 pub fn create_offchain_tables(db: &sebdb_offchain::OffchainDb) {
     db.create_table("donorinfo", donorinfo_columns()).unwrap();
     db.create_table("doneeinfo", doneeinfo_columns()).unwrap();
-    db.create_table("childreninfo", childreninfo_columns()).unwrap();
+    db.create_table("childreninfo", childreninfo_columns())
+        .unwrap();
     db.create_table("customer", customer_columns()).unwrap();
 }
 

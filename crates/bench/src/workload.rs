@@ -4,8 +4,8 @@
 
 use crate::datagen::{TestBed, HIT_HI, HIT_LO, ORG1};
 use sebdb::{QueryResult, Strategy};
-use sebdb_consensus::{Consensus, OrderedBlock};
 use sebdb_consensus::traits::now_ms;
+use sebdb_consensus::{Consensus, OrderedBlock};
 use sebdb_crypto::sig::KeyId;
 use sebdb_sql::{BoundPredicate, BoundPredicateKind, CompareOp, LogicalPlan};
 use sebdb_types::{Timestamp, Transaction, Value};

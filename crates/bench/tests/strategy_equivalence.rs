@@ -4,11 +4,11 @@
 
 use proptest::prelude::*;
 use sebdb::Strategy as Phys;
+use sebdb_bench::datagen::TestBed;
 use sebdb_bench::datagen::{
     join_bed, onoff_bed, range_bed, tracking2_bed, tracking_bed, Placement,
 };
 use sebdb_bench::workload::{run_q2, run_q3, run_q4, run_q5, run_q6};
-use sebdb_bench::datagen::TestBed;
 
 fn placements() -> impl Strategy<Value = Placement> {
     prop_oneof![
@@ -109,4 +109,39 @@ proptest! {
             prop_assert_eq!(run_q6(&bed, strat).len(), pairs, "{:?}", strat);
         }
     }
+}
+
+/// The parallel engine must be invisible in results: with the worker
+/// cap at 4, every strategy returns the *identical* `QueryResult`
+/// (rows AND order) it returns at cap 1. This pins the
+/// order-preservation contracts of the grouped reads and parallel
+/// scans, not just row counts.
+#[test]
+fn parallel_execution_returns_identical_results() {
+    let range = range_bed(12, 24, 40, Placement::gaussian(), 1234);
+    let track = tracking_bed(10, 16, 30, Placement::Uniform, 5678);
+    let join = join_bed(6, 8, 20, Placement::Uniform, 91011);
+
+    let run_all = || {
+        let mut results = Vec::new();
+        for strat in [Phys::Scan, Phys::Bitmap, Phys::Layered] {
+            results.push(run_q4(&range, strat));
+            results.push(run_q2(&track, strat));
+            results.push(run_q5(&join, strat));
+        }
+        results
+    };
+
+    sebdb_parallel::set_max_threads(1);
+    let sequential = run_all();
+    sebdb_parallel::set_max_threads(4);
+    let parallel = run_all();
+    sebdb_parallel::set_max_threads(1);
+
+    assert_eq!(sequential.len(), parallel.len());
+    for (i, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(seq, par, "strategy/query case {i} diverged under threads=4");
+    }
+    // The testbeds are sized so the suite exercises non-empty results.
+    assert!(sequential.iter().any(|r| !r.is_empty()));
 }

@@ -8,9 +8,7 @@
 //! tolerant only — no Byzantine protection, which is why it is faster
 //! than the BFT engines in Fig. 7.
 
-use crate::traits::{
-    now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock,
-};
+use crate::traits::{now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use sebdb_types::Transaction;

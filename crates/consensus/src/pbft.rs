@@ -14,9 +14,7 @@
 //! *backup* replicas may be Byzantine (the tests inject one that
 //! equivocates on digests).
 
-use crate::traits::{
-    now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock,
-};
+use crate::traits::{now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use sebdb_crypto::sha256::{Digest, Sha256};
@@ -218,7 +216,9 @@ impl Replica {
     fn try_advance(&mut self, seq: u64) {
         // Prepared: pre-prepare + 2f prepares (own vote counts).
         let (prepared, digest) = {
-            let Some(state) = self.seqs.get(&seq) else { return };
+            let Some(state) = self.seqs.get(&seq) else {
+                return;
+            };
             let Some(d) = state.digest else { return };
             (state.prepare_count() >= 2 * self.f, d)
         };
@@ -237,10 +237,9 @@ impl Replica {
         }
         // Committed-local: 2f + 1 commits. Deliver in order.
         loop {
-            let deliverable = self
-                .seqs
-                .get(&self.next_deliver)
-                .is_some_and(|s| !s.delivered && s.block.is_some() && s.commit_count() > 2 * self.f);
+            let deliverable = self.seqs.get(&self.next_deliver).is_some_and(|s| {
+                !s.delivered && s.block.is_some() && s.commit_count() > 2 * self.f
+            });
             if !deliverable {
                 break;
             }

@@ -15,9 +15,7 @@
 //! one proposal or advances with nil votes, so safety is preserved for
 //! the configurations exercised here.
 
-use crate::traits::{
-    now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock,
-};
+use crate::traits::{now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use sebdb_crypto::sha256::{Digest, Sha256};
@@ -205,9 +203,9 @@ impl Validator {
                     self.batch_started = Some(Instant::now());
                 }
                 pool.len() >= self.batch.max_txs
-                    || self
-                        .batch_started
-                        .is_some_and(|s| s.elapsed() >= Duration::from_millis(self.batch.timeout_ms))
+                    || self.batch_started.is_some_and(|s| {
+                        s.elapsed() >= Duration::from_millis(self.batch.timeout_ms)
+                    })
             }
         };
         if !ready {

@@ -10,8 +10,8 @@
 //! insert). The last statement's rows, if any, are the invocation
 //! result.
 
-use crate::node::{ExecOutcome, NodeError, SebdbNode};
 use crate::executor::{QueryResult, Strategy};
+use crate::node::{ExecOutcome, NodeError, SebdbNode};
 use parking_lot::RwLock;
 use sebdb_sql::{parse_script, Expr, Statement, WherePredicate};
 use sebdb_types::Value;
@@ -163,7 +163,10 @@ impl ContractRegistry {
 
     /// Looks up a deployed contract.
     pub fn get(&self, name: &str) -> Option<Contract> {
-        self.contracts.read().get(&name.to_ascii_lowercase()).cloned()
+        self.contracts
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
     }
 
     /// Invokes `name` with `args` on `node`. Returns the last
@@ -185,11 +188,12 @@ impl ContractRegistry {
         }
         let mut last = QueryResult::empty(vec![]);
         for (i, stmt) in contract.statements.iter().enumerate() {
-            let plan = sebdb_sql::plan(stmt, args, node.schemas.as_ref())
-                .map_err(|e| ContractError::Execution {
+            let plan = sebdb_sql::plan(stmt, args, node.schemas.as_ref()).map_err(|e| {
+                ContractError::Execution {
                     statement: i,
                     source: NodeError::Sql(e),
-                })?;
+                }
+            })?;
             match node.execute_plan(plan, Strategy::Auto) {
                 Ok(ExecOutcome::Rows(rows)) => last = rows,
                 Ok(_) => {}

@@ -39,9 +39,12 @@ impl Executor<'_> {
                 let indexed = predicates.iter().find_map(|p| {
                     let (lo, hi) = p.index_bounds()?;
                     let col = column_name(schema, p)?;
-                    self.ledger.with_layered(Some(&schema.name), &col, |idx| {
-                        idx.candidate_blocks(&KeyPredicate::Range(lo, hi)).count_ones()
-                    }).map(|cand| (col, cand))
+                    self.ledger
+                        .with_layered(Some(&schema.name), &col, |idx| {
+                            idx.candidate_blocks(&KeyPredicate::Range(lo, hi))
+                                .count_ones()
+                        })
+                        .map(|cand| (col, cand))
                 });
                 let k = self
                     .ledger
@@ -99,7 +102,11 @@ impl Executor<'_> {
             LogicalPlan::GetBlock(sel) => {
                 out.push(format!("{pad}GetBlock {sel:?} [block-level B+-tree]"));
             }
-            LogicalPlan::Post { input, count, limit } => {
+            LogicalPlan::Post {
+                input,
+                count,
+                limit,
+            } => {
                 let mut parts = Vec::new();
                 if *count {
                     parts.push("COUNT(*)".to_string());

@@ -17,6 +17,35 @@ use sebdb_types::{ColumnRef, TableSchema, Timestamp, Transaction, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Sort-merge over two sorted `(value, ptr)` runs, appending every
+/// matched pointer pair (duplicate-run cross products included) in the
+/// order the sequential join would emit them.
+fn sort_merge_pairs(
+    l: &[(Value, sebdb_storage::TxPtr)],
+    r: &[(Value, sebdb_storage::TxPtr)],
+    matched: &mut Vec<(sebdb_storage::TxPtr, sebdb_storage::TxPtr)>,
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        match l[i].0.cmp(&r[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let v = &l[i].0;
+                let li_end = l[i..].iter().take_while(|(x, _)| x == v).count() + i;
+                let rj_end = r[j..].iter().take_while(|(x, _)| x == v).count() + j;
+                for (_, lp) in &l[i..li_end] {
+                    for (_, rp) in &r[j..rj_end] {
+                        matched.push((*lp, *rp));
+                    }
+                }
+                i = li_end;
+                j = rj_end;
+            }
+        }
+    }
+}
+
 /// Header: left's full columns prefixed by table name, then right's.
 fn join_header(left: &TableSchema, right: &TableSchema) -> Vec<String> {
     left.full_column_names()
@@ -95,10 +124,16 @@ impl Executor<'_> {
         } else {
             mask
         };
-        let mut build: HashMap<Value, Vec<Transaction>> = HashMap::new();
-        let mut probe_side: Vec<Transaction> = Vec::new();
-        for bid in blocks.iter_ones() {
-            let block = self.ledger.read_block(bid as u64)?;
+        // Build phase: each block is read and partitioned into
+        // build/probe tuples independently across workers; partials
+        // merge in block order, so the build table's per-key run order
+        // and the probe order match the sequential plan.
+        let bids: Vec<u64> = blocks.iter_ones().map(|b| b as u64).collect();
+        type Partial = (Vec<(Value, Transaction)>, Vec<Transaction>);
+        let partials = sebdb_parallel::par_map(&bids, 1, |&bid| -> Result<Partial, ExecError> {
+            let block = self.ledger.read_block(bid)?;
+            let mut build_part = Vec::new();
+            let mut probe_part = Vec::new();
             for tx in &block.transactions {
                 if !in_window(tx.ts, window) {
                     continue;
@@ -106,28 +141,45 @@ impl Executor<'_> {
                 if tx.tname.eq_ignore_ascii_case(&right.name) {
                     if let Some(v) = tx.get(right_col) {
                         if v != Value::Null {
-                            build.entry(v).or_default().push(tx.clone());
+                            build_part.push((v, tx.clone()));
                         }
                     }
                 }
                 if tx.tname.eq_ignore_ascii_case(&left.name) {
-                    probe_side.push(tx.clone());
+                    probe_part.push(tx.clone());
                 }
             }
+            Ok((build_part, probe_part))
+        });
+        let mut build: HashMap<Value, Vec<Transaction>> = HashMap::new();
+        let mut probe_side: Vec<Transaction> = Vec::new();
+        for partial in partials {
+            let (build_part, probe_part) = partial?;
+            for (v, tx) in build_part {
+                build.entry(v).or_default().push(tx);
+            }
+            probe_side.extend(probe_part);
         }
-        for ltx in &probe_side {
-            let Some(v) = ltx.get(left_col) else { continue };
+        // Probe phase: pure lookups, parallel over probe tuples; each
+        // produces its match rows which concatenate in probe order.
+        let row_batches = sebdb_parallel::par_map(&probe_side, 16, |ltx| {
+            let mut rows = Vec::new();
+            let Some(v) = ltx.get(left_col) else {
+                return rows;
+            };
             if v == Value::Null {
-                continue;
+                return rows;
             }
             if let Some(matches) = build.get(&v) {
                 for rtx in matches {
                     let mut row = materialize(ltx);
                     row.extend(materialize(rtx));
-                    out.rows.push(row);
+                    rows.push(row);
                 }
             }
-        }
+            rows
+        });
+        out.rows.extend(row_batches.into_iter().flatten());
         Ok(())
     }
 
@@ -165,8 +217,11 @@ impl Executor<'_> {
             .unwrap_or_default();
 
         // Lines 11–12: per-pair sort-merge over the second-level leaves.
-        // Entries of a block are fetched once and reused across its
-        // pairs (pairs arrive sorted by left block).
+        // Phase one walks the sorted runs and collects matched pointer
+        // pairs without touching storage (entries of a left block are
+        // fetched once and reused across its pairs — pairs arrive
+        // sorted by left block).
+        let mut matched: Vec<(sebdb_storage::TxPtr, sebdb_storage::TxPtr)> = Vec::new();
         let mut cached_left: Option<(u64, Vec<(Value, sebdb_storage::TxPtr)>)> = None;
         for (b_l, b_r) in pairs {
             if cached_left.as_ref().map(|(b, _)| *b) != Some(b_l) {
@@ -188,49 +243,33 @@ impl Executor<'_> {
                     idx.block_sorted_entries(b_r)
                 })
                 .unwrap();
-            self.sort_merge_pair(l_entries, r_entries.as_slice(), window, out)?;
+            sort_merge_pairs(l_entries, r_entries.as_slice(), &mut matched);
         }
-        Ok(())
-    }
-
-    /// Sort-merge join over two sorted (value, ptr) runs, with
-    /// duplicate-run cross products.
-    fn sort_merge_pair(
-        &self,
-        l: &[(Value, sebdb_storage::TxPtr)],
-        r: &[(Value, sebdb_storage::TxPtr)],
-        window: Option<(Timestamp, Timestamp)>,
-        out: &mut QueryResult,
-    ) -> Result<(), ExecError> {
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < l.len() && j < r.len() {
-            match l[i].0.cmp(&r[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let v = &l[i].0;
-                    let li_end = l[i..].iter().take_while(|(x, _)| x == v).count() + i;
-                    let rj_end = r[j..].iter().take_while(|(x, _)| x == v).count() + j;
-                    for (_, lp) in &l[i..li_end] {
-                        let ltx = self.ledger.read_tx(*lp)?;
-                        if !in_window(ltx.ts, window) {
-                            continue;
-                        }
-                        for (_, rp) in &r[j..rj_end] {
-                            let rtx: Arc<Transaction> = self.ledger.read_tx(*rp)?;
-                            if !in_window(rtx.ts, window) {
-                                continue;
-                            }
-                            let mut row = materialize(&ltx);
-                            row.extend(materialize(&rtx));
-                            out.rows.push(row);
-                        }
-                    }
-                    i = li_end;
-                    j = rj_end;
-                }
+        // Phase two batch-fetches every distinct pointer (distinct
+        // blocks decoded across workers) and materializes the matched
+        // rows in pair order.
+        let mut ptr_slot: HashMap<sebdb_storage::TxPtr, usize> = HashMap::new();
+        let mut ptrs: Vec<sebdb_storage::TxPtr> = Vec::new();
+        for &(lp, rp) in &matched {
+            for p in [lp, rp] {
+                ptr_slot.entry(p).or_insert_with(|| {
+                    ptrs.push(p);
+                    ptrs.len() - 1
+                });
             }
         }
+        let txs = self.ledger.read_txs_grouped(&ptrs)?;
+        let rows = sebdb_parallel::par_map(&matched, 16, |&(lp, rp)| {
+            let ltx: &Arc<Transaction> = &txs[ptr_slot[&lp]];
+            let rtx: &Arc<Transaction> = &txs[ptr_slot[&rp]];
+            if !in_window(ltx.ts, window) || !in_window(rtx.ts, window) {
+                return None;
+            }
+            let mut row = materialize(ltx);
+            row.extend(materialize(rtx));
+            Some(row)
+        });
+        out.rows.extend(rows.into_iter().flatten());
         Ok(())
     }
 

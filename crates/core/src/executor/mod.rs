@@ -133,11 +133,17 @@ impl<'a> Executor<'a> {
 
     /// Executes a read-only plan. `CREATE`/`INSERT` go through
     /// consensus at the node layer, not here.
-    pub fn execute(&self, plan: &LogicalPlan, strategy: Strategy) -> Result<QueryResult, ExecError> {
+    pub fn execute(
+        &self,
+        plan: &LogicalPlan,
+        strategy: Strategy,
+    ) -> Result<QueryResult, ExecError> {
         match plan {
-            LogicalPlan::CreateTable(_) | LogicalPlan::Insert { .. } => Err(ExecError::Unsupported(
-                "writes must be submitted through the node (consensus path)".into(),
-            )),
+            LogicalPlan::CreateTable(_) | LogicalPlan::Insert { .. } => {
+                Err(ExecError::Unsupported(
+                    "writes must be submitted through the node (consensus path)".into(),
+                ))
+            }
             LogicalPlan::Query {
                 schema,
                 projection,
@@ -164,7 +170,13 @@ impl<'a> Executor<'a> {
                 off_columns,
                 window,
             } => self.run_onoff_join(
-                on_table, *on_col, off_table, *off_col, off_columns, *window, strategy,
+                on_table,
+                *on_col,
+                off_table,
+                *off_col,
+                off_columns,
+                *window,
+                strategy,
             ),
             LogicalPlan::GetBlock(sel) => self.run_get_block(sel),
             LogicalPlan::Explain(inner) => self.run_explain(inner),
@@ -254,9 +266,7 @@ pub(crate) fn project(
                 .iter()
                 .position(|n| n.eq_ignore_ascii_case(p))
                 .map(|i| row[i].clone())
-                .ok_or_else(|| {
-                    ExecError::Type(TypeError::NoSuchColumn { column: p.clone() })
-                })
+                .ok_or_else(|| ExecError::Type(TypeError::NoSuchColumn { column: p.clone() }))
         })
         .collect()
 }

@@ -17,7 +17,11 @@ fn onoff_header(on: &TableSchema, off_table: &str, off_columns: &[Column]) -> Ve
     on.full_column_names()
         .iter()
         .map(|c| format!("{}.{c}", on.name))
-        .chain(off_columns.iter().map(|c| format!("{off_table}.{}", c.name)))
+        .chain(
+            off_columns
+                .iter()
+                .map(|c| format!("{off_table}.{}", c.name)),
+        )
         .collect()
 }
 
@@ -33,9 +37,9 @@ impl Executor<'_> {
         window: Option<(Timestamp, Timestamp)>,
         strategy: Strategy,
     ) -> Result<QueryResult, ExecError> {
-        let conn = self.offchain.ok_or_else(|| {
-            ExecError::Unsupported("this node has no off-chain database".into())
-        })?;
+        let conn = self
+            .offchain
+            .ok_or_else(|| ExecError::Unsupported("this node has no off-chain database".into()))?;
         let off_col_name = &off_columns[off_col].name;
         // "The query results from off-chain data are sorted on join
         // attribute" (§V-C).
@@ -48,10 +52,7 @@ impl Executor<'_> {
         }
 
         let index_name = match on_col {
-            ColumnRef::App(i) => on_table
-                .columns
-                .get(i)
-                .map(|c| c.name.to_ascii_lowercase()),
+            ColumnRef::App(i) => on_table.columns.get(i).map(|c| c.name.to_ascii_lowercase()),
             ColumnRef::SenId => Some("sen_id".into()),
             ColumnRef::Tname => Some("tname".into()),
             _ => None,
@@ -104,9 +105,8 @@ impl Executor<'_> {
                             }
                         } else {
                             // Discrete: OR of the unique keys' bitmaps.
-                            let distinct = conn
-                                .distinct(off_table, off_col_name)
-                                .unwrap_or_default();
+                            let distinct =
+                                conn.distinct(off_table, off_col_name).unwrap_or_default();
                             idx.blocks_for_values(distinct.iter())
                         }
                     })
@@ -181,8 +181,7 @@ impl Executor<'_> {
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
                     let v = &entries[i].0;
-                    let i_end =
-                        entries[i..].iter().take_while(|(x, _)| x == v).count() + i;
+                    let i_end = entries[i..].iter().take_while(|(x, _)| x == v).count() + i;
                     let j_end = off_rows[j..]
                         .iter()
                         .take_while(|r| &r[off_col] == v)

@@ -2,10 +2,10 @@
 //! three access paths of §IV-B's cost analysis.
 
 use super::{full_header, materialize, project, ExecError, Executor, QueryResult, Strategy};
-use sebdb_index::{AccessPath, KeyPredicate};
-use sebdb_storage::TxPtr;
-use sebdb_types::{TableSchema, Timestamp};
+use sebdb_index::{AccessPath, Bitmap, KeyPredicate};
 use sebdb_sql::BoundPredicate;
+use sebdb_storage::TxPtr;
+use sebdb_types::{TableSchema, Timestamp, Value};
 
 impl Executor<'_> {
     pub(super) fn run_query(
@@ -56,22 +56,36 @@ impl Executor<'_> {
                         ptrs
                     })
                     .expect("index presence checked above");
-                for ptr in ptrs {
-                    let tx = self.ledger.read_tx(ptr)?;
-                    if !tx.tname.eq_ignore_ascii_case(&schema.name) {
-                        continue;
-                    }
-                    if !in_window(tx.ts, window) {
-                        continue;
-                    }
-                    // Re-check every predicate (the driver is implied,
-                    // the others must still be applied).
-                    let ok = predicates.iter().enumerate().all(|(i, p)| {
-                        i == driver || p.matches(|c| tx.get(c))
-                    });
-                    if ok {
-                        out.rows
-                            .push(project(schema, projection, materialize(&tx))?);
+                // Batch-fetch the pointed-at tuples (blocks decoded in
+                // parallel), then filter and materialize rows across
+                // workers; both stages preserve pointer order.
+                let txs = self.ledger.read_txs_grouped(&ptrs)?;
+                let rows = sebdb_parallel::par_map(
+                    &txs,
+                    16,
+                    |tx| -> Result<Option<Vec<Value>>, ExecError> {
+                        if !tx.tname.eq_ignore_ascii_case(&schema.name) {
+                            return Ok(None);
+                        }
+                        if !in_window(tx.ts, window) {
+                            return Ok(None);
+                        }
+                        // Re-check every predicate (the driver is implied,
+                        // the others must still be applied).
+                        let ok = predicates
+                            .iter()
+                            .enumerate()
+                            .all(|(i, p)| i == driver || p.matches(|c| tx.get(c)));
+                        if ok {
+                            Ok(Some(project(schema, projection, materialize(tx))?))
+                        } else {
+                            Ok(None)
+                        }
+                    },
+                );
+                for row in rows {
+                    if let Some(row) = row? {
+                        out.rows.push(row);
                     }
                 }
             }
@@ -84,25 +98,50 @@ impl Executor<'_> {
                 } else {
                     mask
                 };
-                for bid in blocks.iter_ones() {
-                    let block = self.ledger.read_block(bid as u64)?;
-                    for tx in &block.transactions {
-                        if !tx.tname.eq_ignore_ascii_case(&schema.name) {
-                            continue;
-                        }
-                        if !in_window(tx.ts, window) {
-                            continue;
-                        }
-                        if predicates.iter().all(|p| p.matches(|c| tx.get(c))) {
-                            out.rows
-                                .push(project(schema, projection, materialize(tx))?);
-                        }
+                // Each candidate block scans independently; per-block
+                // row batches concatenate in block order, so the
+                // output matches the sequential scan row for row.
+                let chunks = self.scan_blocks(&blocks, |tx| {
+                    if !tx.tname.eq_ignore_ascii_case(&schema.name) {
+                        return Ok(None);
                     }
+                    if !in_window(tx.ts, window) {
+                        return Ok(None);
+                    }
+                    if predicates.iter().all(|p| p.matches(|c| tx.get(c))) {
+                        Ok(Some(project(schema, projection, materialize(tx))?))
+                    } else {
+                        Ok(None)
+                    }
+                });
+                for chunk in chunks {
+                    out.rows.extend(chunk?);
                 }
             }
             Strategy::Auto => unreachable!("resolved above"),
         }
         Ok(out)
+    }
+
+    /// Reads every block set in `blocks` (in parallel) and runs `per_tx`
+    /// over its transactions in order, collecting the produced rows.
+    /// Returns one row batch per block, in block order.
+    pub(super) fn scan_blocks(
+        &self,
+        blocks: &Bitmap,
+        per_tx: impl Fn(&sebdb_types::Transaction) -> Result<Option<Vec<Value>>, ExecError> + Sync,
+    ) -> Vec<Result<Vec<Vec<Value>>, ExecError>> {
+        let bids: Vec<u64> = blocks.iter_ones().map(|b| b as u64).collect();
+        sebdb_parallel::par_map(&bids, 1, |&bid| {
+            let block = self.ledger.read_block(bid)?;
+            let mut rows = Vec::new();
+            for tx in &block.transactions {
+                if let Some(row) = per_tx(tx)? {
+                    rows.push(row);
+                }
+            }
+            Ok(rows)
+        })
     }
 
     /// Cost-based path choice (Eqs. 1–3): `n` = chain height, `k` =
@@ -120,7 +159,11 @@ impl Executor<'_> {
             .count_ones() as u64;
         let Some((column_name, key_pred)) = indexed else {
             // Without a usable layered index it is bitmap vs scan.
-            return if k < n { Strategy::Bitmap } else { Strategy::Scan };
+            return if k < n {
+                Strategy::Bitmap
+            } else {
+                Strategy::Scan
+            };
         };
         // Estimate p: candidate blocks × average per-block hits. We use
         // the first level only (cheap): candidate blocks × (tx / block

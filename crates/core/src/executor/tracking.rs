@@ -89,17 +89,19 @@ impl Executor<'_> {
                     mask = mask.and(&b);
                 }
                 // Lines 6–13: per block, intersect the second-level
-                // pointer sets of the two indexes, then read.
+                // pointer sets of the two indexes; then batch-read all
+                // surviving pointers at once (blocks fetched across
+                // workers) and materialize in pointer order.
+                let mut ptrs: Vec<TxPtr> = Vec::new();
                 for bid in mask.iter_ones() {
-                    let bid = bid as u64;
-                    let ptrs = self.tracked_ptrs_in_block(bid, &operator, operation);
-                    for ptr in ptrs {
-                        let tx = self.ledger.read_tx(ptr)?;
-                        if in_window(tx.ts, window) && !is_internal(&tx.tname) {
-                            out.rows.push(super::materialize(&tx));
-                        }
-                    }
+                    ptrs.extend(self.tracked_ptrs_in_block(bid as u64, &operator, operation));
                 }
+                let txs = self.ledger.read_txs_grouped(&ptrs)?;
+                let rows = sebdb_parallel::par_map(&txs, 16, |tx| {
+                    (in_window(tx.ts, window) && !is_internal(&tx.tname))
+                        .then(|| super::materialize(tx))
+                });
+                out.rows.extend(rows.into_iter().flatten());
             }
             Strategy::Bitmap => {
                 // Table/sender bitmaps prune blocks; blocks are then
@@ -166,23 +168,22 @@ impl Executor<'_> {
         window: Option<(Timestamp, Timestamp)>,
         out: &mut QueryResult,
     ) -> Result<(), ExecError> {
-        for bid in mask.iter_ones() {
-            let block = self.ledger.read_block(bid as u64)?;
-            for tx in &block.transactions {
-                if let Some(op) = operator {
-                    if tx.sender != *op {
-                        continue;
-                    }
-                }
-                if let Some(tname) = operation {
-                    if !tx.tname.eq_ignore_ascii_case(tname) {
-                        continue;
-                    }
-                }
-                if in_window(tx.ts, window) && !is_internal(&tx.tname) {
-                    out.rows.push(super::materialize(tx));
+        let chunks = self.scan_blocks(mask, |tx| {
+            if let Some(op) = operator {
+                if tx.sender != *op {
+                    return Ok(None);
                 }
             }
+            if let Some(tname) = operation {
+                if !tx.tname.eq_ignore_ascii_case(tname) {
+                    return Ok(None);
+                }
+            }
+            Ok((in_window(tx.ts, window) && !is_internal(&tx.tname))
+                .then(|| super::materialize(tx)))
+        });
+        for chunk in chunks {
+            out.rows.extend(chunk?);
         }
         Ok(())
     }

@@ -17,9 +17,7 @@ use sebdb_index::{
     AuthenticatedLayeredIndex, Bitmap, BlockLevelIndex, EqualDepthHistogram, LayeredIndex,
     TableBitmapIndex,
 };
-use sebdb_storage::{
-    BlockCache, BlockStore, CacheMode, CachedStore, StorageError, TxCache, TxPtr,
-};
+use sebdb_storage::{BlockCache, BlockStore, CacheMode, CachedStore, StorageError, TxCache, TxPtr};
 use sebdb_types::{Block, BlockId, ColumnRef, TableSchema, Timestamp, Transaction, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -165,11 +163,21 @@ impl Ledger {
         Ok(self.cached.read().read_tx(ptr)?)
     }
 
+    /// Reads many transactions at once, grouped by containing block and
+    /// fetched across workers; results come back in input order. The
+    /// executor's index-driven scans use this instead of issuing one
+    /// [`Self::read_tx`] per pointer.
+    pub fn read_txs_grouped(&self, ptrs: &[TxPtr]) -> Result<Vec<Arc<Transaction>>, LedgerError> {
+        Ok(self.cached.read().read_txs_grouped(ptrs)?)
+    }
+
     /// Seals an ordered batch into the next block without appending it
     /// (the node applies schema transactions from the sealed block
     /// *before* the append so readers never observe a height whose
-    /// schemas are missing).
-    pub fn seal_ordered(&self, ordered: &OrderedBlock) -> Result<Block, LedgerError> {
+    /// schemas are missing). Takes the batch by value: the
+    /// transactions move into the sealed block instead of being
+    /// copied, which matters at thousand-transaction block sizes.
+    pub fn seal_ordered(&self, ordered: OrderedBlock) -> Result<Block, LedgerError> {
         let height = self.store.height();
         if ordered.seq != height {
             return Err(LedgerError::BadBlock(format!(
@@ -182,14 +190,14 @@ impl Ledger {
             prev,
             height,
             ordered.timestamp_ms,
-            ordered.txs.clone(),
+            ordered.txs,
             |payload| self.signer.sign(payload).to_bytes(),
         ))
     }
 
     /// Seals an ordered batch into the next block, verifies it, appends
     /// it, and updates every index. Returns the sealed block.
-    pub fn append_ordered(&self, ordered: &OrderedBlock) -> Result<Arc<Block>, LedgerError> {
+    pub fn append_ordered(&self, ordered: OrderedBlock) -> Result<Arc<Block>, LedgerError> {
         let block = self.seal_ordered(ordered)?;
         self.append_block(block)
     }
@@ -218,13 +226,17 @@ impl Ledger {
             )));
         }
         if let Some(verify) = self.tx_verifier.read().as_ref() {
-            for tx in &block.transactions {
-                if !verify(tx) {
-                    return Err(LedgerError::BadBlock(format!(
-                        "block {} carries transaction {} with an invalid signature",
-                        block.header.height, tx.tid
-                    )));
-                }
+            // MAC checks are independent per transaction; verify them
+            // across workers and report the first (lowest-index)
+            // failure, exactly as the sequential scan would.
+            let bad = sebdb_parallel::par_find_first(&block.transactions, 64, |tx| {
+                (!verify(tx)).then_some(tx.tid)
+            });
+            if let Some((_, tid)) = bad {
+                return Err(LedgerError::BadBlock(format!(
+                    "block {} carries transaction {tid} with an invalid signature",
+                    block.header.height
+                )));
             }
         }
         self.store.append(&block)?;
@@ -234,14 +246,24 @@ impl Ledger {
     }
 
     fn index_block(&self, block: &Block) {
-        self.block_index.write().append(block);
-        self.table_index.write().update(block);
-        for idx in self.layered.write().values_mut() {
-            idx.update(block);
-        }
-        for ali in self.alis.write().values_mut() {
-            ali.update(block);
-        }
+        // The four index families live behind separate locks and never
+        // read each other, so they update concurrently. ALI updates
+        // (Merkle work per bucket) dominate; giving them their own
+        // worker overlaps them with the cheap bitmap updates.
+        sebdb_parallel::join_all!(
+            || self.block_index.write().append(block),
+            || self.table_index.write().update(block),
+            || {
+                for idx in self.layered.write().values_mut() {
+                    idx.update(block);
+                }
+            },
+            || {
+                for ali in self.alis.write().values_mut() {
+                    ali.update(block);
+                }
+            }
+        );
     }
 
     /// Creates a layered index (and its ALI twin) on
@@ -453,8 +475,8 @@ mod tests {
     #[test]
     fn append_and_verify_chain() {
         let l = ledger();
-        l.append_ordered(&ordered(0, &[10, 20])).unwrap();
-        l.append_ordered(&ordered(1, &[30])).unwrap();
+        l.append_ordered(ordered(0, &[10, 20])).unwrap();
+        l.append_ordered(ordered(1, &[30])).unwrap();
         assert_eq!(l.height(), 2);
         l.verify_chain().unwrap();
         assert_ne!(l.tip_hash(), Digest::ZERO);
@@ -463,8 +485,8 @@ mod tests {
     #[test]
     fn rejects_wrong_seq_and_bad_linkage() {
         let l = ledger();
-        assert!(l.append_ordered(&ordered(5, &[1])).is_err());
-        l.append_ordered(&ordered(0, &[1])).unwrap();
+        assert!(l.append_ordered(ordered(5, &[1])).is_err());
+        l.append_ordered(ordered(0, &[1])).unwrap();
         // A block not extending the tip is rejected.
         let rogue = Block::seal(Digest::ZERO, 1, now_ms(), vec![], |_| vec![]);
         assert!(l.append_block(rogue).is_err());
@@ -473,8 +495,8 @@ mod tests {
     #[test]
     fn system_tracking_indexes_update_automatically() {
         let l = ledger();
-        l.append_ordered(&ordered(0, &[1, 2])).unwrap(); // senders 1, 0
-        l.append_ordered(&ordered(1, &[3])).unwrap(); // sender 1
+        l.append_ordered(ordered(0, &[1, 2])).unwrap(); // senders 1, 0
+        l.append_ordered(ordered(1, &[3])).unwrap(); // sender 1
         let sender1 = Value::Bytes(vec![1u8; 8]);
         let hits = l
             .with_layered(None, "sen_id", |idx| {
@@ -487,9 +509,10 @@ mod tests {
     #[test]
     fn layered_index_replays_history() {
         let l = ledger();
-        l.append_ordered(&ordered(0, &[10, 900])).unwrap();
-        l.append_ordered(&ordered(1, &[500])).unwrap();
-        l.create_layered_index(&donate_schema(), "amount", None).unwrap();
+        l.append_ordered(ordered(0, &[10, 900])).unwrap();
+        l.append_ordered(ordered(1, &[500])).unwrap();
+        l.create_layered_index(&donate_schema(), "amount", None)
+            .unwrap();
         let hits = l
             .with_layered(Some("donate"), "amount", |idx| {
                 idx.candidate_blocks(&sebdb_index::KeyPredicate::Range(
@@ -500,14 +523,15 @@ mod tests {
             .unwrap();
         assert!(hits.get(1));
         // Creating the same index again is a no-op.
-        l.create_layered_index(&donate_schema(), "amount", None).unwrap();
+        l.create_layered_index(&donate_schema(), "amount", None)
+            .unwrap();
     }
 
     #[test]
     fn window_mask_covers_chain() {
         let l = ledger();
-        l.append_ordered(&ordered(0, &[1])).unwrap();
-        l.append_ordered(&ordered(1, &[2])).unwrap();
+        l.append_ordered(ordered(0, &[1])).unwrap();
+        l.append_ordered(ordered(1, &[2])).unwrap();
         let all = l.window_mask(None);
         assert_eq!(all.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
         let none = l.window_mask(Some((0, 1)));
@@ -522,8 +546,8 @@ mod tests {
         {
             let store = Arc::new(BlockStore::open(&dir, cfg.clone()).unwrap());
             let l = Ledger::new(store, signer()).unwrap();
-            l.append_ordered(&ordered(0, &[10, 20])).unwrap();
-            l.append_ordered(&ordered(1, &[30])).unwrap();
+            l.append_ordered(ordered(0, &[10, 20])).unwrap();
+            l.append_ordered(ordered(1, &[30])).unwrap();
         }
         let store = Arc::new(BlockStore::open(&dir, cfg).unwrap());
         let l = Ledger::new(store, signer()).unwrap();
@@ -537,14 +561,14 @@ mod tests {
             .unwrap();
         assert_eq!(hits.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
         // And appends continue from the right tip.
-        l.append_ordered(&ordered(2, &[40])).unwrap();
+        l.append_ordered(ordered(2, &[40])).unwrap();
         l.verify_chain().unwrap();
     }
 
     #[test]
     fn cache_modes_switch() {
         let l = ledger();
-        l.append_ordered(&ordered(0, &[1, 2, 3])).unwrap();
+        l.append_ordered(ordered(0, &[1, 2, 3])).unwrap();
         l.use_block_cache(1 << 20);
         l.read_block(0).unwrap();
         l.read_block(0).unwrap();

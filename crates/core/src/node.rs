@@ -145,12 +145,10 @@ impl SebdbNode {
                     // Seal, apply schemas, then append — so the schema
                     // catalog is never behind the chain height a writer
                     // observes after its commit ack.
-                    Ok(ordered) => match ledger
-                        .seal_ordered(&ordered)
-                        .and_then(|block| {
-                            schemas.apply_block(&block);
-                            ledger.append_block(block)
-                        }) {
+                    Ok(ordered) => match ledger.seal_ordered(ordered).and_then(|block| {
+                        schemas.apply_block(&block);
+                        ledger.append_block(block)
+                    }) {
                         Ok(_) => {}
                         Err(e) => {
                             // An applier must never wedge the chain
@@ -194,7 +192,10 @@ impl SebdbNode {
 
     /// Resolves an operator name to its sender id.
     pub fn resolve_operator(&self, name: &str) -> Option<KeyId> {
-        self.registry.read().get(&name.to_ascii_lowercase()).copied()
+        self.registry
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .copied()
     }
 
     /// The off-chain connection (if this node pairs with a local

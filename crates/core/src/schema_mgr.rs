@@ -163,7 +163,12 @@ mod tests {
     #[test]
     fn malformed_schema_payload_ignored() {
         let mgr = SchemaManager::new(None);
-        let tx = Transaction::new(1, KeyId([1; 8]), SCHEMA_TABLE, vec![Value::Bytes(vec![9, 9])]);
+        let tx = Transaction::new(
+            1,
+            KeyId([1; 8]),
+            SCHEMA_TABLE,
+            vec![Value::Bytes(vec![9, 9])],
+        );
         let block = Block::seal(Digest::ZERO, 0, 1, vec![tx], |_| vec![]);
         assert!(mgr.apply_block(&block).is_empty());
     }

@@ -80,7 +80,9 @@ pub fn serve_auxiliary_digest(
     height: BlockId,
 ) -> Option<Digest> {
     let mask = ledger.window_mask(window);
-    ledger.with_ali(table, column, |ali| ali.auxiliary_query(pred, Some(&mask), height))
+    ledger.with_ali(table, column, |ali| {
+        ali.auxiliary_query(pred, Some(&mask), height)
+    })
 }
 
 /// A phase-1 response for an authenticated *join* (§VI: "It is
@@ -174,7 +176,10 @@ impl std::fmt::Display for ClientVerifyError {
         match self {
             ClientVerifyError::Proof(e) => write!(f, "proof: {e}"),
             ClientVerifyError::TxHashMismatch { index } => {
-                write!(f, "transaction {index} does not match its authenticated hash")
+                write!(
+                    f,
+                    "transaction {index} does not match its authenticated hash"
+                )
             }
             ClientVerifyError::InsufficientDigests { got, need } => {
                 write!(f, "only {got} matching digests, need {need}")
@@ -216,10 +221,8 @@ impl ThinClient {
         need: usize,
     ) -> Result<(), ClientVerifyError> {
         // Digest agreement first (phase 2).
-        let agreed = most_common(digests).ok_or(ClientVerifyError::InsufficientDigests {
-            got: 0,
-            need,
-        })?;
+        let agreed =
+            most_common(digests).ok_or(ClientVerifyError::InsufficientDigests { got: 0, need })?;
         if agreed.1 < need {
             return Err(ClientVerifyError::InsufficientDigests {
                 got: agreed.1,

@@ -34,15 +34,14 @@ fn append_blocks(ledger: &Ledger, groups: Vec<Vec<(&str, KeyId, Vec<Value>)>>) {
             .into_iter()
             .enumerate()
             .map(|(slot, (tname, sender, values))| {
-                let mut t =
-                    Transaction::new(b as u64 * 1000 + slot as u64, sender, tname, values);
+                let mut t = Transaction::new(b as u64 * 1000 + slot as u64, sender, tname, values);
                 t.tid = tid;
                 tid += 1;
                 t
             })
             .collect();
         ledger
-            .append_ordered(&OrderedBlock {
+            .append_ordered(OrderedBlock {
                 seq: b as u64,
                 timestamp_ms: (b as u64 + 1) * 1000,
                 txs,
@@ -79,10 +78,7 @@ fn empty_chain_queries_return_empty() {
 #[test]
 fn layered_without_index_is_a_clear_error() {
     let l = ledger();
-    append_blocks(
-        &l,
-        vec![vec![("donate", A, vec![Value::decimal(5)])]],
-    );
+    append_blocks(&l, vec![vec![("donate", A, vec![Value::decimal(5)])]]);
     let exec = Executor::new(&l, None);
     let s = schema("donate", &[("amount", DataType::Decimal)]);
     let plan = LogicalPlan::Query {
@@ -194,7 +190,8 @@ fn join_duplicate_keys_produce_cross_products() {
     let left = schema("transfer", &[("organization", DataType::Str)]);
     let right = schema("distribute", &[("organization", DataType::Str)]);
     l.create_layered_index(&left, "organization", None).unwrap();
-    l.create_layered_index(&right, "organization", None).unwrap();
+    l.create_layered_index(&right, "organization", None)
+        .unwrap();
     let exec = Executor::new(&l, None);
     let plan = LogicalPlan::OnChainJoin {
         left_col: left.resolve("organization").unwrap(),
@@ -389,13 +386,7 @@ fn auto_strategy_picks_layered_for_selective_queries() {
     let groups: Vec<Vec<(&str, KeyId, Vec<Value>)>> = (0..30)
         .map(|b| {
             (0..20)
-                .map(|i| {
-                    (
-                        "donate",
-                        A,
-                        vec![Value::decimal((b * 20 + i) as i64)],
-                    )
-                })
+                .map(|i| ("donate", A, vec![Value::decimal((b * 20 + i) as i64)]))
                 .collect()
         })
         .collect();

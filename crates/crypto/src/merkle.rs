@@ -14,6 +14,14 @@
 
 use crate::sha256::{Digest, Sha256};
 
+/// Below this many digests in a level, hashing runs sequentially:
+/// SHA-256 over 65 bytes is ~100ns, so small levels never amortize a
+/// thread handoff.
+const PAR_LEVEL_THRESHOLD: usize = 64;
+
+/// Minimum leaves handed to one worker when leaf-hashing in parallel.
+const MIN_LEAVES_PER_THREAD: usize = 32;
+
 /// Hashes a leaf payload.
 pub fn leaf_hash(data: &[u8]) -> Digest {
     let mut h = Sha256::new();
@@ -68,26 +76,64 @@ impl MerkleProof {
     }
 }
 
+/// Hashes one level into its parent level: adjacent pairs are combined
+/// with [`node_hash`], an odd trailing node is promoted unchanged.
+/// Large levels fan the pair hashing out over `threads` workers; the
+/// output is identical to the sequential reduction either way.
+fn reduce_level(prev: &[Digest], threads: usize) -> Vec<Digest> {
+    let pairs = prev.len() / 2;
+    let mut next: Vec<Digest> = if threads > 1 && prev.len() >= PAR_LEVEL_THRESHOLD {
+        sebdb_parallel::par_chunks(pairs, threads, MIN_LEAVES_PER_THREAD, |range| {
+            range
+                .map(|i| node_hash(&prev[2 * i], &prev[2 * i + 1]))
+                .collect::<Vec<Digest>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        (0..pairs)
+            .map(|i| node_hash(&prev[2 * i], &prev[2 * i + 1]))
+            .collect()
+    };
+    if prev.len() % 2 == 1 {
+        next.push(prev[prev.len() - 1]);
+    }
+    next
+}
+
+/// Hashes raw leaf payloads, in parallel when there are enough of them.
+fn hash_leaves<T: AsRef<[u8]> + Sync>(leaves: &[T], threads: usize) -> Vec<Digest> {
+    if threads > 1 && leaves.len() >= PAR_LEVEL_THRESHOLD {
+        sebdb_parallel::par_map_with_threads(leaves, threads, MIN_LEAVES_PER_THREAD, |l| {
+            leaf_hash(l.as_ref())
+        })
+    } else {
+        leaves.iter().map(|l| leaf_hash(l.as_ref())).collect()
+    }
+}
+
 impl MerkleTree {
     /// Builds a tree over raw leaf payloads.
-    pub fn from_leaves<T: AsRef<[u8]>>(leaves: &[T]) -> Self {
-        let hashes: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
-        Self::from_leaf_hashes(hashes)
+    pub fn from_leaves<T: AsRef<[u8]> + Sync>(leaves: &[T]) -> Self {
+        Self::from_leaves_with_threads(leaves, sebdb_parallel::max_threads())
+    }
+
+    /// [`Self::from_leaves`] with an explicit worker count.
+    pub fn from_leaves_with_threads<T: AsRef<[u8]> + Sync>(leaves: &[T], threads: usize) -> Self {
+        Self::from_leaf_hashes_with_threads(hash_leaves(leaves, threads), threads)
     }
 
     /// Builds a tree over already-hashed leaves.
     pub fn from_leaf_hashes(hashes: Vec<Digest>) -> Self {
+        Self::from_leaf_hashes_with_threads(hashes, sebdb_parallel::max_threads())
+    }
+
+    /// [`Self::from_leaf_hashes`] with an explicit worker count.
+    pub fn from_leaf_hashes_with_threads(hashes: Vec<Digest>, threads: usize) -> Self {
         let mut levels = vec![hashes];
         while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            let mut pairs = prev.chunks_exact(2);
-            for pair in &mut pairs {
-                next.push(node_hash(&pair[0], &pair[1]));
-            }
-            if let [odd] = pairs.remainder() {
-                next.push(*odd);
-            }
+            let next = reduce_level(levels.last().unwrap(), threads);
             levels.push(next);
         }
         MerkleTree { levels }
@@ -153,25 +199,27 @@ impl MerkleTree {
 
 /// Computes only the Merkle root of `leaves` without materializing the
 /// tree — the common path when sealing a block.
-pub fn merkle_root<T: AsRef<[u8]>>(leaves: &[T]) -> Digest {
-    merkle_root_of_hashes(leaves.iter().map(|l| leaf_hash(l.as_ref())).collect())
+pub fn merkle_root<T: AsRef<[u8]> + Sync>(leaves: &[T]) -> Digest {
+    merkle_root_with_threads(leaves, sebdb_parallel::max_threads())
+}
+
+/// [`merkle_root`] with an explicit worker count.
+pub fn merkle_root_with_threads<T: AsRef<[u8]> + Sync>(leaves: &[T], threads: usize) -> Digest {
+    merkle_root_of_hashes_with_threads(hash_leaves(leaves, threads), threads)
 }
 
 /// Computes the Merkle root over pre-hashed leaves.
-pub fn merkle_root_of_hashes(mut level: Vec<Digest>) -> Digest {
+pub fn merkle_root_of_hashes(level: Vec<Digest>) -> Digest {
+    merkle_root_of_hashes_with_threads(level, sebdb_parallel::max_threads())
+}
+
+/// [`merkle_root_of_hashes`] with an explicit worker count.
+pub fn merkle_root_of_hashes_with_threads(mut level: Vec<Digest>, threads: usize) -> Digest {
     if level.is_empty() {
         return Digest::ZERO;
     }
     while level.len() > 1 {
-        let mut next = Vec::with_capacity(level.len().div_ceil(2));
-        let mut pairs = level.chunks_exact(2);
-        for pair in &mut pairs {
-            next.push(node_hash(&pair[0], &pair[1]));
-        }
-        if let [odd] = pairs.remainder() {
-            next.push(*odd);
-        }
-        level = next;
+        level = reduce_level(&level, threads);
     }
     level[0]
 }
@@ -249,6 +297,42 @@ mod tests {
         let b = leaf_hash(b"b");
         let fake_leaf: Vec<u8> = [a.as_bytes(), b.as_bytes()].concat();
         assert_ne!(leaf_hash(&fake_leaf), node_hash(&a, &b));
+    }
+
+    #[test]
+    fn parallel_root_matches_sequential_for_all_small_sizes() {
+        // Straddles the parallel threshold (64) and both parities at
+        // every level; explicit thread counts so the global cap is
+        // irrelevant.
+        for n in 0..=257usize {
+            let ls = leaves(n);
+            let seq = MerkleTree::from_leaves_with_threads(&ls, 1);
+            for threads in [2usize, 3, 4, 8] {
+                let par = MerkleTree::from_leaves_with_threads(&ls, threads);
+                assert_eq!(seq.root(), par.root(), "n={n} threads={threads}");
+                assert_eq!(
+                    seq.root(),
+                    merkle_root_with_threads(&ls, threads),
+                    "fast path n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_proofs_match_sequential() {
+        for n in [64usize, 65, 128, 200, 257] {
+            let ls = leaves(n);
+            let seq = MerkleTree::from_leaves_with_threads(&ls, 1);
+            let par = MerkleTree::from_leaves_with_threads(&ls, 4);
+            let root = seq.root();
+            for (i, leaf) in ls.iter().enumerate() {
+                let ps = seq.proof(i).unwrap();
+                let pp = par.proof(i).unwrap();
+                assert_eq!(ps, pp, "n={n} i={i}");
+                assert!(MerkleTree::verify(&root, leaf, &pp), "n={n} i={i}");
+            }
+        }
     }
 
     #[test]

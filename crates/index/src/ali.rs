@@ -12,8 +12,8 @@ use crate::histogram::EqualDepthHistogram;
 use crate::layered::KeyPredicate;
 use crate::mbtree::{AuthEntry, MbTree, RangeProof, VerifyError, DEFAULT_FANOUT};
 use sebdb_crypto::sha256::{Digest, Sha256};
-use sebdb_types::{Block, BlockId, ColumnRef, Value};
 use sebdb_storage::TxPtr;
+use sebdb_types::{Block, BlockId, ColumnRef, Value};
 use std::collections::HashMap;
 
 /// Authenticated layered index over one attribute.
@@ -141,7 +141,9 @@ impl AuthenticatedLayeredIndex {
                     continue;
                 }
             }
-            let Some(v) = tx.get(self.column) else { continue };
+            let Some(v) = tx.get(self.column) else {
+                continue;
+            };
             if v == Value::Null {
                 continue;
             }
@@ -347,7 +349,7 @@ mod tests {
         // Phase 1: full node.
         let vo = ali.authenticated_query(&pred, None, 3);
         assert_eq!(vo.result_ptrs().len(), 3); // 500, 510, 520
-        // Phase 2: auxiliary node.
+                                               // Phase 2: auxiliary node.
         let digest = ali.auxiliary_query(&pred, None, 3);
         // Client verifies.
         verify_query_vo(&vo, &pred, &digest, ali.fanout()).unwrap();

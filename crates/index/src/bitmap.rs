@@ -90,10 +90,7 @@ impl Bitmap {
 
     /// True if `self & other` has any set bit (without materializing).
     pub fn intersects(&self, other: &Bitmap) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Iterates positions of set bits in ascending order.
@@ -172,7 +169,10 @@ mod tests {
     fn set_range_inclusive() {
         let mut b = Bitmap::new();
         b.set_range(10, 15);
-        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![10, 11, 12, 13, 14, 15]);
+        assert_eq!(
+            b.iter_ones().collect::<Vec<_>>(),
+            vec![10, 11, 12, 13, 14, 15]
+        );
     }
 
     #[test]

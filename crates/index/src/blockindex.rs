@@ -86,11 +86,7 @@ impl BlockLevelIndex {
     /// live in these blocks (a block's timestamp is an upper bound on
     /// its transactions' timestamps). Returns `None` when the window
     /// is empty or precedes the chain entirely.
-    pub fn blocks_in_window(
-        &self,
-        start: Timestamp,
-        end: Timestamp,
-    ) -> Option<(BlockId, BlockId)> {
+    pub fn blocks_in_window(&self, start: Timestamp, end: Timestamp) -> Option<(BlockId, BlockId)> {
         if start > end || self.is_empty() {
             return None;
         }

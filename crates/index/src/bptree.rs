@@ -248,7 +248,6 @@ impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
     }
 }
 
-
 fn rightmost<K, V>(node: &Node<K, V>) -> Option<(&K, &V)> {
     match node {
         Node::Leaf { keys, values } => keys.last().map(|k| (k, values.last().unwrap())),

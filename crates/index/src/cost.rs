@@ -106,7 +106,10 @@ mod tests {
         let c = CostParams::default();
         let scan = c.cost_scan(100);
         let bitmap_all = c.cost_bitmap(100);
-        assert!((scan - bitmap_all).abs() < 1e-9, "k = n degenerates to scan");
+        assert!(
+            (scan - bitmap_all).abs() < 1e-9,
+            "k = n degenerates to scan"
+        );
     }
 
     #[test]

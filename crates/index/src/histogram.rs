@@ -61,7 +61,11 @@ impl EqualDepthHistogram {
     /// The rank bounds `(lower_exclusive, upper_inclusive)` of bucket
     /// `i`; `None` means unbounded on that side.
     pub fn bucket_bounds(&self, i: usize) -> (Option<i64>, Option<i64>) {
-        let lower = if i == 0 { None } else { Some(self.bounds[i - 1]) };
+        let lower = if i == 0 {
+            None
+        } else {
+            Some(self.bounds[i - 1])
+        };
         let upper = self.bounds.get(i).copied();
         (lower, upper)
     }

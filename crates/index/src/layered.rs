@@ -19,8 +19,8 @@
 use crate::bitmap::Bitmap;
 use crate::bptree::BPlusTree;
 use crate::histogram::EqualDepthHistogram;
-use sebdb_types::{Block, BlockId, ColumnRef, Transaction, Value};
 use sebdb_storage::TxPtr;
+use sebdb_types::{Block, BlockId, ColumnRef, Transaction, Value};
 use std::collections::HashMap;
 
 /// Order of second-level trees: sized so a 4 KB page holds one node of
@@ -139,7 +139,9 @@ impl LayeredIndex {
             if !self.covers(tx) {
                 continue;
             }
-            let Some(v) = tx.get(self.column) else { continue };
+            let Some(v) = tx.get(self.column) else {
+                continue;
+            };
             if v == Value::Null {
                 continue;
             }
@@ -285,7 +287,13 @@ impl LayeredIndex {
     /// share join keys?
     pub fn blocks_intersect(&self, bid_r: BlockId, other: &LayeredIndex, bid_s: BlockId) -> bool {
         match (&self.first, &other.first) {
-            (FirstLevel::Continuous { hist, entries }, FirstLevel::Continuous { hist: hist_s, entries: entries_s }) => {
+            (
+                FirstLevel::Continuous { hist, entries },
+                FirstLevel::Continuous {
+                    hist: hist_s,
+                    entries: entries_s,
+                },
+            ) => {
                 let (Some(Some(er)), Some(Some(es))) =
                     (entries.get(bid_r as usize), entries_s.get(bid_s as usize))
                 else {
@@ -310,8 +318,7 @@ impl LayeredIndex {
                 // "depends on whether there are join results of each
                 // bitmap key": some shared value present in both blocks.
                 per_value.iter().any(|(v, bits)| {
-                    bits.get(bid_r as usize)
-                        && pv_s.get(v).is_some_and(|b| b.get(bid_s as usize))
+                    bits.get(bid_r as usize) && pv_s.get(v).is_some_and(|b| b.get(bid_s as usize))
                 })
             }
             // Mixed continuous/discrete join attributes: cannot prune.
@@ -441,7 +448,9 @@ mod tests {
     }
 
     fn amount_index() -> LayeredIndex {
-        let sample: Vec<i64> = (0..1000).map(|i| Value::decimal(i).numeric_rank().unwrap()).collect();
+        let sample: Vec<i64> = (0..1000)
+            .map(|i| Value::decimal(i).numeric_rank().unwrap())
+            .collect();
         LayeredIndex::new_continuous(
             Some("donate".into()),
             ColumnRef::App(2),
@@ -467,7 +476,10 @@ mod tests {
     fn second_level_finds_exact_pointers() {
         let mut idx = amount_index();
         idx.update(&block(0, &[10, 20, 30, 40], "donate"));
-        let ptrs = idx.search_block(0, &KeyPredicate::Range(Value::decimal(15), Value::decimal(35)));
+        let ptrs = idx.search_block(
+            0,
+            &KeyPredicate::Range(Value::decimal(15), Value::decimal(35)),
+        );
         assert_eq!(ptrs.len(), 2);
         let idxs: Vec<u32> = ptrs.iter().map(|p| p.index).collect();
         assert_eq!(idxs, vec![1, 2]);
@@ -478,7 +490,9 @@ mod tests {
         let mut idx = amount_index();
         idx.update(&block(0, &[10, 20], "transfer"));
         assert!(idx.all_blocks().is_empty());
-        assert!(idx.search_block(0, &KeyPredicate::Eq(Value::decimal(10))).is_empty());
+        assert!(idx
+            .search_block(0, &KeyPredicate::Eq(Value::decimal(10)))
+            .is_empty());
     }
 
     #[test]
@@ -519,7 +533,10 @@ mod tests {
             "low block shouldn't intersect high block"
         );
         assert!(r.blocks_intersect(1, &s, 0), "high blocks should intersect");
-        assert!(!r.blocks_intersect(5, &s, 0), "missing block never intersects");
+        assert!(
+            !r.blocks_intersect(5, &s, 0),
+            "missing block never intersects"
+        );
     }
 
     #[test]

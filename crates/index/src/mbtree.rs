@@ -13,9 +13,9 @@
 //! through boundary entries, exactly as in the MB-tree range protocol
 //! of Li et al., SIGMOD'06).
 
+use sebdb_crypto::sha256::{Digest, Sha256};
 use sebdb_storage::TxPtr;
 use sebdb_types::{Encoder, Value};
-use sebdb_crypto::sha256::{Digest, Sha256};
 
 /// Node fanout: entries per 4 KB page at ~64 B per authenticated entry.
 pub const DEFAULT_FANOUT: usize = 64;
@@ -102,8 +102,16 @@ impl RangeProof {
             .iter()
             .map(|(l, r)| (l.len() + r.len()) * 32)
             .sum();
-        let bounds: usize = self.left_boundary.iter().map(AuthEntry::byte_len).sum::<usize>()
-            + self.right_boundary.iter().map(AuthEntry::byte_len).sum::<usize>();
+        let bounds: usize = self
+            .left_boundary
+            .iter()
+            .map(AuthEntry::byte_len)
+            .sum::<usize>()
+            + self
+                .right_boundary
+                .iter()
+                .map(AuthEntry::byte_len)
+                .sum::<usize>();
         fringe + bounds + 16
     }
 }

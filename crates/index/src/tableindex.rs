@@ -83,8 +83,7 @@ mod tests {
             .into_iter()
             .enumerate()
             .map(|(i, (tname, sender))| {
-                let mut t =
-                    Transaction::new(height, sender, tname, vec![Value::Int(i as i64)]);
+                let mut t = Transaction::new(height, sender, tname, vec![Value::Int(i as i64)]);
                 t.tid = height * 100 + i as u64;
                 t
             })
@@ -103,11 +102,15 @@ mod tests {
         idx.update(&block(2, vec![("distribute", ORG2)]));
 
         assert_eq!(
-            idx.blocks_for_table("donate").iter_ones().collect::<Vec<_>>(),
+            idx.blocks_for_table("donate")
+                .iter_ones()
+                .collect::<Vec<_>>(),
             vec![0, 1]
         );
         assert_eq!(
-            idx.blocks_for_table("TRANSFER").iter_ones().collect::<Vec<_>>(),
+            idx.blocks_for_table("TRANSFER")
+                .iter_ones()
+                .collect::<Vec<_>>(),
             vec![0]
         );
         assert!(idx.blocks_for_table("unknown").is_empty());

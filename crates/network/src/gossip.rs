@@ -224,7 +224,10 @@ mod tests {
             g.step();
         }
         for node in 0..10 {
-            assert!(g.has(node, 100) && g.has(node, 200), "node {node} incomplete");
+            assert!(
+                g.has(node, 100) && g.has(node, 200),
+                "node {node} incomplete"
+            );
         }
     }
 

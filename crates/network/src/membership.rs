@@ -127,8 +127,7 @@ mod tests {
     /// Runs `ticks` rounds over `n` fully-meshed views, with nodes in
     /// `dead` not ticking or gossiping from `die_at` onwards.
     fn run(n: usize, ticks: u64, dead: &[NodeId], die_at: u64) -> Vec<MembershipView> {
-        let mut views: Vec<MembershipView> =
-            (0..n).map(|i| MembershipView::new(i, 3, 8)).collect();
+        let mut views: Vec<MembershipView> = (0..n).map(|i| MembershipView::new(i, 3, 8)).collect();
         for t in 0..ticks {
             for (i, view) in views.iter_mut().enumerate() {
                 if dead.contains(&i) && t >= die_at {

@@ -210,7 +210,9 @@ fn pump_loop<M: Send + 'static>(shared: Arc<Shared<M>>) {
             }
         }
         let sleep = match next_due {
-            Some(t) => t.saturating_duration_since(Instant::now()).min(Duration::from_millis(1)),
+            Some(t) => t
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(1)),
             None => Duration::from_micros(200),
         };
         std::thread::sleep(sleep);
@@ -237,7 +239,9 @@ mod tests {
         net.broadcast(0, "block");
         assert!(receivers[0].1.try_recv().is_err());
         for (id, rx) in &receivers[1..] {
-            let env = rx.try_recv().unwrap_or_else(|_| panic!("node {id} missed broadcast"));
+            let env = rx
+                .try_recv()
+                .unwrap_or_else(|_| panic!("node {id} missed broadcast"));
             assert_eq!(env.msg, "block");
         }
     }

@@ -85,9 +85,11 @@ impl OffchainConnection {
     ) -> Result<usize, TypeError> {
         let t = self.db.table(table)?;
         let mut t = t.write();
-        let col = t.column_index(column).ok_or_else(|| TypeError::NoSuchColumn {
-            column: column.to_owned(),
-        })?;
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| TypeError::NoSuchColumn {
+                column: column.to_owned(),
+            })?;
         t.update(pred, col, value)
     }
 
@@ -100,9 +102,11 @@ impl OffchainConnection {
     pub fn create_index(&self, table: &str, column: &str) -> Result<(), TypeError> {
         let t = self.db.table(table)?;
         let mut t = t.write();
-        let col = t.column_index(column).ok_or_else(|| TypeError::NoSuchColumn {
-            column: column.to_owned(),
-        })?;
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| TypeError::NoSuchColumn {
+                column: column.to_owned(),
+            })?;
         t.create_index(col);
         Ok(())
     }
@@ -112,9 +116,11 @@ impl OffchainConnection {
     pub fn min_max(&self, table: &str, column: &str) -> Result<Option<(Value, Value)>, TypeError> {
         let t = self.db.table(table)?;
         let t = t.read();
-        let col = t.column_index(column).ok_or_else(|| TypeError::NoSuchColumn {
-            column: column.to_owned(),
-        })?;
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| TypeError::NoSuchColumn {
+                column: column.to_owned(),
+            })?;
         Ok(t.min(col).zip(t.max(col)))
     }
 
@@ -122,9 +128,11 @@ impl OffchainConnection {
     pub fn distinct(&self, table: &str, column: &str) -> Result<Vec<Value>, TypeError> {
         let t = self.db.table(table)?;
         let t = t.read();
-        let col = t.column_index(column).ok_or_else(|| TypeError::NoSuchColumn {
-            column: column.to_owned(),
-        })?;
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| TypeError::NoSuchColumn {
+                column: column.to_owned(),
+            })?;
         Ok(t.distinct(col))
     }
 
@@ -137,9 +145,11 @@ impl OffchainConnection {
     ) -> Result<(usize, Vec<Vec<Value>>), TypeError> {
         let t = self.db.table(table)?;
         let t = t.read();
-        let col = t.column_index(column).ok_or_else(|| TypeError::NoSuchColumn {
-            column: column.to_owned(),
-        })?;
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| TypeError::NoSuchColumn {
+                column: column.to_owned(),
+            })?;
         Ok((col, t.sorted_by(col)))
     }
 

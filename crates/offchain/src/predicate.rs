@@ -72,12 +72,12 @@ impl Predicate {
     pub fn eval(&self, row: &[Value]) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Compare { column, op, value } => row
+            Predicate::Compare { column, op, value } => {
+                row.get(*column).is_some_and(|v| op.eval(v, value))
+            }
+            Predicate::Between { column, lo, hi } => row
                 .get(*column)
-                .is_some_and(|v| op.eval(v, value)),
-            Predicate::Between { column, lo, hi } => row.get(*column).is_some_and(|v| {
-                *v != Value::Null && v >= lo && v <= hi
-            }),
+                .is_some_and(|v| *v != Value::Null && v >= lo && v <= hi),
             Predicate::And(a, b) => a.eval(row) && b.eval(row),
             Predicate::Or(a, b) => a.eval(row) || b.eval(row),
         }
@@ -92,9 +92,7 @@ impl Predicate {
                 op: CmpOp::Eq,
                 value,
             } => Some((*column, value.clone(), value.clone())),
-            Predicate::Between { column, lo, hi } => {
-                Some((*column, lo.clone(), hi.clone()))
-            }
+            Predicate::Between { column, lo, hi } => Some((*column, lo.clone(), hi.clone())),
             _ => None,
         }
     }

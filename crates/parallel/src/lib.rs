@@ -1,0 +1,280 @@
+//! Data-parallel building blocks for SEBDB's hot paths.
+//!
+//! The engine parallelizes three things: Merkle tree construction,
+//! per-transaction MAC verification on the append path, and
+//! block-grouped scan materialization. All of them reduce to a small
+//! set of order-preserving primitives over slices, built here on
+//! `std::thread::scope` so the crate has zero dependencies.
+//!
+//! Every primitive degrades to the exact sequential algorithm when the
+//! effective thread count is 1 (the default can be overridden with
+//! `SEBDB_THREADS` or [`set_max_threads`]), so single-threaded runs
+//! reproduce the pre-parallel engine byte for byte.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0); // 0 = uninitialized
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("SEBDB_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Returns the engine-wide worker cap (>= 1).
+pub fn max_threads() -> usize {
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the engine-wide worker cap. `n` is clamped to >= 1.
+/// Setting 1 makes every primitive run its sequential fallback.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Workers to use for `len` items given a per-thread floor: no point
+/// spinning up a thread for less than `min_per_thread` items.
+fn workers_for(len: usize, threads: usize, min_per_thread: usize) -> usize {
+    if threads <= 1 || len < 2 * min_per_thread.max(1) {
+        return 1;
+    }
+    threads.min(len / min_per_thread.max(1)).max(1)
+}
+
+/// Maps `items` to a new vector, preserving order. Chunks are handed
+/// to scoped threads; the result is reassembled in index order so the
+/// output is identical to `items.iter().map(f).collect()`.
+pub fn par_map<T, U, F>(items: &[T], min_per_thread: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with_threads(items, max_threads(), min_per_thread, f)
+}
+
+/// [`par_map`] with an explicit thread count (for tests and benches
+/// that must not race on the global cap).
+pub fn par_map_with_threads<T, U, F>(
+    items: &[T],
+    threads: usize,
+    min_per_thread: usize,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers_for(items.len(), threads, min_per_thread);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(|| part.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel map worker panicked"));
+        }
+    });
+    out
+}
+
+/// Maps index ranges `0..len` to per-chunk results. Used when the
+/// caller needs slices of an output buffer rather than per-item
+/// values. Results come back in chunk order.
+pub fn par_chunks<U, F>(len: usize, threads: usize, min_per_thread: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> U + Sync,
+{
+    let workers = workers_for(len, threads, min_per_thread);
+    if workers == 1 {
+        return vec![f(0..len)];
+    }
+    let chunk = len.div_ceil(workers);
+    let mut out = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|start| {
+                let range = start..(start + chunk).min(len);
+                scope.spawn(|| f(range))
+            })
+            .collect();
+        for handle in handles {
+            out.push(handle.join().expect("parallel chunk worker panicked"));
+        }
+    });
+    out
+}
+
+/// Finds the first item (lowest index) for which `f` returns `Some`,
+/// matching the sequential scan's answer exactly: every chunk reports
+/// its own first hit and the lowest-index hit wins.
+pub fn par_find_first<T, U, F>(items: &[T], min_per_thread: usize, f: F) -> Option<(usize, U)>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    let workers = workers_for(items.len(), max_threads(), min_per_thread);
+    if workers == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .find_map(|(i, t)| f(t).map(|u| (i, u)));
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut first: Option<(usize, U)> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, part)| {
+                let base = ci * chunk;
+                let f = &f;
+                scope.spawn(move || {
+                    part.iter()
+                        .enumerate()
+                        .find_map(|(i, t)| f(t).map(|u| (base + i, u)))
+                })
+            })
+            .collect();
+        // Chunks arrive in index order, so the first Some is the
+        // lowest-index hit.
+        for handle in handles {
+            let hit = handle.join().expect("parallel find worker panicked");
+            if first.is_none() {
+                first = hit;
+            }
+        }
+    });
+    first
+}
+
+/// Runs independent closures concurrently (one thread each beyond the
+/// first) and waits for all of them. With a cap of 1 they run in
+/// order on the caller's thread.
+pub fn par_invoke(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    if max_threads() <= 1 || tasks.len() <= 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut iter = tasks.into_iter();
+        let first = iter.next();
+        let handles: Vec<_> = iter.map(|task| scope.spawn(task)).collect();
+        // Run one task on the calling thread instead of parking it.
+        if let Some(task) = first {
+            task();
+        }
+        for handle in handles {
+            handle.join().expect("parallel task panicked");
+        }
+    });
+}
+
+/// Convenience macro for [`par_invoke`]: `join_all!(|| a(), || b())`.
+#[macro_export]
+macro_rules! join_all {
+    ($($task:expr),+ $(,)?) => {
+        $crate::par_invoke(vec![$(Box::new($task)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tests that mutate the global cap serialize on this lock.
+    static CAP_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map_with_threads(&items, threads, 4, |x| x * 3 + 1);
+            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_small_input_stays_sequential() {
+        let items = [1u32, 2, 3];
+        assert_eq!(
+            par_map_with_threads(&items, 8, 64, |x| x + 1),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let parts = par_chunks(103, 4, 8, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_empty() {
+        let parts = par_chunks(0, 4, 8, |r| r.len());
+        assert_eq!(parts, vec![0]);
+    }
+
+    #[test]
+    fn find_first_matches_sequential() {
+        let _guard = CAP_LOCK.lock().unwrap();
+        set_max_threads(4);
+        let items: Vec<u32> = (0..500).collect();
+        // Hits at 123 and 400; the scan must report 123.
+        let hit = par_find_first(&items, 4, |&x| (x == 123 || x == 400).then_some(x * 2));
+        assert_eq!(hit, Some((123, 246)));
+        let miss = par_find_first(&items, 4, |&x| (x > 1000).then_some(()));
+        assert_eq!(miss, None);
+        set_max_threads(1);
+    }
+
+    #[test]
+    fn invoke_runs_all_tasks() {
+        let _guard = CAP_LOCK.lock().unwrap();
+        set_max_threads(4);
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        join_all!(|| *a.lock().unwrap() += 1, || *b.lock().unwrap() += 2);
+        assert_eq!(*a.lock().unwrap(), 1);
+        assert_eq!(*b.lock().unwrap(), 2);
+        set_max_threads(1);
+        join_all!(|| *a.lock().unwrap() += 1, || *b.lock().unwrap() += 2);
+        assert_eq!(*a.lock().unwrap(), 2);
+        assert_eq!(*b.lock().unwrap(), 4);
+    }
+
+    #[test]
+    fn cap_is_clamped() {
+        let _guard = CAP_LOCK.lock().unwrap();
+        set_max_threads(0);
+        assert_eq!(max_threads(), 1);
+        set_max_threads(6);
+        assert_eq!(max_threads(), 6);
+        set_max_threads(1);
+    }
+}

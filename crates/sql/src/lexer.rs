@@ -100,48 +100,81 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SqlError> {
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: start });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: start });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { token: Token::LBracket, offset: start });
+                out.push(Spanned {
+                    token: Token::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { token: Token::RBracket, offset: start });
+                out.push(Spanned {
+                    token: Token::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: start });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, offset: start });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { token: Token::Semicolon, offset: start });
+                out.push(Spanned {
+                    token: Token::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { token: Token::Star, offset: start });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '?' => {
-                out.push(Spanned { token: Token::Param, offset: start });
+                out.push(Spanned {
+                    token: Token::Param,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { token: Token::Eq, offset: start });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Ne, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(SqlError::new("expected '=' after '!'", start));
@@ -149,24 +182,39 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SqlError> {
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    out.push(Spanned { token: Token::Le, offset: start });
+                    out.push(Spanned {
+                        token: Token::Le,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    out.push(Spanned { token: Token::Ne, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Spanned { token: Token::Lt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Ge, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Gt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -199,7 +247,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SqlError> {
                         }
                     }
                 }
-                out.push(Spanned { token: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
             '-' | '0'..='9' => {
                 let mut j = i;
@@ -234,7 +285,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SqlError> {
                             .map_err(|_| SqlError::new("integer literal out of range", start))?,
                     )
                 };
-                out.push(Spanned { token, offset: start });
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -253,7 +307,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SqlError> {
                 i = j;
             }
             other => {
-                return Err(SqlError::new(format!("unexpected character '{other}'"), start));
+                return Err(SqlError::new(
+                    format!("unexpected character '{other}'"),
+                    start,
+                ));
             }
         }
     }
@@ -272,7 +329,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -358,9 +419,15 @@ mod tests {
 
     #[test]
     fn utf8_strings_and_identifiers() {
-        assert_eq!(toks("'h\u{e9}llo w\u{f6}rld'"), vec![Token::Str("h\u{e9}llo w\u{f6}rld".into())]);
+        assert_eq!(
+            toks("'h\u{e9}llo w\u{f6}rld'"),
+            vec![Token::Str("h\u{e9}llo w\u{f6}rld".into())]
+        );
         // Unicode identifiers are accepted whole.
-        assert_eq!(toks("pr\u{e9}nom"), vec![Token::Ident("pr\u{e9}nom".into())]);
+        assert_eq!(
+            toks("pr\u{e9}nom"),
+            vec![Token::Ident("pr\u{e9}nom".into())]
+        );
         // Garbage multi-byte input errors instead of panicking.
         assert!(tokenize("\u{1F600}").is_err());
     }

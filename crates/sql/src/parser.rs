@@ -19,7 +19,7 @@
 
 use crate::ast::*;
 use crate::lexer::{tokenize, Spanned, SqlError, Token};
-use sebdb_types::{DataType, Value, value::DECIMAL_SCALE};
+use sebdb_types::{value::DECIMAL_SCALE, DataType, Value};
 
 /// Parses one statement (a trailing `;` is allowed).
 pub fn parse(src: &str) -> Result<Statement, SqlError> {
@@ -79,7 +79,10 @@ impl Parser {
                 format!("expected {what}, found {:?}", t.token),
                 t.offset,
             )),
-            None => Err(SqlError::new(format!("expected {what}, found end of input"), usize::MAX)),
+            None => Err(SqlError::new(
+                format!("expected {what}, found end of input"),
+                usize::MAX,
+            )),
         }
     }
 
@@ -446,8 +449,7 @@ mod tests {
 
     #[test]
     fn parses_create() {
-        let stmt =
-            parse("CREATE Donate (donor string, project string, amount decimal)").unwrap();
+        let stmt = parse("CREATE Donate (donor string, project string, amount decimal)").unwrap();
         assert_eq!(
             stmt,
             Statement::Create {
@@ -586,8 +588,7 @@ mod tests {
 
     #[test]
     fn parses_select_with_window() {
-        let stmt =
-            parse(r#"SELECT * FROM donate WHERE donor = "Jack" WINDOW [100, 200]"#).unwrap();
+        let stmt = parse(r#"SELECT * FROM donate WHERE donor = "Jack" WINDOW [100, 200]"#).unwrap();
         match stmt {
             Statement::Select(s) => {
                 assert!(s.window.is_some());
@@ -602,7 +603,10 @@ mod tests {
         let stmt = parse("SELECT donor, amount FROM donate WHERE amount >= 10").unwrap();
         match stmt {
             Statement::Select(s) => {
-                assert_eq!(s.projection, vec!["donor".to_string(), "amount".to_string()]);
+                assert_eq!(
+                    s.projection,
+                    vec!["donor".to_string(), "amount".to_string()]
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -659,7 +663,7 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse("DROP TABLE donate").is_err());
         assert!(parse("SELECT FROM donate").is_err());
-        assert!(parse("INSERT INTO t (1,2,") .is_err());
+        assert!(parse("INSERT INTO t (1,2,").is_err());
         assert!(parse("SELECT * FROM a, b").is_err()); // join without ON
         assert!(parse("SELECT * FROM mars.x, b ON x.a = b.a").is_err());
         assert!(parse("SELECT * FROM t WHERE a = 1 extra").is_err());
@@ -677,7 +681,12 @@ mod tests {
         // Nested EXPLAIN is accepted (idempotent description).
         assert!(parse("EXPLAIN EXPLAIN GET BLOCK ID = 1").is_ok());
         // Params flow through.
-        assert_eq!(parse("EXPLAIN INSERT INTO t VALUES (?, ?)").unwrap().param_count(), 2);
+        assert_eq!(
+            parse("EXPLAIN INSERT INTO t VALUES (?, ?)")
+                .unwrap()
+                .param_count(),
+            2
+        );
         assert!(parse("EXPLAIN").is_err());
     }
 
@@ -692,7 +701,8 @@ mod tests {
 
     #[test]
     fn params_numbered_left_to_right() {
-        let stmt = parse("SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ? WINDOW [?, ?]").unwrap();
+        let stmt =
+            parse("SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ? WINDOW [?, ?]").unwrap();
         assert_eq!(stmt.param_count(), 5);
     }
 }

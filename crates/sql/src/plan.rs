@@ -401,7 +401,10 @@ fn plan_select_inner(
                 .position(|c| c.name.eq_ignore_ascii_case(&j.right_col))
                 .ok_or_else(|| {
                     SqlError::new(
-                        format!("no column '{}' in off-chain '{}'", j.right_col, j.table.name),
+                        format!(
+                            "no column '{}' in off-chain '{}'",
+                            j.right_col, j.table.name
+                        ),
                         0,
                     )
                 })?;
@@ -522,7 +525,9 @@ mod tests {
         .unwrap();
         match p {
             LogicalPlan::OnChainJoin {
-                left_col, right_col, ..
+                left_col,
+                right_col,
+                ..
             } => {
                 assert_eq!(left_col, ColumnRef::App(1));
                 assert_eq!(right_col, ColumnRef::App(0));
@@ -555,7 +560,11 @@ mod tests {
 
     #[test]
     fn plans_trace() {
-        let p = plan_sql(r#"TRACE [5, 10] OPERATOR = "org1", OPERATION = "Donate""#, &[]).unwrap();
+        let p = plan_sql(
+            r#"TRACE [5, 10] OPERATOR = "org1", OPERATION = "Donate""#,
+            &[],
+        )
+        .unwrap();
         assert_eq!(
             p,
             LogicalPlan::Trace {
@@ -587,11 +596,7 @@ mod tests {
 
     #[test]
     fn bound_predicate_matching() {
-        let p = plan_sql(
-            "SELECT * FROM donate WHERE amount BETWEEN 10 AND 20",
-            &[],
-        )
-        .unwrap();
+        let p = plan_sql("SELECT * FROM donate WHERE amount BETWEEN 10 AND 20", &[]).unwrap();
         let LogicalPlan::Query { predicates, .. } = p else {
             panic!()
         };

@@ -178,10 +178,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "sebdb-seg-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("sebdb-seg-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }
@@ -225,8 +222,7 @@ mod tests {
         w.flush().unwrap();
         drop(w);
         // Resume believing only the first record was committed.
-        let mut w2 =
-            SegmentWriter::open(&dir, 1024, Some((0, a.offset + a.len as u64))).unwrap();
+        let mut w2 = SegmentWriter::open(&dir, 1024, Some((0, a.offset + a.len as u64))).unwrap();
         let b = w2.append(b"new").unwrap();
         w2.flush().unwrap();
         assert_eq!(b.offset, 7);

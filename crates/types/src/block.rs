@@ -92,6 +92,12 @@ pub struct Block {
     pub transactions: Vec<Transaction>,
 }
 
+/// Encodes each transaction to its canonical bytes (the Merkle
+/// leaves), fanning out across workers for large bodies.
+fn encode_tx_leaves(transactions: &[Transaction]) -> Vec<Vec<u8>> {
+    sebdb_parallel::par_map(transactions, 32, |t| t.to_bytes())
+}
+
 impl Block {
     /// Seals a block: assigns the Merkle root, links to `prev_hash`, and
     /// computes the block hash. `sign` produces the packager signature
@@ -103,7 +109,7 @@ impl Block {
         transactions: Vec<Transaction>,
         sign: impl FnOnce(&[u8]) -> Vec<u8>,
     ) -> Block {
-        let leaves: Vec<Vec<u8>> = transactions.iter().map(|t| t.to_bytes()).collect();
+        let leaves = encode_tx_leaves(&transactions);
         let trans_root = sebdb_crypto::merkle::merkle_root(&leaves);
         let mut header = BlockHeader {
             prev_hash,
@@ -124,7 +130,7 @@ impl Block {
     /// Verifies internal consistency: the Merkle root matches the body
     /// and the block hash matches the header.
     pub fn verify_integrity(&self) -> bool {
-        let leaves: Vec<Vec<u8>> = self.transactions.iter().map(|t| t.to_bytes()).collect();
+        let leaves = encode_tx_leaves(&self.transactions);
         sebdb_crypto::merkle::merkle_root(&leaves) == self.header.trans_root
             && self.header.compute_hash() == self.header.block_hash
     }
@@ -132,8 +138,7 @@ impl Block {
     /// Builds the full Merkle tree over the body (for membership proofs
     /// and the basic thin-client verification path).
     pub fn merkle_tree(&self) -> MerkleTree {
-        let leaves: Vec<Vec<u8>> = self.transactions.iter().map(|t| t.to_bytes()).collect();
-        MerkleTree::from_leaves(&leaves)
+        MerkleTree::from_leaves(&encode_tx_leaves(&self.transactions))
     }
 
     /// The id of the first transaction in the block, if any. Together
@@ -179,12 +184,7 @@ mod tests {
     use sebdb_crypto::sig::KeyId;
 
     fn tx(tid: TxId, tname: &str) -> Transaction {
-        let mut t = Transaction::new(
-            tid * 10,
-            KeyId([0; 8]),
-            tname,
-            vec![Value::Int(tid as i64)],
-        );
+        let mut t = Transaction::new(tid * 10, KeyId([0; 8]), tname, vec![Value::Int(tid as i64)]);
         t.tid = tid;
         t
     }
@@ -220,7 +220,11 @@ mod tests {
 
     #[test]
     fn codec_roundtrip() {
-        let b = sealed(3, sha256(b"prev"), vec![tx(5, "donate"), tx(6, "distribute")]);
+        let b = sealed(
+            3,
+            sha256(b"prev"),
+            vec![tx(5, "donate"), tx(6, "distribute")],
+        );
         let decoded = Block::from_bytes(&b.to_bytes()).unwrap();
         assert_eq!(decoded, b);
         assert!(decoded.verify_integrity());

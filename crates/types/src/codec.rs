@@ -207,7 +207,12 @@ impl<'a> Decoder<'a> {
             4 => Value::Bool(self.get_u8("bool value")? != 0),
             5 => Value::Timestamp(self.get_u64("timestamp value")?),
             6 => Value::Bytes(self.get_bytes("bytes value")?.to_vec()),
-            tag => return Err(TypeError::BadTag { context: "value", tag }),
+            tag => {
+                return Err(TypeError::BadTag {
+                    context: "value",
+                    tag,
+                })
+            }
         })
     }
 

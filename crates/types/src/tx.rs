@@ -39,12 +39,7 @@ pub struct Transaction {
 
 impl Transaction {
     /// Builds an unsigned, unordered transaction.
-    pub fn new(
-        ts: Timestamp,
-        sender: KeyId,
-        tname: impl Into<String>,
-        values: Vec<Value>,
-    ) -> Self {
+    pub fn new(ts: Timestamp, sender: KeyId, tname: impl Into<String>, values: Vec<Value>) -> Self {
         Transaction {
             tid: 0,
             ts,
@@ -135,7 +130,11 @@ mod tests {
             1234,
             KeyId([1, 2, 3, 4, 5, 6, 7, 8]),
             "donate",
-            vec![Value::str("Jack"), Value::str("Education"), Value::decimal(100)],
+            vec![
+                Value::str("Jack"),
+                Value::str("Education"),
+                Value::decimal(100),
+            ],
         )
     }
 

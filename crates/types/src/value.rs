@@ -62,7 +62,10 @@ impl DataType {
     /// Whether the layered index treats this attribute as continuous
     /// (histogram buckets) or discrete (per-value bitmaps). §IV-B.
     pub fn is_continuous(&self) -> bool {
-        matches!(self, DataType::Int | DataType::Decimal | DataType::Timestamp)
+        matches!(
+            self,
+            DataType::Int | DataType::Decimal | DataType::Timestamp
+        )
     }
 }
 

@@ -57,8 +57,16 @@ fn main() {
     .unwrap();
 
     // The three on-chain relations of Fig. 6.
-    node.execute("CREATE donate (donor string, project string, amount decimal)", &[]).unwrap();
-    node.execute("CREATE transfer (project string, donor string, organization string, amount decimal)", &[]).unwrap();
+    node.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
+    node.execute(
+        "CREATE transfer (project string, donor string, organization string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     node.execute("CREATE distribute (project string, donor string, organization string, donee string, amount decimal)", &[]).unwrap();
 
     // Example 1's events: Jack donates, the charity transfers, School1
@@ -139,7 +147,10 @@ fn main() {
         .position(|c| c == "doneeinfo.income")
         .unwrap();
     for row in &enriched.rows {
-        println!("  donee {} (household income {})", row[donee_col], row[income_col]);
+        println!(
+            "  donee {} (household income {})",
+            row[donee_col], row[income_col]
+        );
     }
     assert_eq!(enriched.len(), 2);
 

@@ -45,8 +45,11 @@ fn main() {
         &[],
     )
     .unwrap();
-    node.execute("CREATE sale (batch string, store string, price decimal)", &[])
-        .unwrap();
+    node.execute(
+        "CREATE sale (batch string, store string, price decimal)",
+        &[],
+    )
+    .unwrap();
 
     // Channels: farms write harvests; retail writes sales; everyone in
     // the consortium can read everything plus chain metadata.
@@ -131,7 +134,10 @@ fn main() {
         .unwrap()
         .rows()
         .unwrap();
-    println!("\nprovenance of sunny-acres' activity ({} events):", trail.len());
+    println!(
+        "\nprovenance of sunny-acres' activity ({} events):",
+        trail.len()
+    );
     for row in &trail.rows {
         println!("  tid={} type={}", row[0], row[4]);
     }

@@ -50,7 +50,9 @@ fn main() {
     // Every node builds the authenticated index on donate.amount.
     let schema = full.schemas.get("donate").unwrap();
     for n in [&full, &aux1, &aux2] {
-        n.ledger.create_layered_index(&schema, "amount", None).unwrap();
+        n.ledger
+            .create_layered_index(&schema, "amount", None)
+            .unwrap();
     }
 
     // The client's question: all donations between 200 and 600.
@@ -70,8 +72,10 @@ fn main() {
     // Phase 2: the client relays (query, height) to auxiliary nodes
     // and collects digests over the visited MB-tree roots.
     let h = response.vo.height;
-    let d1 = serve_auxiliary_digest(&aux1.ledger, Some("donate"), "amount", &pred, None, h).unwrap();
-    let d2 = serve_auxiliary_digest(&aux2.ledger, Some("donate"), "amount", &pred, None, h).unwrap();
+    let d1 =
+        serve_auxiliary_digest(&aux1.ledger, Some("donate"), "amount", &pred, None, h).unwrap();
+    let d2 =
+        serve_auxiliary_digest(&aux2.ledger, Some("donate"), "amount", &pred, None, h).unwrap();
 
     // The client verifies soundness + completeness.
     let client = ThinClient::new();

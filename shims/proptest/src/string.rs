@@ -1,0 +1,199 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax (everything SEBDB's tests use): literal
+//! characters, escaped literals (`\.`), the class `\PC` (any printable
+//! ASCII character), bracket classes with ranges (`[a-z0-9_.-]`,
+//! `[ -~]`), and `{m,n}` repetition of the preceding atom. Anything
+//! fancier panics loudly so a test never silently under-covers.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Inclusive character ranges the atom draws from.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = atom.min + rng.below(atom.max - atom.min + 1);
+        for _ in 0..n {
+            out.push(sample_char(&atom.ranges, rng));
+        }
+    }
+    out
+}
+
+fn sample_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.below(total as usize) as u32;
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick).expect("range stays in valid chars");
+        }
+        pick -= span;
+    }
+    unreachable!("pick < total")
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let (ranges, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                ranges
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                i += 2;
+                if c == 'P' {
+                    // `\PC`: not-a-control-character; printable ASCII.
+                    let cat = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("\\P needs a category in {pattern:?}"));
+                    assert!(
+                        cat == 'C',
+                        "only \\PC is supported, got \\P{cat} in {pattern:?}"
+                    );
+                    i += 1;
+                    vec![(' ', '~')]
+                } else {
+                    vec![(c, c)]
+                }
+            }
+            '(' | ')' | '*' | '+' | '?' | '|' | '^' | '$' => {
+                panic!("unsupported regex syntax {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // Optional {m,n} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{}} in regex {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (m, n) = body
+                .split_once(',')
+                .unwrap_or_else(|| panic!("only {{m,n}} repetition is supported in {pattern:?}"));
+            i = close + 1;
+            (
+                m.trim().parse().expect("numeric repetition bound"),
+                n.trim().parse().expect("numeric repetition bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition bounds in {pattern:?}");
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+/// Parses a `[...]` class starting just after the `[`; returns the
+/// ranges and the index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "negated classes are not supported in {pattern:?}"
+    );
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        // `a-z` range, unless `-` is the final literal before `]`.
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            assert!(lo <= hi, "inverted class range in {pattern:?}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    assert!(chars.get(i) == Some(&']'), "unclosed class in {pattern:?}");
+    assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+    (ranges, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,10}", &mut r);
+            assert!((1..=11).contains(&s.len()));
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("\\PC{0,200}", &mut r);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        let s = generate("[ -~]{0,120}", &mut r);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut r = rng();
+        let mut saw_dash = false;
+        for _ in 0..2000 {
+            let s = generate("[a.-]{1,1}", &mut r);
+            let c = s.chars().next().unwrap();
+            assert!(c == 'a' || c == '.' || c == '-');
+            saw_dash |= c == '-';
+        }
+        assert!(saw_dash);
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+    }
+}

@@ -3,9 +3,7 @@
 //! ship-all-blocks comparison path.
 
 use sebdb::ledger::Ledger;
-use sebdb::{
-    byzantine_risk, serve_authenticated_query, serve_auxiliary_digest, ThinClient,
-};
+use sebdb::{byzantine_risk, serve_authenticated_query, serve_auxiliary_digest, ThinClient};
 use sebdb_consensus::OrderedBlock;
 use sebdb_crypto::sha256::sha256;
 use sebdb_crypto::sig::{KeyId, MacKeypair};
@@ -57,7 +55,7 @@ fn populated_ledger(blocks: u64, per_block: usize) -> Ledger {
             })
             .collect();
         ledger
-            .append_ordered(&OrderedBlock {
+            .append_ordered(OrderedBlock {
                 seq: b,
                 timestamp_ms: (b + 1) * 1000,
                 txs,
@@ -82,8 +80,7 @@ fn honest_two_phase_protocol_verifies() {
     let pred = amount_range(1000, 2500);
 
     // Phase 1: the randomly chosen full node answers with results + VO.
-    let response =
-        serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
+    let response = serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
     assert!(!response.transactions.is_empty());
 
     // Phase 2: auxiliary nodes answer at the relayed snapshot height.
@@ -97,7 +94,9 @@ fn honest_two_phase_protocol_verifies() {
 
     // All returned amounts are in range (soundness spot check).
     for tx in &response.transactions {
-        let Value::Decimal(a) = tx.values[2] else { panic!() };
+        let Value::Decimal(a) = tx.values[2] else {
+            panic!()
+        };
         assert!((1000 * 10_000..=2500 * 10_000).contains(&a));
     }
 }
@@ -177,8 +176,7 @@ fn malicious_full_node_hiding_a_block_is_caught() {
 fn byzantine_auxiliary_minority_is_outvoted() {
     let full = populated_ledger(4, 8);
     let pred = amount_range(0, 500);
-    let response =
-        serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
+    let response = serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
     let h = response.vo.height;
     let honest = serve_auxiliary_digest(&full, Some("donate"), "amount", &pred, None, h).unwrap();
     let byzantine = sha256(b"whatever I want");
@@ -207,12 +205,13 @@ fn snapshot_isolation_across_heights() {
     let full = populated_ledger(4, 8);
     let ahead = populated_ledger(6, 8); // same prefix, two more blocks
     let pred = amount_range(0, 1_000_000);
-    let response =
-        serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
+    let response = serve_authenticated_query(&full, Some("donate"), "amount", &pred, None).unwrap();
     let h = response.vo.height;
     assert_eq!(h, 4);
     let d = serve_auxiliary_digest(&ahead, Some("donate"), "amount", &pred, None, h).unwrap();
-    ThinClient::new().verify(&pred, &response, &[d, d], 2).unwrap();
+    ThinClient::new()
+        .verify(&pred, &response, &[d, d], 2)
+        .unwrap();
 }
 
 #[test]
@@ -220,7 +219,9 @@ fn basic_approach_verifies_and_detects_tampering() {
     let ledger = populated_ledger(5, 8);
     let mut client = ThinClient::new();
     client.sync_headers(&ledger);
-    let blocks: Vec<_> = (0..5).map(|b| (*ledger.read_block(b).unwrap()).clone()).collect();
+    let blocks: Vec<_> = (0..5)
+        .map(|b| (*ledger.read_block(b).unwrap()).clone())
+        .collect();
 
     let results = client
         .verify_blocks_basic(&blocks, |t| t.sender == ORG1)
@@ -278,7 +279,7 @@ mod authenticated_join {
                 }
             }
             ledger
-                .append_ordered(&OrderedBlock {
+                .append_ordered(OrderedBlock {
                     seq: b,
                     timestamp_ms: (b + 1) * 1000,
                     txs,
@@ -299,8 +300,12 @@ mod authenticated_join {
                 Column::new("amount", DataType::Decimal),
             ],
         );
-        ledger.create_layered_index(&transfer, "organization", None).unwrap();
-        ledger.create_layered_index(&distribute, "organization", None).unwrap();
+        ledger
+            .create_layered_index(&transfer, "organization", None)
+            .unwrap();
+        ledger
+            .create_layered_index(&distribute, "organization", None)
+            .unwrap();
         ledger
     }
 
@@ -326,10 +331,8 @@ mod authenticated_join {
         let dr =
             serve_auxiliary_digest(&ledger, Some("distribute"), "organization", &pred, None, h)
                 .unwrap();
-        let rows = verify_and_join(
-            &resp, &pred, &[dl, dl], &[dr, dr], 2, org_value, org_value,
-        )
-        .unwrap();
+        let rows =
+            verify_and_join(&resp, &pred, &[dl, dl], &[dr, dr], 2, org_value, org_value).unwrap();
         // Each block has 3 orgs appearing once per relation; orgs repeat
         // across blocks, so compute the oracle with a plain hash join.
         let mut by_org: std::collections::HashMap<Value, usize> = Default::default();
@@ -372,9 +375,8 @@ mod authenticated_join {
         // the join: must be detected.
         resp.right.transactions.remove(0);
         resp.right.vo.per_block[0].results.remove(0);
-        assert!(verify_and_join(
-            &resp, &pred, &[dl, dl], &[dr, dr], 2, org_value, org_value,
-        )
-        .is_err());
+        assert!(
+            verify_and_join(&resp, &pred, &[dl, dl], &[dr, dr], 2, org_value, org_value,).is_err()
+        );
     }
 }

@@ -114,8 +114,11 @@ fn replicas_converge_over_pbft() {
     });
     let a = node(Arc::clone(&engine) as Arc<dyn Consensus>, 5);
     let b = node(Arc::clone(&engine) as Arc<dyn Consensus>, 6);
-    a.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    a.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     for i in 0..8 {
         let who = if i % 2 == 0 { &a } else { &b };
         who.execute(
@@ -139,8 +142,11 @@ fn replicas_converge_over_pbft() {
 fn write_acks_carry_tids_in_order() {
     let engine = KafkaOrderer::start(batch());
     let n = node(Arc::clone(&engine) as Arc<dyn Consensus>, 7);
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     let mut tids = Vec::new();
     for i in 0..5 {
         if let ExecOutcome::Inserted { tid, .. } = n

@@ -44,7 +44,11 @@ fn create_insert_select_via_sql() {
         let out = n
             .execute(
                 "INSERT INTO donate VALUES (?, ?, ?)",
-                &[Value::str(donor), Value::str("Education"), Value::Int(amount)],
+                &[
+                    Value::str(donor),
+                    Value::str("Education"),
+                    Value::Int(amount),
+                ],
             )
             .unwrap();
         assert!(matches!(out, ExecOutcome::Inserted { .. }));
@@ -52,10 +56,7 @@ fn create_insert_select_via_sql() {
 
     // Point query.
     let rows = n
-        .execute(
-            r#"SELECT * FROM donate WHERE donor = "Jack""#,
-            &[],
-        )
+        .execute(r#"SELECT * FROM donate WHERE donor = "Jack""#, &[])
         .unwrap()
         .rows()
         .unwrap();
@@ -71,7 +72,10 @@ fn create_insert_select_via_sql() {
         .rows()
         .unwrap();
     assert_eq!(rows.len(), 2);
-    assert_eq!(rows.columns, vec!["donor".to_string(), "amount".to_string()]);
+    assert_eq!(
+        rows.columns,
+        vec!["donor".to_string(), "amount".to_string()]
+    );
 
     // GET BLOCK (Q7 shape).
     let rows = n
@@ -89,8 +93,11 @@ fn create_insert_select_via_sql() {
 fn trace_via_sql_with_operator_registry() {
     let kafka = quick_kafka();
     let n = node(Arc::clone(&kafka), 2);
-    n.execute("CREATE transfer (project string, donor string, organization string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE transfer (project string, donor string, organization string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     n.register_operator("org1", n.id());
     for i in 0..3 {
         n.execute(
@@ -112,10 +119,7 @@ fn trace_via_sql_with_operator_registry() {
     assert_eq!(rows.len(), 3);
 
     let rows = n
-        .execute(
-            r#"TRACE OPERATOR = "org1", OPERATION = "transfer""#,
-            &[],
-        )
+        .execute(r#"TRACE OPERATOR = "org1", OPERATION = "transfer""#, &[])
         .unwrap()
         .rows()
         .unwrap();
@@ -134,8 +138,11 @@ fn multiple_nodes_converge_and_share_schemas() {
     let b = node(Arc::clone(&kafka), 4);
     let c = node(Arc::clone(&kafka), 5);
 
-    a.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    a.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     // Writes from two different nodes interleave through the same
     // ordering service.
     for i in 0..5 {
@@ -184,7 +191,11 @@ fn multiple_nodes_converge_and_share_schemas() {
 fn onchain_join_via_sql() {
     let kafka = quick_kafka();
     let n = node(Arc::clone(&kafka), 6);
-    n.execute("CREATE transfer (project string, donor string, organization string, amount decimal)", &[]).unwrap();
+    n.execute(
+        "CREATE transfer (project string, donor string, organization string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     n.execute("CREATE distribute (project string, donor string, organization string, donee string, amount decimal)", &[]).unwrap();
     for org in ["red-cross", "unicef"] {
         n.execute(
@@ -281,8 +292,11 @@ fn onoff_join_via_sql() {
 fn select_with_time_window() {
     let kafka = quick_kafka();
     let n = node(Arc::clone(&kafka), 8);
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     n.execute(
         "INSERT INTO donate VALUES (?, ?, ?)",
         &[Value::str("x"), Value::str("p"), Value::Int(1)],
@@ -320,8 +334,11 @@ fn select_with_time_window() {
 fn strategies_agree_through_node_api() {
     let kafka = quick_kafka();
     let n = node(Arc::clone(&kafka), 9);
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     for i in 0..10 {
         n.execute(
             "INSERT INTO donate VALUES (?, ?, ?)",

@@ -43,7 +43,7 @@ fn lagging_node_recovers_blocks_via_gossip() {
     // Node A processes five ordered batches; node B was down.
     let a = ledger(1);
     for seq in 0..5 {
-        a.append_ordered(&ordered(seq)).unwrap();
+        a.append_ordered(ordered(seq)).unwrap();
     }
 
     // A gossips its sealed blocks (as encoded payloads keyed by height)
@@ -52,7 +52,9 @@ fn lagging_node_recovers_blocks_via_gossip() {
     for bid in 0..5 {
         let block = a.read_block(bid).unwrap();
         cluster.seed_item(0, bid, block.to_bytes());
-        cluster.disseminate(bid, 64).expect("dissemination completes");
+        cluster
+            .disseminate(bid, 64)
+            .expect("dissemination completes");
     }
 
     // B (node 5 in the cluster) rebuilds its chain from gossiped bytes,
@@ -71,7 +73,7 @@ fn lagging_node_recovers_blocks_via_gossip() {
 #[test]
 fn corrupted_gossip_payload_is_rejected() {
     let a = ledger(1);
-    a.append_ordered(&ordered(0)).unwrap();
+    a.append_ordered(ordered(0)).unwrap();
     let mut bytes = a.read_block(0).unwrap().to_bytes();
     // Flip a byte inside the body.
     let n = bytes.len();
@@ -93,7 +95,7 @@ fn corrupted_gossip_payload_is_rejected() {
 fn out_of_order_gossip_blocks_are_rejected_not_applied() {
     let a = ledger(1);
     for seq in 0..3 {
-        a.append_ordered(&ordered(seq)).unwrap();
+        a.append_ordered(ordered(seq)).unwrap();
     }
     let b = ledger(2);
     // Applying block 2 before 0/1 must fail (no gap fills).
@@ -101,7 +103,8 @@ fn out_of_order_gossip_blocks_are_rejected_not_applied() {
     assert!(b.append_block(block2).is_err());
     // In-order recovery then succeeds.
     for bid in 0..3 {
-        b.append_block((*a.read_block(bid).unwrap()).clone()).unwrap();
+        b.append_block((*a.read_block(bid).unwrap()).clone())
+            .unwrap();
     }
     assert_eq!(b.tip_hash(), a.tip_hash());
 }
@@ -110,19 +113,24 @@ fn out_of_order_gossip_blocks_are_rejected_not_applied() {
 fn recovered_node_serves_identical_query_results() {
     let a = ledger(1);
     for seq in 0..4 {
-        a.append_ordered(&ordered(seq)).unwrap();
+        a.append_ordered(ordered(seq)).unwrap();
     }
     let b = ledger(2);
     for bid in 0..4 {
-        b.append_block((*a.read_block(bid).unwrap()).clone()).unwrap();
+        b.append_block((*a.read_block(bid).unwrap()).clone())
+            .unwrap();
     }
     // The recovered node's rebuilt indexes answer tracking identically.
     let pred = sebdb_index::KeyPredicate::Eq(Value::Bytes(KeyId([1; 8]).as_bytes().to_vec()));
     let hits_a = a
-        .with_layered(None, "sen_id", |idx| idx.candidate_blocks(&pred).count_ones())
+        .with_layered(None, "sen_id", |idx| {
+            idx.candidate_blocks(&pred).count_ones()
+        })
         .unwrap();
     let hits_b = b
-        .with_layered(None, "sen_id", |idx| idx.candidate_blocks(&pred).count_ones())
+        .with_layered(None, "sen_id", |idx| {
+            idx.candidate_blocks(&pred).count_ones()
+        })
         .unwrap();
     assert_eq!(hits_a, hits_b);
     assert_eq!(hits_a, 4);

@@ -24,7 +24,11 @@ fn signed_tx(signer: &impl Signer, tid: u64, amount: i64) -> Transaction {
         tid * 10,
         signer.key_id(),
         "donate",
-        vec![Value::str("jack"), Value::str("edu"), Value::decimal(amount)],
+        vec![
+            Value::str("jack"),
+            Value::str("edu"),
+            Value::decimal(amount),
+        ],
     );
     tx.sig = signer.sign(&tx.signing_payload()).to_bytes();
     tx.tid = tid;
@@ -43,13 +47,15 @@ fn mac_verifier_accepts_honest_blocks_and_rejects_forgeries() {
     let mut keys: HashMap<KeyId, MacKeypair> = HashMap::new();
     keys.insert(alice.key_id(), alice.clone());
     l.set_tx_verifier(Some(Box::new(move |tx| {
-        let Some(sig) = decode_sig(&tx.sig) else { return false };
+        let Some(sig) = decode_sig(&tx.sig) else {
+            return false;
+        };
         keys.get(&tx.sender)
             .is_some_and(|k| k.verify(&tx.signing_payload(), &sig))
     })));
 
     // Honest block chains.
-    l.append_ordered(&OrderedBlock {
+    l.append_ordered(OrderedBlock {
         seq: 0,
         timestamp_ms: 1000,
         txs: vec![signed_tx(&alice, 1, 100)],
@@ -61,7 +67,7 @@ fn mac_verifier_accepts_honest_blocks_and_rejects_forgeries() {
     let mut tampered = signed_tx(&alice, 2, 100);
     tampered.values[2] = Value::decimal(1_000_000);
     let err = l
-        .append_ordered(&OrderedBlock {
+        .append_ordered(OrderedBlock {
             seq: 1,
             timestamp_ms: 2000,
             txs: vec![tampered],
@@ -72,7 +78,7 @@ fn mac_verifier_accepts_honest_blocks_and_rejects_forgeries() {
     // Unknown sender is rejected.
     let mallory = MacKeypair::from_key([66; 32]);
     let err = l
-        .append_ordered(&OrderedBlock {
+        .append_ordered(OrderedBlock {
             seq: 1,
             timestamp_ms: 2000,
             txs: vec![signed_tx(&mallory, 3, 5)],
@@ -88,11 +94,13 @@ fn lamport_signatures_verify_on_apply() {
     let pk = alice.public_key().clone();
     let l = ledger();
     l.set_tx_verifier(Some(Box::new(move |tx| {
-        let Some(sig) = decode_sig(&tx.sig) else { return false };
+        let Some(sig) = decode_sig(&tx.sig) else {
+            return false;
+        };
         pk.verify(&tx.signing_payload(), &sig)
     })));
 
-    l.append_ordered(&OrderedBlock {
+    l.append_ordered(OrderedBlock {
         seq: 0,
         timestamp_ms: 1000,
         txs: vec![signed_tx(&alice, 1, 42)],
@@ -104,7 +112,7 @@ fn lamport_signatures_verify_on_apply() {
     let mut tx = signed_tx(&alice, 2, 43);
     tx.sig[100] ^= 0xFF;
     assert!(l
-        .append_ordered(&OrderedBlock {
+        .append_ordered(OrderedBlock {
             seq: 1,
             timestamp_ms: 2000,
             txs: vec![tx],

@@ -37,9 +37,7 @@ fn error_paths_are_reported() {
     n.execute("CREATE t (a int)", &[]).unwrap();
     assert!(n.execute("INSERT INTO t VALUES (?)", &[]).is_err());
     // Arity mismatch.
-    assert!(n
-        .execute("INSERT INTO t VALUES (1, 2)", &[])
-        .is_err());
+    assert!(n.execute("INSERT INTO t VALUES (1, 2)", &[]).is_err());
     // Type mismatch.
     assert!(n
         .execute("INSERT INTO t VALUES (?)", &[Value::str("not an int")])
@@ -53,8 +51,11 @@ fn error_paths_are_reported() {
 #[test]
 fn get_block_by_tid_and_timestamp() {
     let (kafka, n) = setup();
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     let mut last_tid = 0;
     for i in 0..6 {
         if let ExecOutcome::Inserted { tid, .. } = n
@@ -88,8 +89,11 @@ fn get_block_by_tid_and_timestamp() {
 #[test]
 fn access_control_gates_statements() {
     let (kafka, n) = setup();
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
 
     // Lock things down: a channel where only `member` can use donate.
     let member = KeyId([9; 8]);
@@ -113,7 +117,12 @@ fn access_control_gates_statements() {
     // Tracking needs the chain-level pseudo table.
     n.register_operator("org1", member);
     assert!(n
-        .execute_as(member, r#"TRACE OPERATOR = "org1""#, &[], sebdb::Strategy::Auto)
+        .execute_as(
+            member,
+            r#"TRACE OPERATOR = "org1""#,
+            &[],
+            sebdb::Strategy::Auto
+        )
         .is_ok());
     n.shutdown();
     kafka.shutdown();
@@ -131,10 +140,16 @@ fn standalone_access_controller_semantics() {
 #[test]
 fn smart_contract_donation_flow() {
     let (kafka, n) = setup();
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
-    n.execute("CREATE transfer (project string, donor string, organization string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
+    n.execute(
+        "CREATE transfer (project string, donor string, organization string, amount decimal)",
+        &[],
+    )
+    .unwrap();
 
     let contracts = ContractRegistry::new();
     // A DApp procedure: record a donation, immediately transfer it to
@@ -188,19 +203,28 @@ fn smart_contract_donation_flow() {
 #[test]
 fn projection_and_rendering() {
     let (kafka, n) = setup();
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     n.execute(
         "INSERT INTO donate VALUES (?, ?, ?)",
         &[Value::str("jack"), Value::str("edu"), Value::Int(42)],
     )
     .unwrap();
     let rows = n
-        .execute(r#"SELECT amount, donor FROM donate WHERE project = "edu""#, &[])
+        .execute(
+            r#"SELECT amount, donor FROM donate WHERE project = "edu""#,
+            &[],
+        )
         .unwrap()
         .rows()
         .unwrap();
-    assert_eq!(rows.columns, vec!["amount".to_string(), "donor".to_string()]);
+    assert_eq!(
+        rows.columns,
+        vec!["amount".to_string(), "donor".to_string()]
+    );
     assert_eq!(rows.rows[0], vec![Value::decimal(42), Value::str("jack")]);
     // Unknown projected column errors.
     assert!(n
@@ -213,8 +237,11 @@ fn projection_and_rendering() {
 #[test]
 fn system_columns_queryable() {
     let (kafka, n) = setup();
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     let mut tid = 0;
     for i in 0..3 {
         if let ExecOutcome::Inserted { tid: t, .. } = n
@@ -244,8 +271,11 @@ fn system_columns_queryable() {
 #[test]
 fn count_and_limit_via_node() {
     let (kafka, n) = setup();
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     for i in 0..7 {
         n.execute(
             "INSERT INTO donate VALUES (?, ?, ?)",
@@ -267,7 +297,10 @@ fn count_and_limit_via_node() {
 
     // LIMIT truncates.
     let rows = n
-        .execute(r#"SELECT donor FROM donate WHERE project = "edu" LIMIT 3"#, &[])
+        .execute(
+            r#"SELECT donor FROM donate WHERE project = "edu" LIMIT 3"#,
+            &[],
+        )
         .unwrap()
         .rows()
         .unwrap();
@@ -275,17 +308,29 @@ fn count_and_limit_via_node() {
 
     // LIMIT larger than the result is a no-op.
     let rows = n
-        .execute(r#"SELECT * FROM donate WHERE project = "edu" LIMIT 100"#, &[])
+        .execute(
+            r#"SELECT * FROM donate WHERE project = "edu" LIMIT 100"#,
+            &[],
+        )
         .unwrap()
         .rows()
         .unwrap();
     assert_eq!(rows.len(), 7);
 
     // COUNT over a join.
-    n.execute("CREATE transfer (project string, donor string, organization string, amount decimal)", &[]).unwrap();
+    n.execute(
+        "CREATE transfer (project string, donor string, organization string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     n.execute(
         "INSERT INTO transfer VALUES (?, ?, ?, ?)",
-        &[Value::str("edu"), Value::str("jack"), Value::str("org"), Value::Int(1)],
+        &[
+            Value::str("edu"),
+            Value::str("jack"),
+            Value::str("org"),
+            Value::Int(1),
+        ],
     )
     .unwrap();
     let rows = n
@@ -304,8 +349,11 @@ fn count_and_limit_via_node() {
 #[test]
 fn explain_describes_without_executing() {
     let (kafka, n) = setup();
-    n.execute("CREATE donate (donor string, project string, amount decimal)", &[])
-        .unwrap();
+    n.execute(
+        "CREATE donate (donor string, project string, amount decimal)",
+        &[],
+    )
+    .unwrap();
     n.execute(
         "INSERT INTO donate VALUES (?, ?, ?)",
         &[Value::str("jack"), Value::str("edu"), Value::Int(5)],
@@ -343,7 +391,10 @@ fn explain_describes_without_executing() {
     // EXPLAIN TRACE reports the dimensions.
     n.register_operator("org1", n.id());
     let rows = n
-        .execute(r#"EXPLAIN TRACE OPERATOR = "org1", OPERATION = "donate""#, &[])
+        .execute(
+            r#"EXPLAIN TRACE OPERATOR = "org1", OPERATION = "donate""#,
+            &[],
+        )
         .unwrap()
         .rows()
         .unwrap();
