@@ -13,4 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+# Second pass pinned to one worker: every parallel primitive and the
+# staged applier must be observably equivalent to sequential execution.
+echo "==> SEBDB_THREADS=1 cargo test -q"
+SEBDB_THREADS=1 cargo test -q
+
 echo "ci: all green"

@@ -8,24 +8,20 @@
 //! tolerant only — no Byzantine protection, which is why it is faster
 //! than the BFT engines in Fig. 7.
 
+use crate::mempool::{AdmissionVerifier, Mempool};
 use crate::traits::{now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sebdb_types::Transaction;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-type AckSender = Sender<Result<CommitAck, ConsensusError>>;
 
 struct BrokerShared {
     subscribers: Mutex<Vec<Sender<OrderedBlock>>>,
-    stopped: AtomicBool,
 }
 
 /// The Kafka-style ordering engine.
 pub struct KafkaOrderer {
-    produce: Sender<(Transaction, AckSender)>,
+    mempool: Arc<Mempool>,
     shared: Arc<BrokerShared>,
     broker: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -33,48 +29,62 @@ pub struct KafkaOrderer {
 impl KafkaOrderer {
     /// Starts the broker with the given packaging policy.
     pub fn start(config: BatchConfig) -> Arc<Self> {
-        let (tx, rx) = unbounded::<(Transaction, AckSender)>();
+        let mempool = Arc::new(Mempool::new(config));
         let shared = Arc::new(BrokerShared {
             subscribers: Mutex::new(Vec::new()),
-            stopped: AtomicBool::new(false),
         });
-        let shared2 = Arc::clone(&shared);
-        let broker = std::thread::spawn(move || broker_loop(rx, shared2, config));
+        let broker = {
+            let mempool = Arc::clone(&mempool);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || broker_loop(mempool, shared))
+        };
         Arc::new(KafkaOrderer {
-            produce: tx,
+            mempool,
             shared,
             broker: Mutex::new(Some(broker)),
         })
     }
+
+    /// Installs a batch admission verifier: every drained batch has its
+    /// signing-payload MACs checked across workers before sealing, and
+    /// forged transactions are rejected individually.
+    pub fn set_tx_verifier(&self, verifier: Option<Box<AdmissionVerifier>>) {
+        self.mempool.set_verifier(verifier);
+    }
 }
 
-fn broker_loop(
-    rx: Receiver<(Transaction, AckSender)>,
-    shared: Arc<BrokerShared>,
-    config: BatchConfig,
-) {
+/// The single-partition consumer: drains coalesced batches from the
+/// mempool, runs batch admission, assigns offsets (tids), and fans the
+/// ordered blocks out to every subscriber.
+fn broker_loop(mempool: Arc<Mempool>, shared: Arc<BrokerShared>) {
     let mut next_tid: u64 = 1;
     let mut next_seq: u64 = 0;
-    let mut pending: Vec<(Transaction, AckSender)> = Vec::new();
-    let mut batch_started: Option<Instant> = None;
-    let timeout = Duration::from_millis(config.timeout_ms);
-
-    let flush = |pending: &mut Vec<(Transaction, AckSender)>, next_seq: &mut u64| {
-        if pending.is_empty() {
+    loop {
+        let Some(batch) = mempool.next_batch() else {
+            // Closed: reject anything still pending.
+            for (_, ack) in mempool.take_remaining() {
+                let _ = ack.send(Err(ConsensusError::Stopped));
+            }
             return;
+        };
+        let batch = mempool.admit(batch);
+        if batch.is_empty() {
+            continue;
         }
-        let seq = *next_seq;
-        *next_seq += 1;
-        let ts = now_ms();
-        let mut txs = Vec::with_capacity(pending.len());
-        let mut acks = Vec::with_capacity(pending.len());
-        for (tx, ack) in pending.drain(..) {
+        let seq = next_seq;
+        next_seq += 1;
+        let mut txs = Vec::with_capacity(batch.len());
+        let mut acks = Vec::with_capacity(batch.len());
+        for (mut tx, ack) in batch {
+            // The ordering service assigns the globally incremental tid.
+            tx.tid = next_tid;
+            next_tid += 1;
             acks.push((tx.tid, ack));
             txs.push(tx);
         }
         let block = OrderedBlock {
             seq,
-            timestamp_ms: ts,
+            timestamp_ms: now_ms(),
             txs,
         };
         for sub in shared.subscribers.lock().iter() {
@@ -83,57 +93,12 @@ fn broker_loop(
         for (tid, ack) in acks {
             let _ = ack.send(Ok(CommitAck { tid, seq }));
         }
-    };
-
-    loop {
-        if shared.stopped.load(Ordering::Relaxed) {
-            // Reject anything still pending.
-            for (_, ack) in pending.drain(..) {
-                let _ = ack.send(Err(ConsensusError::Stopped));
-            }
-            return;
-        }
-        let wait = match batch_started {
-            Some(start) => timeout
-                .checked_sub(start.elapsed())
-                .unwrap_or(Duration::ZERO),
-            None => timeout,
-        };
-        match rx.recv_timeout(wait) {
-            Ok((mut tx, ack)) => {
-                // The ordering service assigns the globally incremental tid.
-                tx.tid = next_tid;
-                next_tid += 1;
-                if pending.is_empty() {
-                    batch_started = Some(Instant::now());
-                }
-                pending.push((tx, ack));
-                if pending.len() >= config.max_txs {
-                    flush(&mut pending, &mut next_seq);
-                    batch_started = None;
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if batch_started.is_some() {
-                    flush(&mut pending, &mut next_seq);
-                    batch_started = None;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                flush(&mut pending, &mut next_seq);
-                return;
-            }
-        }
     }
 }
 
 impl Consensus for KafkaOrderer {
     fn submit(&self, tx: Transaction) -> Receiver<Result<CommitAck, ConsensusError>> {
-        let (ack_tx, ack_rx) = bounded(1);
-        if self.produce.send((tx, ack_tx.clone())).is_err() {
-            let _ = ack_tx.send(Err(ConsensusError::Stopped));
-        }
-        ack_rx
+        self.mempool.submit(tx)
     }
 
     fn subscribe(&self) -> Receiver<OrderedBlock> {
@@ -143,7 +108,7 @@ impl Consensus for KafkaOrderer {
     }
 
     fn shutdown(&self) {
-        self.shared.stopped.store(true, Ordering::Relaxed);
+        self.mempool.close();
         if let Some(h) = self.broker.lock().take() {
             let _ = h.join();
         }
@@ -163,11 +128,50 @@ impl Drop for KafkaOrderer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sebdb_crypto::sig::KeyId;
+    use sebdb_crypto::sig::{KeyId, MacKeypair, Signer, Verifier};
     use sebdb_types::Value;
+    use std::time::Duration;
 
     fn tx(i: i64) -> Transaction {
         Transaction::new(now_ms(), KeyId([1; 8]), "donate", vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn admission_verifier_rejects_forged_and_commits_rest() {
+        let keys = MacKeypair::from_key([8u8; 32]);
+        let k = KafkaOrderer::start(BatchConfig {
+            max_txs: 3,
+            timeout_ms: 10_000,
+        });
+        let verify_keys = keys.clone();
+        k.set_tx_verifier(Some(Box::new(move |tx: &Transaction| {
+            sebdb_crypto::sig::Signature::from_bytes(&tx.sig)
+                .is_some_and(|sig| verify_keys.verify(&tx.signing_payload(), &sig))
+        })));
+        let sub = k.subscribe();
+        let mut acks = Vec::new();
+        for i in 0..3 {
+            let mut t = tx(i);
+            if i != 1 {
+                t.sig = keys.sign(&t.signing_payload()).to_bytes();
+            } // tx 1 is forged (empty signature)
+            acks.push(k.submit(t));
+        }
+        let block = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(block.txs.len(), 2);
+        assert!(acks[0]
+            .recv_timeout(Duration::from_secs(2))
+            .unwrap()
+            .is_ok());
+        match acks[1].recv_timeout(Duration::from_secs(2)).unwrap() {
+            Err(ConsensusError::Rejected(_)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(acks[2]
+            .recv_timeout(Duration::from_secs(2))
+            .unwrap()
+            .is_ok());
+        k.shutdown();
     }
 
     #[test]

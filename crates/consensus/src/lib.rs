@@ -10,11 +10,13 @@
 #![warn(missing_docs)]
 
 pub mod kafka;
+pub mod mempool;
 pub mod pbft;
 pub mod tendermint;
 pub mod traits;
 
 pub use kafka::KafkaOrderer;
+pub use mempool::{AckSender, AdmissionVerifier, Mempool};
 pub use pbft::{PbftConfig, PbftEngine, PbftMsg};
 pub use tendermint::{TendermintConfig, TendermintEngine};
 pub use traits::{BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock};

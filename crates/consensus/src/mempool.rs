@@ -1,0 +1,311 @@
+//! The shared ingest mempool: submit-side coalescing for the ordering
+//! engines.
+//!
+//! `submit` used to hand each transaction to the broker/batcher thread
+//! over a channel, so ingest was one channel round-trip per
+//! transaction and the producer woke once per submission. The mempool
+//! inverts that: submitters enqueue into a condvar-guarded pending
+//! buffer, and the block producer drains up to
+//! [`BatchConfig::max_txs`] transactions per round — cut at `max_txs`
+//! or on the packaging timeout since the first pending transaction
+//! (the paper's 200 tx / 200 ms policy, §VII-B), exactly the cut rule
+//! the engines already implemented per-transaction.
+//!
+//! Admission is amortized per batch instead of per transaction: with a
+//! verifier installed, [`Mempool::admit`] runs the signing-payload MAC
+//! checks across workers with `sebdb-parallel`'s first-failure search
+//! — the all-valid fast path costs one parallel sweep with early
+//! exit, and only a batch containing a forgery pays the per-verdict
+//! pass that rejects the bad transactions individually.
+//!
+//! (The Tendermint engine keeps its own validator-local mempool with
+//! serial CheckTx — that serialization is the Fig. 7 bottleneck the
+//! reproduction preserves on purpose.)
+
+use crate::traits::{BatchConfig, CommitAck, ConsensusError};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sebdb_types::Transaction;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The channel half a committing engine resolves a submission on.
+pub type AckSender = Sender<Result<CommitAck, ConsensusError>>;
+
+/// Checks a transaction's signing-payload MAC at admission. Returning
+/// `false` rejects the transaction with [`ConsensusError::Rejected`].
+pub type AdmissionVerifier = dyn Fn(&Transaction) -> bool + Send + Sync;
+
+struct PoolState {
+    queue: VecDeque<(Transaction, AckSender)>,
+    /// Arrival time of the oldest pending transaction — the packaging
+    /// timeout counts from here.
+    first_pending: Option<Instant>,
+    closed: bool,
+}
+
+/// A condvar-guarded pending buffer shared between submitters and one
+/// block-producer thread.
+pub struct Mempool {
+    state: Mutex<PoolState>,
+    arrived: Condvar,
+    config: BatchConfig,
+    verifier: parking_lot::RwLock<Option<Box<AdmissionVerifier>>>,
+}
+
+impl Mempool {
+    /// An empty mempool with the given packaging policy.
+    pub fn new(config: BatchConfig) -> Mempool {
+        Mempool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                first_pending: None,
+                closed: false,
+            }),
+            arrived: Condvar::new(),
+            config,
+            verifier: parking_lot::RwLock::new(None),
+        }
+    }
+
+    /// Installs (or clears) the batch admission verifier.
+    pub fn set_verifier(&self, verifier: Option<Box<AdmissionVerifier>>) {
+        *self.verifier.write() = verifier;
+    }
+
+    /// Enqueues a transaction; the returned channel yields exactly one
+    /// commit/reject message once the producer has processed it.
+    pub fn submit(&self, tx: Transaction) -> Receiver<Result<CommitAck, ConsensusError>> {
+        let (ack_tx, ack_rx) = bounded(1);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            drop(st);
+            let _ = ack_tx.send(Err(ConsensusError::Stopped));
+            return ack_rx;
+        }
+        if st.queue.is_empty() {
+            st.first_pending = Some(Instant::now());
+        }
+        st.queue.push_back((tx, ack_tx));
+        drop(st);
+        self.arrived.notify_one();
+        ack_rx
+    }
+
+    /// Number of transactions currently pending.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Whether the pending buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until a batch is ready — `max_txs` pending, or the
+    /// packaging timeout elapsed since the first pending transaction —
+    /// and drains up to `max_txs` in submission order. Returns `None`
+    /// once the pool is closed; the caller then rejects leftovers via
+    /// [`Self::take_remaining`].
+    pub fn next_batch(&self) -> Option<Vec<(Transaction, AckSender)>> {
+        let timeout = Duration::from_millis(self.config.timeout_ms);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.closed {
+                return None;
+            }
+            if st.queue.len() >= self.config.max_txs {
+                return Some(Self::drain(&mut st, self.config.max_txs));
+            }
+            let wait = match st.first_pending {
+                Some(first) => {
+                    let elapsed = first.elapsed();
+                    if elapsed >= timeout && !st.queue.is_empty() {
+                        let n = st.queue.len();
+                        return Some(Self::drain(&mut st, n));
+                    }
+                    timeout - elapsed
+                }
+                None => timeout,
+            };
+            st = self
+                .arrived
+                .wait_timeout(st, wait)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    fn drain(st: &mut PoolState, n: usize) -> Vec<(Transaction, AckSender)> {
+        let batch: Vec<_> = st.queue.drain(..n).collect();
+        st.first_pending = if st.queue.is_empty() {
+            None
+        } else {
+            // Leftovers start a fresh packaging window: their original
+            // arrival instant is not tracked per transaction, and a
+            // backlog this deep will hit the max_txs cut first anyway.
+            Some(Instant::now())
+        };
+        batch
+    }
+
+    /// Runs batch admission: with no verifier installed the batch
+    /// passes through untouched. Otherwise all MACs are checked across
+    /// workers with a first-failure search (the all-valid fast path
+    /// exits early); only a batch containing a failure pays the
+    /// per-transaction verdict pass, which rejects the invalid
+    /// transactions on their ack channels and keeps the rest.
+    pub fn admit(&self, batch: Vec<(Transaction, AckSender)>) -> Vec<(Transaction, AckSender)> {
+        let guard = self.verifier.read();
+        let Some(verify) = guard.as_ref() else {
+            return batch;
+        };
+        let all_valid = {
+            let txs: Vec<&Transaction> = batch.iter().map(|(tx, _)| tx).collect();
+            sebdb_parallel::par_find_first(&txs, 16, |tx| (!verify(tx)).then_some(())).is_none()
+        };
+        if all_valid {
+            return batch;
+        }
+        let verdicts: Vec<bool> = {
+            let txs: Vec<&Transaction> = batch.iter().map(|(tx, _)| tx).collect();
+            sebdb_parallel::par_map(&txs, 16, |tx| verify(tx))
+        };
+        batch
+            .into_iter()
+            .zip(verdicts)
+            .filter_map(|((tx, ack), ok)| {
+                if ok {
+                    Some((tx, ack))
+                } else {
+                    let _ = ack.send(Err(ConsensusError::Rejected(format!(
+                        "transaction from {:?} on '{}' failed MAC admission",
+                        tx.sender, tx.tname
+                    ))));
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Closes the pool: subsequent submissions are refused with
+    /// [`ConsensusError::Stopped`] and [`Self::next_batch`] returns
+    /// `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.arrived.notify_all();
+    }
+
+    /// Drains every pending transaction (used after [`Self::close`] to
+    /// reject leftovers).
+    pub fn take_remaining(&self) -> Vec<(Transaction, AckSender)> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.first_pending = None;
+        st.queue.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::now_ms;
+    use sebdb_crypto::sig::{KeyId, MacKeypair, Signer, Verifier};
+    use sebdb_types::Value;
+
+    fn tx(i: i64) -> Transaction {
+        Transaction::new(now_ms(), KeyId([1; 8]), "donate", vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn cuts_at_max_txs_without_waiting_for_timeout() {
+        let pool = Mempool::new(BatchConfig {
+            max_txs: 3,
+            timeout_ms: 60_000,
+        });
+        for i in 0..3 {
+            pool.submit(tx(i));
+        }
+        let start = Instant::now();
+        let batch = pool.next_batch().unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn timeout_flushes_partial_batch() {
+        let pool = Mempool::new(BatchConfig {
+            max_txs: 1000,
+            timeout_ms: 30,
+        });
+        pool.submit(tx(1));
+        pool.submit(tx(2));
+        let batch = pool.next_batch().unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn oversize_backlog_drains_in_max_chunks() {
+        let pool = Mempool::new(BatchConfig {
+            max_txs: 4,
+            timeout_ms: 50,
+        });
+        for i in 0..10 {
+            pool.submit(tx(i));
+        }
+        assert_eq!(pool.next_batch().unwrap().len(), 4);
+        assert_eq!(pool.next_batch().unwrap().len(), 4);
+        assert_eq!(pool.next_batch().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn admission_rejects_only_forged_macs() {
+        let keys = MacKeypair::from_key([5u8; 32]);
+        let pool = Mempool::new(BatchConfig {
+            max_txs: 4,
+            timeout_ms: 50,
+        });
+        let verify_keys = keys.clone();
+        pool.set_verifier(Some(Box::new(move |tx: &Transaction| {
+            sebdb_crypto::sig::Signature::from_bytes(&tx.sig)
+                .is_some_and(|sig| verify_keys.verify(&tx.signing_payload(), &sig))
+        })));
+        let mut acks = Vec::new();
+        for i in 0..4 {
+            let mut t = tx(i);
+            if i != 2 {
+                t.sig = keys.sign(&t.signing_payload()).to_bytes();
+            } // tx 2 keeps an empty (forged) signature
+            acks.push(pool.submit(t));
+        }
+        let batch = pool.next_batch().unwrap();
+        let admitted = pool.admit(batch);
+        assert_eq!(admitted.len(), 3);
+        // The forged submission was rejected on its ack channel.
+        match acks[2].recv_timeout(Duration::from_secs(2)).unwrap() {
+            Err(ConsensusError::Rejected(_)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_refuses_submissions_and_wakes_producer() {
+        let pool = std::sync::Arc::new(Mempool::new(BatchConfig::default()));
+        let producer = {
+            let pool = std::sync::Arc::clone(&pool);
+            std::thread::spawn(move || pool.next_batch())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        pool.close();
+        assert!(producer.join().unwrap().is_none());
+        let ack = pool.submit(tx(1));
+        assert_eq!(
+            ack.recv_timeout(Duration::from_secs(1)).unwrap(),
+            Err(ConsensusError::Stopped)
+        );
+    }
+}

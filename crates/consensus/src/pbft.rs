@@ -14,8 +14,9 @@
 //! *backup* replicas may be Byzantine (the tests inject one that
 //! equivocates on digests).
 
+use crate::mempool::{AckSender, AdmissionVerifier, Mempool};
 use crate::traits::{now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use sebdb_crypto::sha256::{Digest, Sha256};
 use sebdb_network::sim::{NetConfig, NodeId, SimNet};
@@ -24,8 +25,6 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-
-type AckSender = Sender<Result<CommitAck, ConsensusError>>;
 
 /// PBFT protocol messages.
 #[derive(Debug, Clone)]
@@ -260,7 +259,7 @@ struct PbftShared {
 
 /// The PBFT consensus engine (4 replicas by default, tolerating f=1).
 pub struct PbftEngine {
-    submit_tx: Sender<(Transaction, AckSender)>,
+    mempool: Arc<Mempool>,
     shared: Arc<PbftShared>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     n: usize,
@@ -333,15 +332,15 @@ impl PbftEngine {
         }
         drop(deliver_tx);
 
-        // Batcher: client txs → sequenced requests to the primary.
-        let (submit_tx, submit_rx) = unbounded::<(Transaction, AckSender)>();
+        // Batcher: drains coalesced client batches from the mempool and
+        // sends sequenced requests to the primary.
+        let mempool = Arc::new(Mempool::new(config.batch));
         {
             let net = Arc::clone(&net);
             let shared = Arc::clone(&shared);
-            let batch = config.batch;
-            let stopped = Arc::clone(&stopped);
+            let mempool = Arc::clone(&mempool);
             threads.push(std::thread::spawn(move || {
-                batcher_loop(submit_rx, net, batcher_id, shared, batch, stopped)
+                batcher_loop(mempool, net, batcher_id, shared)
             }));
         }
 
@@ -369,7 +368,7 @@ impl PbftEngine {
         }
 
         Arc::new(PbftEngine {
-            submit_tx,
+            mempool,
             shared,
             threads: Mutex::new(threads),
             n,
@@ -380,71 +379,57 @@ impl PbftEngine {
     pub fn replica_count(&self) -> usize {
         self.n
     }
+
+    /// Installs a batch admission verifier: every drained batch has its
+    /// signing-payload MACs checked across workers before the primary
+    /// sequences it, and forged transactions are rejected individually.
+    pub fn set_tx_verifier(&self, verifier: Option<Box<AdmissionVerifier>>) {
+        self.mempool.set_verifier(verifier);
+    }
 }
 
+/// Drains coalesced batches from the mempool, runs batch admission,
+/// assigns tids, registers acks under the mirrored sequence number, and
+/// forwards the batch to the primary for three-phase ordering.
 fn batcher_loop(
-    rx: Receiver<(Transaction, AckSender)>,
+    mempool: Arc<Mempool>,
     net: Arc<SimNet<PbftMsg>>,
     batcher_id: NodeId,
     shared: Arc<PbftShared>,
-    config: BatchConfig,
-    stopped: Arc<AtomicBool>,
 ) {
     let mut next_tid: u64 = 1;
     let mut next_batch_seq: u64 = 0; // mirrors the primary's assignment
-    let mut pending: Vec<(Transaction, AckSender)> = Vec::new();
-    let timeout = Duration::from_millis(config.timeout_ms);
-    let mut started: Option<std::time::Instant> = None;
-
     loop {
-        if stopped.load(Ordering::Relaxed) {
-            for (_, ack) in pending.drain(..) {
+        let Some(batch) = mempool.next_batch() else {
+            for (_, ack) in mempool.take_remaining() {
                 let _ = ack.send(Err(ConsensusError::Stopped));
             }
             return;
-        }
-        let wait = match started {
-            Some(s) => timeout.checked_sub(s.elapsed()).unwrap_or(Duration::ZERO),
-            None => timeout,
         };
-        let flush_now = match rx.recv_timeout(wait) {
-            Ok((mut tx, ack)) => {
+        let batch = mempool.admit(batch);
+        if batch.is_empty() {
+            continue;
+        }
+        let seq = next_batch_seq;
+        next_batch_seq += 1;
+        let mut txs = Vec::with_capacity(batch.len());
+        {
+            let mut acks = shared.pending_acks.lock();
+            let entry = acks.entry(seq).or_default();
+            for (mut tx, ack) in batch {
                 tx.tid = next_tid;
                 next_tid += 1;
-                if pending.is_empty() {
-                    started = Some(std::time::Instant::now());
-                }
-                pending.push((tx, ack));
-                pending.len() >= config.max_txs
+                entry.push((tx.tid, ack));
+                txs.push(tx);
             }
-            Err(RecvTimeoutError::Timeout) => started.is_some(),
-            Err(RecvTimeoutError::Disconnected) => true,
-        };
-        if flush_now && !pending.is_empty() {
-            let seq = next_batch_seq;
-            next_batch_seq += 1;
-            let mut txs = Vec::with_capacity(pending.len());
-            {
-                let mut acks = shared.pending_acks.lock();
-                let entry = acks.entry(seq).or_default();
-                for (tx, ack) in pending.drain(..) {
-                    entry.push((tx.tid, ack));
-                    txs.push(tx);
-                }
-            }
-            net.send(batcher_id, 0, PbftMsg::Request(txs));
-            started = None;
         }
+        net.send(batcher_id, 0, PbftMsg::Request(txs));
     }
 }
 
 impl Consensus for PbftEngine {
     fn submit(&self, tx: Transaction) -> Receiver<Result<CommitAck, ConsensusError>> {
-        let (ack_tx, ack_rx) = bounded(1);
-        if self.submit_tx.send((tx, ack_tx.clone())).is_err() {
-            let _ = ack_tx.send(Err(ConsensusError::Stopped));
-        }
-        ack_rx
+        self.mempool.submit(tx)
     }
 
     fn subscribe(&self) -> Receiver<OrderedBlock> {
@@ -454,6 +439,7 @@ impl Consensus for PbftEngine {
     }
 
     fn shutdown(&self) {
+        self.mempool.close();
         self.shared.stopped.store(true, Ordering::Relaxed);
         for h in self.threads.lock().drain(..) {
             let _ = h.join();

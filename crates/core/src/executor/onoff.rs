@@ -113,7 +113,10 @@ impl Executor<'_> {
                     .unwrap()
                     .and(&mask);
                 // Lines 8–13: per-block sort-merge against the sorted
-                // off-chain rows.
+                // off-chain rows. Phase one walks the sorted runs and
+                // collects matched (pointer, off-row range) pairs
+                // without touching storage.
+                let mut matched: Vec<(sebdb_storage::TxPtr, std::ops::Range<usize>)> = Vec::new();
                 for bid in blocks.iter_ones() {
                     let entries = self
                         .ledger
@@ -121,8 +124,36 @@ impl Executor<'_> {
                             idx.block_sorted_entries(bid as u64)
                         })
                         .unwrap();
-                    self.merge_block_with_off(&entries, &off_rows, off_col, window, &mut out)?;
+                    merge_block_with_off(&entries, &off_rows, off_col, &mut matched);
                 }
+                // Phase two batch-fetches every distinct pointer
+                // (distinct blocks decoded across workers) and
+                // materializes matched rows in merge order.
+                let mut ptr_slot: std::collections::HashMap<sebdb_storage::TxPtr, usize> =
+                    std::collections::HashMap::new();
+                let mut ptrs: Vec<sebdb_storage::TxPtr> = Vec::new();
+                for (p, _) in &matched {
+                    ptr_slot.entry(*p).or_insert_with(|| {
+                        ptrs.push(*p);
+                        ptrs.len() - 1
+                    });
+                }
+                let txs = self.ledger.read_txs_grouped(&ptrs)?;
+                let row_batches = sebdb_parallel::par_map(&matched, 16, |(p, off_range)| {
+                    let tx = &txs[ptr_slot[p]];
+                    if !in_window(tx.ts, window) {
+                        return Vec::new();
+                    }
+                    off_rows[off_range.clone()]
+                        .iter()
+                        .map(|off| {
+                            let mut row = materialize(tx);
+                            row.extend(off.clone());
+                            row
+                        })
+                        .collect::<Vec<_>>()
+                });
+                out.rows.extend(row_batches.into_iter().flatten());
             }
             Strategy::Bitmap | Strategy::Scan => {
                 let mask = self.ledger.window_mask(window);
@@ -133,76 +164,79 @@ impl Executor<'_> {
                 } else {
                     mask
                 };
-                // Hash the off-chain rows by join key, probe with
-                // on-chain tuples.
+                // Hash the off-chain rows by join key, then probe with
+                // on-chain tuples block-by-block across workers; each
+                // block's matches concatenate in block order, matching
+                // the sequential plan.
                 let mut build: std::collections::HashMap<Value, Vec<&Vec<Value>>> =
                     std::collections::HashMap::new();
                 for row in &off_rows {
                     build.entry(row[off_col].clone()).or_default().push(row);
                 }
-                for bid in blocks.iter_ones() {
-                    let block = self.ledger.read_block(bid as u64)?;
-                    for tx in &block.transactions {
-                        if !tx.tname.eq_ignore_ascii_case(&on_table.name)
-                            || !in_window(tx.ts, window)
-                        {
-                            continue;
-                        }
-                        let Some(v) = tx.get(on_col) else { continue };
-                        if let Some(matches) = build.get(&v) {
-                            for off in matches {
-                                let mut row = materialize(tx);
-                                row.extend((*off).clone());
-                                out.rows.push(row);
+                let bids: Vec<u64> = blocks.iter_ones().map(|b| b as u64).collect();
+                let per_block = sebdb_parallel::par_map(
+                    &bids,
+                    1,
+                    |&bid| -> Result<Vec<Vec<Value>>, ExecError> {
+                        let block = self.ledger.read_block(bid)?;
+                        let mut rows = Vec::new();
+                        for tx in &block.transactions {
+                            if !tx.tname.eq_ignore_ascii_case(&on_table.name)
+                                || !in_window(tx.ts, window)
+                            {
+                                continue;
+                            }
+                            let Some(v) = tx.get(on_col) else { continue };
+                            if let Some(matches) = build.get(&v) {
+                                for off in matches {
+                                    let mut row = materialize(tx);
+                                    row.extend((*off).clone());
+                                    rows.push(row);
+                                }
                             }
                         }
-                    }
+                        Ok(rows)
+                    },
+                );
+                for rows in per_block {
+                    out.rows.extend(rows?);
                 }
             }
             Strategy::Auto => unreachable!(),
         }
         Ok(out)
     }
+}
 
-    /// Sort-merge one block's sorted index entries against the sorted
-    /// off-chain rows.
-    fn merge_block_with_off(
-        &self,
-        entries: &[(Value, sebdb_storage::TxPtr)],
-        off_rows: &[Vec<Value>],
-        off_col: usize,
-        window: Option<(Timestamp, Timestamp)>,
-        out: &mut QueryResult,
-    ) -> Result<(), ExecError> {
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < entries.len() && j < off_rows.len() {
-            match entries[i].0.cmp(&off_rows[j][off_col]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let v = &entries[i].0;
-                    let i_end = entries[i..].iter().take_while(|(x, _)| x == v).count() + i;
-                    let j_end = off_rows[j..]
-                        .iter()
-                        .take_while(|r| &r[off_col] == v)
-                        .count()
-                        + j;
-                    for (_, ptr) in &entries[i..i_end] {
-                        let tx = self.ledger.read_tx(*ptr)?;
-                        if !in_window(tx.ts, window) {
-                            continue;
-                        }
-                        for off in &off_rows[j..j_end] {
-                            let mut row = materialize(&tx);
-                            row.extend(off.clone());
-                            out.rows.push(row);
-                        }
-                    }
-                    i = i_end;
-                    j = j_end;
+/// Sort-merge one block's sorted index entries against the sorted
+/// off-chain rows, collecting each matched pointer with the range of
+/// off-chain rows it joins — no storage reads; the caller batch-fetches
+/// all matched transactions grouped by block afterwards.
+fn merge_block_with_off(
+    entries: &[(Value, sebdb_storage::TxPtr)],
+    off_rows: &[Vec<Value>],
+    off_col: usize,
+    matched: &mut Vec<(sebdb_storage::TxPtr, std::ops::Range<usize>)>,
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < entries.len() && j < off_rows.len() {
+        match entries[i].0.cmp(&off_rows[j][off_col]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let v = &entries[i].0;
+                let i_end = entries[i..].iter().take_while(|(x, _)| x == v).count() + i;
+                let j_end = off_rows[j..]
+                    .iter()
+                    .take_while(|r| &r[off_col] == v)
+                    .count()
+                    + j;
+                for (_, ptr) in &entries[i..i_end] {
+                    matched.push((*ptr, j..j_end));
                 }
+                i = i_end;
+                j = j_end;
             }
         }
-        Ok(())
     }
 }

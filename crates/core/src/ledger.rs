@@ -20,7 +20,9 @@ use sebdb_index::{
 use sebdb_storage::{BlockCache, BlockStore, CacheMode, CachedStore, StorageError, TxCache, TxPtr};
 use sebdb_types::{Block, BlockId, ColumnRef, TableSchema, Timestamp, Transaction, Value};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Errors from the ledger.
 #[derive(Debug)]
@@ -75,6 +77,15 @@ pub struct Ledger {
     last_hash: RwLock<Digest>,
     signer: MacKeypair,
     tx_verifier: RwLock<Option<Box<TxVerifier>>>,
+    /// Fully-applied height: blocks `0..applied` are persisted AND
+    /// indexed (schemas included, at the node layer). The write
+    /// pipeline persists ahead of this; readers never see a height
+    /// whose indexes are still being built.
+    applied: AtomicU64,
+    /// Watch pair for [`Self::wait_for_height`]: `applied` is updated
+    /// under this mutex so waiters cannot miss a notify.
+    height_watch: Mutex<()>,
+    height_cv: Condvar,
 }
 
 impl Ledger {
@@ -93,6 +104,9 @@ impl Ledger {
             last_hash: RwLock::new(Digest::ZERO),
             signer,
             tx_verifier: RwLock::new(None),
+            applied: AtomicU64::new(0),
+            height_watch: Mutex::new(()),
+            height_cv: Condvar::new(),
         };
         {
             let mut layered = ledger.layered.write();
@@ -114,18 +128,82 @@ impl Ledger {
                 AuthenticatedLayeredIndex::new_discrete(None, ColumnRef::Tname),
             );
         }
-        // Rebuild indexes from any existing blocks (restart path).
+        // Rebuild indexes from any existing blocks (restart path). A
+        // crash between persist and index leaves blocks on disk with no
+        // index entries; this replay makes them whole again, so the
+        // applied height always restarts equal to the persisted height.
         for bid in 0..ledger.store.height() {
             let block = ledger.store.read(bid)?;
             ledger.index_block(&block);
             *ledger.last_hash.write() = block.header.block_hash;
         }
+        ledger
+            .applied
+            .store(ledger.store.height(), Ordering::Release);
         Ok(ledger)
     }
 
-    /// Chain height.
+    /// Applied chain height: every block below it is persisted and
+    /// indexed. This is the height writers observe after their commit
+    /// ack and the bound readers scan to.
     pub fn height(&self) -> BlockId {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// Persisted chain height (may run ahead of [`Self::height`] while
+    /// the write pipeline's indexer stage catches up).
+    pub fn chain_height(&self) -> BlockId {
         self.store.height()
+    }
+
+    /// Blocks until the applied height reaches `target`, `deadline`
+    /// passes, or `abort` returns true (checked on every wakeup).
+    /// Returns whether the height was reached.
+    pub fn wait_for_height(
+        &self,
+        target: BlockId,
+        deadline: Instant,
+        abort: impl Fn() -> bool,
+    ) -> bool {
+        if self.height() >= target {
+            return true;
+        }
+        let mut guard = self.height_watch.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.applied.load(Ordering::Acquire) >= target {
+                return true;
+            }
+            if abort() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            // Sliced so an abort condition raised without a notify (a
+            // poisoned applier that died before poisoning could wake
+            // us) is still observed promptly.
+            let slice = (deadline - now).min(std::time::Duration::from_millis(100));
+            guard = self
+                .height_cv
+                .wait_timeout(guard, slice)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Wakes every [`Self::wait_for_height`] waiter so it re-checks its
+    /// abort condition (used when the applier dies).
+    pub fn notify_height_waiters(&self) {
+        let _guard = self.height_watch.lock().unwrap_or_else(|e| e.into_inner());
+        self.height_cv.notify_all();
+    }
+
+    fn advance_applied(&self, to: BlockId) {
+        let guard = self.height_watch.lock().unwrap_or_else(|e| e.into_inner());
+        self.applied.store(to, Ordering::Release);
+        drop(guard);
+        self.height_cv.notify_all();
     }
 
     /// Hash of the chain tip ([`Digest::ZERO`] when empty).
@@ -211,8 +289,23 @@ impl Ledger {
 
     /// Appends an externally sealed block (e.g. received via gossip),
     /// verifying linkage, integrity, and (when a verifier is installed)
-    /// every transaction signature first.
+    /// every transaction signature first. Runs both write stages —
+    /// persist then index — so the applied height advances before this
+    /// returns.
     pub fn append_block(&self, block: Block) -> Result<Arc<Block>, LedgerError> {
+        let block = self.persist_block(block)?;
+        self.index_appended(&block);
+        Ok(block)
+    }
+
+    /// Stage two of the write path (after [`Self::seal_ordered`]):
+    /// verifies linkage, integrity, and transaction signatures, then
+    /// appends the block to durable storage and advances the chain
+    /// tip. Does NOT index and does NOT advance the applied height —
+    /// the caller must follow up with [`Self::index_appended`] (the
+    /// pipeline runs that on a separate thread, overlapped with
+    /// sealing the next block).
+    pub fn persist_block(&self, block: Block) -> Result<Arc<Block>, LedgerError> {
         if block.header.prev_hash != self.tip_hash() {
             return Err(LedgerError::BadBlock(format!(
                 "block {} does not extend the tip",
@@ -240,9 +333,17 @@ impl Ledger {
             }
         }
         self.store.append(&block)?;
-        self.index_block(&block);
         *self.last_hash.write() = block.header.block_hash;
         Ok(Arc::new(block))
+    }
+
+    /// Stage three of the write path: updates every index family for a
+    /// block previously appended via [`Self::persist_block`], then
+    /// advances the applied height and wakes height waiters. Blocks
+    /// must be indexed in height order.
+    pub fn index_appended(&self, block: &Block) {
+        self.index_block(block);
+        self.advance_applied(block.header.height + 1);
     }
 
     fn index_block(&self, block: &Block) {
@@ -303,7 +404,12 @@ impl Ledger {
                 AuthenticatedLayeredIndex::new_discrete(Some(schema.name.clone()), col),
             )
         };
-        for bid in 0..self.store.height() {
+        // Replay only applied blocks: a block the pipeline has persisted
+        // but not yet indexed will reach the new index through
+        // `index_appended` once it is registered below. (Index creation
+        // is a control-plane operation; callers run it with the applier
+        // quiescent, as before.)
+        for bid in 0..self.height() {
             let block = self.store.read(bid)?;
             layered.update(&block);
             ali.update(&block);
@@ -317,7 +423,7 @@ impl Ledger {
     /// histogram construction.
     fn sample_ranks(&self, schema: &TableSchema, col: ColumnRef) -> Result<Vec<i64>, LedgerError> {
         let mut ranks = Vec::new();
-        let height = self.store.height();
+        let height = self.height();
         // Sample at most ~100 blocks, evenly spaced.
         let step = (height / 100).max(1);
         let mut bid = 0;
@@ -376,7 +482,11 @@ impl Ledger {
     /// Bitmap of block ids whose contents can fall in the time window
     /// (conservative), or all blocks when `window` is `None`.
     pub fn window_mask(&self, window: Option<(Timestamp, Timestamp)>) -> Bitmap {
-        let height = self.store.height();
+        // Scans are bounded by the applied height: a persisted block
+        // whose indexes are still being built is invisible until the
+        // indexer stage finishes it, so every strategy (scan, bitmap,
+        // layered) answers over the same prefix of the chain.
+        let height = self.height();
         let mut mask = Bitmap::new();
         if height == 0 {
             return mask;
@@ -563,6 +673,79 @@ mod tests {
         // And appends continue from the right tip.
         l.append_ordered(ordered(2, &[40])).unwrap();
         l.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn staged_stages_gate_applied_height() {
+        let l = ledger();
+        let block = l.seal_ordered(ordered(0, &[10, 20])).unwrap();
+        let block = l.persist_block(block).unwrap();
+        // Persisted but not indexed: the chain tip moved, the applied
+        // height (and therefore every reader-visible view) did not.
+        assert_eq!(l.chain_height(), 1);
+        assert_eq!(l.height(), 0);
+        assert_eq!(l.window_mask(None).count_ones(), 0);
+        l.index_appended(&block);
+        assert_eq!(l.height(), 1);
+        assert_eq!(l.window_mask(None).count_ones(), 1);
+    }
+
+    #[test]
+    fn wait_for_height_wakes_on_index() {
+        let l = Arc::new(ledger());
+        let block = l.seal_ordered(ordered(0, &[7])).unwrap();
+        let block = l.persist_block(block).unwrap();
+        let waiter = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                l.wait_for_height(
+                    1,
+                    Instant::now() + std::time::Duration::from_secs(5),
+                    || false,
+                )
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        l.index_appended(&block);
+        assert!(waiter.join().unwrap());
+        // Abort wins over waiting.
+        assert!(!l.wait_for_height(
+            9,
+            Instant::now() + std::time::Duration::from_secs(5),
+            || true
+        ));
+    }
+
+    #[test]
+    fn crash_between_persist_and_index_heals_on_restart() {
+        let dir = std::env::temp_dir().join(format!("sebdb-stagecrash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = sebdb_storage::StoreConfig::default();
+        {
+            let store = Arc::new(BlockStore::open(&dir, cfg.clone()).unwrap());
+            let l = Ledger::new(store, signer()).unwrap();
+            l.append_ordered(ordered(0, &[10])).unwrap();
+            // Simulate the applier dying between the persist and index
+            // stages: block 1 reaches the store but no index family.
+            let sealed = l.seal_ordered(ordered(1, &[20, 30])).unwrap();
+            l.persist_block(sealed).unwrap();
+            assert_eq!((l.chain_height(), l.height()), (2, 1));
+        }
+        let store = Arc::new(BlockStore::open(&dir, cfg).unwrap());
+        let l = Ledger::new(store, signer()).unwrap();
+        // Restart replays the persisted prefix: applied catches up and
+        // the indexes cover the once-unindexed block.
+        assert_eq!((l.chain_height(), l.height()), (2, 2));
+        l.verify_chain().unwrap();
+        let hits = l
+            .with_layered(None, "tname", |idx| {
+                idx.candidate_blocks(&sebdb_index::KeyPredicate::Eq(Value::str("donate")))
+            })
+            .unwrap();
+        assert_eq!(hits.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+        l.append_ordered(ordered(2, &[40])).unwrap();
+        assert_eq!(l.height(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod contract;
 pub mod executor;
 pub mod ledger;
 pub mod node;
+pub mod pipeline;
 pub mod schema_mgr;
 pub mod thin_client;
 
@@ -37,6 +38,10 @@ pub use contract::{Contract, ContractError, ContractRegistry};
 pub use executor::{ExecError, Executor, QueryResult, Strategy};
 pub use ledger::{Ledger, LedgerError};
 pub use node::{ExecOutcome, NodeError, SebdbNode};
+pub use pipeline::{
+    pipeline_depth_from_env, ApplierHealth, ApplyPipeline, DEFAULT_PIPELINE_DEPTH,
+    PIPELINE_DEPTH_ENV,
+};
 pub use schema_mgr::{SchemaManager, SCHEMA_TABLE};
 pub use thin_client::{
     byzantine_risk, serve_authenticated_join, serve_authenticated_query, serve_auxiliary_digest,

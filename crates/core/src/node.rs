@@ -9,8 +9,8 @@
 use crate::access::{AccessController, Permission};
 use crate::executor::{ExecError, Executor, QueryResult, Strategy};
 use crate::ledger::Ledger;
+use crate::pipeline::{pipeline_depth_from_env, ApplierHealth, ApplyPipeline};
 use crate::schema_mgr::SchemaManager;
-use crossbeam::channel::RecvTimeoutError;
 use parking_lot::RwLock;
 use sebdb_consensus::traits::now_ms;
 use sebdb_consensus::{Consensus, ConsensusError};
@@ -37,6 +37,9 @@ pub enum NodeError {
     Denied(crate::access::AccessDenied),
     /// Write acknowledged but not yet applied within the timeout.
     ApplyTimeout,
+    /// The applier pipeline died; the chain will not advance until the
+    /// node restarts. Carries the stage error that killed it.
+    ApplierDead(String),
     /// Anything else.
     Other(String),
 }
@@ -49,6 +52,7 @@ impl std::fmt::Display for NodeError {
             NodeError::Consensus(e) => write!(f, "{e}"),
             NodeError::Denied(e) => write!(f, "{e}"),
             NodeError::ApplyTimeout => write!(f, "write committed but not applied in time"),
+            NodeError::ApplierDead(m) => write!(f, "applier pipeline dead: {m}"),
             NodeError::Other(m) => f.write_str(m),
         }
     }
@@ -112,19 +116,40 @@ pub struct SebdbNode {
     /// operators by string; the chain stores sender ids).
     registry: RwLock<HashMap<String, KeyId>>,
     stopped: Arc<AtomicBool>,
-    applier: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+    pipeline: parking_lot::Mutex<Option<ApplyPipeline>>,
+    health: Arc<ApplierHealth>,
     /// How long to wait for a committed write to apply locally.
     pub apply_timeout: Duration,
 }
 
 impl SebdbNode {
     /// Starts a node: subscribes to the consensus stream and begins
-    /// applying ordered blocks to the ledger and schema catalog.
+    /// applying ordered blocks to the ledger and schema catalog through
+    /// the staged write pipeline (depth from `SEBDB_PIPELINE_DEPTH`,
+    /// default 2: sealing block N overlaps indexing block N−1).
     pub fn start(
         store: Arc<BlockStore>,
         consensus: Arc<dyn Consensus>,
         offchain: Option<OffchainConnection>,
         identity: MacKeypair,
+    ) -> Result<Arc<Self>, NodeError> {
+        Self::start_with_depth(
+            store,
+            consensus,
+            offchain,
+            identity,
+            pipeline_depth_from_env(),
+        )
+    }
+
+    /// [`Self::start`] with an explicit pipeline depth (1 = sequential
+    /// applier; N ≥ 2 = two-stage pipeline with N blocks in flight).
+    pub fn start_with_depth(
+        store: Arc<BlockStore>,
+        consensus: Arc<dyn Consensus>,
+        offchain: Option<OffchainConnection>,
+        identity: MacKeypair,
+        depth: usize,
     ) -> Result<Arc<Self>, NodeError> {
         let ledger = Arc::new(
             Ledger::new(store, identity.clone()).map_err(|e| NodeError::Other(e.to_string()))?,
@@ -132,37 +157,14 @@ impl SebdbNode {
         let schemas = Arc::new(SchemaManager::new(offchain.clone()));
         let stopped = Arc::new(AtomicBool::new(false));
 
-        let sub = consensus.subscribe();
-        let applier = {
-            let ledger = Arc::clone(&ledger);
-            let schemas = Arc::clone(&schemas);
-            let stopped = Arc::clone(&stopped);
-            std::thread::spawn(move || loop {
-                if stopped.load(Ordering::Relaxed) {
-                    return;
-                }
-                match sub.recv_timeout(Duration::from_millis(20)) {
-                    // Seal, apply schemas, then append — so the schema
-                    // catalog is never behind the chain height a writer
-                    // observes after its commit ack.
-                    Ok(ordered) => match ledger.seal_ordered(ordered).and_then(|block| {
-                        schemas.apply_block(&block);
-                        ledger.append_block(block)
-                    }) {
-                        Ok(_) => {}
-                        Err(e) => {
-                            // An applier must never wedge the chain
-                            // silently; in this prototype we surface on
-                            // stderr and stop applying.
-                            eprintln!("sebdb applier error: {e}");
-                            return;
-                        }
-                    },
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            })
-        };
+        let pipeline = ApplyPipeline::start(
+            Arc::clone(&ledger),
+            Arc::clone(&schemas),
+            consensus.subscribe(),
+            Arc::clone(&stopped),
+            depth,
+        );
+        let health = Arc::clone(pipeline.health());
 
         let node = Arc::new(SebdbNode {
             ledger,
@@ -173,10 +175,16 @@ impl SebdbNode {
             identity,
             registry: RwLock::new(HashMap::new()),
             stopped,
-            applier: parking_lot::Mutex::new(Some(applier)),
+            pipeline: parking_lot::Mutex::new(Some(pipeline)),
+            health,
             apply_timeout: Duration::from_secs(10),
         });
         Ok(node)
+    }
+
+    /// The applier pipeline's health flag (poisoned when a stage died).
+    pub fn applier_health(&self) -> &Arc<ApplierHealth> {
+        &self.health
     }
 
     /// The node's own sender id.
@@ -343,33 +351,36 @@ impl SebdbNode {
     }
 
     fn wait_applied(&self, seq: u64) -> Result<(), NodeError> {
-        let deadline = Instant::now() + self.apply_timeout;
-        while self.ledger.height() <= seq {
-            if Instant::now() > deadline {
-                return Err(NodeError::ApplyTimeout);
-            }
-            std::thread::sleep(Duration::from_micros(200));
+        let health = &self.health;
+        let reached =
+            self.ledger
+                .wait_for_height(seq + 1, Instant::now() + self.apply_timeout, || {
+                    health.is_poisoned()
+                });
+        if reached {
+            Ok(())
+        } else if let Some(err) = health.error() {
+            // Fail fast with the stage error instead of burning the
+            // full apply timeout against a dead applier.
+            Err(NodeError::ApplierDead(err.to_string()))
+        } else {
+            Err(NodeError::ApplyTimeout)
         }
-        Ok(())
     }
 
-    /// Blocks until the local chain reaches `height`.
+    /// Blocks until the local chain reaches `height` (applied: persisted
+    /// and indexed). Returns false on timeout or a dead applier.
     pub fn wait_height(&self, height: u64, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        while self.ledger.height() < height {
-            if Instant::now() > deadline {
-                return false;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        true
+        let health = &self.health;
+        self.ledger
+            .wait_for_height(height, Instant::now() + timeout, || health.is_poisoned())
     }
 
-    /// Stops the applier thread.
+    /// Stops the applier pipeline.
     pub fn shutdown(&self) {
         self.stopped.store(true, Ordering::Relaxed);
-        if let Some(h) = self.applier.lock().take() {
-            let _ = h.join();
+        if let Some(mut p) = self.pipeline.lock().take() {
+            p.join();
         }
     }
 }

@@ -87,7 +87,10 @@ impl OffTable {
     }
 
     /// Rows matching `pred`, using an index when the predicate is a
-    /// single-column range on an indexed column.
+    /// single-column range on an indexed column. The fallback heap scan
+    /// evaluates the predicate across workers in row-range chunks;
+    /// results keep heap (insertion) order, matching the sequential
+    /// scan.
     pub fn select(&self, pred: &Predicate) -> Vec<Vec<Value>> {
         if let Some((col, lo, hi)) = pred.index_range() {
             if let Some(idx) = self.indexes.get(&col) {
@@ -98,12 +101,22 @@ impl OffTable {
                     .collect();
             }
         }
-        self.rows
-            .iter()
-            .flatten()
-            .filter(|r| pred.eval(r))
-            .cloned()
-            .collect()
+        sebdb_parallel::par_chunks(
+            self.rows.len(),
+            sebdb_parallel::max_threads(),
+            1024,
+            |range| {
+                self.rows[range]
+                    .iter()
+                    .flatten()
+                    .filter(|r| pred.eval(r))
+                    .cloned()
+                    .collect::<Vec<_>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Updates rows matching `pred`, assigning `new` to column `col`;
@@ -151,12 +164,38 @@ impl OffTable {
 
     /// Minimum value of column `col` over live rows (ignores NULL).
     pub fn min(&self, col: usize) -> Option<Value> {
-        self.column_values(col).min()
+        self.chunked_extreme(col, false)
     }
 
     /// Maximum value of column `col` over live rows (ignores NULL).
     pub fn max(&self, col: usize) -> Option<Value> {
-        self.column_values(col).max()
+        self.chunked_extreme(col, true)
+    }
+
+    /// Per-chunk min/max across workers, reduced to the global extreme
+    /// (Algorithm 3 calls these to prune blocks before the on/off
+    /// join, so they sit on the query hot path).
+    fn chunked_extreme(&self, col: usize, take_max: bool) -> Option<Value> {
+        sebdb_parallel::par_chunks(
+            self.rows.len(),
+            sebdb_parallel::max_threads(),
+            4096,
+            |range| {
+                let vals = self.rows[range]
+                    .iter()
+                    .flatten()
+                    .map(|r| &r[col])
+                    .filter(|v| **v != Value::Null);
+                if take_max {
+                    vals.max().cloned()
+                } else {
+                    vals.min().cloned()
+                }
+            },
+        )
+        .into_iter()
+        .flatten()
+        .reduce(|a, b| if (b > a) == take_max { b } else { a })
     }
 
     /// Distinct values of column `col` in ascending order — Algorithm
@@ -317,6 +356,40 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(t.select(&pred).is_empty());
         assert_eq!(t.distinct(1), vec![Value::Int(30), Value::Int(35)]);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_order_and_content() {
+        // Big enough to split into several worker chunks.
+        let mut t = OffTable::new(
+            "big",
+            vec![
+                Column::new("k", DataType::Int),
+                Column::new("v", DataType::Int),
+            ],
+        );
+        for i in 0..5000i64 {
+            t.insert(vec![Value::Int(i), Value::Int(i % 7)]).unwrap();
+        }
+        let pred = Predicate::Compare {
+            column: 1,
+            op: CmpOp::Eq,
+            value: Value::Int(3),
+        };
+        let rows = t.select(&pred);
+        let expected: Vec<i64> = (0..5000).filter(|i| i % 7 == 3).collect();
+        assert_eq!(
+            rows.iter()
+                .map(|r| match r[0] {
+                    Value::Int(k) => k,
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>(),
+            expected,
+            "parallel scan must keep heap order"
+        );
+        assert_eq!(t.min(0), Some(Value::Int(0)));
+        assert_eq!(t.max(0), Some(Value::Int(4999)));
     }
 
     #[test]
