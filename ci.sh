@@ -10,12 +10,30 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Repo-wide concurrency/robustness lint: thread-spawn discipline,
+# no sleep-polling, unwrap/expect ban in the hot crates, single
+# wall-clock site. Allowlist: tools/lint/allowlist.txt.
+echo "==> cargo run -q -p sebdb-lint"
+cargo run -q -p sebdb-lint
+
 echo "==> cargo test -q"
 cargo test -q
+
+# Deterministic interleaving checker: exhaustively explores schedules
+# of the pipeline/mempool/cache models and must find zero invariant
+# violations (and must still *find* the seeded negative-test bugs).
+echo "==> cargo test -q -p sebdb-model"
+cargo test -q -p sebdb-model
 
 # Second pass pinned to one worker: every parallel primitive and the
 # staged applier must be observably equivalent to sequential execution.
 echo "==> SEBDB_THREADS=1 cargo test -q"
 SEBDB_THREADS=1 cargo test -q
+
+# Third pass with the parking_lot shim's lock-order cycle detector
+# compiled in: any lock-acquisition-order inversion anywhere in the
+# suite panics with both witness stacks.
+echo "==> cargo test -q --workspace --features parking_lot/lock-order"
+cargo test -q --workspace --features parking_lot/lock-order
 
 echo "ci: all green"

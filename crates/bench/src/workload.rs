@@ -156,7 +156,7 @@ pub fn run_write_benchmark(
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let engine = Arc::clone(&engine);
-            std::thread::spawn(move || {
+            sebdb_parallel::spawn_service(&format!("bench-client-{c}"), move || {
                 let mut total_latency = Duration::ZERO;
                 let mut committed = 0usize;
                 for i in 0..txs_per_client {

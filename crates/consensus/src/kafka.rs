@@ -36,7 +36,7 @@ impl KafkaOrderer {
         let broker = {
             let mempool = Arc::clone(&mempool);
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || broker_loop(mempool, shared))
+            sebdb_parallel::spawn_service("kafka-broker", move || broker_loop(mempool, shared))
         };
         Arc::new(KafkaOrderer {
             mempool,

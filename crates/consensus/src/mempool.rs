@@ -24,9 +24,9 @@
 
 use crate::traits::{BatchConfig, CommitAck, ConsensusError};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
 use sebdb_types::Transaction;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// The channel half a committing engine resolves a submission on.
@@ -77,7 +77,7 @@ impl Mempool {
     /// commit/reject message once the producer has processed it.
     pub fn submit(&self, tx: Transaction) -> Receiver<Result<CommitAck, ConsensusError>> {
         let (ack_tx, ack_rx) = bounded(1);
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.state.lock();
         if st.closed {
             drop(st);
             let _ = ack_tx.send(Err(ConsensusError::Stopped));
@@ -94,11 +94,7 @@ impl Mempool {
 
     /// Number of transactions currently pending.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .queue
-            .len()
+        self.state.lock().queue.len()
     }
 
     /// Whether the pending buffer is empty.
@@ -113,7 +109,7 @@ impl Mempool {
     /// [`Self::take_remaining`].
     pub fn next_batch(&self) -> Option<Vec<(Transaction, AckSender)>> {
         let timeout = Duration::from_millis(self.config.timeout_ms);
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.state.lock();
         loop {
             if st.closed {
                 return None;
@@ -132,11 +128,7 @@ impl Mempool {
                 }
                 None => timeout,
             };
-            st = self
-                .arrived
-                .wait_timeout(st, wait)
-                .unwrap_or_else(|e| e.into_inner())
-                .0;
+            self.arrived.wait_timeout(&mut st, wait);
         }
     }
 
@@ -196,14 +188,14 @@ impl Mempool {
     /// [`ConsensusError::Stopped`] and [`Self::next_batch`] returns
     /// `None`.
     pub fn close(&self) {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.state.lock().closed = true;
         self.arrived.notify_all();
     }
 
     /// Drains every pending transaction (used after [`Self::close`] to
     /// reject leftovers).
     pub fn take_remaining(&self) -> Vec<(Transaction, AckSender)> {
-        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.state.lock();
         st.first_pending = None;
         st.queue.drain(..).collect()
     }
@@ -290,6 +282,61 @@ mod tests {
             Err(ConsensusError::Rejected(_)) => {}
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn timeout_flush_racing_concurrent_submit_loses_nothing() {
+        // A 1 ms packaging window makes the producer's timeout flush
+        // race live submissions constantly; every transaction must land
+        // in exactly one batch (or the post-close leftovers).
+        let pool = std::sync::Arc::new(Mempool::new(BatchConfig {
+            max_txs: 4,
+            timeout_ms: 1,
+        }));
+        let producer = {
+            let pool = std::sync::Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut seen: Vec<i64> = Vec::new();
+                while let Some(batch) = pool.next_batch() {
+                    assert!(batch.len() <= 4, "batch over max_txs");
+                    for (tx, _ack) in batch {
+                        match tx.values.first() {
+                            Some(Value::Int(i)) => seen.push(*i),
+                            other => panic!("unexpected value {other:?}"),
+                        }
+                    }
+                }
+                seen
+            })
+        };
+        let per_thread = 50i64;
+        let submitters: Vec<_> = (0..3)
+            .map(|t| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        pool.submit(tx(t * per_thread + i));
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        pool.close();
+        let mut seen = producer.join().unwrap();
+        for (tx, _ack) in pool.take_remaining() {
+            match tx.values.first() {
+                Some(Value::Int(i)) => seen.push(*i),
+                other => panic!("unexpected value {other:?}"),
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..3 * per_thread).collect::<Vec<i64>>(),
+            "transactions lost or duplicated across timeout flushes"
+        );
     }
 
     #[test]

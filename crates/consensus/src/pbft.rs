@@ -221,30 +221,40 @@ impl Replica {
             let Some(d) = state.digest else { return };
             (state.prepare_count() >= 2 * self.f, d)
         };
-        if prepared && !self.seqs.get(&seq).unwrap().sent_commit {
-            self.seqs.get_mut(&seq).unwrap().sent_commit = true;
-            let vote = if self.byzantine {
-                self.corrupt(digest)
-            } else {
-                digest
+        if prepared {
+            let first_commit = match self.seqs.get_mut(&seq) {
+                Some(state) if !state.sent_commit => {
+                    state.sent_commit = true;
+                    true
+                }
+                _ => false,
             };
-            self.broadcast_and_self(PbftMsg::Commit {
-                view: 0,
-                seq,
-                digest: vote,
-            });
+            if first_commit {
+                let vote = if self.byzantine {
+                    self.corrupt(digest)
+                } else {
+                    digest
+                };
+                self.broadcast_and_self(PbftMsg::Commit {
+                    view: 0,
+                    seq,
+                    digest: vote,
+                });
+            }
         }
         // Committed-local: 2f + 1 commits. Deliver in order.
         loop {
-            let deliverable = self.seqs.get(&self.next_deliver).is_some_and(|s| {
-                !s.delivered && s.block.is_some() && s.commit_count() > 2 * self.f
-            });
-            if !deliverable {
+            let quorum = 2 * self.f;
+            let Some(state) = self.seqs.get_mut(&self.next_deliver) else {
+                break;
+            };
+            if state.delivered || state.commit_count() <= quorum {
                 break;
             }
-            let state = self.seqs.get_mut(&self.next_deliver).unwrap();
+            let Some(block) = state.block.clone() else {
+                break;
+            };
             state.delivered = true;
-            let block = state.block.clone().unwrap();
             let _ = self.deliveries.send((self.id, block));
             self.next_deliver += 1;
         }
@@ -328,7 +338,9 @@ impl PbftEngine {
                 byzantine: config.byzantine.contains(&id),
                 stopped: Arc::clone(&stopped),
             };
-            threads.push(std::thread::spawn(move || replica.run()));
+            threads.push(sebdb_parallel::spawn_service("pbft-replica", move || {
+                replica.run()
+            }));
         }
         drop(deliver_tx);
 
@@ -339,7 +351,7 @@ impl PbftEngine {
             let net = Arc::clone(&net);
             let shared = Arc::clone(&shared);
             let mempool = Arc::clone(&mempool);
-            threads.push(std::thread::spawn(move || {
+            threads.push(sebdb_parallel::spawn_service("pbft-batcher", move || {
                 batcher_loop(mempool, net, batcher_id, shared)
             }));
         }
@@ -347,7 +359,7 @@ impl PbftEngine {
         // Delivery fan-out: replica 0's stream drives subscribers and acks.
         {
             let shared = Arc::clone(&shared);
-            threads.push(std::thread::spawn(move || {
+            threads.push(sebdb_parallel::spawn_service("pbft-deliver", move || {
                 for (replica, block) in deliver_rx.iter() {
                     if replica != 0 {
                         continue;

@@ -470,7 +470,9 @@ impl TendermintEngine {
                 stopped: Arc::clone(&stopped),
                 batch_started: None,
             };
-            threads.push(std::thread::spawn(move || v.run()));
+            threads.push(sebdb_parallel::spawn_service("tm-validator", move || {
+                v.run()
+            }));
         }
         drop(deliver_tx);
 
@@ -481,7 +483,7 @@ impl TendermintEngine {
             let shared = Arc::clone(&shared);
             let stopped = Arc::clone(&stopped);
             let cost = Duration::from_micros(config.checktx_cost_us);
-            threads.push(std::thread::spawn(move || {
+            threads.push(sebdb_parallel::spawn_service("tm-checktx", move || {
                 let mut next_tid: u64 = 1;
                 loop {
                     if stopped.load(Ordering::Relaxed) {
@@ -517,7 +519,7 @@ impl TendermintEngine {
         let canonical: NodeId = (0..n).find(|id| !config.down.contains(id)).unwrap_or(0);
         {
             let shared = Arc::clone(&shared);
-            threads.push(std::thread::spawn(move || {
+            threads.push(sebdb_parallel::spawn_service("tm-deliver", move || {
                 for (validator, block) in deliver_rx.iter() {
                     if validator != canonical {
                         continue;

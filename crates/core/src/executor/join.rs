@@ -224,16 +224,20 @@ impl Executor<'_> {
         let mut matched: Vec<(sebdb_storage::TxPtr, sebdb_storage::TxPtr)> = Vec::new();
         let mut cached_left: Option<(u64, Vec<(Value, sebdb_storage::TxPtr)>)> = None;
         for (b_l, b_r) in pairs {
-            if cached_left.as_ref().map(|(b, _)| *b) != Some(b_l) {
-                let entries = self
-                    .ledger
-                    .with_layered(Some(&left.name), &l_col, |idx| {
-                        idx.block_sorted_entries(b_l)
-                    })
-                    .unwrap();
-                cached_left = Some((b_l, entries));
-            }
-            let l_entries = &cached_left.as_ref().unwrap().1;
+            let l_entries: &[(Value, sebdb_storage::TxPtr)] = match &mut cached_left {
+                Some((b, entries)) if *b == b_l => entries,
+                cache => {
+                    let entries = self
+                        .ledger
+                        .with_layered(Some(&left.name), &l_col, |idx| {
+                            idx.block_sorted_entries(b_l)
+                        })
+                        .ok_or_else(|| {
+                            ExecError::Unsupported(format!("index on {} vanished", left.name))
+                        })?;
+                    &cache.insert((b_l, entries)).1
+                }
+            };
             if l_entries.is_empty() {
                 continue;
             }
@@ -242,7 +246,9 @@ impl Executor<'_> {
                 .with_layered(Some(&right.name), &r_col, |idx| {
                     idx.block_sorted_entries(b_r)
                 })
-                .unwrap();
+                .ok_or_else(|| {
+                    ExecError::Unsupported(format!("index on {} vanished", right.name))
+                })?;
             sort_merge_pairs(l_entries, r_entries.as_slice(), &mut matched);
         }
         // Phase two batch-fetches every distinct pointer (distinct

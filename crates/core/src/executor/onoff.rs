@@ -89,8 +89,11 @@ impl Executor<'_> {
                     .ledger
                     .with_layered(Some(&on_table.name), &index_name, |idx| {
                         if continuous {
-                            let s_min = off_rows.first().unwrap()[off_col].numeric_rank();
-                            let s_max = off_rows.last().unwrap()[off_col].numeric_rank();
+                            // Rows are sorted on the join attribute, so
+                            // first/last bound the value range; empty
+                            // bounds fall through to the full scan arm.
+                            let s_min = off_rows.first().and_then(|r| r[off_col].numeric_rank());
+                            let s_max = off_rows.last().and_then(|r| r[off_col].numeric_rank());
                             match (s_min, s_max) {
                                 (Some(lo), Some(hi)) => {
                                     let mut b = Bitmap::new();
@@ -110,7 +113,9 @@ impl Executor<'_> {
                             idx.blocks_for_values(distinct.iter())
                         }
                     })
-                    .unwrap()
+                    .ok_or_else(|| {
+                        ExecError::Unsupported(format!("index on {} vanished", on_table.name))
+                    })?
                     .and(&mask);
                 // Lines 8–13: per-block sort-merge against the sorted
                 // off-chain rows. Phase one walks the sorted runs and
@@ -123,7 +128,9 @@ impl Executor<'_> {
                         .with_layered(Some(&on_table.name), &index_name, |idx| {
                             idx.block_sorted_entries(bid as u64)
                         })
-                        .unwrap();
+                        .ok_or_else(|| {
+                            ExecError::Unsupported(format!("index on {} vanished", on_table.name))
+                        })?;
                     merge_block_with_off(&entries, &off_rows, off_col, &mut matched);
                 }
                 // Phase two batch-fetches every distinct pointer

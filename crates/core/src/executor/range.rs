@@ -55,7 +55,9 @@ impl Executor<'_> {
                         }
                         ptrs
                     })
-                    .expect("index presence checked above");
+                    .ok_or_else(|| {
+                        ExecError::Unsupported(format!("index on {} vanished", schema.name))
+                    })?;
                 // Batch-fetch the pointed-at tuples (blocks decoded in
                 // parallel), then filter and materialize rows across
                 // workers; both stages preserve pointer order.

@@ -77,7 +77,9 @@ impl Executor<'_> {
                     let b = self
                         .ledger
                         .with_layered(None, "sen_id", |idx| idx.candidate_blocks(&pred))
-                        .expect("system sen_id index always exists");
+                        .ok_or_else(|| {
+                            ExecError::Unsupported("system sen_id index missing".into())
+                        })?;
                     mask = mask.and(&b);
                 }
                 if let Some(tname) = operation {
@@ -85,7 +87,9 @@ impl Executor<'_> {
                     let b = self
                         .ledger
                         .with_layered(None, "tname", |idx| idx.candidate_blocks(&pred))
-                        .expect("system tname index always exists");
+                        .ok_or_else(|| {
+                            ExecError::Unsupported("system tname index missing".into())
+                        })?;
                     mask = mask.and(&b);
                 }
                 // Lines 6–13: per block, intersect the second-level

@@ -9,7 +9,7 @@
 //! indexes on `SenID` and `Tname` ("created on all tables for all
 //! historical transactions", §V-A) exist from genesis.
 
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use sebdb_consensus::OrderedBlock;
 use sebdb_crypto::sha256::Digest;
 use sebdb_crypto::sig::{MacKeypair, Signer};
@@ -21,7 +21,7 @@ use sebdb_storage::{BlockCache, BlockStore, CacheMode, CachedStore, StorageError
 use sebdb_types::{Block, BlockId, ColumnRef, TableSchema, Timestamp, Transaction, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Errors from the ledger.
@@ -86,7 +86,15 @@ pub struct Ledger {
     /// under this mutex so waiters cannot miss a notify.
     height_watch: Mutex<()>,
     height_cv: Condvar,
+    /// Fault-injection hook run before a block's indexes are built.
+    /// Concurrency tests use it to panic or park the indexer stage at
+    /// a precise block boundary; production paths never install one.
+    index_fault: RwLock<Option<Box<IndexFaultHook>>>,
 }
+
+/// Hook invoked with each block just before it is indexed (see
+/// [`Ledger::set_index_fault`]).
+pub type IndexFaultHook = dyn Fn(&Block) + Send + Sync;
 
 impl Ledger {
     /// Creates a ledger over `store` (which must be empty or previously
@@ -107,6 +115,7 @@ impl Ledger {
             applied: AtomicU64::new(0),
             height_watch: Mutex::new(()),
             height_cv: Condvar::new(),
+            index_fault: RwLock::new(None),
         };
         {
             let mut layered = ledger.layered.write();
@@ -168,7 +177,7 @@ impl Ledger {
         if self.height() >= target {
             return true;
         }
-        let mut guard = self.height_watch.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = self.height_watch.lock();
         loop {
             if self.applied.load(Ordering::Acquire) >= target {
                 return true;
@@ -184,23 +193,19 @@ impl Ledger {
             // poisoned applier that died before poisoning could wake
             // us) is still observed promptly.
             let slice = (deadline - now).min(std::time::Duration::from_millis(100));
-            guard = self
-                .height_cv
-                .wait_timeout(guard, slice)
-                .unwrap_or_else(|e| e.into_inner())
-                .0;
+            self.height_cv.wait_timeout(&mut guard, slice);
         }
     }
 
     /// Wakes every [`Self::wait_for_height`] waiter so it re-checks its
     /// abort condition (used when the applier dies).
     pub fn notify_height_waiters(&self) {
-        let _guard = self.height_watch.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = self.height_watch.lock();
         self.height_cv.notify_all();
     }
 
     fn advance_applied(&self, to: BlockId) {
-        let guard = self.height_watch.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = self.height_watch.lock();
         self.applied.store(to, Ordering::Release);
         drop(guard);
         self.height_cv.notify_all();
@@ -342,8 +347,19 @@ impl Ledger {
     /// advances the applied height and wakes height waiters. Blocks
     /// must be indexed in height order.
     pub fn index_appended(&self, block: &Block) {
+        if let Some(hook) = self.index_fault.read().as_ref() {
+            hook(block);
+        }
         self.index_block(block);
         self.advance_applied(block.header.height + 1);
+    }
+
+    /// Installs (or clears) a fault-injection hook invoked with each
+    /// block just before its indexes are built. Test instrumentation
+    /// for the pipeline's failure paths — a hook that panics simulates
+    /// an indexer-stage crash mid-block.
+    pub fn set_index_fault(&self, hook: Option<Box<IndexFaultHook>>) {
+        *self.index_fault.write() = hook;
     }
 
     fn index_block(&self, block: &Block) {

@@ -165,7 +165,7 @@ impl ApplyPipeline {
         stopped: Arc<AtomicBool>,
         health: Arc<ApplierHealth>,
     ) -> std::thread::JoinHandle<()> {
-        std::thread::spawn(move || {
+        sebdb_parallel::spawn_service("applier", move || {
             let mut guard = PoisonOnPanic {
                 health: Arc::clone(&health),
                 ledger: Arc::clone(&ledger),
@@ -224,7 +224,7 @@ impl ApplyPipeline {
             let ledger = Arc::clone(&ledger);
             let health = Arc::clone(&health);
             let stopped = Arc::clone(&stopped);
-            std::thread::spawn(move || {
+            sebdb_parallel::spawn_service("sealer", move || {
                 let mut guard = PoisonOnPanic {
                     health: Arc::clone(&health),
                     ledger: Arc::clone(&ledger),
@@ -266,7 +266,7 @@ impl ApplyPipeline {
             })
         };
         let indexer = {
-            std::thread::spawn(move || {
+            sebdb_parallel::spawn_service("indexer", move || {
                 let mut guard = PoisonOnPanic {
                     health: Arc::clone(&health),
                     ledger: Arc::clone(&ledger),
@@ -394,6 +394,53 @@ mod tests {
                 .is_poisoned())
         );
         assert!(waited.elapsed() < Duration::from_secs(2));
+        stopped.store(true, Ordering::Relaxed);
+        drop(tx);
+        pipe.join();
+    }
+
+    #[test]
+    fn indexer_stage_panic_poisons_health_and_wakes_waiters() {
+        let ledger = ledger();
+        // Inject a panic while indexing the second block (header height
+        // 1) — after the sealer has persisted it, mid-way through the
+        // indexer stage.
+        ledger.set_index_fault(Some(Box::new(|block: &sebdb_types::Block| {
+            if block.header.height == 1 {
+                panic!("injected index fault at height 1");
+            }
+        })));
+        let schemas = Arc::new(SchemaManager::new(None));
+        let stopped = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = unbounded();
+        let mut pipe =
+            ApplyPipeline::start(Arc::clone(&ledger), schemas, rx, Arc::clone(&stopped), 3);
+        for seq in 0..4 {
+            tx.send(ordered(seq, 2)).unwrap();
+        }
+        // The waiter must wake on the poison signal, not burn its
+        // timeout.
+        let waited = Instant::now();
+        let reached = ledger.wait_for_height(4, Instant::now() + Duration::from_secs(10), || {
+            pipe.health().is_poisoned()
+        });
+        assert!(!reached, "chain must not reach height 4 past the fault");
+        assert!(
+            waited.elapsed() < Duration::from_secs(5),
+            "waiter should abort fast on poison, waited {:?}",
+            waited.elapsed()
+        );
+        assert!(pipe.health().is_poisoned());
+        let err = pipe.health().error().unwrap();
+        assert!(
+            err.contains("indexer"),
+            "poison should name the stage: {err}"
+        );
+        // The first block applied cleanly; the faulty one persisted
+        // (the sealer ran ahead) but never indexed, so the applied
+        // height stays behind the chain height.
+        assert_eq!(ledger.height(), 1);
+        assert!(ledger.chain_height() >= 2);
         stopped.store(true, Ordering::Relaxed);
         drop(tx);
         pipe.join();

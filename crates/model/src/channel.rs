@@ -1,0 +1,278 @@
+//! Model bounded/unbounded channels with the crossbeam shim's API.
+//!
+//! Send on a full bounded channel and recv on an empty one block under
+//! the scheduler; `recv_timeout` is a timed block the scheduler may
+//! resolve by firing the timeout. Disconnection follows crossbeam:
+//! sends fail once every receiver is gone, receives fail once the
+//! buffer is drained and every sender is gone.
+
+use crate::sched::{ctx, ctx_opt, StateSig, Wake};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, PoisonError, Weak};
+use std::time::Duration;
+
+/// Send failed: every receiver is gone. Carries the value back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Receive failed: channel empty and every sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct ChanCore<T> {
+    meta: std::sync::Mutex<ChanState<T>>,
+    cap: Option<usize>,
+    id: OnceLock<u64>,
+}
+
+impl<T> ChanCore<T> {
+    fn id(&self) -> u64 {
+        *self.id.get().expect("model object not registered")
+    }
+}
+
+impl<T: Hash + Send + 'static> StateSig for ChanCore<T> {
+    fn sig(&self) -> u64 {
+        let st = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut h = DefaultHasher::new();
+        4u64.hash(&mut h);
+        st.senders.hash(&mut h);
+        st.receivers.hash(&mut h);
+        for item in &st.queue {
+            item.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Sending half; clonable like crossbeam's.
+pub struct Sender<T> {
+    core: Arc<ChanCore<T>>,
+}
+
+/// Receiving half; clonable like crossbeam's.
+pub struct Receiver<T> {
+    core: Arc<ChanCore<T>>,
+}
+
+fn channel<T: Hash + Send + 'static>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let core = Arc::new(ChanCore {
+        meta: std::sync::Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cap,
+        id: OnceLock::new(),
+    });
+    let (ex, _) = ctx();
+    let weak: Weak<dyn StateSig> = Arc::downgrade(&core) as Weak<dyn StateSig>;
+    let id = ex.register_object(weak);
+    core.id.set(id).expect("object registered twice");
+    (
+        Sender {
+            core: Arc::clone(&core),
+        },
+        Receiver { core },
+    )
+}
+
+/// A bounded channel of capacity `cap >= 1` (the engine's pipelines use
+/// depth-1 channels; rendezvous channels are not modelled).
+pub fn bounded<T: Hash + Send + 'static>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "model channels need capacity >= 1");
+    channel(Some(cap))
+}
+
+/// An unbounded channel.
+pub fn unbounded<T: Hash + Send + 'static>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+impl<T: Send> Sender<T> {
+    /// Blocks while the channel is full; fails once every receiver is
+    /// gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let (ex, me) = ctx();
+        ex.schedule_point(me);
+        loop {
+            let mut st = self
+                .core
+                .meta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if self.core.cap.is_none_or(|cap| st.queue.len() < cap) {
+                st.queue.push_back(value);
+                drop(st);
+                ex.wake_all(self.core.id());
+                return Ok(());
+            }
+            drop(st);
+            ex.block_on(me, self.core.id(), false);
+        }
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Blocks while the channel is empty; fails once it is drained and
+    /// every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let (ex, me) = ctx();
+        ex.schedule_point(me);
+        loop {
+            let mut st = self
+                .core
+                .meta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(value) = st.queue.pop_front() {
+                drop(st);
+                ex.wake_all(self.core.id());
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            drop(st);
+            ex.block_on(me, self.core.id(), false);
+        }
+    }
+
+    /// Like [`Self::recv`], but the scheduler may fire the timeout at
+    /// any point while blocked (the duration itself is ignored — model
+    /// time is schedule order).
+    pub fn recv_timeout(&self, _timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let (ex, me) = ctx();
+        ex.schedule_point(me);
+        loop {
+            let mut st = self
+                .core
+                .meta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(value) = st.queue.pop_front() {
+                drop(st);
+                ex.wake_all(self.core.id());
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            drop(st);
+            if ex.block_on(me, self.core.id(), true) == Wake::TimedOut {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let (ex, me) = ctx();
+        ex.schedule_point(me);
+        let mut st = self
+            .core
+            .meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(value) = st.queue.pop_front() {
+            drop(st);
+            ex.wake_all(self.core.id());
+            return Ok(value);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        let mut st = self
+            .core
+            .meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.senders += 1;
+        drop(st);
+        Sender {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self
+            .core
+            .meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.senders -= 1;
+        let disconnected = st.senders == 0;
+        drop(st);
+        // The last sender leaving wakes blocked receivers so they can
+        // observe the disconnect.
+        if disconnected {
+            if let Some((ex, _)) = ctx_opt() {
+                ex.wake_all(self.core.id());
+            }
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        let mut st = self
+            .core
+            .meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.receivers += 1;
+        drop(st);
+        Receiver {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self
+            .core
+            .meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.receivers -= 1;
+        let disconnected = st.receivers == 0;
+        drop(st);
+        if disconnected {
+            if let Some((ex, _)) = ctx_opt() {
+                ex.wake_all(self.core.id());
+            }
+        }
+    }
+}

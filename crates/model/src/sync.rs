@@ -1,0 +1,448 @@
+//! Model `Mutex`/`RwLock`/`Condvar` with the parking_lot shim's API.
+//!
+//! Each primitive is a scheduling point on acquisition, so the explorer
+//! interleaves model threads at exactly the places the real engine can
+//! be preempted around its locks. Guard drops release and wake waiters
+//! but deliberately do NOT yield — `Drop` must never unwind, and the
+//! released state is explored at the next thread's own scheduling
+//! point.
+//!
+//! Payloads must be `Hash`: every object contributes a content
+//! fingerprint to the state signature used for revisited-state pruning.
+
+use crate::sched::{ctx, ctx_opt, StateSig, Wake};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock, PoisonError, Weak};
+use std::time::Duration;
+
+fn fingerprint(tag: u64, parts: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    tag.hash(&mut h);
+    parts.hash(&mut h);
+    h.finish()
+}
+
+fn hash_of<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+
+struct MutexCore<T> {
+    /// The model lock bit; the scheduler serialises all access.
+    meta: std::sync::Mutex<bool>,
+    /// Real storage; uncontended by construction (only the model holder
+    /// touches it).
+    data: std::sync::Mutex<T>,
+    id: OnceLock<u64>,
+}
+
+impl<T> MutexCore<T> {
+    fn id(&self) -> u64 {
+        *self.id.get().expect("model object not registered")
+    }
+}
+
+impl<T: Hash + Send + 'static> StateSig for MutexCore<T> {
+    fn sig(&self) -> u64 {
+        let locked = *self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+        // While a guard is out the holder owns the data; its progress
+        // is captured by the holder thread's op counter instead.
+        let content = match self.data.try_lock() {
+            Ok(guard) => hash_of(&*guard),
+            Err(_) => 0x6865_6c64, // "held"
+        };
+        fingerprint(1, &[locked as u64, content])
+    }
+}
+
+/// A model mutex with the parking_lot shim's `lock()` API.
+pub struct Mutex<T> {
+    core: Arc<MutexCore<T>>,
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: Hash + Send + 'static> Mutex<T> {
+    /// Creates and registers the mutex with the current execution —
+    /// model objects must be built inside the `explore` closure.
+    pub fn new(value: T) -> Mutex<T> {
+        let core = Arc::new(MutexCore {
+            meta: std::sync::Mutex::new(false),
+            data: std::sync::Mutex::new(value),
+            id: OnceLock::new(),
+        });
+        let (ex, _) = ctx();
+        let weak: Weak<dyn StateSig> = Arc::downgrade(&core) as Weak<dyn StateSig>;
+        let id = ex.register_object(weak);
+        core.id.set(id).expect("object registered twice");
+        Mutex { core }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (ex, me) = ctx();
+        ex.schedule_point(me);
+        loop {
+            let mut locked = self
+                .core
+                .meta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !*locked {
+                *locked = true;
+                break;
+            }
+            drop(locked);
+            ex.block_on(me, self.core.id(), false);
+        }
+        MutexGuard {
+            lock: self,
+            inner: Some(
+                self.core
+                    .data
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            ),
+        }
+    }
+}
+
+impl<T> MutexGuard<'_, T> {
+    /// Releases the model lock without yielding (condvar wait path and
+    /// `Drop` share this).
+    fn release(&mut self) {
+        self.inner = None;
+        let mut locked = self
+            .lock
+            .core
+            .meta
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *locked = false;
+        drop(locked);
+        if let Some((ex, _)) = ctx_opt() {
+            ex.wake_all(self.lock.core.id());
+        }
+    }
+
+    /// Re-takes the model lock after a condvar wait.
+    fn reacquire(&mut self) {
+        let (ex, me) = ctx();
+        loop {
+            let mut locked = self
+                .lock
+                .core
+                .meta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !*locked {
+                *locked = true;
+                break;
+            }
+            drop(locked);
+            ex.block_on(me, self.lock.core.id(), false);
+        }
+        self.inner = Some(
+            self.lock
+                .core
+                .data
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            self.release();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+
+struct RwMeta {
+    readers: usize,
+    writer: bool,
+}
+
+struct RwLockCore<T> {
+    meta: std::sync::Mutex<RwMeta>,
+    data: std::sync::RwLock<T>,
+    id: OnceLock<u64>,
+}
+
+impl<T> RwLockCore<T> {
+    fn id(&self) -> u64 {
+        *self.id.get().expect("model object not registered")
+    }
+
+    fn release_read(&self) {
+        let mut meta = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+        meta.readers -= 1;
+        drop(meta);
+        if let Some((ex, _)) = ctx_opt() {
+            ex.wake_all(self.id());
+        }
+    }
+
+    fn release_write(&self) {
+        let mut meta = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+        meta.writer = false;
+        drop(meta);
+        if let Some((ex, _)) = ctx_opt() {
+            ex.wake_all(self.id());
+        }
+    }
+}
+
+impl<T: Hash + Send + Sync + 'static> StateSig for RwLockCore<T> {
+    fn sig(&self) -> u64 {
+        let meta = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+        let content = match self.data.try_read() {
+            Ok(guard) => hash_of(&*guard),
+            Err(_) => 0x6865_6c64,
+        };
+        fingerprint(2, &[meta.readers as u64, meta.writer as u64, content])
+    }
+}
+
+/// A model reader-writer lock with the parking_lot shim's API.
+pub struct RwLock<T> {
+    core: Arc<RwLockCore<T>>,
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    core: &'a RwLockCore<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    core: &'a RwLockCore<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: Hash + Send + Sync + 'static> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        let core = Arc::new(RwLockCore {
+            meta: std::sync::Mutex::new(RwMeta {
+                readers: 0,
+                writer: false,
+            }),
+            data: std::sync::RwLock::new(value),
+            id: OnceLock::new(),
+        });
+        let (ex, _) = ctx();
+        let weak: Weak<dyn StateSig> = Arc::downgrade(&core) as Weak<dyn StateSig>;
+        let id = ex.register_object(weak);
+        core.id.set(id).expect("object registered twice");
+        RwLock { core }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let (ex, me) = ctx();
+        ex.schedule_point(me);
+        loop {
+            let mut meta = self
+                .core
+                .meta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !meta.writer {
+                meta.readers += 1;
+                break;
+            }
+            drop(meta);
+            ex.block_on(me, self.core.id(), false);
+        }
+        RwLockReadGuard {
+            core: &self.core,
+            inner: Some(
+                self.core
+                    .data
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner),
+            ),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let (ex, me) = ctx();
+        ex.schedule_point(me);
+        loop {
+            let mut meta = self
+                .core
+                .meta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !meta.writer && meta.readers == 0 {
+                meta.writer = true;
+                break;
+            }
+            drop(meta);
+            ex.block_on(me, self.core.id(), false);
+        }
+        RwLockWriteGuard {
+            core: &self.core,
+            inner: Some(
+                self.core
+                    .data
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner),
+            ),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            self.core.release_read();
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard released")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            self.core.release_write();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+
+struct CvCore {
+    id: OnceLock<u64>,
+}
+
+impl StateSig for CvCore {
+    fn sig(&self) -> u64 {
+        // A condvar carries no state of its own; waiters show up in the
+        // thread-status part of the signature.
+        fingerprint(3, &[])
+    }
+}
+
+/// Result of a model [`Condvar::wait_timeout`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A model condvar with the parking_lot shim's `&mut guard` API.
+/// `notify_one` deterministically wakes the lowest-id waiter; the
+/// scheduler may fire a `wait_timeout` at any point, which doubles as
+/// the spurious-wakeup model.
+pub struct Condvar {
+    core: Arc<CvCore>,
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        let core = Arc::new(CvCore {
+            id: OnceLock::new(),
+        });
+        let (ex, _) = ctx();
+        let weak: Weak<dyn StateSig> = Arc::downgrade(&core) as Weak<dyn StateSig>;
+        let id = ex.register_object(weak);
+        core.id.set(id).expect("object registered twice");
+        Condvar { core }
+    }
+
+    fn id(&self) -> u64 {
+        *self.core.id.get().expect("model object not registered")
+    }
+
+    /// Atomically releases the mutex and blocks until notified; the
+    /// mutex is re-held on return.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let (ex, me) = ctx();
+        guard.release();
+        ex.block_on(me, self.id(), false);
+        guard.reacquire();
+    }
+
+    /// Like [`Self::wait`], but the scheduler may also wake the thread
+    /// by firing the timeout. The duration itself is ignored — model
+    /// time is schedule order, so "the timeout fired" is just one more
+    /// scheduling choice.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        _timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let (ex, me) = ctx();
+        guard.release();
+        let wake = ex.block_on(me, self.id(), true);
+        guard.reacquire();
+        WaitTimeoutResult {
+            timed_out: wake == Wake::TimedOut,
+        }
+    }
+
+    pub fn notify_one(&self) {
+        let (ex, _) = ctx();
+        ex.wake_one(self.id());
+    }
+
+    pub fn notify_all(&self) {
+        let (ex, _) = ctx();
+        ex.wake_all(self.id());
+    }
+}

@@ -112,7 +112,7 @@ impl<M: Send + 'static> SimNet<M> {
         });
         if !net.shared.config.latency.is_zero() {
             let shared = Arc::clone(&net.shared);
-            let handle = std::thread::spawn(move || pump_loop(shared));
+            let handle = sebdb_parallel::spawn_service("net-pump", move || pump_loop(shared));
             *net.pump.lock() = Some(handle);
         }
         net

@@ -201,6 +201,23 @@ macro_rules! join_all {
     };
 }
 
+/// Spawns a named long-lived service thread (appliers, consensus
+/// replicas, network pumps). This is the one sanctioned way to start
+/// an OS thread outside this crate — the repo lint forbids raw
+/// `std::thread::spawn` elsewhere, so every service thread passes
+/// through here and carries a name that shows up in panic messages
+/// and debugger output.
+pub fn spawn_service<T, F>(name: &str, f: F) -> std::thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("sebdb-{name}"))
+        .spawn(f)
+        .unwrap_or_else(|e| panic!("failed to spawn service thread '{name}': {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -182,17 +182,25 @@ impl BlockStore {
         };
         let mut buf = Vec::new();
         f.read_to_end(&mut buf)?;
+        // invariant: chunks_exact(MANIFEST_REC) yields exactly
+        // MANIFEST_REC-byte records, so every fixed-width field slice
+        // below converts infallibly.
+        fn field<const N: usize>(rec: &[u8], at: usize) -> [u8; N] {
+            rec[at..at + N]
+                .try_into()
+                .expect("fixed-width manifest field")
+        }
         for (i, rec) in buf.chunks_exact(MANIFEST_REC).enumerate() {
-            let bid = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+            let bid = u64::from_le_bytes(field(rec, 0));
             if bid != i as u64 {
                 return Err(StorageError::Corrupt(format!(
                     "manifest record {i} has bid {bid}"
                 )));
             }
             locations.push(Location {
-                segment: u32::from_le_bytes(rec[8..12].try_into().unwrap()),
-                offset: u64::from_le_bytes(rec[12..20].try_into().unwrap()),
-                len: u32::from_le_bytes(rec[20..24].try_into().unwrap()),
+                segment: u32::from_le_bytes(field(rec, 8)),
+                offset: u64::from_le_bytes(field(rec, 12)),
+                len: u32::from_le_bytes(field(rec, 20)),
             });
         }
         Ok(locations)
@@ -436,6 +444,9 @@ impl CachedStore {
                 out[pos] = Some(tx);
             }
         }
+        // invariant: every requested pointer position was grouped above
+        // and read_group returns one tuple per member, so every slot is
+        // filled once the groups land.
         Ok(out
             .into_iter()
             .map(|t| t.expect("every pointer resolved"))

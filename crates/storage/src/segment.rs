@@ -162,10 +162,10 @@ impl SegmentSet {
         if handles.len() <= idx {
             handles.resize_with(idx + 1, || None);
         }
-        if handles[idx].is_none() {
-            handles[idx] = Some(File::open(segment_path(&self.dir, loc.segment))?);
-        }
-        let file = handles[idx].as_mut().unwrap();
+        let file = match &mut handles[idx] {
+            Some(file) => file,
+            slot => slot.insert(File::open(segment_path(&self.dir, loc.segment))?),
+        };
         file.seek(SeekFrom::Start(loc.offset))?;
         let mut buf = vec![0u8; loc.len as usize];
         file.read_exact(&mut buf)?;

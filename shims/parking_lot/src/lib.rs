@@ -1,85 +1,321 @@
 //! Offline stand-in for `parking_lot`, backed by `std::sync`.
 //!
-//! Only the subset SEBDB uses is provided: `Mutex` and `RwLock` whose
-//! lock methods return guards directly (no poisoning — a poisoned std
-//! lock is recovered, matching parking_lot's panic-transparent
-//! behaviour).
+//! The subset SEBDB uses is provided: `Mutex`, `RwLock`, and `Condvar`
+//! whose lock methods return guards directly (no poisoning — a
+//! poisoned std lock is recovered, matching parking_lot's
+//! panic-transparent behaviour). Guards are this crate's own types so
+//! `Condvar` can take parking_lot's `&mut MutexGuard` wait signature
+//! and so the `lock-order` feature can hook acquisition and release.
+//!
+//! ## `lock-order` feature
+//!
+//! With `--features parking_lot/lock-order`, every acquisition made
+//! while the thread already holds other shim locks records a directed
+//! edge `held → acquiring` in a process-global order graph. The first
+//! acquisition that closes a cycle — a lock-ordering inversion, i.e. a
+//! potential deadlock even if this particular run got lucky — panics
+//! with the current acquisition stack *and* the recorded witness stack
+//! of the conflicting edge. The feature is compiled out entirely when
+//! disabled: no fields, no atomics, no thread-locals.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, PoisonError};
+use std::time::{Duration, Instant};
+
+#[cfg(feature = "lock-order")]
+pub mod order;
+
+#[cfg(feature = "lock-order")]
+use order::LockToken;
 
 /// A mutual-exclusion lock whose `lock()` never returns a poison error.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    token: LockToken,
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg_attr(not(feature = "lock-order"), allow(dead_code))]
+    lock: &'a Mutex<T>,
+    /// `None` only transiently while parked inside [`Condvar::wait`].
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lock-order")]
+            token: LockToken::new(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, recovering from poisoning.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lock-order")]
+        self.token.acquired("Mutex");
+        MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lock-order")]
+        self.token.acquired("Mutex");
+        Some(MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard active outside wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard active outside wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Inside `Condvar::wait` the std guard has been surrendered and
+        // the release was already recorded; nothing to do then.
+        #[cfg(feature = "lock-order")]
+        if self.inner.is_some() {
+            self.lock.token.released();
+        }
     }
 }
 
 /// A reader-writer lock whose methods never return poison errors.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    token: LockToken,
+    inner: sync::RwLock<T>,
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    lock: &'a RwLock<T>,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    lock: &'a RwLock<T>,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock.
     pub fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "lock-order")]
+            token: LockToken::new(),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lock-order")]
+        self.token.acquired("RwLock(read)");
+        RwLockReadGuard {
+            #[cfg(feature = "lock-order")]
+            lock: self,
+            inner,
+        }
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lock-order")]
+        self.token.acquired("RwLock(write)");
+        RwLockWriteGuard {
+            #[cfg(feature = "lock-order")]
+            lock: self,
+            inner,
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.token.released();
+    }
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.token.released();
+    }
+}
+
+/// Whether a [`Condvar::wait_timeout`] returned because its deadline
+/// passed (as opposed to a notification or spurious wakeup landing
+/// before the deadline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True iff the wait's deadline had passed when the caller woke.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable with parking_lot's `&mut guard` wait API.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified (or a spurious wakeup); the mutex is
+    /// released while parked and reacquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard active outside wait");
+        #[cfg(feature = "lock-order")]
+        guard.lock.token.released();
+        let woken = self
+            .0
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        #[cfg(feature = "lock-order")]
+        guard.lock.token.acquired("Mutex");
+        guard.inner = Some(woken);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    ///
+    /// Unlike `std`'s result (which reflects how the OS wait call
+    /// returned), `timed_out()` here is computed from the deadline
+    /// itself: it is true iff the deadline had passed at wakeup. A
+    /// notification or spurious wakeup landing *before* the deadline
+    /// reports `timed_out() == false` even if it raced the deadline
+    /// closely, and a wakeup delivered *after* the deadline reports
+    /// `timed_out() == true` — so callers re-checking their predicate
+    /// get a flag consistent with wall-clock elapsed time.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let deadline = Instant::now() + timeout;
+        let std_guard = guard.inner.take().expect("guard active outside wait");
+        #[cfg(feature = "lock-order")]
+        guard.lock.token.released();
+        let (woken, _) = self
+            .0
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        // Sample the clock before reacquisition bookkeeping so a slow
+        // lock-order pass cannot turn a pre-deadline wakeup into a
+        // reported timeout.
+        let timed_out = Instant::now() >= deadline;
+        #[cfg(feature = "lock-order")]
+        guard.lock.token.acquired("Mutex");
+        guard.inner = Some(woken);
+        WaitTimeoutResult { timed_out }
+    }
+
+    /// parking_lot's name for [`Self::wait_timeout`].
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        self.wait_timeout(guard, timeout)
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn mutex_roundtrip() {
@@ -87,6 +323,10 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert!(m.try_lock().is_some());
+        let held = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(held);
+        assert_eq!(m.into_inner(), 2);
     }
 
     #[test]
@@ -98,7 +338,7 @@ mod tests {
 
     #[test]
     fn shared_across_threads() {
-        let m = std::sync::Arc::new(Mutex::new(0u64));
+        let m = Arc::new(Mutex::new(0u64));
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let m = m.clone();
@@ -113,5 +353,90 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+                true
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        *pair.0.lock() = true;
+        pair.1.notify_one();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn wait_timeout_reports_deadline_passage() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let mut guard = pair.0.lock();
+        let start = Instant::now();
+        let res = pair.1.wait_timeout(&mut guard, Duration::from_millis(20));
+        assert!(res.timed_out());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // The guard is live again after the wait.
+        drop(guard);
+        assert!(pair.0.try_lock().is_some());
+    }
+
+    /// Regression for the wakeup-vs-deadline race: a notification
+    /// landing before the deadline must report `timed_out() == false`,
+    /// and any reported timeout must actually be past the deadline —
+    /// the flag is always consistent with elapsed wall-clock time.
+    #[test]
+    fn wait_timeout_vs_wakeup_race_is_reported_accurately() {
+        let timeout = Duration::from_millis(15);
+        for round in 0..20u64 {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let notifier = {
+                let pair = Arc::clone(&pair);
+                // Jitter the notify around the deadline so some rounds
+                // win the race and some lose it.
+                let delay = Duration::from_millis(14 + (round % 3));
+                std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    *pair.0.lock() = true;
+                    pair.1.notify_all();
+                })
+            };
+            let (lock, cv) = &*pair;
+            let mut flagged = lock.lock();
+            let start = Instant::now();
+            let mut timed_out = false;
+            while !*flagged {
+                let remaining = timeout.saturating_sub(start.elapsed());
+                if remaining.is_zero() {
+                    timed_out = true;
+                    break;
+                }
+                if cv.wait_timeout(&mut flagged, remaining).timed_out() {
+                    timed_out = true;
+                    break;
+                }
+            }
+            if timed_out {
+                // A reported timeout is never fabricated before the
+                // deadline.
+                assert!(
+                    start.elapsed() >= timeout,
+                    "round {round}: timeout reported after only {:?}",
+                    start.elapsed()
+                );
+            } else {
+                // A reported wakeup observed the predicate.
+                assert!(*flagged, "round {round}: woke without predicate");
+            }
+            drop(flagged);
+            notifier.join().unwrap();
+        }
     }
 }

@@ -1,0 +1,246 @@
+//! Lock-acquisition-order tracking (the `lock-order` feature).
+//!
+//! Every shim lock carries a [`LockToken`] with a lazily-assigned
+//! process-unique id. Acquiring a lock while the current thread holds
+//! other shim locks records directed edges `held → acquiring` in a
+//! global order graph; the first acquisition whose edge would close a
+//! cycle panics with both witness stacks — the current acquisition's
+//! backtrace and the recorded backtrace of the conflicting edge — so
+//! CI catches lock-ordering inversions (potential deadlocks) even on
+//! runs whose timing never actually deadlocks.
+//!
+//! The graph is per-lock-*instance*: distinct locks get distinct ids,
+//! so unrelated tests in one process cannot alias each other's edges.
+//! Edges accumulate for the life of the process, which is the point —
+//! two code paths that each run deadlock-free in isolation still trip
+//! the detector if they order the same two locks differently.
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Per-lock identity: a lazily-assigned process-unique id.
+#[derive(Debug, Default)]
+pub struct LockToken {
+    id: AtomicU64,
+}
+
+/// Ids start at 1; 0 means "not yet assigned".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+impl LockToken {
+    /// A fresh, unassigned token (the id is allocated on first
+    /// acquisition, keeping lock construction free).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn id(&self) -> u64 {
+        let cur = self.id.load(Ordering::Relaxed);
+        if cur != 0 {
+            return cur;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(raced) => raced,
+        }
+    }
+
+    /// Records that the current thread acquired this lock: adds
+    /// `held → self` edges for every lock already held and panics if
+    /// any edge closes an ordering cycle.
+    pub fn acquired(&self, kind: &'static str) {
+        let id = self.id();
+        HELD.with(|held| {
+            let snapshot: Vec<u64> = held.borrow().clone();
+            for &from in &snapshot {
+                if from != id {
+                    graph().observe_edge(from, id, kind);
+                }
+            }
+            held.borrow_mut().push(id);
+        });
+    }
+
+    /// Records that the current thread released this lock.
+    pub fn released(&self) {
+        let id = self.id();
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Guards may drop out of acquisition order; remove the
+            // most recent occurrence of this id.
+            if let Some(pos) = held.iter().rposition(|&h| h == id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+thread_local! {
+    /// Lock ids currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Edge {
+    kind: &'static str,
+    /// Backtrace of the acquisition that first recorded this edge.
+    witness: String,
+}
+
+#[derive(Default)]
+struct OrderGraph {
+    /// `from → (to → first witness)`.
+    edges: HashMap<u64, HashMap<u64, Edge>>,
+}
+
+impl OrderGraph {
+    /// True if `to` can already reach `from` through recorded edges
+    /// (so adding `from → to` would close a cycle). Returns the path
+    /// `to → … → from` when one exists.
+    fn path(&self, to: u64, from: u64) -> Option<Vec<u64>> {
+        let mut stack = vec![(to, vec![to])];
+        let mut seen = vec![to];
+        while let Some((node, path)) = stack.pop() {
+            if node == from {
+                return Some(path);
+            }
+            if let Some(next) = self.edges.get(&node) {
+                for &succ in next.keys() {
+                    if !seen.contains(&succ) {
+                        seen.push(succ);
+                        let mut p = path.clone();
+                        p.push(succ);
+                        stack.push((succ, p));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+fn graph() -> &'static GraphCell {
+    static GRAPH: OnceLock<GraphCell> = OnceLock::new();
+    GRAPH.get_or_init(GraphCell::default)
+}
+
+#[derive(Default)]
+struct GraphCell(Mutex<OrderGraph>);
+
+impl GraphCell {
+    fn observe_edge(&self, from: u64, to: u64, kind: &'static str) {
+        let mut inversion: Option<String> = None;
+        {
+            let mut g = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            let known = g.edges.get(&from).is_some_and(|m| m.contains_key(&to));
+            if known {
+                return; // fast path: edge already recorded and vetted
+            }
+            if let Some(path) = g.path(to, from) {
+                // Build the report inside the lock (it reads recorded
+                // witnesses) but panic only after releasing it.
+                let mut report = format!(
+                    "lock-order inversion: acquiring {kind} #{to} while holding #{from}, \
+                     but the reverse order #{} is already on record\n\
+                     cycle: #{from} -> #{to} -> {}\n\
+                     === current acquisition stack ===\n{}\n",
+                    path_fmt(&path),
+                    path_fmt(&path[1..]),
+                    Backtrace::force_capture()
+                );
+                for pair in path.windows(2) {
+                    if let Some(edge) = g.edges.get(&pair[0]).and_then(|m| m.get(&pair[1])) {
+                        report.push_str(&format!(
+                            "=== recorded witness for #{} -> #{} ({}) ===\n{}\n",
+                            pair[0], pair[1], edge.kind, edge.witness
+                        ));
+                    }
+                }
+                inversion = Some(report);
+            } else {
+                g.edges.entry(from).or_default().insert(
+                    to,
+                    Edge {
+                        kind,
+                        witness: Backtrace::force_capture().to_string(),
+                    },
+                );
+            }
+        }
+        if let Some(report) = inversion {
+            panic!("{report}");
+        }
+    }
+}
+
+fn path_fmt(path: &[u64]) -> String {
+    path.iter()
+        .map(|id| format!("#{id}"))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Mutex;
+
+    /// The deliberately seeded inversion: locking A then B on one code
+    /// path and B then A on another must be caught on the second path
+    /// even though no actual deadlock occurred.
+    #[test]
+    #[should_panic(expected = "lock-order inversion")]
+    fn seeded_inversion_is_caught() {
+        let a = Mutex::new(0u8);
+        let b = Mutex::new(0u8);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // records a -> b
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock(); // b -> a closes the cycle: panic
+        }
+    }
+
+    #[test]
+    fn consistent_order_is_fine() {
+        let a = Mutex::new(0u8);
+        let b = Mutex::new(0u8);
+        for _ in 0..3 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        // Releasing out of acquisition order is not an inversion.
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga);
+        drop(gb);
+    }
+
+    #[test]
+    fn three_lock_cycle_is_caught() {
+        let result = std::thread::spawn(|| {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            let c = Mutex::new(());
+            {
+                let _g = a.lock();
+                let _h = b.lock(); // a -> b
+            }
+            {
+                let _g = b.lock();
+                let _h = c.lock(); // b -> c
+            }
+            let _g = c.lock();
+            let _h = a.lock(); // c -> a: cycle a -> b -> c -> a
+        })
+        .join();
+        assert!(result.is_err(), "three-lock cycle went undetected");
+    }
+}

@@ -1,0 +1,518 @@
+//! Repo-wide concurrency/robustness lint, run by `ci.sh`.
+//!
+//! Zero dependencies by design: the rules are substring checks over
+//! comment- and string-stripped source with `#[cfg(test)]` / `#[test]`
+//! items masked out, which is exactly enough for the four invariants we
+//! enforce and keeps the tool buildable offline in seconds.
+//!
+//! Rules (non-test code only):
+//!
+//! 1. `spawn`  — no `thread::spawn` outside `crates/parallel` and
+//!    `crates/model`. Everything else goes through
+//!    `sebdb_parallel::spawn_service` / `par_invoke`, so every service
+//!    thread inherits naming, panic routing, and the `SEBDB_THREADS=1`
+//!    sequential fallback.
+//! 2. `sleep`  — no `thread::sleep` (sleep-based polling hides lost
+//!    wakeups; use a Condvar). Deliberate *simulation* delays (network
+//!    latency, execution cost) are allowlisted.
+//! 3. `unwrap` — no `.unwrap()` / `.expect(` in `crates/core`,
+//!    `crates/storage`, `crates/consensus`. Allowlisted survivors must
+//!    carry an `// invariant:` comment within the six lines above.
+//! 4. `clock`  — no direct `SystemTime::now` outside the node clock
+//!    (`crates/consensus/src/traits.rs`), so tests can virtualize time
+//!    from one place.
+//!
+//! The allowlist lives in `tools/lint/allowlist.txt`; each line is
+//! `<rule> <path> <count>`. The file is capped at 25 entries and every
+//! entry must be used — a stale entry fails the lint, so the allowlist
+//! can only shrink or be consciously extended.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const MAX_ALLOWLIST_ENTRIES: usize = 25;
+
+/// Crates whose non-test code may call `thread::spawn` directly.
+const SPAWN_ALLOWED_DIRS: &[&str] = &["crates/parallel/", "crates/model/"];
+
+/// Crates under the unwrap/expect ban.
+const UNWRAP_SCOPE: &[&str] = &["crates/core/", "crates/storage/", "crates/consensus/"];
+
+/// The single sanctioned wall-clock read (the node clock, `now_ms`).
+const CLOCK_FILE: &str = "crates/consensus/src/traits.rs";
+
+struct Violation {
+    rule: &'static str,
+    path: String,
+    line: usize,
+    text: String,
+}
+
+#[derive(Debug)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+    count: usize,
+    used: usize,
+}
+
+fn main() {
+    let root = workspace_root();
+    let allowlist_path = root.join("tools/lint/allowlist.txt");
+    let mut allowlist = match load_allowlist(&allowlist_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sebdb-lint: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut files = Vec::new();
+    for dir in ["crates", "shims"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(source) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        check_file(&rel, &source, &mut violations);
+    }
+
+    let mut failures = Vec::new();
+    for v in violations {
+        match allowlist
+            .iter_mut()
+            .find(|a| a.rule == v.rule && a.path == v.path && a.used < a.count)
+        {
+            Some(entry) => entry.used += 1,
+            None => failures.push(v),
+        }
+    }
+    for entry in &allowlist {
+        if entry.used < entry.count {
+            eprintln!(
+                "sebdb-lint: stale allowlist entry `{} {} {}` — only {} site(s) remain; \
+                 shrink the entry",
+                entry.rule, entry.path, entry.count, entry.used
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "sebdb-lint: {} files clean ({} allowlisted sites)",
+            files.len(),
+            allowlist.iter().map(|a| a.count).sum::<usize>()
+        );
+        return;
+    }
+    for v in &failures {
+        eprintln!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.text.trim());
+    }
+    eprintln!(
+        "sebdb-lint: {} violation(s). Fix them, or (for a justified invariant) add a \
+         `<rule> <path> <count>` line to tools/lint/allowlist.txt with an \
+         `// invariant:` comment at the site.",
+        failures.len()
+    );
+    std::process::exit(1);
+}
+
+/// Resolve the workspace root: walk up from CWD to the directory that
+/// holds the `[workspace]` Cargo.toml (cargo runs bins from the member
+/// dir or the root depending on invocation).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "allowlist line {}: expected `<rule> <path> <count>`, got `{line}`",
+                i + 1
+            ));
+        };
+        if !matches!(rule, "spawn" | "sleep" | "unwrap" | "clock") {
+            return Err(format!("allowlist line {}: unknown rule `{rule}`", i + 1));
+        }
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count `{count}`", i + 1))?;
+        entries.push(AllowEntry {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            count,
+            used: 0,
+        });
+    }
+    if entries.len() > MAX_ALLOWLIST_ENTRIES {
+        return Err(format!(
+            "allowlist has {} entries; the cap is {MAX_ALLOWLIST_ENTRIES} — burn some down \
+             before adding more",
+            entries.len()
+        ));
+    }
+    Ok(entries)
+}
+
+fn check_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
+    // Integration tests and benches are test code wholesale.
+    if rel.contains("/tests/") || rel.contains("/benches/") {
+        return;
+    }
+    let stripped = strip_comments_and_strings(source);
+    let test_lines = test_line_mask(&stripped);
+    let original_lines: Vec<&str> = source.lines().collect();
+
+    for (i, line) in stripped.lines().enumerate() {
+        if test_lines[i] {
+            continue;
+        }
+        let lineno = i + 1;
+        let shown = original_lines.get(i).copied().unwrap_or(line);
+        if line.contains("thread::spawn") && !SPAWN_ALLOWED_DIRS.iter().any(|d| rel.starts_with(d))
+        {
+            out.push(Violation {
+                rule: "spawn",
+                path: rel.to_string(),
+                line: lineno,
+                text: format!("direct thread::spawn (use sebdb_parallel): {shown}"),
+            });
+        }
+        if line.contains("thread::sleep") {
+            out.push(Violation {
+                rule: "sleep",
+                path: rel.to_string(),
+                line: lineno,
+                text: format!("sleep-based polling (use a Condvar): {shown}"),
+            });
+        }
+        if UNWRAP_SCOPE.iter().any(|d| rel.starts_with(d))
+            && (line.contains(".unwrap()") || line.contains(".expect("))
+        {
+            if has_invariant_comment(&original_lines, i) {
+                // Still must be allowlisted; report so uncovered sites fail.
+                out.push(Violation {
+                    rule: "unwrap",
+                    path: rel.to_string(),
+                    line: lineno,
+                    text: format!("unwrap/expect in hot crate: {shown}"),
+                });
+            } else {
+                let mut text = String::new();
+                let _ = write!(
+                    text,
+                    "unwrap/expect without `// invariant:` comment: {shown}"
+                );
+                out.push(Violation {
+                    rule: "unwrap-no-invariant",
+                    path: rel.to_string(),
+                    line: lineno,
+                    text,
+                });
+            }
+        }
+        if line.contains("SystemTime::now") && rel != CLOCK_FILE {
+            out.push(Violation {
+                rule: "clock",
+                path: rel.to_string(),
+                line: lineno,
+                text: format!("direct wall-clock read (route through the node clock): {shown}"),
+            });
+        }
+    }
+}
+
+/// True if one of the six lines above `idx` (or the line itself)
+/// carries an `// invariant:` comment justifying the unwrap.
+fn has_invariant_comment(original_lines: &[&str], idx: usize) -> bool {
+    let lo = idx.saturating_sub(6);
+    original_lines[lo..=idx.min(original_lines.len() - 1)]
+        .iter()
+        .any(|l| l.contains("invariant:"))
+}
+
+/// Per-line mask: true for lines inside a `#[cfg(test)]` or `#[test]`
+/// item (attribute line through the item's closing brace, or its `;`
+/// for brace-less items).
+fn test_line_mask(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim_start();
+        if !(t.starts_with("#[cfg(test)]") || t.starts_with("#[test]")) {
+            i += 1;
+            continue;
+        }
+        // Mask from the attribute to the end of the annotated item:
+        // scan forward for the first `{` (entering the body) or a `;`
+        // at depth 0 (brace-less item such as `#[cfg(test)] use ...;`).
+        let start = i;
+        let mut depth: i64 = 0;
+        let mut entered = false;
+        'scan: while i < lines.len() {
+            for ch in lines[i].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth == 0 {
+                            break 'scan;
+                        }
+                    }
+                    ';' if !entered && depth == 0 && i > start => break 'scan,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let end = i.min(lines.len() - 1);
+        for m in mask.iter_mut().take(end + 1).skip(start) {
+            *m = true;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Replace comment and string-literal bytes with spaces, preserving the
+/// line structure so line numbers survive. Handles `//`, nested
+/// `/* */`, `"…"` with escapes, `r#"…"#` raw strings, char literals,
+/// and leaves lifetimes (`'a`) alone.
+fn strip_comments_and_strings(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) => {
+                // Possible raw string r"…" / r#"…"#.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    // Blank the `r`, the hashes, and the opening quote.
+                    out.resize(out.len() + hashes + 2, b' ');
+                    i = j + 1;
+                    // Scan for `"` followed by `hashes` hash marks.
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            let close = (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'));
+                            if close {
+                                out.resize(out.len() + hashes + 1, b' ');
+                                i += hashes + 1;
+                                break 'raw;
+                            }
+                        }
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                } else {
+                    out.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: '\…' or 'x' is a literal;
+                // anything else (e.g. 'static) is a lifetime.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    out.extend_from_slice(b"   ");
+                    i += 3;
+                } else {
+                    out.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip_comments_and_strings("a // thread::spawn\nb /* .unwrap() */ c\n");
+        assert!(!s.contains("spawn"));
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains('a') && s.contains('b') && s.contains('c'));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn strips_strings_but_not_lifetimes() {
+        let s = strip_comments_and_strings(
+            "let x: &'static str = \"thread::spawn\"; let c = 'q'; r#\"SystemTime::now\"#;",
+        );
+        assert!(!s.contains("spawn"));
+        assert!(!s.contains("SystemTime"));
+        assert!(s.contains("'static"));
+    }
+
+    #[test]
+    fn masks_cfg_test_modules() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let mask = test_line_mask(&strip_comments_and_strings(src));
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn masks_braceless_cfg_test_items() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let mask = test_line_mask(&strip_comments_and_strings(src));
+        assert_eq!(mask, vec![true, true, false]);
+    }
+
+    #[test]
+    fn flags_each_rule() {
+        let src = "fn f() {\n    std::thread::spawn(|| ());\n    std::thread::sleep(d);\n    \
+                   x.unwrap();\n    std::time::SystemTime::now();\n}\n";
+        let mut v = Vec::new();
+        check_file("crates/core/src/x.rs", src, &mut v);
+        let rules: Vec<&str> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"spawn"));
+        assert!(rules.contains(&"sleep"));
+        assert!(rules.contains(&"unwrap-no-invariant"));
+        assert!(rules.contains(&"clock"));
+    }
+
+    #[test]
+    fn unwrap_with_invariant_comment_is_allowlistable() {
+        let src = "fn f() {\n    // invariant: index built above\n    x.unwrap();\n}\n";
+        let mut v = Vec::new();
+        check_file("crates/storage/src/x.rs", src, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn spawn_allowed_in_parallel_and_model() {
+        let src = "fn f() { std::thread::spawn(|| ()); }\n";
+        for dir in ["crates/parallel/src/lib.rs", "crates/model/src/thread.rs"] {
+            let mut v = Vec::new();
+            check_file(dir, src, &mut v);
+            assert!(v.is_empty(), "{dir}: {:?}", v.len());
+        }
+    }
+}
