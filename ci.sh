@@ -36,4 +36,21 @@ SEBDB_THREADS=1 cargo test -q
 echo "==> cargo test -q --workspace --features parking_lot/lock-order"
 cargo test -q --workspace --features parking_lot/lock-order
 
+# Read-path bench smoke: a tiny sweep must run end to end and emit a
+# well-formed JSON (schema spot-checks below). The smoke run writes to
+# target/, never touching the committed BENCH_readpath.json numbers.
+echo "==> SEBDB_BENCH_SMOKE=1 cargo bench -p sebdb-bench --bench read_path"
+SEBDB_BENCH_SMOKE=1 cargo bench -q -p sebdb-bench --bench read_path >/dev/null
+smoke=target/BENCH_readpath_smoke.json
+for key in '"bench": "read_path"' '"cpus":' '"granularity"' '"cache_mode"' \
+           '"threads"' '"mean_ns_per_read"' '"speedup_vs_1thread"'; do
+  grep -q "$key" "$smoke" || { echo "ci: $smoke missing $key"; exit 1; }
+done
+
+# Every committed bench JSON must record the host core count, so the
+# 1-CPU caveat in ROADMAP stays machine-checkable.
+for j in BENCH_*.json; do
+  grep -q '"cpus":' "$j" || { echo "ci: $j missing \"cpus\""; exit 1; }
+done
+
 echo "ci: all green"

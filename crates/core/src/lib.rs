@@ -39,8 +39,8 @@ pub use executor::{ExecError, Executor, QueryResult, Strategy};
 pub use ledger::{Ledger, LedgerError};
 pub use node::{ExecOutcome, NodeError, SebdbNode};
 pub use pipeline::{
-    pipeline_depth_from_env, ApplierHealth, ApplyPipeline, DEFAULT_PIPELINE_DEPTH,
-    PIPELINE_DEPTH_ENV,
+    auto_pipeline_depth, pipeline_depth_from_env, ApplierHealth, ApplyPipeline,
+    DEFAULT_PIPELINE_DEPTH, PIPELINE_DEPTH_ENV,
 };
 pub use schema_mgr::{SchemaManager, SCHEMA_TABLE};
 pub use thin_client::{

@@ -49,14 +49,33 @@ pub const PIPELINE_DEPTH_ENV: &str = "SEBDB_PIPELINE_DEPTH";
 /// Default pipeline depth: one block sealing while one block indexes.
 pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
 
+/// Picks a pipeline depth for a host with `cores` CPUs: a single core
+/// gains nothing from overlapping seal and index stages (the threads
+/// just time-slice), so it gets the sequential reference (depth 1);
+/// two or more cores get [`DEFAULT_PIPELINE_DEPTH`].
+pub fn auto_pipeline_depth(cores: usize) -> usize {
+    if cores <= 1 {
+        1
+    } else {
+        DEFAULT_PIPELINE_DEPTH
+    }
+}
+
 /// Resolves the pipeline depth from `SEBDB_PIPELINE_DEPTH` (clamped to
-/// ≥ 1), falling back to [`DEFAULT_PIPELINE_DEPTH`].
+/// ≥ 1). When the knob is unset, auto-tunes from
+/// [`std::thread::available_parallelism`] via [`auto_pipeline_depth`].
 pub fn pipeline_depth_from_env() -> usize {
     std::env::var(PIPELINE_DEPTH_ENV)
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .map(|n| n.max(1))
-        .unwrap_or(DEFAULT_PIPELINE_DEPTH)
+        .unwrap_or_else(|| {
+            auto_pipeline_depth(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+        })
 }
 
 /// Shared applier health: write-once poisoned state carrying the error
@@ -452,5 +471,27 @@ mod tests {
         // default path is exercised here.
         assert_eq!(DEFAULT_PIPELINE_DEPTH, 2);
         assert!(pipeline_depth_from_env() >= 1);
+    }
+
+    #[test]
+    fn auto_depth_single_core_is_sequential() {
+        assert_eq!(auto_pipeline_depth(0), 1);
+        assert_eq!(auto_pipeline_depth(1), 1);
+    }
+
+    #[test]
+    fn auto_depth_multi_core_overlaps_stages() {
+        assert_eq!(auto_pipeline_depth(2), DEFAULT_PIPELINE_DEPTH);
+        assert_eq!(auto_pipeline_depth(8), DEFAULT_PIPELINE_DEPTH);
+    }
+
+    #[test]
+    fn env_unset_matches_auto_tuned_depth() {
+        if std::env::var(PIPELINE_DEPTH_ENV).is_err() {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            assert_eq!(pipeline_depth_from_env(), auto_pipeline_depth(cores));
+        }
     }
 }

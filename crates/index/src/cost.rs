@@ -23,17 +23,24 @@ pub struct CostParams {
     pub chain_block_bytes: u64,
     /// Disk block size `b`, in bytes.
     pub disk_block_bytes: u64,
+    /// Average tuple size in bytes — what one layered-index random
+    /// read actually transfers now that the store serves tuple-granular
+    /// preads (rather than a full chain block per tuple).
+    pub tuple_bytes: u64,
 }
 
 impl Default for CostParams {
     fn default() -> Self {
         // An HDD-ish profile (the paper's testbed used RAID-5 spinning
         // disks): 4 ms seek, ~0.1 ms transfer of a 4 KB disk block.
+        // Tuples average well under one disk block, so a layered read
+        // transfers a single disk block.
         CostParams {
             seek_us: 4_000.0,
             transfer_us: 100.0,
             chain_block_bytes: 4 * 1024 * 1024,
             disk_block_bytes: 4 * 1024,
+            tuple_bytes: 256,
         }
     }
 }
@@ -62,8 +69,15 @@ impl CostParams {
     }
 
     /// Eq. (3): layered path reading `p` matching tuples at random.
+    /// Each random read seeks once and transfers only the disk blocks
+    /// covering one tuple (`⌈tuple_bytes/b⌉`, 1 at the defaults) —
+    /// tuple-granular preads mean the transfer term no longer scales
+    /// with the chain block size.
     pub fn cost_layered(&self, p: u64) -> f64 {
-        p as f64 * (self.seek_us + self.transfer_us)
+        let blocks_per_tuple = (self.tuple_bytes as f64 / self.disk_block_bytes as f64)
+            .ceil()
+            .max(1.0);
+        p as f64 * (self.seek_us + blocks_per_tuple * self.transfer_us)
     }
 
     /// Picks the cheapest path given the chain height `n`, the bitmap
@@ -118,6 +132,19 @@ mod tests {
         assert!(c.cost_scan(10) < c.cost_scan(20));
         assert!(c.cost_bitmap(5) < c.cost_bitmap(6));
         assert!(c.cost_layered(100) < c.cost_layered(101));
+    }
+
+    #[test]
+    fn larger_tuples_raise_layered_cost() {
+        let small = CostParams::default();
+        let big = CostParams {
+            tuple_bytes: 64 * 1024,
+            ..CostParams::default()
+        };
+        assert!(big.cost_layered(100) > small.cost_layered(100));
+        // At the defaults a tuple fits in one disk block, so the
+        // per-tuple transfer is exactly one t_T.
+        assert!((small.cost_layered(1) - (small.seek_us + small.transfer_us)).abs() < 1e-9);
     }
 
     #[test]

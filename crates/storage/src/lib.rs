@@ -11,6 +11,9 @@ pub mod blockstore;
 pub mod cache;
 pub mod segment;
 
-pub use blockstore::{BlockStore, CacheMode, CachedStore, IoStats, StoreConfig, TxPtr};
+pub use blockstore::{
+    readahead_blocks, set_readahead_blocks, BlockStore, CacheMode, CachedStore, IoStats,
+    StoreConfig, TxPtr, DEFAULT_READAHEAD_BLOCKS, READAHEAD_ENV,
+};
 pub use cache::{BlockCache, Lru, TxCache};
-pub use segment::{Location, SegmentSet, SegmentWriter, StorageError};
+pub use segment::{Location, ReadProbe, SegmentSet, SegmentWriter, StorageError};

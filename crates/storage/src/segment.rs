@@ -4,12 +4,16 @@
 //! it is immutable. The default size of a file is set 256MB … users can
 //! configure the size of a file." A [`SegmentWriter`] rolls to a new
 //! file when the configured size is exceeded; [`SegmentSet`] serves
-//! random reads by `(segment, offset, len)`.
+//! random reads by `(segment, offset, len)` with positioned I/O over a
+//! sharded handle cache, so concurrent readers never contend and never
+//! seek.
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Storage-layer errors.
 #[derive(Debug)]
@@ -139,11 +143,36 @@ impl SegmentWriter {
     }
 }
 
+/// Handle-cache shards. Segment `n` lives in shard `n % HANDLE_SHARDS`
+/// at slot `n / HANDLE_SHARDS`, so readers of different segments (and
+/// readers of the same already-open segment) take disjoint or shared
+/// read locks and never serialize on one global mutex.
+const HANDLE_SHARDS: usize = 8;
+
+/// Hook run inside every [`SegmentSet`] read while it is in flight
+/// (after the in-flight gauge is bumped, before the positioned read).
+/// Concurrency tests install one to prove reads overlap; production
+/// paths never set it.
+pub type ReadProbe = dyn Fn(u64) + Send + Sync;
+
 /// Serves random reads from the segment files.
+///
+/// Handles are cached in [`HANDLE_SHARDS`] independent `RwLock`ed
+/// vectors of `Arc<File>`; the double-checked open under the shard
+/// write lock guarantees each segment is opened at most once. Reads
+/// use positioned I/O (`read_at`/`seek_read`), which neither moves a
+/// cursor nor needs any lock, so any number of readers proceed truly
+/// concurrently on the same or different segments.
 pub struct SegmentSet {
     dir: PathBuf,
-    /// Cached open file handles, one per segment.
-    handles: Mutex<Vec<Option<File>>>,
+    shards: [RwLock<Vec<Option<Arc<File>>>>; HANDLE_SHARDS],
+    /// `File::open` calls performed (tests pin open-once semantics).
+    opens: AtomicU64,
+    /// Reads currently between entry and completion.
+    in_flight: AtomicU64,
+    /// High-water mark of `in_flight` (proves reads overlapped).
+    peak_in_flight: AtomicU64,
+    read_probe: RwLock<Option<Box<ReadProbe>>>,
 }
 
 impl SegmentSet {
@@ -151,26 +180,117 @@ impl SegmentSet {
     pub fn new(dir: &Path) -> Self {
         SegmentSet {
             dir: dir.to_owned(),
-            handles: Mutex::new(Vec::new()),
+            shards: std::array::from_fn(|_| RwLock::new(Vec::new())),
+            opens: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+            read_probe: RwLock::new(None),
         }
     }
 
     /// Reads the record at `loc`.
     pub fn read(&self, loc: Location) -> Result<Vec<u8>> {
-        let mut handles = self.handles.lock();
-        let idx = loc.segment as usize;
-        if handles.len() <= idx {
-            handles.resize_with(idx + 1, || None);
-        }
-        let file = match &mut handles[idx] {
-            Some(file) => file,
-            slot => slot.insert(File::open(segment_path(&self.dir, loc.segment))?),
-        };
-        file.seek(SeekFrom::Start(loc.offset))?;
         let mut buf = vec![0u8; loc.len as usize];
-        file.read_exact(&mut buf)?;
+        self.read_into(loc, &mut buf)?;
         Ok(buf)
     }
+
+    /// Reads exactly `buf.len()` bytes starting at `loc` into `buf`
+    /// with one positioned read (no seek, no lock held across I/O).
+    pub fn read_into(&self, loc: Location, buf: &mut [u8]) -> Result<()> {
+        let file = self.handle(loc.segment)?;
+        let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.peak_in_flight.fetch_max(now, Ordering::AcqRel);
+        if let Some(probe) = self.read_probe.read().as_ref() {
+            probe(now);
+        }
+        let res = read_exact_at(&file, buf, loc.offset);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        res?;
+        Ok(())
+    }
+
+    /// Returns the cached handle for `segment`, opening it at most once
+    /// (double-checked under the shard write lock).
+    fn handle(&self, segment: u32) -> Result<Arc<File>> {
+        let shard = &self.shards[segment as usize % HANDLE_SHARDS];
+        let slot = segment as usize / HANDLE_SHARDS;
+        if let Some(Some(file)) = shard.read().get(slot) {
+            return Ok(Arc::clone(file));
+        }
+        let mut cache = shard.write();
+        if cache.len() <= slot {
+            cache.resize_with(slot + 1, || None);
+        }
+        if let Some(file) = &cache[slot] {
+            // Another reader won the open race; reuse its handle.
+            return Ok(Arc::clone(file));
+        }
+        let file = Arc::new(File::open(segment_path(&self.dir, segment))?);
+        self.opens.fetch_add(1, Ordering::Relaxed);
+        cache[slot] = Some(Arc::clone(&file));
+        Ok(file)
+    }
+
+    /// Number of `File::open` calls so far (open-once instrumentation).
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously in-flight reads.
+    pub fn peak_in_flight(&self) -> u64 {
+        self.peak_in_flight.load(Ordering::Acquire)
+    }
+
+    /// Installs (or clears) a probe run inside every read while it is
+    /// in flight — test instrumentation for read concurrency.
+    pub fn set_read_probe(&self, probe: Option<Box<ReadProbe>>) {
+        *self.read_probe.write() = probe;
+    }
+}
+
+/// Positioned read: fills `buf` from `offset` without touching any
+/// shared cursor.
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+/// Positioned read via `seek_read` (per-call offset; the handle's
+/// cursor is moved but never relied upon between calls on Windows —
+/// each call passes its own absolute offset).
+#[cfg(windows)]
+fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        match file.seek_read(buf, offset) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "segment read past end of file",
+                ))
+            }
+            Ok(n) => {
+                buf = &mut buf[n..];
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Fallback for platforms without positioned-read syscalls: a private
+/// duplicate of the descriptor is seeked, so the cached handle's state
+/// is never mutated.
+#[cfg(not(any(unix, windows)))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::io::{Read, Seek};
+    let mut dup = file.try_clone()?;
+    dup.seek(std::io::SeekFrom::Start(offset))?;
+    dup.read_exact(buf)
 }
 
 #[cfg(test)]

@@ -1,0 +1,253 @@
+//! Equivalence and accounting contracts for the coalesced read path.
+//!
+//! The coalescing/span optimizations must be invisible to callers:
+//! grouped reads return byte-identical transactions vs one-by-one
+//! `read_tx` across every `CacheMode`, whether the worker pool is
+//! sequential (`SEBDB_THREADS=1`) or parallel, and whether the chain
+//! carries an on-disk transaction offset table or was written by the
+//! old manifest-only format (reconstruction on open). The `IoStats`
+//! bytes counter pins tuple reads to tuple granularity on both
+//! backends.
+
+use sebdb_crypto::sha256::Digest;
+use sebdb_storage::{BlockCache, BlockStore, CacheMode, CachedStore, StoreConfig, TxCache, TxPtr};
+use sebdb_types::{Block, Codec, Transaction, Value};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Serializes tests that flip the process-global worker-pool size.
+fn threads_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn block(height: u64, ntx: usize) -> Block {
+    let txs = (0..ntx)
+        .map(|i| {
+            let mut t = Transaction::new(
+                height * 1000 + i as u64,
+                sebdb_crypto::sig::KeyId([1; 8]),
+                "donate",
+                vec![
+                    Value::Int((height * 31 + i as u64) as i64),
+                    Value::Str(format!("payload-{height}-{i}")),
+                ],
+            );
+            t.tid = height * 100 + i as u64;
+            t
+        })
+        .collect();
+    Block::seal(Digest::ZERO, height, height, txs, |_| vec![0u8; 4])
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sebdb-readeq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn build_chain(store: &BlockStore, nblocks: u64, ntx: usize) {
+    for h in 0..nblocks {
+        store.append(&block(h, ntx)).unwrap();
+    }
+}
+
+/// A pointer workload mixing duplicates, same-block clusters (which
+/// coalesce into span preads), and cross-block jumps.
+fn workload(nblocks: u64, ntx: usize) -> Vec<TxPtr> {
+    let mut ptrs = Vec::new();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for _ in 0..64 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let block = (state >> 33) % nblocks;
+        let index = ((state >> 17) % ntx as u64) as u32;
+        ptrs.push(TxPtr { block, index });
+    }
+    // Explicit duplicates and a dense same-block cluster.
+    ptrs.push(TxPtr { block: 0, index: 0 });
+    ptrs.push(TxPtr { block: 0, index: 0 });
+    for i in 0..ntx as u32 {
+        ptrs.push(TxPtr { block: 1, index: i });
+    }
+    ptrs
+}
+
+fn mode(name: &str) -> CacheMode {
+    match name {
+        "none" => CacheMode::None,
+        "block" => CacheMode::Block(BlockCache::new(1 << 20)),
+        "tx" => CacheMode::Tx(TxCache::new(1 << 20)),
+        _ => unreachable!(),
+    }
+}
+
+/// Grouped reads must be byte-identical to pointwise reads in every
+/// cache mode and at every pool size.
+fn assert_equivalence(store: Arc<BlockStore>, nblocks: u64, ntx: usize) {
+    let ptrs = workload(nblocks, ntx);
+    for threads in [1usize, 4] {
+        sebdb_parallel::set_max_threads(threads);
+        for m in ["none", "block", "tx"] {
+            let pointwise = CachedStore::new(Arc::clone(&store), mode(m));
+            let expected: Vec<Vec<u8>> = ptrs
+                .iter()
+                .map(|&p| pointwise.read_tx(p).unwrap().to_bytes())
+                .collect();
+            let grouped = CachedStore::new(Arc::clone(&store), mode(m));
+            let got = grouped.read_txs_grouped(&ptrs).unwrap();
+            assert_eq!(got.len(), ptrs.len());
+            for (i, (tx, want)) in got.iter().zip(&expected).enumerate() {
+                assert_eq!(
+                    &tx.to_bytes(),
+                    want,
+                    "mode {m}, {threads} thread(s): ptr {i} ({:?}) differs",
+                    ptrs[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn grouped_reads_byte_identical_on_disk() {
+    let _guard = threads_lock().lock().unwrap();
+    let dir = tmpdir("disk");
+    let store = BlockStore::open(
+        &dir,
+        StoreConfig {
+            segment_size: 4096,
+            sync_writes: false,
+        },
+    )
+    .unwrap();
+    build_chain(&store, 6, 8);
+    assert_equivalence(Arc::new(store), 6, 8);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn grouped_reads_byte_identical_in_memory() {
+    let _guard = threads_lock().lock().unwrap();
+    let store = BlockStore::in_memory();
+    build_chain(&store, 6, 8);
+    assert_equivalence(Arc::new(store), 6, 8);
+}
+
+/// A chain written by the old manifest-only format (no offset-table
+/// file) opens via full reconstruction and serves identical reads.
+#[test]
+fn old_format_chain_reconstructs_offset_table() {
+    let _guard = threads_lock().lock().unwrap();
+    let dir = tmpdir("oldfmt");
+    {
+        let store = BlockStore::open(&dir, StoreConfig::default()).unwrap();
+        build_chain(&store, 5, 6);
+    }
+    // Simulate a pre-offset-table chain: delete the table outright.
+    std::fs::remove_file(dir.join("txoffsets.idx")).unwrap();
+    let store = BlockStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.height(), 5);
+    assert_equivalence(Arc::new(store), 5, 6);
+    // Reconstruction rewrote the table: a third open must not need to
+    // re-read any block to serve tuple reads.
+    let store = BlockStore::open(&dir, StoreConfig::default()).unwrap();
+    store.stats.reset();
+    let tx = store.read_tx_direct(TxPtr { block: 2, index: 3 }).unwrap();
+    assert_eq!(tx.tid, 203);
+    let (blocks_read, _, _) = store.stats.snapshot();
+    assert_eq!(blocks_read, 0, "tuple read must not touch whole blocks");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn trailing offset-table record (crash mid-append) heals on
+/// open: the damaged tail is truncated and reconstructed.
+#[test]
+fn torn_offset_table_tail_heals_on_open() {
+    let _guard = threads_lock().lock().unwrap();
+    let dir = tmpdir("torn");
+    {
+        let store = BlockStore::open(&dir, StoreConfig::default()).unwrap();
+        build_chain(&store, 4, 5);
+    }
+    let path = dir.join("txoffsets.idx");
+    let len = std::fs::metadata(&path).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(len - 7).unwrap(); // tear mid-record
+    drop(f);
+    let store = BlockStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.height(), 4);
+    assert_equivalence(Arc::new(store), 4, 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite regression: a tuple-granular point lookup reads at most
+/// tuple-size + a small fixed header worth of bytes — not the whole
+/// block — on both backends.
+#[test]
+fn tuple_reads_are_tuple_granular_in_bytes() {
+    let check = |store: BlockStore, label: &str| {
+        build_chain(&store, 3, 6);
+        let ptr = TxPtr { block: 1, index: 2 };
+        let tuple_len = {
+            let b = store.read(ptr.block).unwrap();
+            b.transactions[ptr.index as usize].to_bytes().len() as u64
+        };
+        let block_len = store.block_size(ptr.block).unwrap() as u64;
+        store.stats.reset();
+        let tx = store.read_tx_direct(ptr).unwrap();
+        assert_eq!(tx.tid, 102);
+        let read = store.stats.bytes_read();
+        assert!(
+            read <= tuple_len + 16,
+            "{label}: tuple read transferred {read} bytes for a {tuple_len}-byte tuple"
+        );
+        assert!(
+            read < block_len,
+            "{label}: tuple read degraded to block granularity"
+        );
+        let (blocks_read, _, txs_read) = store.stats.snapshot();
+        assert_eq!(blocks_read, 0, "{label}: tuple read counted a block read");
+        assert_eq!(txs_read, 1);
+    };
+    let dir = tmpdir("granular");
+    check(
+        BlockStore::open(&dir, StoreConfig::default()).unwrap(),
+        "disk",
+    );
+    check(BlockStore::in_memory(), "memory");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `read_span` (the readahead primitive) returns the same blocks as
+/// one-by-one reads, and `CachedStore::read_blocks_span` preserves
+/// request order with and without a block cache.
+#[test]
+fn span_reads_match_pointwise_block_reads() {
+    let dir = tmpdir("span");
+    let store = BlockStore::open(
+        &dir,
+        StoreConfig {
+            segment_size: 2048,
+            sync_writes: false,
+        },
+    )
+    .unwrap();
+    build_chain(&store, 8, 4);
+    let store = Arc::new(store);
+    for m in ["none", "block"] {
+        let cached = CachedStore::new(Arc::clone(&store), mode(m));
+        let bids: Vec<u64> = vec![0, 1, 2, 3, 4, 5, 6, 7, 3, 0];
+        let got = cached.read_blocks_span(&bids).unwrap();
+        for (&bid, b) in bids.iter().zip(&got) {
+            assert_eq!(b.header.height, bid, "mode {m}");
+            assert_eq!(
+                *b.to_bytes(),
+                store.read(bid).unwrap().to_bytes(),
+                "mode {m}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
