@@ -30,6 +30,13 @@ cargo test -q -p sebdb-model
 echo "==> SEBDB_THREADS=1 cargo test -q"
 SEBDB_THREADS=1 cargo test -q
 
+# Sharded-applier equivalence at 4 workers: lanes=4 must stay
+# byte-identical and query-equivalent to lanes=1 when the parallel
+# primitives actually fan out (the threads=1 case is covered by the
+# full-suite pass above).
+echo "==> SEBDB_THREADS=4 cargo test -q -p sebdb --test pipeline_equivalence"
+SEBDB_THREADS=4 cargo test -q -p sebdb --test pipeline_equivalence
+
 # Third pass with the parking_lot shim's lock-order cycle detector
 # compiled in: any lock-acquisition-order inversion anywhere in the
 # suite panics with both witness stacks.
@@ -44,6 +51,16 @@ SEBDB_BENCH_SMOKE=1 cargo bench -q -p sebdb-bench --bench read_path >/dev/null
 smoke=target/BENCH_readpath_smoke.json
 for key in '"bench": "read_path"' '"cpus":' '"granularity"' '"cache_mode"' \
            '"threads"' '"mean_ns_per_read"' '"speedup_vs_1thread"'; do
+  grep -q "$key" "$smoke" || { echo "ci: $smoke missing $key"; exit 1; }
+done
+
+# Write-path bench smoke: the lanes × depth × relations sweep must run
+# end to end and emit a well-formed JSON (schema spot-checks below).
+echo "==> SEBDB_BENCH_SMOKE=1 cargo bench -p sebdb-bench --bench pipeline_throughput"
+SEBDB_BENCH_SMOKE=1 cargo bench -q -p sebdb-bench --bench pipeline_throughput >/dev/null
+smoke=target/BENCH_writepath_smoke.json
+for key in '"bench": "write_path"' '"cpus":' '"lanes"' '"depth"' '"relations"' \
+           '"batch_txs"' '"mean_ns_per_block"' '"speedup_vs_lane1"'; do
   grep -q "$key" "$smoke" || { echo "ci: $smoke missing $key"; exit 1; }
 done
 

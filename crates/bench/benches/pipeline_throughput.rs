@@ -1,16 +1,27 @@
-//! Staged write-pipeline sweep: blocks/s of the seal→persist→index
-//! applier across pipeline depth × ingest batch size × worker cap.
+//! Write-path sweep (Fig. 7): blocks/s of the three-stage
+//! seal | persist | index pipeline across applier lanes × pipeline
+//! depth × relation count.
 //!
-//! Depth 1 is the sequential reference applier (one thread does all
-//! three stages); depth ≥ 2 runs the two-stage pipeline where Merkle +
-//! MAC sealing of block N overlaps index maintenance of block N−1.
-//! Besides the criterion output, the run writes `BENCH_pipeline.json`
-//! at the repository root with mean ns/block, blocks/s, and the
-//! speedup of each depth over depth 1 at the same (batch, threads),
-//! plus the host CPU count: pipelining trades threads for latency
-//! overlap, so on a single-core host the two stages time-slice one
-//! core and the honest expectation is ~1.0× (channel overhead may even
+//! Depth 1 with one lane is the sequential reference applier (one
+//! thread runs all three stages); depth ≥ 2 overlaps sealing of block
+//! N with persistence of block N−1; lanes ≥ 2 additionally fan the
+//! index stage into relation-sharded appliers that maintain their
+//! tables' layered/ALI families in parallel. Every relation carries a
+//! pre-built layered index so lanes do real index maintenance, and the
+//! relation sweep shows sharding only pays when tuples spread over
+//! enough tables to keep the lanes busy.
+//!
+//! Besides the criterion output, the run writes `BENCH_writepath.json`
+//! at the repository root with mean ns/block, blocks/s, the speedup of
+//! each lane count over lanes=1 at the same (depth, relations), and
+//! the host CPU count: lanes trade threads for index-stage overlap, so
+//! on a single-core host every stage time-slices one core and the
+//! honest expectation is ~1.0× (channel and fan-out overhead may even
 //! make it slightly worse).
+//!
+//! `SEBDB_BENCH_SMOKE=1` runs a tiny sweep and writes
+//! `target/BENCH_writepath_smoke.json` instead (CI schema check),
+//! leaving the committed numbers untouched.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sebdb::{ApplyPipeline, Ledger, SchemaManager};
@@ -19,29 +30,71 @@ use sebdb_crypto::hmac::hmac_sha256;
 use sebdb_crypto::sig::KeyId;
 use sebdb_crypto::MacKeypair;
 use sebdb_storage::BlockStore;
-use sebdb_types::{Codec, Transaction, Value};
+use sebdb_types::{Codec, Column, DataType, TableSchema, Transaction, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const DEPTHS: [usize; 3] = [1, 2, 4];
-const BATCHES: [usize; 2] = [64, 256];
-const THREAD_CAPS: [usize; 2] = [1, 4];
-const BLOCKS: u64 = 32;
+struct Sweep {
+    lanes: &'static [usize],
+    depths: &'static [usize],
+    relations: &'static [usize],
+    blocks: u64,
+    batch: usize,
+    iters: u32,
+}
 
-fn make_blocks(batch: usize) -> Vec<OrderedBlock> {
+fn smoke() -> bool {
+    std::env::var("SEBDB_BENCH_SMOKE").is_ok()
+}
+
+fn sweep() -> Sweep {
+    if smoke() {
+        Sweep {
+            lanes: &[1, 2],
+            depths: &[1, 2],
+            relations: &[2],
+            blocks: 6,
+            batch: 16,
+            iters: 1,
+        }
+    } else {
+        Sweep {
+            lanes: &[1, 2, 4],
+            depths: &[1, 4],
+            relations: &[1, 8],
+            blocks: 24,
+            batch: 64,
+            iters: 3,
+        }
+    }
+}
+
+fn rel_schema(r: usize) -> TableSchema {
+    TableSchema::new(
+        format!("rel{r}"),
+        vec![
+            Column::new("donor", DataType::Str),
+            Column::new("amount", DataType::Decimal),
+        ],
+    )
+}
+
+/// `blocks` blocks of `batch` insert transactions round-robined over
+/// `relations` tables, with fixed timestamps so every run seals the
+/// same bytes.
+fn make_blocks(blocks: u64, batch: usize, relations: usize) -> Vec<OrderedBlock> {
     let mut tid = 1u64;
-    (0..BLOCKS)
+    (0..blocks)
         .map(|seq| {
             let txs = (0..batch)
                 .map(|i| {
                     let mut t = Transaction::new(
                         1_000 + seq,
                         KeyId([0xA1; 8]),
-                        "donate",
+                        format!("rel{}", i % relations),
                         vec![
                             Value::str(format!("donor-{seq}-{i}")),
-                            Value::str("education"),
                             Value::decimal((seq as i64 * batch as i64 + i as i64) % 997),
                         ],
                     );
@@ -61,9 +114,10 @@ fn make_blocks(batch: usize) -> Vec<OrderedBlock> {
 }
 
 /// One full run: fresh in-memory ledger with a real-cost MAC verifier
-/// (sealer-side work) feeding an [`ApplyPipeline`] of the given depth;
-/// returns once all [`BLOCKS`] are persisted AND indexed.
-fn run_once(depth: usize, blocks: &[OrderedBlock]) {
+/// (sealer-side work) and a pre-built layered index per relation
+/// (index-stage work), feeding an [`ApplyPipeline`] of the given depth
+/// and lane count; returns once all blocks are persisted AND indexed.
+fn run_once(depth: usize, lanes: usize, relations: usize, blocks: &[OrderedBlock]) {
     let ledger = Arc::new(
         Ledger::new(
             Arc::new(BlockStore::in_memory()),
@@ -77,23 +131,31 @@ fn run_once(depth: usize, blocks: &[OrderedBlock]) {
         let tag = hmac_sha256(&[0xBE; 32], &tx.to_bytes());
         tag.as_bytes()[0] as usize != usize::MAX
     })));
+    for r in 0..relations {
+        ledger
+            .create_layered_index(&rel_schema(r), "amount", Some((0..997).collect()))
+            .unwrap();
+    }
     let schemas = Arc::new(SchemaManager::new(None));
     let stopped = Arc::new(AtomicBool::new(false));
     let (tx, rx) = crossbeam::channel::unbounded();
-    let mut pipe = ApplyPipeline::start(
+    let mut pipe = ApplyPipeline::start_with_lanes(
         Arc::clone(&ledger),
         Arc::clone(&schemas),
         rx,
         Arc::clone(&stopped),
         depth,
+        lanes,
     );
     for b in blocks {
         tx.send(b.clone()).unwrap();
     }
     assert!(
-        ledger.wait_for_height(BLOCKS, Instant::now() + Duration::from_secs(60), || pipe
-            .health()
-            .is_poisoned()),
+        ledger.wait_for_height(
+            blocks.len() as u64,
+            Instant::now() + Duration::from_secs(60),
+            || pipe.health().is_poisoned()
+        ),
         "pipeline stalled: {:?}",
         pipe.health().error()
     );
@@ -103,80 +165,103 @@ fn run_once(depth: usize, blocks: &[OrderedBlock]) {
 }
 
 /// Mean ns per block over `iters` runs after one warm-up call.
-fn measure(mut f: impl FnMut(), iters: u32) -> u64 {
+fn measure(mut f: impl FnMut(), iters: u32, blocks: u64) -> u64 {
     f();
     let start = Instant::now();
     for _ in 0..iters {
         f();
     }
-    (start.elapsed().as_nanos() / u128::from(iters) / u128::from(BLOCKS)) as u64
+    (start.elapsed().as_nanos() / u128::from(iters) / u128::from(blocks)) as u64
+}
+
+struct Row {
+    lanes: usize,
+    depth: usize,
+    relations: usize,
+    ns: u64,
 }
 
 fn pipeline_throughput(c: &mut Criterion) {
-    let mut json_rows: Vec<(usize, usize, usize, u64)> = Vec::new();
+    let s = sweep();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    sebdb_parallel::set_max_threads(cpus);
+    let mut rows: Vec<Row> = Vec::new();
 
     let mut group = c.benchmark_group("pipeline_throughput");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(200));
-    for threads in THREAD_CAPS {
-        sebdb_parallel::set_max_threads(threads);
-        for batch in BATCHES {
-            let blocks = make_blocks(batch);
-            for depth in DEPTHS {
-                let id = format!("depth{depth}/batch{batch}/threads{threads}");
-                group.bench_function(BenchmarkId::new("apply", &id), |b| {
-                    b.iter(|| run_once(depth, &blocks))
-                });
-                json_rows.push((
+    for &relations in s.relations {
+        for &depth in s.depths {
+            let blocks = make_blocks(s.blocks, s.batch, relations);
+            for &lanes in s.lanes {
+                if !smoke() {
+                    let id = format!("lanes{lanes}/depth{depth}/rel{relations}");
+                    group.bench_function(BenchmarkId::new("apply", &id), |b| {
+                        b.iter(|| run_once(depth, lanes, relations, &blocks))
+                    });
+                }
+                rows.push(Row {
+                    lanes,
                     depth,
-                    batch,
-                    threads,
-                    measure(|| run_once(depth, &blocks), 5),
-                ));
+                    relations,
+                    ns: measure(
+                        || run_once(depth, lanes, relations, &blocks),
+                        s.iters,
+                        s.blocks,
+                    ),
+                });
             }
         }
     }
     group.finish();
     sebdb_parallel::set_max_threads(1);
 
-    write_json(&json_rows);
+    write_json(&rows, s.batch, cpus);
 }
 
-fn write_json(rows: &[(usize, usize, usize, u64)]) {
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let baseline = |batch: usize, threads: usize| {
+fn write_json(rows: &[Row], batch: usize, cpus: usize) {
+    let baseline = |depth: usize, relations: usize| {
         rows.iter()
-            .find(|(d, b, t, _)| *d == 1 && *b == batch && *t == threads)
-            .map(|(_, _, _, ns)| *ns)
+            .find(|r| r.lanes == 1 && r.depth == depth && r.relations == relations)
+            .map(|r| r.ns)
             .unwrap_or(1)
     };
     let mut entries = String::new();
-    for (depth, batch, threads, ns) in rows {
-        let blocks_per_s = 1e9 / (*ns).max(1) as f64;
-        let speedup = baseline(*batch, *threads) as f64 / (*ns).max(1) as f64;
+    for r in rows {
+        let blocks_per_s = 1e9 / r.ns.max(1) as f64;
+        let speedup = baseline(r.depth, r.relations) as f64 / r.ns.max(1) as f64;
         entries.push_str(&format!(
-            "    {{\"depth\": {depth}, \"batch_txs\": {batch}, \"threads\": {threads}, \
-             \"mean_ns_per_block\": {ns}, \"blocks_per_s\": {blocks_per_s:.1}, \
-             \"speedup_vs_depth1\": {speedup:.3}}},\n"
+            "    {{\"lanes\": {}, \"depth\": {}, \"relations\": {}, \"batch_txs\": {batch}, \
+             \"mean_ns_per_block\": {}, \"blocks_per_s\": {blocks_per_s:.1}, \
+             \"speedup_vs_lane1\": {speedup:.3}}},\n",
+            r.lanes, r.depth, r.relations, r.ns
         ));
     }
     entries.pop();
     entries.pop();
     let body = format!(
-        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"cpus\": {cpus},\n  \
-         \"note\": \"depth 1 = sequential applier; depth N overlaps sealing of \
-         block i with indexing of block i-1 on a second thread. The overlap \
-         needs >=2 cores to pay off: on a 1-cpu host both stages time-slice \
-         one core and ~1.0x (or slightly below, channel overhead) is the \
-         honest expectation\",\n  \
+        "{{\n  \"bench\": \"write_path\",\n  \"cpus\": {cpus},\n  \
+         \"note\": \"lanes=1 depth=1 is the sequential reference applier; depth N \
+         overlaps seal/persist of block i with indexing of block i-1; lanes M \
+         shards the index stage by relation across M applier threads. The \
+         overlap needs >=2 cores to pay off: on a 1-cpu host all stages and \
+         lanes time-slice one core and ~1.0x (or slightly below, channel and \
+         fan-out overhead) is the honest expectation\",\n  \
          \"results\": [\n{entries}\n  ]\n}}\n"
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    std::fs::write(path, body).expect("write BENCH_pipeline.json");
+    let path = if smoke() {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_writepath_smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_writepath.json")
+    };
+    std::fs::write(path, body).expect("write BENCH_writepath.json");
     eprintln!("wrote {path}");
 }
 

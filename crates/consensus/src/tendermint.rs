@@ -10,11 +10,22 @@
 //! manner, which is a slow process"). The per-transaction check cost
 //! is configurable so the Fig. 7 harness can reproduce that shape.
 //!
+//! [`TendermintConfig::batched_checktx`] switches admission to the
+//! shared coalescing [`Mempool`] the Kafka and PBFT engines use:
+//! submitters enqueue into the condvar-guarded buffer, and one
+//! admission thread drains whole batches — MAC checks fanned across
+//! workers via [`Mempool::admit`], the modeled CheckTx overhead paid
+//! once per batch instead of once per transaction. That is the
+//! "what-if" counterpart to the serial reproduction: all three
+//! consensus modes then feed the write pipeline through batch
+//! admission.
+//!
 //! Scope note: value locking (the POL rule) is omitted — with honest
 //! validators and a reliable simulated network, a round either commits
 //! one proposal or advances with nil votes, so safety is preserved for
 //! the configurations exercised here.
 
+use crate::mempool::{AdmissionVerifier, Mempool};
 use crate::traits::{now_ms, BatchConfig, CommitAck, Consensus, ConsensusError, OrderedBlock};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -60,6 +71,21 @@ pub enum TmMsg {
     },
 }
 
+fn tm_trace(f: impl FnOnce() -> String) {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *ON.get_or_init(|| std::env::var("SEBDB_TM_TRACE").is_ok()) {
+        eprintln!("[tm] {}", f());
+    }
+}
+
+fn msg_height(msg: &TmMsg) -> u64 {
+    match msg {
+        TmMsg::Proposal { height, .. }
+        | TmMsg::Prevote { height, .. }
+        | TmMsg::Precommit { height, .. } => *height,
+    }
+}
+
 fn block_digest(block: &OrderedBlock) -> Digest {
     let mut h = Sha256::new();
     h.update(&block.seq.to_le_bytes());
@@ -85,6 +111,12 @@ pub struct TendermintConfig {
     /// the real hash verification) — models Tendermint's admission
     /// path.
     pub checktx_cost_us: u64,
+    /// Admit through the shared coalescing [`Mempool`] instead of the
+    /// serial per-transaction CheckTx thread: batches drain at the
+    /// packaging cut, MAC checks run across workers, and the modeled
+    /// CheckTx overhead is paid once per batch. `false` preserves the
+    /// paper's serial admission (the Fig. 7 bottleneck).
+    pub batched_checktx: bool,
     /// Validators that never start (liveness fault injection).
     pub down: Vec<NodeId>,
 }
@@ -100,8 +132,18 @@ impl Default for TendermintConfig {
             net: NetConfig::default(),
             step_timeout: Duration::from_millis(150),
             checktx_cost_us: 0,
+            batched_checktx: false,
             down: Vec::new(),
         }
+    }
+}
+
+/// The modeled CheckTx admission overhead (the only wall-clock pause
+/// in this engine): the serial path pays it once per transaction, the
+/// batched path once per drained batch.
+fn checktx_pause(cost: Duration) {
+    if !cost.is_zero() {
+        std::thread::sleep(cost);
     }
 }
 
@@ -150,6 +192,15 @@ struct Validator {
     /// When the current head of the mempool first became visible —
     /// drives the packaging timeout.
     batch_started: Option<Instant>,
+    /// Messages for the *next* height, parked until we commit the
+    /// current one. A peer that commits height H first may drain the
+    /// shared mempool and broadcast its (H+1, 0) proposal while we are
+    /// still finishing H; the network delivers exactly once, so
+    /// dropping that proposal loses the only copy of the block (the
+    /// mempool is already empty, it can never be re-proposed) and
+    /// halts the chain. Skew never exceeds one height: every quorum
+    /// needs our vote, so peers cannot commit H+1 before we reach it.
+    parked: Vec<(NodeId, TmMsg)>,
 }
 
 impl Validator {
@@ -193,6 +244,15 @@ impl Validator {
         {
             return;
         }
+        if let Some(block) = self.holdover_proposal() {
+            let (height, round) = (self.height, self.round);
+            self.broadcast_and_self(TmMsg::Proposal {
+                height,
+                round,
+                block,
+            });
+            return;
+        }
         let ready = {
             let pool = self.mempool.lock();
             if pool.is_empty() {
@@ -230,7 +290,34 @@ impl Validator {
         });
     }
 
+    /// The latest proposal held from an earlier round of this height.
+    /// Its transactions were already drained from the shared mempool
+    /// when it was first proposed, so if its round failed (prevotes
+    /// split because some validators saw the proposal only after
+    /// advancing) the block must be proposed *again* — a fresh round's
+    /// proposer finds the mempool empty and has nothing else to offer;
+    /// without re-proposal the chain halts. This is the role
+    /// Tendermint's validValue plays.
+    fn holdover_proposal(&self) -> Option<OrderedBlock> {
+        self.state
+            .proposals
+            .iter()
+            .filter(|(r, _)| **r < self.round)
+            .max_by_key(|(r, _)| **r)
+            .map(|(_, b)| b.clone())
+    }
+
     fn handle(&mut self, from: NodeId, msg: TmMsg) {
+        tm_trace(|| {
+            format!(
+                "v{} h{} r{} {:?} <- {from}: {msg:?}",
+                self.id, self.height, self.round, self.step
+            )
+        });
+        if msg_height(&msg) == self.height + 1 {
+            self.parked.push((from, msg));
+            return;
+        }
         match msg {
             TmMsg::Proposal {
                 height,
@@ -353,6 +440,14 @@ impl Validator {
                 self.step = Step::Propose;
                 self.state = HeightState::new();
                 self.deadline = Instant::now() + self.step_timeout;
+                // Replay messages that arrived for this (now current)
+                // height while we were still committing the previous
+                // one. A replayed quorum may commit again recursively;
+                // parked entries are all at the new height, so the
+                // recursion depth is bounded by one.
+                for (from, msg) in std::mem::take(&mut self.parked) {
+                    self.handle(from, msg);
+                }
                 return;
             }
         }
@@ -380,6 +475,12 @@ impl Validator {
                 let has_traffic = !self.mempool.lock().is_empty()
                     || !self.state.proposals.is_empty()
                     || !self.state.prevotes.is_empty();
+                tm_trace(|| {
+                    format!(
+                        "v{} h{} r{} propose-deadline traffic={has_traffic}",
+                        self.id, self.height, self.round
+                    )
+                });
                 if has_traffic && self.state.sent_prevote.insert(round) {
                     self.step = Step::Prevote;
                     self.broadcast_and_self(TmMsg::Prevote {
@@ -411,6 +512,24 @@ impl Validator {
         self.round += 1;
         self.step = Step::Propose;
         self.deadline = Instant::now() + self.step_timeout;
+        // The new round's proposal (and even its votes) may have raced
+        // ahead of our round change — we stored them but, being in an
+        // older round, never voted. Vote now, or the round's digest
+        // quorum is one vote short forever (every quorum needs us when
+        // one validator of four is down).
+        if let Some(digest) = self.state.proposals.get(&self.round).map(block_digest) {
+            if self.state.sent_prevote.insert(self.round) {
+                self.step = Step::Prevote;
+                let (height, round) = (self.height, self.round);
+                self.broadcast_and_self(TmMsg::Prevote {
+                    height,
+                    round,
+                    digest: Some(digest),
+                });
+            }
+            self.check_prevote_quorum(self.round);
+            self.check_precommit_quorum(self.round);
+        }
     }
 }
 
@@ -423,14 +542,17 @@ struct TmShared {
 /// The Tendermint-style consensus engine.
 pub struct TendermintEngine {
     submit_tx: Sender<(Transaction, AckSender)>,
+    /// The shared coalescing ingest pool — `Some` only under
+    /// [`TendermintConfig::batched_checktx`].
+    ingest: Option<Arc<Mempool>>,
     shared: Arc<TmShared>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     n: usize,
 }
 
 impl TendermintEngine {
-    /// Starts the validators, the serial CheckTx/mempool thread, and
-    /// the delivery fan-out.
+    /// Starts the validators, the CheckTx admission thread (serial or
+    /// batched per the config), and the delivery fan-out.
     pub fn start(config: TendermintConfig) -> Arc<Self> {
         let n = config.validators;
         assert!(n >= 1);
@@ -469,6 +591,7 @@ impl TendermintEngine {
                 deliveries: deliver_tx.clone(),
                 stopped: Arc::clone(&stopped),
                 batch_started: None,
+                parked: Vec::new(),
             };
             threads.push(sebdb_parallel::spawn_service("tm-validator", move || {
                 v.run()
@@ -476,13 +599,52 @@ impl TendermintEngine {
         }
         drop(deliver_tx);
 
-        // Serial CheckTx + mempool admission.
+        // CheckTx + mempool admission: serial per-transaction (the
+        // paper's reproduction) or batched through the shared Mempool.
         let (submit_tx, submit_rx) = unbounded::<(Transaction, AckSender)>();
-        {
+        let cost = Duration::from_micros(config.checktx_cost_us);
+        let ingest = if config.batched_checktx {
+            let pool = Arc::new(Mempool::new(config.batch));
+            let mempool = Arc::clone(&mempool);
+            let shared = Arc::clone(&shared);
+            let batch_pool = Arc::clone(&pool);
+            drop(submit_rx); // batched mode never uses the serial lane
+            threads.push(sebdb_parallel::spawn_service(
+                "tm-checktx-batch",
+                move || {
+                    let mut next_tid: u64 = 1;
+                    while let Some(batch) = batch_pool.next_batch() {
+                        // Batch MAC admission across workers (no-op until a
+                        // verifier is installed), then one amortized
+                        // CheckTx pause for the whole batch — the serial
+                        // path pays it per transaction.
+                        let batch = batch_pool.admit(batch);
+                        checktx_pause(cost);
+                        for (mut tx, ack) in batch {
+                            if tx.tname.is_empty() {
+                                let _ = ack.send(Err(ConsensusError::Rejected(
+                                    "empty transaction type".into(),
+                                )));
+                                continue;
+                            }
+                            let _ = tx.hash();
+                            tx.tid = next_tid;
+                            next_tid += 1;
+                            shared.acks.lock().insert(tx.tid, ack);
+                            mempool.lock().push_back(tx);
+                        }
+                    }
+                    // Pool closed: refuse whatever never made a batch.
+                    for (_tx, ack) in batch_pool.take_remaining() {
+                        let _ = ack.send(Err(ConsensusError::Stopped));
+                    }
+                },
+            ));
+            Some(pool)
+        } else {
             let mempool = Arc::clone(&mempool);
             let shared = Arc::clone(&shared);
             let stopped = Arc::clone(&stopped);
-            let cost = Duration::from_micros(config.checktx_cost_us);
             threads.push(sebdb_parallel::spawn_service("tm-checktx", move || {
                 let mut next_tid: u64 = 1;
                 loop {
@@ -500,9 +662,7 @@ impl TendermintEngine {
                                 continue;
                             }
                             let _ = tx.hash();
-                            if !cost.is_zero() {
-                                std::thread::sleep(cost);
-                            }
+                            checktx_pause(cost);
                             tx.tid = next_tid;
                             next_tid += 1;
                             shared.acks.lock().insert(tx.tid, ack);
@@ -513,7 +673,8 @@ impl TendermintEngine {
                     }
                 }
             }));
-        }
+            None
+        };
 
         // Delivery fan-out: the lowest-id live validator's stream.
         let canonical: NodeId = (0..n).find(|id| !config.down.contains(id)).unwrap_or(0);
@@ -542,6 +703,7 @@ impl TendermintEngine {
 
         Arc::new(TendermintEngine {
             submit_tx,
+            ingest,
             shared,
             threads: Mutex::new(threads),
             n,
@@ -552,10 +714,22 @@ impl TendermintEngine {
     pub fn validator_count(&self) -> usize {
         self.n
     }
+
+    /// Installs (or clears) the batch admission MAC verifier. Only
+    /// effective under [`TendermintConfig::batched_checktx`] — the
+    /// serial reproduction checks hashes only, as the paper describes.
+    pub fn set_tx_verifier(&self, verifier: Option<Box<AdmissionVerifier>>) {
+        if let Some(ingest) = &self.ingest {
+            ingest.set_verifier(verifier);
+        }
+    }
 }
 
 impl Consensus for TendermintEngine {
     fn submit(&self, tx: Transaction) -> Receiver<Result<CommitAck, ConsensusError>> {
+        if let Some(ingest) = &self.ingest {
+            return ingest.submit(tx);
+        }
         let (ack_tx, ack_rx) = bounded(1);
         if self.submit_tx.send((tx, ack_tx.clone())).is_err() {
             let _ = ack_tx.send(Err(ConsensusError::Stopped));
@@ -571,6 +745,9 @@ impl Consensus for TendermintEngine {
 
     fn shutdown(&self) {
         self.shared.stopped.store(true, Ordering::Relaxed);
+        if let Some(ingest) = &self.ingest {
+            ingest.close();
+        }
         for h in self.threads.lock().drain(..) {
             let _ = h.join();
         }
@@ -655,6 +832,85 @@ mod tests {
     }
 
     #[test]
+    fn batched_checktx_commits_blocks_and_acks() {
+        let e = TendermintEngine::start(TendermintConfig {
+            batched_checktx: true,
+            ..quick()
+        });
+        let sub = e.subscribe();
+        let acks: Vec<_> = (0..8).map(|i| e.submit(tx(i))).collect();
+        let mut total = 0;
+        let mut seqs = Vec::new();
+        while total < 8 {
+            let b = sub.recv_timeout(Duration::from_secs(10)).unwrap();
+            total += b.txs.len();
+            seqs.push(b.seq);
+        }
+        let want: Vec<u64> = (0..seqs.len() as u64).collect();
+        assert_eq!(seqs, want, "batched admission must preserve ordering");
+        for a in acks {
+            assert!(a.recv_timeout(Duration::from_secs(10)).unwrap().is_ok());
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn batched_checktx_rejects_bad_transactions() {
+        let e = TendermintEngine::start(TendermintConfig {
+            batched_checktx: true,
+            ..quick()
+        });
+        let mut bad = tx(1);
+        bad.tname = String::new();
+        let ack = e.submit(bad);
+        match ack.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Err(ConsensusError::Rejected(_)) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn batched_checktx_verifier_rejects_forged_macs() {
+        use sebdb_crypto::sig::{MacKeypair, Signer, Verifier};
+        let keys = MacKeypair::from_key([6u8; 32]);
+        let e = TendermintEngine::start(TendermintConfig {
+            batched_checktx: true,
+            ..quick()
+        });
+        let verify_keys = keys.clone();
+        e.set_tx_verifier(Some(Box::new(move |tx: &Transaction| {
+            sebdb_crypto::sig::Signature::from_bytes(&tx.sig)
+                .is_some_and(|sig| verify_keys.verify(&tx.signing_payload(), &sig))
+        })));
+        let sub = e.subscribe();
+        let mut acks = Vec::new();
+        for i in 0..4 {
+            let mut t = tx(i);
+            if i != 2 {
+                t.sig = keys.sign(&t.signing_payload()).to_bytes();
+            } // tx 2 keeps a forged (empty) signature
+            acks.push(e.submit(t));
+        }
+        match acks
+            .remove(2)
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+        {
+            Err(ConsensusError::Rejected(_)) => {}
+            other => panic!("expected MAC rejection, got {other:?}"),
+        }
+        let mut total = 0;
+        while total < 3 {
+            total += sub.recv_timeout(Duration::from_secs(10)).unwrap().txs.len();
+        }
+        for a in acks {
+            assert!(a.recv_timeout(Duration::from_secs(10)).unwrap().is_ok());
+        }
+        e.shutdown();
+    }
+
+    #[test]
     fn survives_a_down_proposer_via_round_rotation() {
         // Validator 0 proposes height 0; validator 1 would propose
         // height 1 round 0 but is down — round rotation must hand the
@@ -669,9 +925,254 @@ mod tests {
         }
         let mut total = 0;
         while total < 8 {
-            let b = sub.recv_timeout(Duration::from_secs(20)).unwrap();
+            // Generous deadline: every height-1 round-0 step has to
+            // burn the full step_timeout before rotation kicks in, and
+            // instrumented CI passes (lock-order tracking) on a loaded
+            // 1-CPU host have blown a 20 s budget before.
+            let b = sub.recv_timeout(Duration::from_secs(60)).unwrap();
             total += b.txs.len();
         }
         e.shutdown();
+    }
+
+    #[test]
+    fn parks_next_height_messages_during_commit_skew() {
+        // Peers that commit height 0 first can drain the shared mempool
+        // and broadcast the whole height-1 exchange (proposal + votes)
+        // before this validator finishes height 0. Delivery is
+        // exactly-once, so if those messages were dropped the height-1
+        // block could never be re-proposed (mempool already empty) and
+        // the chain would halt. They must be parked and replayed after
+        // our own commit.
+        let net: Arc<SimNet<TmMsg>> = SimNet::new(NetConfig::default());
+        let endpoints: Vec<_> = (0..4).map(|_| net.register()).collect();
+        let inbox = endpoints.into_iter().nth(3).unwrap().1;
+        let (deliver_tx, deliver_rx) = unbounded();
+        let mut v = Validator {
+            id: 3,
+            n: 4,
+            net,
+            inbox,
+            mempool: Arc::new(Mutex::new(VecDeque::new())),
+            batch: quick().batch,
+            step_timeout: Duration::from_millis(100),
+            height: 0,
+            round: 0,
+            step: Step::Propose,
+            // Far future: this test drives `handle` directly and no
+            // step deadline may interfere.
+            deadline: Instant::now() + Duration::from_secs(3600),
+            state: HeightState::new(),
+            deliveries: deliver_tx,
+            stopped: Arc::new(AtomicBool::new(false)),
+            batch_started: None,
+            parked: Vec::new(),
+        };
+        let block = |seq: u64| OrderedBlock {
+            seq,
+            timestamp_ms: 1 + seq,
+            txs: vec![tx(seq as i64)],
+        };
+        let (b0, b1) = (block(0), block(1));
+        let (d0, d1) = (block_digest(&b0), block_digest(&b1));
+
+        // Height 0 up to the precommit: proposer 0's block, then a
+        // prevote quorum ({0, 1} + our own) makes us precommit d0.
+        v.handle(
+            0,
+            TmMsg::Proposal {
+                height: 0,
+                round: 0,
+                block: b0,
+            },
+        );
+        for peer in [0, 1] {
+            v.handle(
+                peer,
+                TmMsg::Prevote {
+                    height: 0,
+                    round: 0,
+                    digest: Some(d0),
+                },
+            );
+        }
+        assert_eq!(v.height, 0);
+
+        // The skew: peers 1 and 2 already committed height 0 and run
+        // the entire height-1 round before we see their height-0
+        // precommits. Every one of these must be parked, not dropped.
+        v.handle(
+            1, // proposer_of(1, 0) == 1
+            TmMsg::Proposal {
+                height: 1,
+                round: 0,
+                block: b1,
+            },
+        );
+        for peer in [1, 2] {
+            v.handle(
+                peer,
+                TmMsg::Prevote {
+                    height: 1,
+                    round: 0,
+                    digest: Some(d1),
+                },
+            );
+            v.handle(
+                peer,
+                TmMsg::Precommit {
+                    height: 1,
+                    round: 0,
+                    digest: Some(d1),
+                },
+            );
+        }
+        assert_eq!(v.height, 0, "future-height messages must not apply early");
+        assert_eq!(v.parked.len(), 5);
+
+        // The late height-0 precommits arrive: we commit height 0, the
+        // parked height-1 exchange replays, and with our prevote and
+        // precommit added it commits height 1 too — no new network
+        // traffic needed.
+        for peer in [0, 1] {
+            v.handle(
+                peer,
+                TmMsg::Precommit {
+                    height: 0,
+                    round: 0,
+                    digest: Some(d0),
+                },
+            );
+        }
+        assert_eq!(v.height, 2);
+        assert!(v.parked.is_empty());
+        let seqs: Vec<u64> = deliver_rx.try_iter().map(|(_, b)| b.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    /// A bare validator for driving `handle`/`maybe_propose` directly.
+    fn bare_validator(id: NodeId) -> (Validator, Receiver<(NodeId, OrderedBlock)>) {
+        let net: Arc<SimNet<TmMsg>> = SimNet::new(NetConfig::default());
+        let mut inboxes: Vec<_> = (0..4).map(|_| net.register().1).collect();
+        let (deliver_tx, deliver_rx) = unbounded();
+        let v = Validator {
+            id,
+            n: 4,
+            net,
+            inbox: inboxes.remove(id),
+            mempool: Arc::new(Mutex::new(VecDeque::new())),
+            batch: quick().batch,
+            step_timeout: Duration::from_millis(100),
+            height: 0,
+            round: 0,
+            step: Step::Propose,
+            deadline: Instant::now() + Duration::from_secs(3600),
+            state: HeightState::new(),
+            deliveries: deliver_tx,
+            stopped: Arc::new(AtomicBool::new(false)),
+            batch_started: None,
+            parked: Vec::new(),
+        };
+        std::mem::forget(inboxes); // keep peer mailboxes alive
+        (v, deliver_rx)
+    }
+
+    #[test]
+    fn votes_for_a_proposal_that_raced_ahead_of_the_round_change() {
+        // The round-1 proposal (and its votes) can arrive while we are
+        // still finishing round 0. We store it but must not stay
+        // silent after advancing: without our vote the round-1 digest
+        // quorum is one short forever (quorum 3 of 3 live validators),
+        // and once the shared mempool is drained no later round can
+        // propose anything — the chain halts.
+        let (mut v, deliver_rx) = bare_validator(3);
+        let b = OrderedBlock {
+            seq: 0,
+            timestamp_ms: 1,
+            txs: vec![tx(7)],
+        };
+        let d = block_digest(&b);
+        // Round 1 runs in full at peers 1 and 2 while we sit in round 0.
+        v.handle(
+            1, // proposer_of(0, 1) == 1
+            TmMsg::Proposal {
+                height: 0,
+                round: 1,
+                block: b,
+            },
+        );
+        for peer in [1, 2] {
+            v.handle(
+                peer,
+                TmMsg::Prevote {
+                    height: 0,
+                    round: 1,
+                    digest: Some(d),
+                },
+            );
+            v.handle(
+                peer,
+                TmMsg::Precommit {
+                    height: 0,
+                    round: 1,
+                    digest: Some(d),
+                },
+            );
+        }
+        assert_eq!(
+            v.round, 0,
+            "future-round messages are recorded, not acted on"
+        );
+        // Round 0 dies with a nil precommit quorum; advancing must
+        // vote for the held round-1 proposal, completing both quorums
+        // and committing without any further network traffic.
+        for peer in [0, 2, 3] {
+            v.handle(
+                peer,
+                TmMsg::Precommit {
+                    height: 0,
+                    round: 0,
+                    digest: None,
+                },
+            );
+        }
+        assert_eq!(v.height, 1, "held proposal must commit after advance");
+        let seqs: Vec<u64> = deliver_rx.try_iter().map(|(_, b)| b.seq).collect();
+        assert_eq!(seqs, vec![0]);
+    }
+
+    #[test]
+    fn proposer_reproposes_the_held_block_when_the_mempool_is_empty() {
+        // A failed round's block drained the shared mempool when it
+        // was first cut; the next rounds' proposers find the pool
+        // empty. They must re-propose the held block (validValue) or
+        // nothing can ever commit again.
+        let (mut v, _deliver_rx) = bare_validator(2); // proposer_of(0, 2) == 2
+        let b = OrderedBlock {
+            seq: 0,
+            timestamp_ms: 1,
+            txs: vec![tx(9)],
+        };
+        let d = block_digest(&b);
+        v.handle(
+            1, // proposer_of(0, 1) == 1
+            TmMsg::Proposal {
+                height: 0,
+                round: 1,
+                block: b,
+            },
+        );
+        v.round = 2; // round 1 failed; we now lead round 2
+        v.maybe_propose();
+        let reproposed = v
+            .state
+            .proposals
+            .get(&2)
+            .expect("block re-proposed at round 2");
+        assert_eq!(block_digest(reproposed), d);
+        assert!(
+            v.state.sent_prevote.contains(&2),
+            "proposer prevotes its own re-proposal"
+        );
     }
 }

@@ -57,6 +57,40 @@ impl From<StorageError> for LedgerError {
 /// meaning "all tables" (system indexes).
 pub type IndexKey = (Option<String>, String);
 
+/// Number of relation shards the per-table index families are
+/// partitioned into. Fixed (like the 8-way sharded caches) so shard
+/// assignment is independent of the applier lane count: lane *k* of an
+/// *L*-lane pipeline owns every shard with `shard % L == k`.
+pub const INDEX_SHARDS: usize = 8;
+
+/// The shard a (lowercased) table name's index families live in.
+pub fn shard_of(table: &str) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    table.hash(&mut h);
+    (h.finish() as usize) % INDEX_SHARDS
+}
+
+/// The shard an index key lives in: per-table keys hash their table,
+/// system (`None`-table) keys live in the extra chain shard
+/// ([`INDEX_SHARDS`], owned by lane 0 alongside the block-level and
+/// bitmap indexes, since their maintenance walks every tuple anyway).
+fn shard_of_key(key: &IndexKey) -> usize {
+    match &key.0 {
+        Some(table) => shard_of(table),
+        None => INDEX_SHARDS,
+    }
+}
+
+/// One relation shard: the layered and authenticated index families of
+/// the tables hashing to it, each behind its own lock so applier lanes
+/// maintain disjoint shards with zero contention.
+#[derive(Default)]
+struct IndexShard {
+    layered: RwLock<HashMap<IndexKey, LayeredIndex>>,
+    alis: RwLock<HashMap<IndexKey, AuthenticatedLayeredIndex>>,
+}
+
 /// Number of histogram buckets for continuous layered indexes (the
 /// paper sets the histogram depth to 100 in §VII-D).
 pub const DEFAULT_HISTOGRAM_BUCKETS: usize = 100;
@@ -72,8 +106,9 @@ pub struct Ledger {
     cached: RwLock<Arc<CachedStore>>,
     block_index: RwLock<BlockLevelIndex>,
     table_index: RwLock<TableBitmapIndex>,
-    layered: RwLock<HashMap<IndexKey, LayeredIndex>>,
-    alis: RwLock<HashMap<IndexKey, AuthenticatedLayeredIndex>>,
+    /// [`INDEX_SHARDS`] relation shards plus one chain shard (the
+    /// system `None`-table indexes) at position [`INDEX_SHARDS`].
+    shards: Vec<IndexShard>,
     last_hash: RwLock<Digest>,
     signer: MacKeypair,
     tx_verifier: RwLock<Option<Box<TxVerifier>>>,
@@ -82,6 +117,12 @@ pub struct Ledger {
     /// pipeline persists ahead of this; readers never see a height
     /// whose indexes are still being built.
     applied: AtomicU64,
+    /// Per-lane applied heights, installed by a lane pipeline via
+    /// [`Self::install_applied_vector`]. `applied` is the running
+    /// minimum over the vector, so cross-relation readers (joins,
+    /// GET BLOCK, TRACE) wait on the min applied height and stay
+    /// consistent. `None` outside a lane pipeline.
+    lane_heights: RwLock<Option<Arc<Vec<AtomicU64>>>>,
     /// Watch pair for [`Self::wait_for_height`]: `applied` is updated
     /// under this mutex so waiters cannot miss a notify.
     height_watch: Mutex<()>,
@@ -107,18 +148,19 @@ impl Ledger {
             cached: RwLock::new(cached),
             block_index: RwLock::new(BlockLevelIndex::new()),
             table_index: RwLock::new(TableBitmapIndex::new()),
-            layered: RwLock::new(HashMap::new()),
-            alis: RwLock::new(HashMap::new()),
+            shards: (0..=INDEX_SHARDS).map(|_| IndexShard::default()).collect(),
             last_hash: RwLock::new(Digest::ZERO),
             signer,
             tx_verifier: RwLock::new(None),
             applied: AtomicU64::new(0),
+            lane_heights: RwLock::new(None),
             height_watch: Mutex::new(()),
             height_cv: Condvar::new(),
             index_fault: RwLock::new(None),
         };
         {
-            let mut layered = ledger.layered.write();
+            let chain = &ledger.shards[INDEX_SHARDS];
+            let mut layered = chain.layered.write();
             layered.insert(
                 (None, "sen_id".into()),
                 LayeredIndex::new_discrete(None, ColumnRef::SenId),
@@ -127,7 +169,7 @@ impl Ledger {
                 (None, "tname".into()),
                 LayeredIndex::new_discrete(None, ColumnRef::Tname),
             );
-            let mut alis = ledger.alis.write();
+            let mut alis = chain.alis.write();
             alis.insert(
                 (None, "sen_id".into()),
                 AuthenticatedLayeredIndex::new_discrete(None, ColumnRef::SenId),
@@ -206,7 +248,11 @@ impl Ledger {
 
     fn advance_applied(&self, to: BlockId) {
         let guard = self.height_watch.lock();
-        self.applied.store(to, Ordering::Release);
+        // Monotone: lane completions can race the sequential path during
+        // teardown; the applied height only ever moves forward.
+        if to > self.applied.load(Ordering::Acquire) {
+            self.applied.store(to, Ordering::Release);
+        }
         drop(guard);
         self.height_cv.notify_all();
     }
@@ -269,14 +315,25 @@ impl Ledger {
     /// transactions move into the sealed block instead of being
     /// copied, which matters at thousand-transaction block sizes.
     pub fn seal_ordered(&self, ordered: OrderedBlock) -> Result<Block, LedgerError> {
-        let height = self.store.height();
+        self.seal_ordered_at(self.tip_hash(), self.store.height(), ordered)
+    }
+
+    /// [`Self::seal_ordered`] against an explicit `(prev, height)` chain
+    /// position instead of the store's current tip. The three-stage
+    /// pipeline's sealer tracks its own chain cursor so it can seal
+    /// block *N+1* while the persister is still appending block *N*.
+    pub fn seal_ordered_at(
+        &self,
+        prev: Digest,
+        height: BlockId,
+        ordered: OrderedBlock,
+    ) -> Result<Block, LedgerError> {
         if ordered.seq != height {
             return Err(LedgerError::BadBlock(format!(
                 "ordered batch seq {} but chain height {height}",
                 ordered.seq
             )));
         }
-        let prev = self.tip_hash();
         Ok(Block::seal(
             prev,
             height,
@@ -379,16 +436,155 @@ impl Ledger {
             || self.block_index.write().append(block),
             || self.table_index.write().update(block),
             || {
-                for idx in self.layered.write().values_mut() {
+                for shard in &self.shards {
+                    for idx in shard.layered.write().values_mut() {
+                        idx.update(block);
+                    }
+                }
+            },
+            || {
+                for shard in &self.shards {
+                    for ali in shard.alis.write().values_mut() {
+                        ali.update(block);
+                    }
+                }
+            }
+        );
+    }
+
+    /// Partitions a block's tuples by (lowercased) relation name:
+    /// `table → ascending tuple positions`. Computed once per block by
+    /// the pipeline's persist stage and shared (behind an `Arc`) by
+    /// every applier lane, so lanes never re-scan tuples that are not
+    /// theirs.
+    pub fn relation_rows(block: &Block) -> HashMap<String, Vec<u32>> {
+        let mut rows: HashMap<String, Vec<u32>> = HashMap::new();
+        for (i, tx) in block.transactions.iter().enumerate() {
+            rows.entry(tx.tname.to_ascii_lowercase())
+                .or_default()
+                .push(i as u32);
+        }
+        rows
+    }
+
+    /// Lane 0's chain-level share of indexing `block`: the fault hook,
+    /// the block-level B⁺-tree, the table bitmaps, and the chain shard
+    /// (system `None`-table layered/ALI indexes, which walk every
+    /// tuple). Blocks must arrive in height order.
+    pub fn index_chain_lane(&self, block: &Block) {
+        if let Some(hook) = self.index_fault.read().as_ref() {
+            hook(block);
+        }
+        let chain = &self.shards[INDEX_SHARDS];
+        sebdb_parallel::join_all!(
+            || self.block_index.write().append(block),
+            || self.table_index.write().update(block),
+            || {
+                for idx in chain.layered.write().values_mut() {
                     idx.update(block);
                 }
             },
             || {
-                for ali in self.alis.write().values_mut() {
+                for ali in chain.alis.write().values_mut() {
                     ali.update(block);
                 }
             }
         );
+    }
+
+    /// Lane `lane`-of-`lanes`' relation share of indexing `block`:
+    /// every per-table index family living in a shard with
+    /// `shard % lanes == lane` is updated from the precomputed
+    /// relation→rows partition. Blocks must arrive in height order per
+    /// lane; distinct lanes are free to interleave (they touch disjoint
+    /// shards).
+    pub fn index_relation_lane(
+        &self,
+        lane: usize,
+        lanes: usize,
+        block: &Block,
+        rows: &HashMap<String, Vec<u32>>,
+    ) {
+        const NO_ROWS: &[u32] = &[];
+        for (s, shard) in self.shards.iter().enumerate().take(INDEX_SHARDS) {
+            if s % lanes != lane {
+                continue;
+            }
+            for (key, idx) in shard.layered.write().iter_mut() {
+                let covered = key.0.as_deref().and_then(|t| rows.get(t));
+                idx.update_rows(block, covered.map_or(NO_ROWS, |r| r.as_slice()));
+            }
+            for (key, ali) in shard.alis.write().iter_mut() {
+                let covered = key.0.as_deref().and_then(|t| rows.get(t));
+                ali.update_rows(block, covered.map_or(NO_ROWS, |r| r.as_slice()));
+            }
+        }
+    }
+
+    /// Installs a fresh all-zero applied-height vector with one slot
+    /// per applier lane and returns it. While installed, the scalar
+    /// applied height is the running minimum over the vector (advanced
+    /// by [`Self::lane_applied`]). The lane pipeline installs this at
+    /// start and clears it (via [`Self::clear_applied_vector`]) on
+    /// join, so the sequential path is untouched.
+    pub fn install_applied_vector(&self, lanes: usize) -> Arc<Vec<AtomicU64>> {
+        let start = self.height();
+        let vec: Arc<Vec<AtomicU64>> =
+            Arc::new((0..lanes).map(|_| AtomicU64::new(start)).collect());
+        *self.lane_heights.write() = Some(Arc::clone(&vec));
+        vec
+    }
+
+    /// Removes the per-lane applied-height vector (pipeline teardown).
+    pub fn clear_applied_vector(&self) {
+        *self.lane_heights.write() = None;
+    }
+
+    /// The currently installed per-lane applied-height vector, if any.
+    pub fn applied_vector(&self) -> Option<Arc<Vec<AtomicU64>>> {
+        self.lane_heights.read().clone()
+    }
+
+    /// Records that `lane` finished indexing every block below
+    /// `height`, then advances the scalar applied height to the
+    /// minimum over all lanes and wakes height waiters if it moved.
+    /// Runs under the height-watch mutex so the min computation and
+    /// the notify are atomic with respect to waiters.
+    pub fn lane_applied(&self, lane: usize, height: BlockId) {
+        let guard = self.height_watch.lock();
+        let Some(vec) = self.applied_vector() else {
+            drop(guard);
+            return;
+        };
+        vec[lane].store(height, Ordering::Release);
+        let min = vec
+            .iter()
+            .map(|h| h.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0);
+        let moved = min > self.applied.load(Ordering::Acquire);
+        if moved {
+            self.applied.store(min, Ordering::Release);
+        }
+        drop(guard);
+        if moved {
+            self.height_cv.notify_all();
+        }
+    }
+
+    /// Applied height as seen by readers of `table` alone: the height
+    /// of the lane owning that relation's shard when a lane vector is
+    /// installed, else the scalar applied height. Single-relation
+    /// reads could safely use this (it only runs ahead of the min);
+    /// cross-relation reads must use [`Self::height`].
+    pub fn relation_applied_height(&self, table: &str) -> BlockId {
+        match self.applied_vector() {
+            Some(vec) if !vec.is_empty() => {
+                let lane = shard_of(&table.to_ascii_lowercase()) % vec.len();
+                vec[lane].load(Ordering::Acquire).max(self.height())
+            }
+            _ => self.height(),
+        }
     }
 
     /// Creates a layered index (and its ALI twin) on
@@ -408,7 +604,8 @@ impl Ledger {
             Some(schema.name.to_ascii_lowercase()),
             column.to_ascii_lowercase(),
         );
-        if self.layered.read().contains_key(&key) {
+        let shard = &self.shards[shard_of_key(&key)];
+        if shard.layered.read().contains_key(&key) {
             return Ok(());
         }
         let continuous = col.data_type(schema).is_continuous();
@@ -438,8 +635,8 @@ impl Ledger {
             layered.update(&block);
             ali.update(&block);
         }
-        self.layered.write().insert(key.clone(), layered);
-        self.alis.write().insert(key, ali);
+        shard.layered.write().insert(key.clone(), layered);
+        shard.alis.write().insert(key, ali);
         Ok(())
     }
 
@@ -476,7 +673,11 @@ impl Ledger {
             table.map(|t| t.to_ascii_lowercase()),
             column.to_ascii_lowercase(),
         );
-        self.layered.read().get(&key).map(f)
+        self.shards[shard_of_key(&key)]
+            .layered
+            .read()
+            .get(&key)
+            .map(f)
     }
 
     /// Runs `f` with the ALI on `(table, column)`, if any.
@@ -490,7 +691,7 @@ impl Ledger {
             table.map(|t| t.to_ascii_lowercase()),
             column.to_ascii_lowercase(),
         );
-        self.alis.read().get(&key).map(f)
+        self.shards[shard_of_key(&key)].alis.read().get(&key).map(f)
     }
 
     /// Runs `f` with the block-level index.

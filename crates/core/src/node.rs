@@ -9,7 +9,9 @@
 use crate::access::{AccessController, Permission};
 use crate::executor::{ExecError, Executor, QueryResult, Strategy};
 use crate::ledger::Ledger;
-use crate::pipeline::{pipeline_depth_from_env, ApplierHealth, ApplyPipeline};
+use crate::pipeline::{
+    applier_lanes_from_env, pipeline_depth_from_env, ApplierHealth, ApplyPipeline,
+};
 use crate::schema_mgr::SchemaManager;
 use parking_lot::RwLock;
 use sebdb_consensus::traits::now_ms;
@@ -126,24 +128,28 @@ impl SebdbNode {
     /// Starts a node: subscribes to the consensus stream and begins
     /// applying ordered blocks to the ledger and schema catalog through
     /// the staged write pipeline (depth from `SEBDB_PIPELINE_DEPTH`,
-    /// default 2: sealing block N overlaps indexing block N−1).
+    /// default 2: sealing block N overlaps indexing block N−1; lane
+    /// count from `SEBDB_APPLIER_LANES`, auto-tuned to the core
+    /// count).
     pub fn start(
         store: Arc<BlockStore>,
         consensus: Arc<dyn Consensus>,
         offchain: Option<OffchainConnection>,
         identity: MacKeypair,
     ) -> Result<Arc<Self>, NodeError> {
-        Self::start_with_depth(
+        Self::start_with_config(
             store,
             consensus,
             offchain,
             identity,
             pipeline_depth_from_env(),
+            applier_lanes_from_env(),
         )
     }
 
     /// [`Self::start`] with an explicit pipeline depth (1 = sequential
-    /// applier; N ≥ 2 = two-stage pipeline with N blocks in flight).
+    /// applier; N ≥ 2 = staged pipeline with N blocks in flight) and a
+    /// single indexer lane.
     pub fn start_with_depth(
         store: Arc<BlockStore>,
         consensus: Arc<dyn Consensus>,
@@ -151,18 +157,32 @@ impl SebdbNode {
         identity: MacKeypair,
         depth: usize,
     ) -> Result<Arc<Self>, NodeError> {
+        Self::start_with_config(store, consensus, offchain, identity, depth, 1)
+    }
+
+    /// [`Self::start`] with explicit pipeline depth AND applier lane
+    /// count (depth 1 × lanes 1 = the sequential reference applier).
+    pub fn start_with_config(
+        store: Arc<BlockStore>,
+        consensus: Arc<dyn Consensus>,
+        offchain: Option<OffchainConnection>,
+        identity: MacKeypair,
+        depth: usize,
+        lanes: usize,
+    ) -> Result<Arc<Self>, NodeError> {
         let ledger = Arc::new(
             Ledger::new(store, identity.clone()).map_err(|e| NodeError::Other(e.to_string()))?,
         );
         let schemas = Arc::new(SchemaManager::new(offchain.clone()));
         let stopped = Arc::new(AtomicBool::new(false));
 
-        let pipeline = ApplyPipeline::start(
+        let pipeline = ApplyPipeline::start_with_lanes(
             Arc::clone(&ledger),
             Arc::clone(&schemas),
             consensus.subscribe(),
             Arc::clone(&stopped),
             depth,
+            lanes,
         );
         let health = Arc::clone(pipeline.health());
 

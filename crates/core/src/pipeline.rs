@@ -1,50 +1,72 @@
-//! The staged write pipeline: seal → persist → index.
+//! The staged write pipeline: seal | persist | index, with the index
+//! stage fanned out into relation-sharded applier lanes.
 //!
-//! The applier used to run all three stages on one thread, so the
+//! The applier used to run every stage on one thread, so the
 //! Merkle + MAC work of sealing block N serialized behind the index
-//! updates of block N−1 even though they touch disjoint state. This
-//! module splits the loop into a two-stage pipeline:
+//! updates of block N−1 even though they touch disjoint state. PR 2
+//! split seal+persist from index; this revision completes the split
+//! into three true stages over bounded channels and shards the index
+//! stage by relation:
 //!
 //! ```text
-//!  consensus stream                bounded(depth-1)
-//!  ───────────────▶ [sealer]  ─────────────────────▶ [indexer]
-//!                   seal_ordered                      schemas.apply_block
-//!                   persist_block                     index_appended
-//!                   (Merkle, MACs,                    (four index
-//!                    store append)                     families; advances
-//!                                                      applied height)
+//!  consensus stream      bounded       bounded(×L)
+//!  ───────────▶ [sealer] ─────▶ [persister] ─┬──▶ [indexer-lane0]  chain shard +
+//!               seal_ordered_at  verify       │     block/table idx  shards 0,L,2L…
+//!               (Merkle, MACs;   store append │──▶ [indexer-lane1]  shards 1,L+1,…
+//!                local chain     schema apply │        …
+//!                cursor)         partition    └──▶ [indexer-laneL−1]
+//!                                by relation        each lane: lane_applied(min ↑)
 //! ```
 //!
+//! The persister partitions each block's tuples by relation once and
+//! fans the block out to every lane. Lane *k* of *L* maintains the
+//! per-table index families of every shard with `shard % L == k`; lane
+//! 0 additionally owns the chain-level structures (block-level
+//! B⁺-tree, table bitmaps, and the system tracking indexes, whose
+//! maintenance walks every tuple anyway). Lanes receive blocks in
+//! sealed chain order over their own bounded channel, so per-lane
+//! order is the chain order even though lanes interleave freely with
+//! each other.
+//!
 //! Invariant: [`Ledger::height`] (the applied height — what
-//! `wait_applied` and every reader observe) only advances after BOTH
-//! persist and index complete for a block, and the schema catalog is
-//! applied before that advance, so read-your-writes and the
-//! schema-before-height ordering are exactly as sequential.
+//! `wait_applied` and every reader observe) is the **minimum** over
+//! the per-lane applied-height vector, so it only advances once every
+//! lane has finished a block — applied ≤ indexed ≤ persisted on every
+//! schedule, and cross-relation reads (joins, GET BLOCK, TRACE) stay
+//! consistent. The schema catalog is applied by the persister before
+//! any lane sees the block, so it is never behind an observed height.
 //!
-//! Depth semantics (`SEBDB_PIPELINE_DEPTH`, default 2): the number of
-//! blocks in flight past the consensus stream. Depth 1 is the
-//! sequential applier (one thread, no overlap, the reference
-//! semantics); depth N ≥ 2 runs the two threads with a bounded
-//! hand-over channel of capacity N−1, so sealing block N overlaps
-//! indexing block N−1 while backpressure keeps at most N blocks in
-//! flight.
+//! Knobs: `SEBDB_PIPELINE_DEPTH` bounds blocks in flight past the
+//! consensus stream (depth 1 + lanes 1 is the sequential
+//! single-thread reference). `SEBDB_APPLIER_LANES` sets the lane
+//! count; unset, it auto-tunes from `available_parallelism` (1 on a
+//! single core, else `min(cores, INDEX_SHARDS)`). Lanes = 1 runs the
+//! three stages with a single indexer lane — byte-identical chains,
+//! identical query results.
 //!
-//! Failure mode: any stage error poisons the shared [`ApplierHealth`]
-//! with a descriptive message, wakes every height waiter, and stops
-//! the pipeline — so writers fail fast with `NodeError::ApplierDead`
-//! instead of spinning their full apply timeout against a dead
-//! applier.
+//! Failure mode: any stage error or panic poisons the shared
+//! [`ApplierHealth`] with a message naming the stage, wakes every
+//! height waiter, and stops the pipeline — writers fail fast with
+//! `NodeError::ApplierDead` instead of spinning their full apply
+//! timeout. Crash-at-stage-boundary recovery is the ledger's restart
+//! replay: blocks persisted but not (fully) indexed are re-indexed
+//! from the chain on reopen, per lane or not.
 
-use crate::ledger::Ledger;
+use crate::ledger::{Ledger, INDEX_SHARDS};
 use crate::schema_mgr::SchemaManager;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use sebdb_consensus::OrderedBlock;
+use sebdb_types::Block;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Environment knob naming the pipeline depth (blocks in flight).
 pub const PIPELINE_DEPTH_ENV: &str = "SEBDB_PIPELINE_DEPTH";
+
+/// Environment knob naming the applier lane count.
+pub const APPLIER_LANES_ENV: &str = "SEBDB_APPLIER_LANES";
 
 /// Default pipeline depth: one block sealing while one block indexes.
 pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
@@ -71,6 +93,35 @@ pub fn pipeline_depth_from_env() -> usize {
         .map(|n| n.max(1))
         .unwrap_or_else(|| {
             auto_pipeline_depth(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+        })
+}
+
+/// Picks an applier lane count for a host with `cores` CPUs: a single
+/// core gets the sequential reference (1 lane — parallel index
+/// maintenance would just time-slice); more cores get one lane per
+/// core up to [`INDEX_SHARDS`] (more lanes than shards would idle).
+pub fn auto_applier_lanes(cores: usize) -> usize {
+    if cores <= 1 {
+        1
+    } else {
+        cores.min(INDEX_SHARDS)
+    }
+}
+
+/// Resolves the applier lane count from `SEBDB_APPLIER_LANES` (clamped
+/// to `1..=INDEX_SHARDS`). When the knob is unset, auto-tunes from
+/// [`std::thread::available_parallelism`] via [`auto_applier_lanes`].
+pub fn applier_lanes_from_env() -> usize {
+    std::env::var(APPLIER_LANES_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.clamp(1, INDEX_SHARDS))
+        .unwrap_or_else(|| {
+            auto_applier_lanes(
                 std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1),
@@ -112,7 +163,7 @@ impl ApplierHealth {
 struct PoisonOnPanic {
     health: Arc<ApplierHealth>,
     ledger: Arc<Ledger>,
-    stage: &'static str,
+    stage: String,
     armed: bool,
 }
 
@@ -125,21 +176,28 @@ impl Drop for PoisonOnPanic {
     }
 }
 
-/// The running two-stage applier. Owns the sealer and indexer threads;
+/// A block the persist stage hands to every applier lane: the
+/// persisted block plus its relation→rows partition, computed once.
+type LaneWork = (Arc<Block>, Arc<HashMap<String, Vec<u32>>>);
+
+/// The running staged applier. Owns the stage threads;
 /// [`ApplyPipeline::join`] (or drop) waits for them after the caller
 /// has raised its stop flag or dropped the source channel.
 pub struct ApplyPipeline {
     health: Arc<ApplierHealth>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    ledger: Arc<Ledger>,
+    clear_lanes: bool,
 }
 
 impl ApplyPipeline {
     /// Starts the pipeline over `source` (the totally-ordered block
-    /// stream from consensus). `depth` ≤ 1 runs the sequential
-    /// single-thread applier; larger depths run the two-stage pipeline
-    /// with `depth − 1` sealed blocks of buffer. The pipeline stops
-    /// when `stopped` is raised, `source` disconnects, or a stage
-    /// fails (poisoning `health`).
+    /// stream from consensus) with the lane count from
+    /// [`applier_lanes_from_env`]. `depth` ≤ 1 with one lane runs the
+    /// sequential single-thread applier; otherwise the three-stage
+    /// pipeline with `depth − 1` blocks of inter-stage buffer. The
+    /// pipeline stops when `stopped` is raised, `source` disconnects,
+    /// or a stage fails (poisoning `health`).
     pub fn start(
         ledger: Arc<Ledger>,
         schemas: Arc<SchemaManager>,
@@ -147,19 +205,55 @@ impl ApplyPipeline {
         stopped: Arc<AtomicBool>,
         depth: usize,
     ) -> ApplyPipeline {
+        Self::start_with_lanes(ledger, schemas, source, stopped, depth, 1)
+    }
+
+    /// [`Self::start`] with an explicit applier lane count (clamped to
+    /// `1..=INDEX_SHARDS`). `depth` ≤ 1 **and** `lanes` ≤ 1 is the
+    /// sequential reference; any other combination runs
+    /// seal | persist | index over bounded channels with `lanes`
+    /// relation-sharded indexer lanes.
+    pub fn start_with_lanes(
+        ledger: Arc<Ledger>,
+        schemas: Arc<SchemaManager>,
+        source: Receiver<OrderedBlock>,
+        stopped: Arc<AtomicBool>,
+        depth: usize,
+        lanes: usize,
+    ) -> ApplyPipeline {
+        let lanes = lanes.clamp(1, INDEX_SHARDS);
         let health = ApplierHealth::new();
-        let threads = if depth <= 1 {
-            vec![Self::spawn_sequential(
-                ledger,
-                schemas,
-                source,
-                stopped,
-                Arc::clone(&health),
-            )]
+        let (threads, clear_lanes) = if depth <= 1 && lanes <= 1 {
+            (
+                vec![Self::spawn_sequential(
+                    Arc::clone(&ledger),
+                    schemas,
+                    source,
+                    stopped,
+                    Arc::clone(&health),
+                )],
+                false,
+            )
         } else {
-            Self::spawn_staged(ledger, schemas, source, stopped, Arc::clone(&health), depth)
+            (
+                Self::spawn_staged(
+                    Arc::clone(&ledger),
+                    schemas,
+                    source,
+                    stopped,
+                    Arc::clone(&health),
+                    depth,
+                    lanes,
+                ),
+                true,
+            )
         };
-        ApplyPipeline { health, threads }
+        ApplyPipeline {
+            health,
+            threads,
+            ledger,
+            clear_lanes,
+        }
     }
 
     /// The shared health flag (clone to hand to waiters).
@@ -167,16 +261,20 @@ impl ApplyPipeline {
         &self.health
     }
 
-    /// Joins both stage threads. The caller must first make the
+    /// Joins every stage thread. The caller must first make the
     /// pipeline quit: raise the stop flag or drop the source sender.
     pub fn join(&mut self) {
         for h in self.threads.drain(..) {
             let _ = h.join();
         }
+        if self.clear_lanes {
+            self.clear_lanes = false;
+            self.ledger.clear_applied_vector();
+        }
     }
 
-    /// Depth 1: the reference sequential applier — every stage on one
-    /// thread, in order, per block.
+    /// Depth 1, one lane: the reference sequential applier — every
+    /// stage on one thread, in order, per block.
     fn spawn_sequential(
         ledger: Arc<Ledger>,
         schemas: Arc<SchemaManager>,
@@ -188,7 +286,7 @@ impl ApplyPipeline {
             let mut guard = PoisonOnPanic {
                 health: Arc::clone(&health),
                 ledger: Arc::clone(&ledger),
-                stage: "applier",
+                stage: "applier".into(),
                 armed: true,
             };
             loop {
@@ -228,8 +326,8 @@ impl ApplyPipeline {
         })
     }
 
-    /// Depth ≥ 2: sealer and indexer threads with a bounded hand-over
-    /// channel.
+    /// The three-stage pipeline: sealer and persister threads plus
+    /// `lanes` indexer lanes, every hand-over channel bounded.
     fn spawn_staged(
         ledger: Arc<Ledger>,
         schemas: Arc<SchemaManager>,
@@ -237,9 +335,18 @@ impl ApplyPipeline {
         stopped: Arc<AtomicBool>,
         health: Arc<ApplierHealth>,
         depth: usize,
+        lanes: usize,
     ) -> Vec<std::thread::JoinHandle<()>> {
-        let (stage_tx, stage_rx) = bounded::<Arc<sebdb_types::Block>>(depth - 1);
-        let sealer = {
+        let buffer = depth.saturating_sub(1).max(1);
+        ledger.install_applied_vector(lanes);
+        let (seal_tx, seal_rx) = bounded::<Block>(buffer);
+        let mut threads = Vec::with_capacity(2 + lanes);
+
+        // Stage 1: sealer. Tracks its own (prev, height) chain cursor
+        // so it can seal block N+1 while the persister is still
+        // appending block N (the store tip lags the cursor by the
+        // blocks in flight).
+        threads.push({
             let ledger = Arc::clone(&ledger);
             let health = Arc::clone(&health);
             let stopped = Arc::clone(&stopped);
@@ -247,34 +354,33 @@ impl ApplyPipeline {
                 let mut guard = PoisonOnPanic {
                     health: Arc::clone(&health),
                     ledger: Arc::clone(&ledger),
-                    stage: "sealer",
+                    stage: "sealer".into(),
                     armed: true,
                 };
+                let mut prev = ledger.tip_hash();
+                let mut height = ledger.chain_height();
                 loop {
                     if stopped.load(Ordering::Relaxed) || health.is_poisoned() {
                         guard.armed = false;
-                        return; // dropping stage_tx drains the indexer
+                        return; // dropping seal_tx drains downstream
                     }
                     match source.recv_timeout(Duration::from_millis(20)) {
-                        Ok(ordered) => {
-                            let staged = ledger
-                                .seal_ordered(ordered)
-                                .and_then(|block| ledger.persist_block(block));
-                            match staged {
-                                Ok(block) => {
-                                    if stage_tx.send(block).is_err() {
-                                        guard.armed = false;
-                                        return; // indexer gone
-                                    }
-                                }
-                                Err(e) => {
-                                    health.poison(format!("sealer: {e}"));
-                                    ledger.notify_height_waiters();
+                        Ok(ordered) => match ledger.seal_ordered_at(prev, height, ordered) {
+                            Ok(block) => {
+                                prev = block.header.block_hash;
+                                height += 1;
+                                if seal_tx.send(block).is_err() {
                                     guard.armed = false;
-                                    return;
+                                    return; // persister gone
                                 }
                             }
-                        }
+                            Err(e) => {
+                                health.poison(format!("sealer: {e}"));
+                                ledger.notify_height_waiters();
+                                guard.armed = false;
+                                return;
+                            }
+                        },
                         Err(RecvTimeoutError::Timeout) => {}
                         Err(RecvTimeoutError::Disconnected) => {
                             guard.armed = false;
@@ -283,25 +389,86 @@ impl ApplyPipeline {
                     }
                 }
             })
-        };
-        let indexer = {
-            sebdb_parallel::spawn_service("indexer", move || {
+        });
+
+        // Stage 2: persister. Verifies + appends each sealed block,
+        // applies schema transactions (before any lane can index the
+        // block, so the catalog never lags an observed height), then
+        // partitions tuples by relation once and fans out to lanes.
+        let mut lane_channels: Vec<(Sender<LaneWork>, Receiver<LaneWork>)> = Vec::new();
+        for _ in 0..lanes {
+            lane_channels.push(bounded::<LaneWork>(buffer));
+        }
+        let lane_txs: Vec<Sender<LaneWork>> =
+            lane_channels.iter().map(|(tx, _)| tx.clone()).collect();
+        threads.push({
+            let ledger = Arc::clone(&ledger);
+            let health = Arc::clone(&health);
+            sebdb_parallel::spawn_service("persister", move || {
                 let mut guard = PoisonOnPanic {
                     health: Arc::clone(&health),
                     ledger: Arc::clone(&ledger),
-                    stage: "indexer",
+                    stage: "persister".into(),
                     armed: true,
                 };
-                // Drains until the sealer drops its sender; index order
-                // is the channel order, which is seal (= height) order.
-                for block in stage_rx.iter() {
-                    schemas.apply_block(&block);
-                    ledger.index_appended(&block);
+                // Drains until the sealer drops its sender; persist
+                // order is the channel order, which is seal (= height)
+                // order.
+                for block in seal_rx.iter() {
+                    match ledger.persist_block(block) {
+                        Ok(block) => {
+                            schemas.apply_block(&block);
+                            let rows = Arc::new(Ledger::relation_rows(&block));
+                            let mut gone = false;
+                            for tx in &lane_txs {
+                                if tx.send((Arc::clone(&block), Arc::clone(&rows))).is_err() {
+                                    gone = true; // lane died (poisoned)
+                                    break;
+                                }
+                            }
+                            if gone {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            health.poison(format!("persister: {e}"));
+                            ledger.notify_height_waiters();
+                            break;
+                        }
+                    }
                 }
                 guard.armed = false;
             })
-        };
-        vec![sealer, indexer]
+        });
+
+        // Stage 3: the relation-sharded indexer lanes. Lane k owns the
+        // per-table shards with `shard % lanes == k`; lane 0 also owns
+        // the chain-level structures. Each lane advances its slot of
+        // the applied-height vector; the scalar applied height readers
+        // see is the min over lanes.
+        for (lane, (_, lane_rx)) in lane_channels.into_iter().enumerate() {
+            let ledger = Arc::clone(&ledger);
+            let health = Arc::clone(&health);
+            let name = format!("indexer-lane{lane}");
+            let thread_name = name.clone();
+            threads.push(sebdb_parallel::spawn_service(&thread_name, move || {
+                let mut guard = PoisonOnPanic {
+                    health: Arc::clone(&health),
+                    ledger: Arc::clone(&ledger),
+                    stage: name,
+                    armed: true,
+                };
+                for (block, rows) in lane_rx.iter() {
+                    if lane == 0 {
+                        ledger.index_chain_lane(&block);
+                    }
+                    ledger.index_relation_lane(lane, lanes, &block, &rows);
+                    ledger.lane_applied(lane, block.header.height + 1);
+                }
+                guard.armed = false;
+            }));
+        }
+        threads
     }
 }
 
@@ -342,7 +509,9 @@ mod tests {
                     let mut t = Transaction::new(
                         1_000 + seq,
                         KeyId([1; 8]),
-                        "donate",
+                        // Spread tuples over relations so every lane of
+                        // a multi-lane run has shards to maintain.
+                        if i % 2 == 0 { "donate" } else { "volunteer" },
                         vec![Value::Int(i as i64 + 1)],
                     );
                     t.tid = seq * 100 + i as u64 + 1;
@@ -352,17 +521,18 @@ mod tests {
         }
     }
 
-    fn run_depth(depth: usize, blocks: u64) -> Arc<Ledger> {
+    fn run_config(depth: usize, lanes: usize, blocks: u64) -> Arc<Ledger> {
         let ledger = ledger();
         let schemas = Arc::new(SchemaManager::new(None));
         let stopped = Arc::new(AtomicBool::new(false));
         let (tx, rx) = unbounded();
-        let mut pipe = ApplyPipeline::start(
+        let mut pipe = ApplyPipeline::start_with_lanes(
             Arc::clone(&ledger),
             schemas,
             rx,
             Arc::clone(&stopped),
             depth,
+            lanes,
         );
         for seq in 0..blocks {
             tx.send(ordered(seq, 8)).unwrap();
@@ -378,6 +548,10 @@ mod tests {
         ledger
     }
 
+    fn run_depth(depth: usize, blocks: u64) -> Arc<Ledger> {
+        run_config(depth, 1, blocks)
+    }
+
     #[test]
     fn depths_produce_identical_chains() {
         let a = run_depth(1, 20);
@@ -387,6 +561,33 @@ mod tests {
         assert_eq!(a.tip_hash(), b.tip_hash());
         a.verify_chain().unwrap();
         b.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn lane_counts_produce_identical_chains_and_indexes() {
+        let a = run_config(1, 1, 20);
+        let b = run_config(4, 4, 20);
+        assert_eq!(a.height(), 20);
+        assert_eq!(b.height(), 20);
+        assert_eq!(a.tip_hash(), b.tip_hash());
+        b.verify_chain().unwrap();
+        // The system tracking index answers identically however many
+        // lanes maintained it.
+        for l in [&a, &b] {
+            let hits = l
+                .with_layered(None, "tname", |idx| {
+                    idx.candidate_blocks(&sebdb_index::KeyPredicate::Eq(Value::str("volunteer")))
+                })
+                .unwrap();
+            assert_eq!(hits.count_ones(), 20);
+        }
+    }
+
+    #[test]
+    fn lane_vector_clears_on_join() {
+        let l = run_config(2, 3, 5);
+        assert!(l.applied_vector().is_none());
+        assert_eq!(l.height(), 5);
     }
 
     #[test]
@@ -422,7 +623,7 @@ mod tests {
     fn indexer_stage_panic_poisons_health_and_wakes_waiters() {
         let ledger = ledger();
         // Inject a panic while indexing the second block (header height
-        // 1) — after the sealer has persisted it, mid-way through the
+        // 1) — after the persister has appended it, mid-way through the
         // indexer stage.
         ledger.set_index_fault(Some(Box::new(|block: &sebdb_types::Block| {
             if block.header.height == 1 {
@@ -456,13 +657,55 @@ mod tests {
             "poison should name the stage: {err}"
         );
         // The first block applied cleanly; the faulty one persisted
-        // (the sealer ran ahead) but never indexed, so the applied
+        // (the pipeline ran ahead) but never indexed, so the applied
         // height stays behind the chain height.
         assert_eq!(ledger.height(), 1);
         assert!(ledger.chain_height() >= 2);
         stopped.store(true, Ordering::Relaxed);
         drop(tx);
         pipe.join();
+    }
+
+    #[test]
+    fn lane_panic_poisons_health_with_lane_name() {
+        let ledger = ledger();
+        ledger.set_index_fault(Some(Box::new(|block: &sebdb_types::Block| {
+            if block.header.height == 2 {
+                panic!("injected lane fault at height 2");
+            }
+        })));
+        let schemas = Arc::new(SchemaManager::new(None));
+        let stopped = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = unbounded();
+        let mut pipe = ApplyPipeline::start_with_lanes(
+            Arc::clone(&ledger),
+            schemas,
+            rx,
+            Arc::clone(&stopped),
+            2,
+            4,
+        );
+        for seq in 0..5 {
+            tx.send(ordered(seq, 4)).unwrap();
+        }
+        let reached = ledger.wait_for_height(5, Instant::now() + Duration::from_secs(10), || {
+            pipe.health().is_poisoned()
+        });
+        assert!(!reached);
+        let err = pipe.health().error().unwrap().to_string();
+        assert!(
+            err.contains("indexer-lane0"),
+            "fault hook runs on lane 0: {err}"
+        );
+        // Quiesce the surviving lanes, then check the heights: the
+        // fault fired at height 2, so blocks 0 and 1 fully applied and
+        // the applied height (min over lanes) never passes the dead
+        // lane even though other lanes kept going.
+        stopped.store(true, Ordering::Relaxed);
+        drop(tx);
+        pipe.join();
+        assert_eq!(ledger.height(), 2);
+        assert!(ledger.chain_height() >= 3);
     }
 
     #[test]
@@ -486,12 +729,27 @@ mod tests {
     }
 
     #[test]
+    fn auto_lanes_track_cores_up_to_shards() {
+        assert_eq!(auto_applier_lanes(0), 1);
+        assert_eq!(auto_applier_lanes(1), 1);
+        assert_eq!(auto_applier_lanes(2), 2);
+        assert_eq!(auto_applier_lanes(8), INDEX_SHARDS);
+        assert_eq!(auto_applier_lanes(64), INDEX_SHARDS);
+    }
+
+    #[test]
     fn env_unset_matches_auto_tuned_depth() {
         if std::env::var(PIPELINE_DEPTH_ENV).is_err() {
             let cores = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1);
             assert_eq!(pipeline_depth_from_env(), auto_pipeline_depth(cores));
+        }
+        if std::env::var(APPLIER_LANES_ENV).is_err() {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            assert_eq!(applier_lanes_from_env(), auto_applier_lanes(cores));
         }
     }
 }

@@ -127,6 +127,26 @@ impl AuthenticatedLayeredIndex {
 
     /// Indexes a newly chained block.
     pub fn update(&mut self, block: &Block) {
+        let rows: Vec<u32> = block
+            .transactions
+            .iter()
+            .enumerate()
+            .filter(|(_, tx)| match &self.table {
+                Some(t) => tx.tname.eq_ignore_ascii_case(t),
+                None => true,
+            })
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.update_rows(block, &rows);
+    }
+
+    /// Per-relation maintenance entry point: indexes a newly chained
+    /// block from a pre-partitioned tuple set (see
+    /// [`crate::LayeredIndex::update_rows`]). `rows` are the ascending
+    /// positions of the block's transactions belonging to this index's
+    /// relation; the caller guarantees they are exactly the covered
+    /// positions, making this equivalent to [`Self::update`].
+    pub fn update_rows(&mut self, block: &Block, rows: &[u32]) {
         let bid = block.header.height as usize;
         if self.trees.len() <= bid {
             self.trees.resize_with(bid + 1, || None);
@@ -135,12 +155,10 @@ impl AuthenticatedLayeredIndex {
             }
         }
         let mut auth_entries: Vec<AuthEntry> = Vec::new();
-        for (i, tx) in block.transactions.iter().enumerate() {
-            if let Some(t) = &self.table {
-                if !tx.tname.eq_ignore_ascii_case(t) {
-                    continue;
-                }
-            }
+        for &i in rows {
+            let Some(tx) = block.transactions.get(i as usize) else {
+                continue;
+            };
             let Some(v) = tx.get(self.column) else {
                 continue;
             };
@@ -152,7 +170,7 @@ impl AuthenticatedLayeredIndex {
                 tx_hash: tx.hash(),
                 ptr: TxPtr {
                     block: bid as BlockId,
-                    index: i as u32,
+                    index: i,
                 },
             });
         }

@@ -126,6 +126,25 @@ impl LayeredIndex {
     /// Indexes a newly chained block: appends a first-level entry and
     /// bulk-loads the block's second-level tree.
     pub fn update(&mut self, block: &Block) {
+        let rows: Vec<u32> = block
+            .transactions
+            .iter()
+            .enumerate()
+            .filter(|(_, tx)| self.covers(tx))
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.update_rows(block, &rows);
+    }
+
+    /// Per-relation maintenance entry point: indexes a newly chained
+    /// block from a pre-partitioned tuple set. `rows` are the positions
+    /// (ascending) of the block's transactions that belong to this
+    /// index's relation — the relation-sharded applier partitions each
+    /// sealed block by `Tname` once and hands every lane exactly its
+    /// rows, so per-table indexes skip the full-block `covers` scan.
+    /// Equivalent to [`Self::update`] when `rows` holds exactly the
+    /// covered positions, which the caller guarantees.
+    pub fn update_rows(&mut self, block: &Block, rows: &[u32]) {
         let bid = block.header.height as usize;
         if self.second.len() <= bid {
             self.second.resize_with(bid + 1, || None);
@@ -135,10 +154,10 @@ impl LayeredIndex {
         }
 
         let mut keyed: Vec<(Value, TxPtr)> = Vec::new();
-        for (i, tx) in block.transactions.iter().enumerate() {
-            if !self.covers(tx) {
+        for &i in rows {
+            let Some(tx) = block.transactions.get(i as usize) else {
                 continue;
-            }
+            };
             let Some(v) = tx.get(self.column) else {
                 continue;
             };
@@ -149,7 +168,7 @@ impl LayeredIndex {
                 v,
                 TxPtr {
                     block: bid as BlockId,
-                    index: i as u32,
+                    index: i,
                 },
             ));
         }

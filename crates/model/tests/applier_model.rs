@@ -1,0 +1,376 @@
+//! Model of the relation-sharded applier lanes
+//! (crates/core/src/pipeline.rs + ledger.rs): a persister stage fans
+//! each persisted block out to every lane over per-lane depth-1
+//! channels; each lane indexes its shards and advances its slot of the
+//! applied-height vector; the scalar applied height readers observe is
+//! the minimum over the vector, advanced under the height-watch lock.
+//!
+//! Invariants under test:
+//! - **Per-lane order**: every lane sees blocks in exactly sealed chain
+//!   order (its channel order), never skipping or reordering.
+//! - **Applied-height-vector monotonicity**: the scalar applied height
+//!   never exceeds any lane's height (applied = min over lanes), never
+//!   exceeds the persisted height, and never moves backwards.
+//! - **Lane-panic poison**: a lane that dies mid-block poisons health
+//!   and wakes waiters — modelled with no-timeout waits so a lost
+//!   wakeup is a hard deadlock.
+//! - **Crash-at-lane-boundary recovery**: restart replays every lane
+//!   from the persisted chain and the applied height catches up.
+//!
+//! Seeded negative models (a reordering persister; a stale height
+//! vector that advances on max instead of min) prove the checker
+//! actually catches the violations.
+
+use sebdb_model::{channel, check, explore, sync, thread, Options};
+use std::sync::Arc;
+
+const LANES: usize = 2;
+const BLOCKS: u64 = 2;
+
+/// The model ledger: the persisted height, the per-lane applied-height
+/// vector, the scalar (min) applied height, and the poison flag — all
+/// behind one lock standing in for `height_watch`, with a condvar for
+/// height waiters.
+#[derive(Hash)]
+struct State {
+    persisted: u64,
+    lane_heights: [u64; LANES],
+    applied: u64,
+    poisoned: bool,
+}
+
+struct Ledger {
+    state: sync::Mutex<State>,
+    advanced: sync::Condvar,
+}
+
+impl Ledger {
+    fn new() -> Arc<Ledger> {
+        Arc::new(Ledger {
+            state: sync::Mutex::new(State {
+                persisted: 0,
+                lane_heights: [0; LANES],
+                applied: 0,
+                poisoned: false,
+            }),
+            advanced: sync::Condvar::new(),
+        })
+    }
+
+    fn check_invariant(s: &State) {
+        let min = *s.lane_heights.iter().min().unwrap();
+        assert!(
+            s.applied <= min,
+            "applied height ran ahead of a lane: applied={} lanes={:?}",
+            s.applied,
+            s.lane_heights
+        );
+        for (lane, &h) in s.lane_heights.iter().enumerate() {
+            assert!(
+                h <= s.persisted,
+                "lane {lane} indexed unpersisted height {h} (persisted={})",
+                s.persisted
+            );
+        }
+    }
+
+    /// `Ledger::lane_applied`: store the lane's height, advance the
+    /// scalar applied height to the vector min (or max, for the seeded
+    /// stale-vector bug), notify waiters. One critical section, as in
+    /// the real code.
+    fn lane_applied(&self, lane: usize, height: u64, stale_max_bug: bool) {
+        let mut s = self.state.lock();
+        s.lane_heights[lane] = height;
+        let next = if stale_max_bug {
+            *s.lane_heights.iter().max().unwrap()
+        } else {
+            *s.lane_heights.iter().min().unwrap()
+        };
+        assert!(
+            next >= s.applied,
+            "applied height moved backwards: {} -> {next}",
+            s.applied
+        );
+        s.applied = next;
+        Ledger::check_invariant(&s);
+        drop(s);
+        self.advanced.notify_all();
+    }
+}
+
+/// Persister stage: records each block persisted, then fans it out to
+/// every lane in sealed order (reversed for the seeded reorder bug —
+/// everything is persisted up front there so only the ordering
+/// violation can fire). Stops when any lane is gone (poison / crash
+/// model).
+fn run_persister(ledger: &Ledger, lanes: &[channel::Sender<u64>], reorder: bool) {
+    let heights: Vec<u64> = if reorder {
+        ledger.state.lock().persisted = BLOCKS;
+        (1..=BLOCKS).rev().collect()
+    } else {
+        (1..=BLOCKS).collect()
+    };
+    for &h in &heights {
+        if !reorder {
+            ledger.state.lock().persisted = h;
+        }
+        for tx in lanes {
+            if tx.send(h).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// One applier lane: asserts blocks arrive in exactly chain order,
+/// then advances its applied-height slot.
+fn run_lane(ledger: &Ledger, lane: usize, rx: &channel::Receiver<u64>, stale_max_bug: bool) {
+    let mut last = 0u64;
+    while let Ok(h) = rx.recv() {
+        assert_eq!(
+            h,
+            last + 1,
+            "lane {lane} received height {h} after {last}: per-lane order broken"
+        );
+        last = h;
+        ledger.lane_applied(lane, h, stale_max_bug);
+    }
+}
+
+fn main_model(ledger: Arc<Ledger>, reorder: bool, stale_max_bug: bool) {
+    let mut txs = Vec::new();
+    let mut lanes = Vec::new();
+    for lane in 0..LANES {
+        let (tx, rx) = channel::bounded::<u64>(1);
+        txs.push(tx);
+        let ledger = Arc::clone(&ledger);
+        lanes.push(thread::spawn(move || {
+            run_lane(&ledger, lane, &rx, stale_max_bug)
+        }));
+    }
+    let persister = {
+        let ledger = Arc::clone(&ledger);
+        thread::spawn(move || run_persister(&ledger, &txs, reorder))
+    };
+    // Cross-relation reader: waits on the min applied height and checks
+    // the vector invariant at every wakeup the scheduler fires.
+    let waiter = {
+        let ledger = Arc::clone(&ledger);
+        thread::spawn(move || {
+            let mut guard = ledger.state.lock();
+            let mut prev = guard.applied;
+            while guard.applied < BLOCKS {
+                Ledger::check_invariant(&guard);
+                assert!(guard.applied >= prev, "applied height went backwards");
+                prev = guard.applied;
+                ledger
+                    .advanced
+                    .wait_timeout(&mut guard, std::time::Duration::from_millis(50));
+            }
+            Ledger::check_invariant(&guard);
+        })
+    };
+    persister.join();
+    for lane in lanes {
+        lane.join();
+    }
+    waiter.join();
+    let s = ledger.state.lock();
+    assert_eq!(s.applied, BLOCKS);
+    assert_eq!(s.lane_heights, [BLOCKS; LANES]);
+    Ledger::check_invariant(&s);
+}
+
+#[test]
+fn lane_order_and_height_vector_hold_on_every_schedule() {
+    let report = check(
+        "applier-lanes-invariant",
+        Options {
+            max_schedules: 20_000,
+            max_depth: 40,
+            prune: false,
+        },
+        || main_model(Ledger::new(), false, false),
+    );
+    assert!(
+        report.schedules >= 500,
+        "expected >= 500 schedules, explored {}",
+        report.schedules
+    );
+    assert!(
+        report.distinct_traces >= 500,
+        "expected >= 500 distinct traces, saw {}",
+        report.distinct_traces
+    );
+}
+
+#[test]
+fn reordered_lane_delivery_is_caught() {
+    let report = explore(
+        Options {
+            max_schedules: 20_000,
+            max_depth: 40,
+            prune: false,
+        },
+        || main_model(Ledger::new(), true, false),
+    );
+    let failure = report
+        .failure
+        .expect("the reordered-lane bug must be caught");
+    assert!(
+        failure.message.contains("per-lane order broken"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn stale_height_vector_is_caught() {
+    let report = explore(
+        Options {
+            max_schedules: 20_000,
+            max_depth: 40,
+            prune: false,
+        },
+        || main_model(Ledger::new(), false, true),
+    );
+    let failure = report
+        .failure
+        .expect("the max-instead-of-min stale vector bug must be caught");
+    assert!(
+        failure
+            .message
+            .contains("applied height ran ahead of a lane"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+/// A lane "panics" mid-block (the PoisonOnPanic drop guard: poison the
+/// health flag, wake every waiter, tear the lane down). Waiters block
+/// *without* a timeout so a lost poison wakeup is a hard deadlock, and
+/// the applied height — the min over lanes — must never pass the dead
+/// lane even though the surviving lane keeps going.
+#[test]
+fn lane_panic_poison_wakes_waiters_and_pins_applied() {
+    check(
+        "applier-lane-poison",
+        Options {
+            max_schedules: 20_000,
+            max_depth: 40,
+            prune: false,
+        },
+        || {
+            let ledger = Ledger::new();
+            let mut txs = Vec::new();
+            // Lane 0 dies on block 1; lane 1 applies everything it gets.
+            let (tx0, rx0) = channel::bounded::<u64>(1);
+            let (tx1, rx1) = channel::bounded::<u64>(1);
+            txs.push(tx0);
+            txs.push(tx1);
+            let lane0 = {
+                let ledger = Arc::clone(&ledger);
+                thread::spawn(move || {
+                    if rx0.recv().is_ok() {
+                        // Panic mid-block: drop guard poisons and wakes.
+                        ledger.state.lock().poisoned = true;
+                        ledger.advanced.notify_all();
+                    }
+                })
+            };
+            let lane1 = {
+                let ledger = Arc::clone(&ledger);
+                thread::spawn(move || run_lane(&ledger, 1, &rx1, false))
+            };
+            let persister = {
+                let ledger = Arc::clone(&ledger);
+                thread::spawn(move || run_persister(&ledger, &txs, false))
+            };
+            let waiter = {
+                let ledger = Arc::clone(&ledger);
+                thread::spawn(move || {
+                    let mut guard = ledger.state.lock();
+                    while guard.applied < BLOCKS && !guard.poisoned {
+                        Ledger::check_invariant(&guard);
+                        // No timeout: a lost poison wakeup deadlocks.
+                        ledger.advanced.wait(&mut guard);
+                    }
+                    guard.poisoned
+                })
+            };
+            persister.join();
+            lane0.join();
+            lane1.join();
+            let saw_poison = waiter.join();
+            assert!(saw_poison, "waiter exited without poison at h < BLOCKS");
+            let s = ledger.state.lock();
+            assert!(s.poisoned);
+            assert_eq!(s.lane_heights[0], 0, "dead lane never applied");
+            assert!(
+                s.applied == 0,
+                "applied (min over lanes) pinned by dead lane"
+            );
+            Ledger::check_invariant(&s);
+        },
+    );
+}
+
+/// Lanes crash at a block boundary with the vector uneven (one lane a
+/// block behind). Recovery (restart) replays every lane from the
+/// persisted chain — as `Ledger::new` re-indexes persisted blocks —
+/// and the applied height must equal the persisted height afterwards.
+#[test]
+fn crash_at_lane_boundary_recovers() {
+    check(
+        "applier-lane-crash-boundary",
+        Options {
+            max_schedules: 20_000,
+            max_depth: 40,
+            prune: false,
+        },
+        || {
+            let ledger = Ledger::new();
+            let mut txs = Vec::new();
+            let (tx0, rx0) = channel::bounded::<u64>(1);
+            let (tx1, rx1) = channel::bounded::<u64>(1);
+            txs.push(tx0);
+            txs.push(tx1);
+            // Lane 0 completes only block 1, then crashes; lane 1 runs.
+            let lane0 = {
+                let ledger = Arc::clone(&ledger);
+                thread::spawn(move || {
+                    if let Ok(h) = rx0.recv() {
+                        ledger.lane_applied(0, h, false);
+                    }
+                })
+            };
+            let lane1 = {
+                let ledger = Arc::clone(&ledger);
+                thread::spawn(move || run_lane(&ledger, 1, &rx1, false))
+            };
+            let persister = {
+                let ledger = Arc::clone(&ledger);
+                thread::spawn(move || run_persister(&ledger, &txs, false))
+            };
+            persister.join();
+            lane0.join();
+            lane1.join();
+            // Restart path: every persisted block is re-indexed into
+            // every lane's shards; the vector and scalar catch up.
+            {
+                let mut s = ledger.state.lock();
+                Ledger::check_invariant(&s);
+                let persisted = s.persisted;
+                for h in s.lane_heights.iter_mut() {
+                    *h = persisted;
+                }
+                s.applied = persisted;
+                Ledger::check_invariant(&s);
+            }
+            ledger.advanced.notify_all();
+            let s = ledger.state.lock();
+            assert_eq!(s.applied, s.persisted, "recovery must catch applied up");
+            assert_eq!(s.lane_heights, [s.persisted; LANES]);
+        },
+    );
+}

@@ -339,9 +339,9 @@ impl BlockStore {
         // MANIFEST_REC-byte records, so every fixed-width field slice
         // below converts infallibly.
         fn field<const N: usize>(rec: &[u8], at: usize) -> [u8; N] {
-            rec[at..at + N]
-                .try_into()
-                .expect("fixed-width manifest field")
+            let mut out = [0u8; N];
+            out.copy_from_slice(&rec[at..at + N]);
+            out
         }
         for (i, rec) in buf.chunks_exact(MANIFEST_REC).enumerate() {
             let bid = u64::from_le_bytes(field(rec, 0));
@@ -768,11 +768,16 @@ impl CachedStore {
         }
         // invariant: every requested pointer position was grouped above
         // and read_group returns one tuple per member, so every slot is
-        // filled once the groups land.
-        Ok(out
-            .into_iter()
-            .map(|t| t.expect("every pointer resolved"))
-            .collect())
+        // filled once the groups land; an unfilled slot means a grouped
+        // read silently dropped a member, which is corruption, not a
+        // panic.
+        out.into_iter()
+            .map(|t| {
+                t.ok_or_else(|| {
+                    StorageError::Corrupt("grouped read left a pointer unresolved".into())
+                })
+            })
+            .collect()
     }
 
     /// Fetches one block's worth of grouped pointers. In tx-cache and
