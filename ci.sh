@@ -37,6 +37,13 @@ SEBDB_THREADS=1 cargo test -q
 echo "==> SEBDB_THREADS=4 cargo test -q -p sebdb --test pipeline_equivalence"
 SEBDB_THREADS=4 cargo test -q -p sebdb --test pipeline_equivalence
 
+# Partitioned-storage equivalence at 4 applier lanes: the relation-
+# sharded disk layout under a fanned-out persist stage must stay
+# byte-identical and query-equivalent to the partitions=1 lanes=1
+# sequential reference.
+echo "==> SEBDB_APPLIER_LANES=4 cargo test -q -p sebdb --test pipeline_equivalence"
+SEBDB_APPLIER_LANES=4 cargo test -q -p sebdb --test pipeline_equivalence
+
 # Third pass with the parking_lot shim's lock-order cycle detector
 # compiled in: any lock-acquisition-order inversion anywhere in the
 # suite panics with both witness stacks.
@@ -50,7 +57,7 @@ echo "==> SEBDB_BENCH_SMOKE=1 cargo bench -p sebdb-bench --bench read_path"
 SEBDB_BENCH_SMOKE=1 cargo bench -q -p sebdb-bench --bench read_path >/dev/null
 smoke=target/BENCH_readpath_smoke.json
 for key in '"bench": "read_path"' '"cpus":' '"granularity"' '"cache_mode"' \
-           '"threads"' '"mean_ns_per_read"' '"speedup_vs_1thread"'; do
+           '"partitions"' '"threads"' '"mean_ns_per_read"' '"speedup_vs_1thread"'; do
   grep -q "$key" "$smoke" || { echo "ci: $smoke missing $key"; exit 1; }
 done
 
@@ -60,7 +67,7 @@ echo "==> SEBDB_BENCH_SMOKE=1 cargo bench -p sebdb-bench --bench pipeline_throug
 SEBDB_BENCH_SMOKE=1 cargo bench -q -p sebdb-bench --bench pipeline_throughput >/dev/null
 smoke=target/BENCH_writepath_smoke.json
 for key in '"bench": "write_path"' '"cpus":' '"lanes"' '"depth"' '"relations"' \
-           '"batch_txs"' '"mean_ns_per_block"' '"speedup_vs_lane1"'; do
+           '"partitions"' '"batch_txs"' '"mean_ns_per_block"' '"speedup_vs_lane1"'; do
   grep -q "$key" "$smoke" || { echo "ci: $smoke missing $key"; exit 1; }
 done
 

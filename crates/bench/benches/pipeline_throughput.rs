@@ -39,6 +39,7 @@ struct Sweep {
     lanes: &'static [usize],
     depths: &'static [usize],
     relations: &'static [usize],
+    partitions: &'static [usize],
     blocks: u64,
     batch: usize,
     iters: u32,
@@ -54,6 +55,7 @@ fn sweep() -> Sweep {
             lanes: &[1, 2],
             depths: &[1, 2],
             relations: &[2],
+            partitions: &[1, 8],
             blocks: 6,
             batch: 16,
             iters: 1,
@@ -63,6 +65,7 @@ fn sweep() -> Sweep {
             lanes: &[1, 2, 4],
             depths: &[1, 4],
             relations: &[1, 8],
+            partitions: &[1, 8],
             blocks: 24,
             batch: 64,
             iters: 3,
@@ -117,14 +120,31 @@ fn make_blocks(blocks: u64, batch: usize, relations: usize) -> Vec<OrderedBlock>
 /// (sealer-side work) and a pre-built layered index per relation
 /// (index-stage work), feeding an [`ApplyPipeline`] of the given depth
 /// and lane count; returns once all blocks are persisted AND indexed.
-fn run_once(depth: usize, lanes: usize, relations: usize, blocks: &[OrderedBlock]) {
-    let ledger = Arc::new(
-        Ledger::new(
-            Arc::new(BlockStore::in_memory()),
-            MacKeypair::from_key([0xBE; 32]),
-        )
-        .unwrap(),
-    );
+fn run_once(
+    depth: usize,
+    lanes: usize,
+    relations: usize,
+    partitions: usize,
+    blocks: &[OrderedBlock],
+) {
+    // Disk-backed store: the persist stage fans each block's extents
+    // out across the relation partitions, which is the cost the
+    // partitions axis sweeps.
+    let dir = std::env::temp_dir().join(format!(
+        "sebdb-bench-writepath-{}-d{depth}-l{lanes}-r{relations}-p{partitions}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = BlockStore::open(
+        &dir,
+        sebdb_storage::StoreConfig {
+            sync_writes: false,
+            partitions,
+            ..sebdb_storage::StoreConfig::default()
+        },
+    )
+    .expect("open bench store");
+    let ledger = Arc::new(Ledger::new(Arc::new(store), MacKeypair::from_key([0xBE; 32])).unwrap());
     ledger.set_tx_verifier(Some(Box::new(|tx: &Transaction| {
         // Placeholder sigs carry no tag; charge the real HMAC cost and
         // accept, so the sealer stage does representative work.
@@ -162,6 +182,8 @@ fn run_once(depth: usize, lanes: usize, relations: usize, blocks: &[OrderedBlock
     stopped.store(true, Ordering::Relaxed);
     drop(tx);
     pipe.join();
+    drop(ledger);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Mean ns per block over `iters` runs after one warm-up call.
@@ -178,6 +200,7 @@ struct Row {
     lanes: usize,
     depth: usize,
     relations: usize,
+    partitions: usize,
     ns: u64,
 }
 
@@ -194,26 +217,30 @@ fn pipeline_throughput(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(200));
-    for &relations in s.relations {
-        for &depth in s.depths {
-            let blocks = make_blocks(s.blocks, s.batch, relations);
-            for &lanes in s.lanes {
-                if !smoke() {
-                    let id = format!("lanes{lanes}/depth{depth}/rel{relations}");
-                    group.bench_function(BenchmarkId::new("apply", &id), |b| {
-                        b.iter(|| run_once(depth, lanes, relations, &blocks))
+    for &partitions in s.partitions {
+        for &relations in s.relations {
+            for &depth in s.depths {
+                let blocks = make_blocks(s.blocks, s.batch, relations);
+                for &lanes in s.lanes {
+                    if !smoke() {
+                        let id =
+                            format!("lanes{lanes}/depth{depth}/rel{relations}/parts{partitions}");
+                        group.bench_function(BenchmarkId::new("apply", &id), |b| {
+                            b.iter(|| run_once(depth, lanes, relations, partitions, &blocks))
+                        });
+                    }
+                    rows.push(Row {
+                        lanes,
+                        depth,
+                        relations,
+                        partitions,
+                        ns: measure(
+                            || run_once(depth, lanes, relations, partitions, &blocks),
+                            s.iters,
+                            s.blocks,
+                        ),
                     });
                 }
-                rows.push(Row {
-                    lanes,
-                    depth,
-                    relations,
-                    ns: measure(
-                        || run_once(depth, lanes, relations, &blocks),
-                        s.iters,
-                        s.blocks,
-                    ),
-                });
             }
         }
     }
@@ -224,21 +251,27 @@ fn pipeline_throughput(c: &mut Criterion) {
 }
 
 fn write_json(rows: &[Row], batch: usize, cpus: usize) {
-    let baseline = |depth: usize, relations: usize| {
+    let baseline = |depth: usize, relations: usize, partitions: usize| {
         rows.iter()
-            .find(|r| r.lanes == 1 && r.depth == depth && r.relations == relations)
+            .find(|r| {
+                r.lanes == 1
+                    && r.depth == depth
+                    && r.relations == relations
+                    && r.partitions == partitions
+            })
             .map(|r| r.ns)
             .unwrap_or(1)
     };
     let mut entries = String::new();
     for r in rows {
         let blocks_per_s = 1e9 / r.ns.max(1) as f64;
-        let speedup = baseline(r.depth, r.relations) as f64 / r.ns.max(1) as f64;
+        let speedup = baseline(r.depth, r.relations, r.partitions) as f64 / r.ns.max(1) as f64;
         entries.push_str(&format!(
-            "    {{\"lanes\": {}, \"depth\": {}, \"relations\": {}, \"batch_txs\": {batch}, \
+            "    {{\"lanes\": {}, \"depth\": {}, \"relations\": {}, \"partitions\": {}, \
+             \"batch_txs\": {batch}, \
              \"mean_ns_per_block\": {}, \"blocks_per_s\": {blocks_per_s:.1}, \
              \"speedup_vs_lane1\": {speedup:.3}}},\n",
-            r.lanes, r.depth, r.relations, r.ns
+            r.lanes, r.depth, r.relations, r.partitions, r.ns
         ));
     }
     entries.pop();
@@ -250,7 +283,10 @@ fn write_json(rows: &[Row], batch: usize, cpus: usize) {
          shards the index stage by relation across M applier threads. The \
          overlap needs >=2 cores to pay off: on a 1-cpu host all stages and \
          lanes time-slice one core and ~1.0x (or slightly below, channel and \
-         fan-out overhead) is the honest expectation\",\n  \
+         fan-out overhead) is the honest expectation. The persist stage \
+         writes a disk-backed store; partitions=1 is the single-sequence \
+         layout, partitions=8 fans each block's extents across the relation \
+         partitions\",\n  \
          \"results\": [\n{entries}\n  ]\n}}\n"
     );
     let path = if smoke() {

@@ -26,7 +26,13 @@ use std::time::{Duration, Instant};
 
 const THREAD_CAPS: [usize; 2] = [1, 4];
 const MODES: [&str; 3] = ["none", "block", "tx"];
-const GRANULARITIES: [&str; 2] = ["tuple", "block"];
+const GRANULARITIES: [&str; 3] = ["tuple", "block", "relation"];
+/// Relation partition counts: 1 is the single-sequence layout, 8 the
+/// full partitioned layout (relation scans skip unrelated partitions).
+const PARTITIONS: [usize; 2] = [1, 8];
+/// The chain round-robins tuples over these relations, so the
+/// "relation" granularity scans a strict subset of each block.
+const TABLES: [&str; 3] = ["donate", "account", "project"];
 
 struct Sweep {
     nblocks: u64,
@@ -57,7 +63,7 @@ fn sweep() -> Sweep {
     }
 }
 
-fn build_chain(dir: &PathBuf, nblocks: u64, ntx: usize) -> Arc<BlockStore> {
+fn build_chain(dir: &PathBuf, nblocks: u64, ntx: usize, partitions: usize) -> Arc<BlockStore> {
     let _ = std::fs::remove_dir_all(dir);
     let store = BlockStore::open(
         dir,
@@ -66,6 +72,7 @@ fn build_chain(dir: &PathBuf, nblocks: u64, ntx: usize) -> Arc<BlockStore> {
             // thread sweep hits the sharded handle cache.
             segment_size: 64 * 1024,
             sync_writes: false,
+            partitions,
         },
     )
     .expect("open bench store");
@@ -75,7 +82,7 @@ fn build_chain(dir: &PathBuf, nblocks: u64, ntx: usize) -> Arc<BlockStore> {
                 let mut t = Transaction::new(
                     1_000 + h,
                     KeyId([0xA1; 8]),
-                    "donate",
+                    TABLES[i % TABLES.len()],
                     vec![
                         Value::str(format!("donor-{h}-{i}")),
                         Value::str("education"),
@@ -130,6 +137,28 @@ fn run_tuples(store: &Arc<BlockStore>, mode: &str, ptrs: &[TxPtr]) {
     assert_eq!(txs.len(), ptrs.len());
 }
 
+/// One relation-granularity run: a single-relation scan of the whole
+/// chain — on the partitioned layout this fetches only the table's
+/// partition extents instead of whole blocks.
+fn run_relation(store: &Arc<BlockStore>, mode: &str, nblocks: u64) {
+    let cached = CachedStore::new(Arc::clone(store), mode_of(mode));
+    let bids: Vec<u64> = (0..nblocks).collect();
+    let runs: Vec<&[u64]> = bids
+        .chunks(sebdb_storage::readahead_blocks().max(1))
+        .collect();
+    let fetched = sebdb_parallel::par_map(&runs, 1, |run| cached.read_relation_txs(run, TABLES[0]));
+    let mut rows = 0usize;
+    for batches in fetched {
+        for txs in batches.expect("relation read") {
+            rows += txs
+                .iter()
+                .filter(|(_, t)| t.tname.eq_ignore_ascii_case(TABLES[0]))
+                .count();
+        }
+    }
+    assert!(rows > 0);
+}
+
 /// One block-granularity run: a sequential scan of the whole chain via
 /// the readahead span path.
 fn run_blocks(store: &Arc<BlockStore>, mode: &str, nblocks: u64) {
@@ -158,62 +187,74 @@ fn measure(mut f: impl FnMut(), iters: u32, reads_per_run: u64) -> u64 {
 
 fn read_path(c: &mut Criterion) {
     let sw = sweep();
-    let dir = std::env::temp_dir().join(format!("sebdb-bench-readpath-{}", std::process::id()));
-    let store = build_chain(&dir, sw.nblocks, sw.ntx);
     let ptrs = pointers(sw.nblocks, sw.ntx, sw.npointers);
 
-    // (granularity, mode, threads, mean ns per read)
-    let mut rows: Vec<(&str, &str, usize, u64)> = Vec::new();
+    // (partitions, granularity, mode, threads, mean ns per read)
+    let mut rows: Vec<(usize, &str, &str, usize, u64)> = Vec::new();
 
     let mut group = c.benchmark_group("read_path");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(200));
-    for threads in THREAD_CAPS {
-        sebdb_parallel::set_max_threads(threads);
-        for mode in MODES {
-            for gran in GRANULARITIES {
-                let id = format!("{gran}/{mode}/threads{threads}");
-                let reads = match gran {
-                    "tuple" => sw.npointers as u64,
-                    _ => sw.nblocks,
-                };
-                let run = || match gran {
-                    "tuple" => run_tuples(&store, mode, &ptrs),
-                    _ => run_blocks(&store, mode, sw.nblocks),
-                };
-                if !smoke() {
-                    group.bench_function(BenchmarkId::new("read", &id), |b| b.iter(run));
+    for partitions in PARTITIONS {
+        let dir = std::env::temp_dir().join(format!(
+            "sebdb-bench-readpath-p{partitions}-{}",
+            std::process::id()
+        ));
+        let store = build_chain(&dir, sw.nblocks, sw.ntx, partitions);
+        for threads in THREAD_CAPS {
+            sebdb_parallel::set_max_threads(threads);
+            for mode in MODES {
+                for gran in GRANULARITIES {
+                    let id = format!("{gran}/{mode}/threads{threads}/parts{partitions}");
+                    let reads = match gran {
+                        "tuple" => sw.npointers as u64,
+                        _ => sw.nblocks,
+                    };
+                    let run = || match gran {
+                        "tuple" => run_tuples(&store, mode, &ptrs),
+                        "relation" => run_relation(&store, mode, sw.nblocks),
+                        _ => run_blocks(&store, mode, sw.nblocks),
+                    };
+                    if !smoke() {
+                        group.bench_function(BenchmarkId::new("read", &id), |b| b.iter(run));
+                    }
+                    rows.push((
+                        partitions,
+                        gran,
+                        mode,
+                        threads,
+                        measure(run, sw.iters, reads),
+                    ));
                 }
-                rows.push((gran, mode, threads, measure(run, sw.iters, reads)));
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
     }
     group.finish();
     sebdb_parallel::set_max_threads(1);
 
     write_json(&rows);
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
-fn write_json(rows: &[(&str, &str, usize, u64)]) {
+fn write_json(rows: &[(usize, &str, &str, usize, u64)]) {
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let baseline = |gran: &str, mode: &str| {
+    let baseline = |parts: usize, gran: &str, mode: &str| {
         rows.iter()
-            .find(|(g, m, t, _)| *g == gran && *m == mode && *t == 1)
-            .map(|(_, _, _, ns)| *ns)
+            .find(|(p, g, m, t, _)| *p == parts && *g == gran && *m == mode && *t == 1)
+            .map(|(_, _, _, _, ns)| *ns)
             .unwrap_or(1)
     };
     let mut entries = String::new();
-    for (gran, mode, threads, ns) in rows {
+    for (parts, gran, mode, threads, ns) in rows {
         let reads_per_s = 1e9 / (*ns).max(1) as f64;
-        let speedup = baseline(gran, mode) as f64 / (*ns).max(1) as f64;
+        let speedup = baseline(*parts, gran, mode) as f64 / (*ns).max(1) as f64;
         entries.push_str(&format!(
             "    {{\"granularity\": \"{gran}\", \"cache_mode\": \"{mode}\", \
-             \"threads\": {threads}, \"mean_ns_per_read\": {ns}, \
+             \"partitions\": {parts}, \"threads\": {threads}, \"mean_ns_per_read\": {ns}, \
              \"reads_per_s\": {reads_per_s:.1}, \"speedup_vs_1thread\": {speedup:.3}}},\n"
         ));
     }
@@ -225,7 +266,10 @@ fn write_json(rows: &[(&str, &str, usize, u64)]) {
          multi-segment disk chain. Positioned reads through the sharded \
          handle cache only overlap if the host has cores to run them: the \
          >=1.5x 4-thread target needs a multi-core host; on a 1-cpu host \
-         ~1.0x is the honest expectation (threads time-slice one core)\",\n  \
+         ~1.0x is the honest expectation (threads time-slice one core). \
+         partitions=1 is the single-sequence layout; partitions=8 shards \
+         extents by relation, so relation-granularity scans skip unrelated \
+         partitions bytes\",\n  \
          \"results\": [\n{entries}\n  ]\n}}\n"
     );
     let path = if smoke() {

@@ -140,10 +140,24 @@ impl Default for TendermintConfig {
 
 /// The modeled CheckTx admission overhead (the only wall-clock pause
 /// in this engine): the serial path pays it once per transaction, the
-/// batched path once per drained batch.
+/// batched path once per drained batch. The pause is a timed wait on a
+/// never-notified condvar — a pure deadline, not a poll; waiters park
+/// in parallel (the mutex is released while parked), and spurious
+/// wakeups loop until the deadline passes.
 fn checktx_pause(cost: Duration) {
-    if !cost.is_zero() {
-        std::thread::sleep(cost);
+    if cost.is_zero() {
+        return;
+    }
+    static PAUSE: std::sync::OnceLock<(Mutex<()>, parking_lot::Condvar)> =
+        std::sync::OnceLock::new();
+    let (lock, cv) = PAUSE.get_or_init(|| (Mutex::new(()), parking_lot::Condvar::new()));
+    let deadline = std::time::Instant::now() + cost;
+    let mut guard = lock.lock();
+    loop {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() || cv.wait_for(&mut guard, remaining).timed_out() {
+            return;
+        }
     }
 }
 

@@ -102,8 +102,11 @@ impl Executor<'_> {
                 };
                 // Each candidate block scans independently; per-block
                 // row batches concatenate in block order, so the
-                // output matches the sequential scan row for row.
-                let chunks = self.scan_blocks(&blocks, |tx| {
+                // output matches the sequential scan row for row. The
+                // scan is partition-granular: only the table's relation
+                // partition is fetched, and the table-name filter below
+                // drops any co-located relations sharing its extent.
+                let chunks = self.scan_relation(&blocks, &schema.name, |tx| {
                     if !tx.tname.eq_ignore_ascii_case(&schema.name) {
                         return Ok(None);
                     }
@@ -144,6 +147,35 @@ impl Executor<'_> {
             let mut rows = Vec::new();
             for block in fetched {
                 for tx in &block.transactions {
+                    if let Some(row) = per_tx(tx)? {
+                        rows.push(row);
+                    }
+                }
+            }
+            Ok(rows)
+        })
+    }
+
+    /// Single-relation variant of [`Self::scan_blocks`]: fetches only
+    /// `table`'s relation partition per candidate block (canonical
+    /// order preserved), so the scan's `bytes_read` excludes unrelated
+    /// relations' extents. `per_tx` still sees any co-located
+    /// relations sharing the partition and must filter by table name.
+    pub(super) fn scan_relation(
+        &self,
+        blocks: &Bitmap,
+        table: &str,
+        per_tx: impl Fn(&sebdb_types::Transaction) -> Result<Option<Vec<Value>>, ExecError> + Sync,
+    ) -> Vec<Result<Vec<Vec<Value>>, ExecError>> {
+        let bids: Vec<u64> = blocks.iter_ones().map(|b| b as u64).collect();
+        let runs: Vec<&[u64]> = bids
+            .chunks(sebdb_storage::readahead_blocks().max(1))
+            .collect();
+        sebdb_parallel::par_map(&runs, 1, |run| {
+            let fetched = self.ledger.read_relation_txs(run, table)?;
+            let mut rows = Vec::new();
+            for txs in fetched {
+                for (_, tx) in &txs {
                     if let Some(row) = per_tx(tx)? {
                         rows.push(row);
                     }

@@ -63,12 +63,18 @@ pub type IndexKey = (Option<String>, String);
 /// *L*-lane pipeline owns every shard with `shard % L == k`.
 pub const INDEX_SHARDS: usize = 8;
 
+// The index shard count and the storage layer's relation partition
+// count must stay in lockstep — `shard_of` below is the partition
+// mapping.
+const _: () = assert!(INDEX_SHARDS == sebdb_storage::RELATION_PARTITIONS);
+
 /// The shard a (lowercased) table name's index families live in.
+/// Delegates to the storage layer's relation partition mapping
+/// ([`sebdb_storage::partition_of`]) so a relation's tuples (partition
+/// extents) and its index families always land in the same numbered
+/// slice of the system.
 pub fn shard_of(table: &str) -> usize {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    table.hash(&mut h);
-    (h.finish() as usize) % INDEX_SHARDS
+    sebdb_storage::partition_of(table)
 }
 
 /// The shard an index key lives in: per-table keys hash their table,
@@ -306,6 +312,21 @@ impl Ledger {
     /// [`Self::read_tx`] per pointer.
     pub fn read_txs_grouped(&self, ptrs: &[TxPtr]) -> Result<Vec<Arc<Transaction>>, LedgerError> {
         Ok(self.cached.read().read_txs_grouped(ptrs)?)
+    }
+
+    /// Reads, for each block in `bids`, only the tuples stored in
+    /// `table`'s relation partition, as `(canonical index, tx)` pairs
+    /// in block order. Single-relation scans use this instead of
+    /// [`Self::read_blocks_span`] so they stop paying for unrelated
+    /// relations' bytes (the partitioned layout's whole point); callers
+    /// still filter by table name since co-located relations share a
+    /// partition.
+    pub fn read_relation_txs(
+        &self,
+        bids: &[BlockId],
+        table: &str,
+    ) -> Result<Vec<Vec<(u32, Transaction)>>, LedgerError> {
+        Ok(self.cached.read().read_relation_txs(bids, table)?)
     }
 
     /// Seals an ordered batch into the next block without appending it

@@ -130,7 +130,10 @@ impl SebdbNode {
     /// the staged write pipeline (depth from `SEBDB_PIPELINE_DEPTH`,
     /// default 2: sealing block N overlaps indexing block N−1; lane
     /// count from `SEBDB_APPLIER_LANES`, auto-tuned to the core
-    /// count).
+    /// count). On a disk-backed store the persist stage additionally
+    /// fans each block's tuples across the store's per-relation
+    /// partition segments (`StoreConfig::partitions`), committed by a
+    /// single chain-order manifest record.
     pub fn start(
         store: Arc<BlockStore>,
         consensus: Arc<dyn Consensus>,

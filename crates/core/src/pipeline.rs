@@ -19,7 +19,13 @@
 //! ```
 //!
 //! The persister partitions each block's tuples by relation once and
-//! fans the block out to every lane. Lane *k* of *L* maintains the
+//! fans the block out to every lane. On a disk-backed store the append
+//! itself fans out too: the block's tuples are routed to per-relation
+//! partition segment sequences (`sebdb-storage`'s partitioned layout,
+//! same `shard_of` mapping as the lanes) written in parallel, with the
+//! chain-order manifest record as the single commit point — so the
+//! persist stage's disk bandwidth scales with the relations touched,
+//! not just the lane count. Lane *k* of *L* maintains the
 //! per-table index families of every shard with `shard % L == k`; lane
 //! 0 additionally owns the chain-level structures (block-level
 //! B⁺-tree, table bitmaps, and the system tracking indexes, whose

@@ -7,7 +7,7 @@
 //! is synchronous and deterministic.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BinaryHeap;
@@ -79,6 +79,9 @@ impl<M> Ord for Pending<M> {
 struct Shared<M> {
     mailboxes: Mutex<Vec<Sender<Envelope<M>>>>,
     queue: Mutex<BinaryHeap<Pending<M>>>,
+    /// Wakes the pump when a packet is queued or the net shuts down,
+    /// so the delivery loop parks on deadlines instead of polling.
+    wakeup: Condvar,
     rng: Mutex<StdRng>,
     config: NetConfig,
     seq: AtomicU64,
@@ -99,6 +102,7 @@ impl<M: Send + 'static> SimNet<M> {
         let shared = Arc::new(Shared {
             mailboxes: Mutex::new(Vec::new()),
             queue: Mutex::new(BinaryHeap::new()),
+            wakeup: Condvar::new(),
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
             config,
             seq: AtomicU64::new(0),
@@ -154,6 +158,7 @@ impl<M: Send + 'static> SimNet<M> {
                 to,
                 env,
             });
+            self.shared.wakeup.notify_one();
         }
     }
 
@@ -181,6 +186,7 @@ impl<M: Send + Clone + 'static> SimNet<M> {
 impl<M> Drop for SimNet<M> {
     fn drop(&mut self) {
         self.shared.stopped.store(true, Ordering::Relaxed);
+        self.shared.wakeup.notify_all();
         if let Some(h) = self.pump.lock().take() {
             let _ = h.join();
         }
@@ -209,13 +215,29 @@ fn pump_loop<M: Send + 'static>(shared: Arc<Shared<M>>) {
                 let _ = tx.send(env);
             }
         }
-        let sleep = match next_due {
-            Some(t) => t
-                .saturating_duration_since(Instant::now())
-                .min(Duration::from_millis(1)),
-            None => Duration::from_micros(200),
+        // Park until the earliest pending delivery is due, or until a
+        // send/shutdown notifies the condvar — a new packet may become
+        // the earliest, and Drop must not wait out a full deadline.
+        let wait = match next_due {
+            Some(t) => t.saturating_duration_since(Instant::now()),
+            None => Duration::from_millis(50),
         };
-        std::thread::sleep(sleep);
+        if wait.is_zero() {
+            continue;
+        }
+        let mut q = shared.queue.lock();
+        if shared.stopped.load(Ordering::Relaxed) {
+            break;
+        }
+        // Re-check under the lock: a packet queued between the drain
+        // above and this reacquisition must cut the wait short.
+        let wait = match q.peek() {
+            Some(p) => p.due.saturating_duration_since(Instant::now()),
+            None => wait,
+        };
+        if !wait.is_zero() {
+            let _ = shared.wakeup.wait_for(&mut q, wait);
+        }
     }
 }
 

@@ -1,16 +1,31 @@
-//! The block store: append-only persistence for the chain.
+//! The block store: append-only, relation-partitioned persistence for
+//! the chain.
 //!
 //! Blocks are the *only* copy of on-chain data (§I: "the system only
-//! maintains one copy of the data"). The store appends serialized
-//! blocks to [`segment`](crate::segment) files, records their
-//! [`Location`]s in an append-only manifest for restart, and serves
-//! random reads by block id. A memory backend backs unit tests and
-//! pure-CPU benchmarks.
+//! maintains one copy of the data"), but the copy is laid out by
+//! relation: every transaction is routed to one of a fixed number of
+//! relation partitions (the same hash mapping the ledger uses for its
+//! index shards), and each partition appends tuple *extents* to its own
+//! [`segment`](crate::segment) sequence with its own tuple offset
+//! table. A separate *chain partition* appends one small record per
+//! block (header ‖ tuple routes), and an append-only **chain-order
+//! manifest** records, per block, the (partition, segment, offset)
+//! extents needed to reassemble canonical block order. The manifest
+//! record is the commit point: restart replay keeps the longest valid
+//! manifest prefix, truncates every partition to match, and
+//! reconstructs or truncates torn offset tables.
+//!
+//! Single-relation scans read only their partition's extents — they
+//! stop paying for unrelated relations' bytes (the per-relation access
+//! paths of the paper's Eq. 3 cost model). A memory backend backs unit
+//! tests and pure-CPU benchmarks.
 
 use crate::cache::{BlockCache, TxCache};
-use crate::segment::{Location, Result, SegmentSet, SegmentWriter, StorageError};
+use crate::segment::{
+    segment_path, Location, ReadGauges, Result, SegmentSet, SegmentWriter, StorageError,
+};
 use parking_lot::{Mutex, RwLock};
-use sebdb_types::{Block, BlockId, Codec, Transaction};
+use sebdb_types::{Block, BlockHeader, BlockId, Codec, Decoder, Encoder, Transaction};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -52,6 +67,67 @@ pub fn set_readahead_blocks(n: usize) {
     READAHEAD.store(n.max(1), Ordering::Relaxed);
 }
 
+/// Number of fixed relation partitions — the same constant as the
+/// ledger's `INDEX_SHARDS`, so a relation's tuples and its index
+/// families live in the same numbered slice of the system.
+pub const RELATION_PARTITIONS: usize = 8;
+
+/// Sentinel partition id naming the chain partition (the per-block
+/// header ‖ routes records) in [`WriteStep::PartitionWrite`].
+pub const CHAIN_PARTITION: usize = RELATION_PARTITIONS;
+
+/// Environment knob selecting the partition count for newly created
+/// disk stores (clamped to `1..=`[`RELATION_PARTITIONS`]; existing
+/// stores keep the count recorded in their manifest header).
+pub const STORE_PARTITIONS_ENV: &str = "SEBDB_STORE_PARTITIONS";
+
+fn default_partitions() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var(STORE_PARTITIONS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.clamp(1, RELATION_PARTITIONS))
+            .unwrap_or(RELATION_PARTITIONS)
+    })
+}
+
+/// The fixed relation partition a (lowercased) table name hashes to.
+/// This is the single source of truth for relation → slice mapping:
+/// the ledger's `shard_of` delegates here, so tuples and their index
+/// families always agree.
+pub fn partition_of(table: &str) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    table.hash(&mut h);
+    (h.finish() as usize) % RELATION_PARTITIONS
+}
+
+/// The partition a transaction's table routes to in a store with
+/// `partitions` partitions (fixed hash folded down, so `partitions = 1`
+/// degenerates to the single-sequence reference layout).
+fn route_of(table: &str, partitions: usize) -> u8 {
+    (partition_of(&table.to_ascii_lowercase()) % partitions.max(1)) as u8
+}
+
+/// The write-order boundaries of one block append, in the order the
+/// store crosses them. Fault-injection tests use these to tear an
+/// append at every boundary and prove restart replay heals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStep {
+    /// About to append block data to partition `p`
+    /// ([`CHAIN_PARTITION`] = the chain record).
+    PartitionWrite(usize),
+    /// About to append partition `p`'s tuple offsets record.
+    OffsetsWrite(usize),
+    /// About to append the chain-order manifest record — the commit
+    /// point.
+    ManifestWrite,
+}
+
+/// Fault hook signature: return `true` to fail the append at `step`.
+pub type WriteFaultFn = dyn Fn(WriteStep) -> bool + Send + Sync;
+
 /// Points at one transaction inside one block — what the second-level
 /// index leaves store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,6 +152,11 @@ pub struct StoreConfig {
     pub segment_size: u64,
     /// Fsync every appended block (off for benchmarks).
     pub sync_writes: bool,
+    /// Relation partition count for newly created stores (clamped to
+    /// `1..=`[`RELATION_PARTITIONS`]). 1 = the sequential reference
+    /// layout (every relation shares one partition). Reopening an
+    /// existing store keeps the count in its manifest header.
+    pub partitions: usize,
 }
 
 impl Default for StoreConfig {
@@ -83,6 +164,7 @@ impl Default for StoreConfig {
         StoreConfig {
             segment_size: 256 * 1024 * 1024,
             sync_writes: false,
+            partitions: default_partitions(),
         }
     }
 }
@@ -99,8 +181,9 @@ pub struct IoStats {
     pub txs_read: AtomicU64,
     /// Payload bytes actually fetched from the backend. A tuple-granular
     /// read charges only the tuple's bytes (plus coalescing gaps inside
-    /// one span); a block read charges the whole block — this is the
-    /// counter that makes the Eq. 3 tuple-vs-block comparison honest.
+    /// one span); a block read charges the whole block; a relation scan
+    /// charges only its partition's extents — this is the counter that
+    /// makes the Eq. 3 tuple-vs-block comparison honest.
     pub bytes_read: AtomicU64,
 }
 
@@ -128,25 +211,57 @@ impl IoStats {
     }
 }
 
-/// One block's transaction offset table: `table[i]` is the
-/// `(offset, len)` byte range of transaction `i` within the block's
-/// encoding, shared between the store and in-flight readers.
-type TxTable = Arc<Vec<(u32, u32)>>;
+/// Where one transaction's bytes live: partition `part`'s extent for
+/// its block, at `off..off + len` within that extent.
+#[derive(Debug, Clone, Copy)]
+struct TxLoc {
+    part: u8,
+    off: u32,
+    len: u32,
+}
+
+/// One block's tuple locations in canonical (block body) order, shared
+/// between the store and in-flight readers.
+type TxLocs = Arc<Vec<TxLoc>>;
+
+/// One offsets-record entry: (canonical index, extent offset, length).
+type OffsetRec = (u32, u32, u32);
+
+/// One partition's replayed offset tables: `(bid, entries)` for each
+/// block that touches the partition, in chain order.
+type OffsetsTable = Vec<(u64, Vec<OffsetRec>)>;
+
+/// One block's extents as the manifest records them.
+#[derive(Debug, Clone)]
+struct BlockEntry {
+    /// The chain record (header ‖ routes) in the chain partition.
+    chain: Location,
+    /// `(partition, extent)` for every partition the block touches,
+    /// ascending by partition id.
+    parts: Vec<(u8, Location)>,
+}
+
+/// One relation partition's on-disk state.
+struct Partition {
+    writer: Mutex<SegmentWriter>,
+    reader: SegmentSet,
+    offsets: Mutex<BufWriter<File>>,
+}
 
 // One Backend exists per store, so the Disk/Memory size gap is
 // irrelevant — boxing the disk state would only add a pointer chase.
 #[allow(clippy::large_enum_variant)]
 enum Backend {
     Disk {
-        writer: Mutex<SegmentWriter>,
-        reader: SegmentSet,
+        chain_writer: Mutex<SegmentWriter>,
+        chain_reader: SegmentSet,
+        parts: Vec<Partition>,
         manifest: Mutex<BufWriter<File>>,
-        locations: RwLock<Vec<Location>>,
-        /// Per-block transaction offset tables (mirrors the on-disk
-        /// [`TXTAB`] file), serving tuple-granular positioned reads
-        /// (Eq. 3).
-        txtab: Mutex<BufWriter<File>>,
-        tx_tables: RwLock<Vec<TxTable>>,
+        entries: RwLock<Vec<BlockEntry>>,
+        tx_locs: RwLock<Vec<TxLocs>>,
+        /// Shared open/in-flight instrumentation across the chain and
+        /// every partition reader.
+        gauges: Arc<ReadGauges>,
     },
     /// Blocks kept as *encoded bytes* so every read pays the realistic
     /// decode cost (an in-memory store handing out `Arc<Block>` clones
@@ -161,14 +276,18 @@ struct MemBlock {
     /// tuple-granular random reads (the layered index's
     /// `p · (t_S + t_T)` cost, Eq. 3).
     tx_ranges: Arc<Vec<(u32, u32)>>,
+    /// Each transaction's relation partition, mirroring the disk
+    /// layout's routing so relation scans are partition-granular on
+    /// both backends.
+    routes: Arc<Vec<u8>>,
 }
 
 /// Encodes a block once, recording each transaction's byte range within
-/// the encoding (header ‖ u32 count ‖ transactions) as it goes — the
-/// append path derives both the stored bytes and the offset table from
-/// a single encoding pass.
+/// the canonical encoding (header ‖ u32 count ‖ transactions) as it
+/// goes — the memory backend derives both the stored bytes and the
+/// offset table from a single encoding pass.
 fn encode_with_ranges(block: &Block) -> (Vec<u8>, Vec<(u32, u32)>) {
-    let mut enc = sebdb_types::Encoder::new();
+    let mut enc = Encoder::new();
     block.header.encode(&mut enc);
     enc.put_u32(block.transactions.len() as u32);
     let mut ranges = Vec::with_capacity(block.transactions.len());
@@ -180,30 +299,91 @@ fn encode_with_ranges(block: &Block) -> (Vec<u8>, Vec<(u32, u32)>) {
     (enc.finish(), ranges)
 }
 
-/// Computes each transaction's byte range within a block's encoding
-/// (reconstruction path for chains written before the offset table
-/// existed).
-fn tx_ranges_of(block: &Block) -> Vec<(u32, u32)> {
-    encode_with_ranges(block).1
+/// A block encoded for the partitioned layout: one chain record, one
+/// tuple extent per touched partition, the per-partition offsets
+/// records, and the canonical tuple location table — all from a single
+/// encoding pass.
+struct EncodedBlock {
+    chain: Vec<u8>,
+    extents: Vec<Vec<u8>>,
+    offsets: Vec<Vec<OffsetRec>>,
+    locs: Vec<TxLoc>,
+}
+
+fn encode_partitioned(block: &Block, partitions: usize) -> EncodedBlock {
+    let mut chain = Encoder::new();
+    block.header.encode(&mut chain);
+    chain.put_u32(block.transactions.len() as u32);
+    let mut extents: Vec<Encoder> = (0..partitions).map(|_| Encoder::new()).collect();
+    let mut offsets: Vec<Vec<OffsetRec>> = vec![Vec::new(); partitions];
+    let mut locs = Vec::with_capacity(block.transactions.len());
+    for (canon, tx) in block.transactions.iter().enumerate() {
+        let part = route_of(&tx.tname, partitions);
+        chain.put_u8(part);
+        let enc = &mut extents[part as usize];
+        let start = enc.len() as u32;
+        tx.encode(enc);
+        let len = enc.len() as u32 - start;
+        offsets[part as usize].push((canon as u32, start, len));
+        locs.push(TxLoc {
+            part,
+            off: start,
+            len,
+        });
+    }
+    EncodedBlock {
+        chain: chain.finish(),
+        extents: extents.into_iter().map(Encoder::finish).collect(),
+        offsets,
+        locs,
+    }
 }
 
 /// The append-only block store.
 pub struct BlockStore {
     backend: Backend,
     config: StoreConfig,
+    /// Resolved partition count (the manifest header's on reopen).
+    partitions: usize,
+    write_fault: RwLock<Option<Box<WriteFaultFn>>>,
     /// I/O counters.
     pub stats: IoStats,
 }
 
-const MANIFEST: &str = "manifest.idx";
-/// One manifest record: bid(8) seg(4) off(8) len(4).
-const MANIFEST_REC: usize = 24;
-/// The on-disk transaction offset table, appended alongside the
-/// manifest: one variable-length record per block,
-/// `bid(8) ‖ count(4) ‖ count × (off(4) ‖ len(4))`. Missing or torn
-/// records (old-format chains, crashes) are reconstructed on open by
-/// re-reading the affected blocks.
-const TXTAB: &str = "txoffsets.idx";
+/// The chain-order manifest — the commit point of every append.
+const BLOCK_MANIFEST: &str = "blockmanifest.idx";
+/// Manifest magic, versioned with the record format.
+const MANIFEST_MAGIC: &[u8; 8] = b"SEBDBMF1";
+/// Manifest header: magic(8) ‖ partitions(2) ‖ reserved(6).
+const MANIFEST_HEADER: usize = 16;
+/// Fixed prefix of one manifest record:
+/// bid(8) ‖ chain seg(4) off(8) len(4) ‖ nparts(2); followed by
+/// nparts × [part(2) seg(4) off(8) len(4)].
+const MANIFEST_REC_FIXED: usize = 26;
+const MANIFEST_REC_PART: usize = 18;
+/// Per-partition tuple offset table: one variable-length record per
+/// block touching the partition,
+/// `bid(8) ‖ count(4) ‖ count × (canon(4) ‖ off(4) ‖ len(4))`.
+/// Written after the partition extent, before the manifest record;
+/// missing or torn records are reconstructed on open from the chain
+/// record's routes and the extent bytes.
+const OFFSETS: &str = "txoffsets.idx";
+/// The pre-partitioning single-sequence manifest (root of the store
+/// dir); its presence triggers the one-shot migration.
+const V1_MANIFEST: &str = "manifest.idx";
+/// One v1 manifest record: bid(8) seg(4) off(8) len(4).
+const V1_MANIFEST_REC: usize = 24;
+/// The v1 root-level offset table (same file name the partitions use,
+/// but at the store root rather than inside `part-*/`).
+const V1_TXTAB: &str = "txoffsets.idx";
+
+fn chain_dir(dir: &Path) -> PathBuf {
+    dir.join("chain")
+}
+
+fn part_dir(dir: &Path, p: usize) -> PathBuf {
+    dir.join(format!("part-{p}"))
+}
 
 /// Copies the first `N` bytes of `slice` into an array. Callers pass
 /// slices cut to exactly `N` bytes by the replay bounds checks.
@@ -213,100 +393,446 @@ fn fixed<const N: usize>(slice: &[u8]) -> [u8; N] {
     out
 }
 
-/// Serializes one [`TXTAB`] record.
-fn txtab_record(bid: u64, ranges: &[(u32, u32)]) -> Vec<u8> {
-    let mut rec = Vec::with_capacity(12 + ranges.len() * 8);
+/// Serializes one per-partition [`OFFSETS`] record.
+fn offsets_record(bid: u64, entries: &[OffsetRec]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(12 + entries.len() * 12);
     rec.extend_from_slice(&bid.to_le_bytes());
-    rec.extend_from_slice(&(ranges.len() as u32).to_le_bytes());
-    for &(off, len) in ranges {
+    rec.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for &(canon, off, len) in entries {
+        rec.extend_from_slice(&canon.to_le_bytes());
         rec.extend_from_slice(&off.to_le_bytes());
         rec.extend_from_slice(&len.to_le_bytes());
     }
     rec
 }
 
+/// Serializes one chain-order manifest record.
+fn manifest_record(bid: u64, chain: Location, parts: &[(u8, Location)]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(MANIFEST_REC_FIXED + parts.len() * MANIFEST_REC_PART);
+    rec.extend_from_slice(&bid.to_le_bytes());
+    rec.extend_from_slice(&chain.segment.to_le_bytes());
+    rec.extend_from_slice(&chain.offset.to_le_bytes());
+    rec.extend_from_slice(&chain.len.to_le_bytes());
+    rec.extend_from_slice(&(parts.len() as u16).to_le_bytes());
+    for (p, loc) in parts {
+        rec.extend_from_slice(&(*p as u16).to_le_bytes());
+        rec.extend_from_slice(&loc.segment.to_le_bytes());
+        rec.extend_from_slice(&loc.offset.to_le_bytes());
+        rec.extend_from_slice(&loc.len.to_le_bytes());
+    }
+    rec
+}
+
+/// Decodes one chain record into its header and per-tuple routes.
+fn decode_chain_record(bytes: &[u8], bid: u64) -> Result<(BlockHeader, Vec<u8>)> {
+    let corrupt =
+        |e: &dyn std::fmt::Display| StorageError::Corrupt(format!("block {bid} chain record: {e}"));
+    let mut dec = Decoder::new(bytes);
+    let header = BlockHeader::decode(&mut dec).map_err(|e| corrupt(&e))?;
+    let ntx = dec
+        .get_u32("chain record tuple count")
+        .map_err(|e| corrupt(&e))? as usize;
+    let routes = dec
+        .get_raw(ntx, "chain record routes")
+        .map_err(|e| corrupt(&e))?
+        .to_vec();
+    if !dec.is_exhausted() {
+        return Err(StorageError::Corrupt(format!(
+            "block {bid} chain record has trailing bytes"
+        )));
+    }
+    Ok((header, routes))
+}
+
 impl BlockStore {
     /// Opens (or creates) a disk-backed store in `dir`, replaying the
-    /// manifest to restore block locations and the transaction offset
-    /// table (reconstructing any missing tail — chains written before
-    /// the table existed, or a record torn by a crash).
+    /// chain-order manifest (longest valid prefix wins), truncating
+    /// every partition to the manifest's view, and reconstructing any
+    /// missing or torn per-partition offset tables. A store in the
+    /// pre-partitioning single-sequence format is migrated in place
+    /// first (one shot, restart-safe: the old manifest is only removed
+    /// once the partitioned layout is fully written).
     pub fn open(dir: &Path, config: StoreConfig) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let locations = Self::replay_manifest(&dir.join(MANIFEST))?;
-        let resume = locations
-            .last()
-            .map(|l| (l.segment, l.offset + l.len as u64));
-        let writer = SegmentWriter::open(dir, config.segment_size, resume)?;
-        let manifest_file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(dir.join(MANIFEST))?;
-        // Drop any torn trailing manifest record.
-        manifest_file.set_len((locations.len() * MANIFEST_REC) as u64)?;
-        let reader = SegmentSet::new(dir);
-        let (tx_tables, txtab_file) = Self::replay_txtab(&dir.join(TXTAB), &locations, &reader)?;
-        Ok(BlockStore {
-            backend: Backend::Disk {
-                writer: Mutex::new(writer),
-                reader,
-                manifest: Mutex::new(BufWriter::new(manifest_file)),
-                locations: RwLock::new(locations),
-                txtab: Mutex::new(BufWriter::new(txtab_file)),
-                tx_tables: RwLock::new(tx_tables),
+        if dir.join(V1_MANIFEST).exists() {
+            Self::migrate_v1(dir, &config)?;
+        }
+        Self::open_v2(dir, config)
+    }
+
+    /// Creates a memory-backed store (tests, pure-CPU benchmarks).
+    /// Blocks are held encoded; reads decode, so access-path costs stay
+    /// realistic.
+    pub fn in_memory() -> Self {
+        Self::in_memory_with(StoreConfig::default())
+    }
+
+    /// Memory-backed store with explicit configuration (the partition
+    /// count steers relation routing).
+    pub fn in_memory_with(config: StoreConfig) -> Self {
+        let partitions = config.partitions.clamp(1, RELATION_PARTITIONS);
+        BlockStore {
+            backend: Backend::Memory {
+                blocks: RwLock::new(Vec::new()),
             },
             config,
+            partitions,
+            write_fault: RwLock::new(None),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Migrates a single-sequence (v1) store to the partitioned layout:
+    /// reads every block through the old manifest, appends it through
+    /// the new path, then removes the old root-level files. Idempotent:
+    /// an interrupted migration leaves the v1 manifest in place, and
+    /// the next open wipes the partial v2 state and starts over.
+    fn migrate_v1(dir: &Path, config: &StoreConfig) -> Result<()> {
+        let _ = std::fs::remove_file(dir.join(BLOCK_MANIFEST));
+        let _ = std::fs::remove_dir_all(chain_dir(dir));
+        for p in 0..RELATION_PARTITIONS {
+            let _ = std::fs::remove_dir_all(part_dir(dir, p));
+        }
+        let locations = Self::replay_v1_manifest(&dir.join(V1_MANIFEST))?;
+        let v1 = SegmentSet::new(dir);
+        let store = Self::open_v2(dir, config.clone())?;
+        for (bid, loc) in locations.iter().enumerate() {
+            let bytes = v1.read(*loc)?;
+            let block = Block::from_bytes(&bytes)
+                .map_err(|e| StorageError::Corrupt(format!("migrating block {bid}: {e}")))?;
+            store.append(&block)?;
+        }
+        drop(store);
+        std::fs::remove_file(dir.join(V1_MANIFEST))?;
+        let _ = std::fs::remove_file(dir.join(V1_TXTAB));
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().starts_with("seg-") && entry.path().is_file() {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn replay_v1_manifest(path: &PathBuf) -> Result<Vec<Location>> {
+        let mut locations = Vec::new();
+        let Ok(mut f) = File::open(path) else {
+            return Ok(locations);
+        };
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        for (i, rec) in buf.chunks_exact(V1_MANIFEST_REC).enumerate() {
+            let bid = u64::from_le_bytes(fixed::<8>(&rec[0..8]));
+            if bid != i as u64 {
+                return Err(StorageError::Corrupt(format!(
+                    "v1 manifest record {i} has bid {bid}"
+                )));
+            }
+            locations.push(Location {
+                segment: u32::from_le_bytes(fixed::<4>(&rec[8..12])),
+                offset: u64::from_le_bytes(fixed::<8>(&rec[12..20])),
+                len: u32::from_le_bytes(fixed::<4>(&rec[20..24])),
+            });
+        }
+        Ok(locations)
+    }
+
+    fn open_v2(dir: &Path, config: StoreConfig) -> Result<Self> {
+        let manifest_path = dir.join(BLOCK_MANIFEST);
+        let mut buf = Vec::new();
+        if let Ok(mut f) = File::open(&manifest_path) {
+            f.read_to_end(&mut buf)?;
+        }
+        // A complete header pins the partition count; a torn or missing
+        // one means no block ever committed, so the store is rebuilt
+        // fresh with the configured count.
+        let (partitions, fresh) = if buf.len() >= MANIFEST_HEADER {
+            if &buf[0..8] != MANIFEST_MAGIC {
+                return Err(StorageError::Corrupt("block manifest has bad magic".into()));
+            }
+            let p = u16::from_le_bytes(fixed::<2>(&buf[8..10])) as usize;
+            if !(1..=RELATION_PARTITIONS).contains(&p) {
+                return Err(StorageError::Corrupt(format!(
+                    "block manifest names {p} partitions"
+                )));
+            }
+            (p, false)
+        } else {
+            (config.partitions.clamp(1, RELATION_PARTITIONS), true)
+        };
+        let (mut entries, ends) = if fresh {
+            (Vec::new(), Vec::new())
+        } else {
+            Self::replay_manifest(&buf, partitions)
+        };
+        // A manifest record written before its partition data reached
+        // the segment files (reordered writes) is torn state too: cut
+        // the manifest at the first record whose extents exceed the
+        // physical file lengths.
+        let keep = Self::validate_extents(dir, &entries);
+        entries.truncate(keep);
+        let valid_bytes = if fresh {
+            0
+        } else if keep == 0 {
+            MANIFEST_HEADER as u64
+        } else {
+            ends[keep - 1]
+        };
+        std::fs::create_dir_all(chain_dir(dir))?;
+        for p in 0..partitions {
+            std::fs::create_dir_all(part_dir(dir, p))?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&manifest_path)?;
+        file.set_len(valid_bytes)?;
+        let mut manifest = BufWriter::new(file);
+        if fresh {
+            let mut header = [0u8; MANIFEST_HEADER];
+            header[0..8].copy_from_slice(MANIFEST_MAGIC);
+            header[8..10].copy_from_slice(&(partitions as u16).to_le_bytes());
+            manifest.write_all(&header)?;
+            manifest.flush()?;
+        }
+        let gauges = ReadGauges::new();
+        let chain_reader = SegmentSet::with_gauges(&chain_dir(dir), Arc::clone(&gauges));
+        let chain_resume = entries
+            .last()
+            .map(|e| (e.chain.segment, e.chain.offset + e.chain.len as u64));
+        let chain_writer = SegmentWriter::open(&chain_dir(dir), config.segment_size, chain_resume)?;
+        let mut parts = Vec::with_capacity(partitions);
+        let mut tables: Vec<OffsetsTable> = Vec::with_capacity(partitions);
+        for p in 0..partitions {
+            let pd = part_dir(dir, p);
+            let reader = SegmentSet::with_gauges(&pd, Arc::clone(&gauges));
+            let resume = entries.iter().rev().find_map(|e| {
+                e.parts
+                    .iter()
+                    .find(|(q, _)| *q as usize == p)
+                    .map(|(_, l)| (l.segment, l.offset + l.len as u64))
+            });
+            let writer = SegmentWriter::open(&pd, config.segment_size, resume)?;
+            let expected: Vec<(u64, u32)> = entries
+                .iter()
+                .enumerate()
+                .filter_map(|(bid, e)| {
+                    e.parts
+                        .iter()
+                        .find(|(q, _)| *q as usize == p)
+                        .map(|(_, l)| (bid as u64, l.len))
+                })
+                .collect();
+            let (table, offsets_file) = Self::replay_offsets(
+                &pd.join(OFFSETS),
+                &expected,
+                &entries,
+                &chain_reader,
+                &reader,
+                p,
+            )?;
+            parts.push(Partition {
+                writer: Mutex::new(writer),
+                reader,
+                offsets: Mutex::new(BufWriter::new(offsets_file)),
+            });
+            tables.push(table);
+        }
+        let tx_locs = Self::assemble_tx_locs(&entries, &tables)?;
+        Ok(BlockStore {
+            backend: Backend::Disk {
+                chain_writer: Mutex::new(chain_writer),
+                chain_reader,
+                parts,
+                manifest: Mutex::new(manifest),
+                entries: RwLock::new(entries),
+                tx_locs: RwLock::new(tx_locs),
+                gauges,
+            },
+            config,
+            partitions,
+            write_fault: RwLock::new(None),
             stats: IoStats::default(),
         })
     }
 
-    /// Replays the [`TXTAB`] file against the manifest's `locations`,
-    /// keeping the longest valid prefix and reconstructing the rest by
-    /// reading the blocks themselves. Returns the in-memory tables and
-    /// the (truncated, caught-up) append handle.
-    fn replay_txtab(
-        path: &PathBuf,
-        locations: &[Location],
+    /// Parses the manifest body, keeping the longest valid prefix of
+    /// records. Returns the entries and each record's end offset within
+    /// the file (for truncation after a later validation cut).
+    fn replay_manifest(buf: &[u8], partitions: usize) -> (Vec<BlockEntry>, Vec<u64>) {
+        let mut entries: Vec<BlockEntry> = Vec::new();
+        let mut ends = Vec::new();
+        let mut at = MANIFEST_HEADER;
+        'records: while buf.len() >= at + MANIFEST_REC_FIXED {
+            let bid = u64::from_le_bytes(fixed::<8>(&buf[at..at + 8]));
+            if bid != entries.len() as u64 {
+                break;
+            }
+            let chain = Location {
+                segment: u32::from_le_bytes(fixed::<4>(&buf[at + 8..at + 12])),
+                offset: u64::from_le_bytes(fixed::<8>(&buf[at + 12..at + 20])),
+                len: u32::from_le_bytes(fixed::<4>(&buf[at + 20..at + 24])),
+            };
+            let nparts = u16::from_le_bytes(fixed::<2>(&buf[at + 24..at + 26])) as usize;
+            let body = MANIFEST_REC_FIXED + nparts * MANIFEST_REC_PART;
+            if chain.len == 0 || nparts > partitions || buf.len() < at + body {
+                break;
+            }
+            let mut parts = Vec::with_capacity(nparts);
+            let mut prev: i32 = -1;
+            for k in 0..nparts {
+                let q = at + MANIFEST_REC_FIXED + k * MANIFEST_REC_PART;
+                let part = u16::from_le_bytes(fixed::<2>(&buf[q..q + 2]));
+                let loc = Location {
+                    segment: u32::from_le_bytes(fixed::<4>(&buf[q + 2..q + 6])),
+                    offset: u64::from_le_bytes(fixed::<8>(&buf[q + 6..q + 14])),
+                    len: u32::from_le_bytes(fixed::<4>(&buf[q + 14..q + 18])),
+                };
+                if part as usize >= partitions || (part as i32) <= prev || loc.len == 0 {
+                    break 'records;
+                }
+                prev = part as i32;
+                parts.push((part as u8, loc));
+            }
+            at += body;
+            entries.push(BlockEntry { chain, parts });
+            ends.push(at as u64);
+        }
+        (entries, ends)
+    }
+
+    /// Checks each manifest entry's extents against the physical
+    /// segment file lengths, returning the length of the prefix whose
+    /// data actually reached disk (a manifest record racing ahead of
+    /// its partition writes is cut here).
+    fn validate_extents(dir: &Path, entries: &[BlockEntry]) -> usize {
+        use std::collections::HashMap;
+        let mut lens: HashMap<(usize, u32), u64> = HashMap::new();
+        fn file_len(
+            lens: &mut std::collections::HashMap<(usize, u32), u64>,
+            dir: &Path,
+            part: usize,
+            seg: u32,
+        ) -> u64 {
+            *lens.entry((part, seg)).or_insert_with(|| {
+                let d = if part == CHAIN_PARTITION {
+                    chain_dir(dir)
+                } else {
+                    part_dir(dir, part)
+                };
+                std::fs::metadata(segment_path(&d, seg))
+                    .map(|m| m.len())
+                    .unwrap_or(0)
+            })
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if e.chain.offset + e.chain.len as u64
+                > file_len(&mut lens, dir, CHAIN_PARTITION, e.chain.segment)
+            {
+                return i;
+            }
+            for (p, loc) in &e.parts {
+                if loc.offset + loc.len as u64 > file_len(&mut lens, dir, *p as usize, loc.segment)
+                {
+                    return i;
+                }
+            }
+        }
+        entries.len()
+    }
+
+    /// Replays one partition's [`OFFSETS`] file against the manifest's
+    /// expected `(bid, extent len)` sequence, keeping the longest valid
+    /// prefix and reconstructing the rest from the chain records'
+    /// routes and the extent bytes. Returns the tables and the
+    /// (truncated, caught-up) append handle.
+    fn replay_offsets(
+        path: &Path,
+        expected: &[(u64, u32)],
+        entries: &[BlockEntry],
+        chain_reader: &SegmentSet,
         reader: &SegmentSet,
-    ) -> Result<(Vec<TxTable>, File)> {
-        let mut tables: Vec<TxTable> = Vec::with_capacity(locations.len());
-        let mut valid_bytes: u64 = 0;
+        part: usize,
+    ) -> Result<(OffsetsTable, File)> {
+        let mut tables: OffsetsTable = Vec::with_capacity(expected.len());
+        let mut valid_bytes = 0u64;
         if let Ok(mut f) = File::open(path) {
             let mut buf = Vec::new();
             f.read_to_end(&mut buf)?;
             let mut at = 0usize;
-            while tables.len() < locations.len() && buf.len() - at >= 12 {
+            'records: while tables.len() < expected.len() && buf.len() - at >= 12 {
+                let (want_bid, want_len) = expected[tables.len()];
                 let bid = u64::from_le_bytes(fixed::<8>(&buf[at..at + 8]));
                 let count = u32::from_le_bytes(fixed::<4>(&buf[at + 8..at + 12])) as usize;
-                let body = 12 + count * 8;
-                if bid != tables.len() as u64 || buf.len() - at < body {
-                    break; // stale or torn record: reconstruct from here
+                let body = 12 + count * 12;
+                if bid != want_bid || count == 0 || buf.len() - at < body {
+                    break;
                 }
-                let mut ranges = Vec::with_capacity(count);
+                let mut rec = Vec::with_capacity(count);
+                let mut next_off = 0u32;
+                let mut prev_canon: i64 = -1;
                 for i in 0..count {
-                    let p = at + 12 + i * 8;
-                    ranges.push((
-                        u32::from_le_bytes(fixed::<4>(&buf[p..p + 4])),
-                        u32::from_le_bytes(fixed::<4>(&buf[p + 4..p + 8])),
-                    ));
+                    let q = at + 12 + i * 12;
+                    let canon = u32::from_le_bytes(fixed::<4>(&buf[q..q + 4]));
+                    let off = u32::from_le_bytes(fixed::<4>(&buf[q + 4..q + 8]));
+                    let len = u32::from_le_bytes(fixed::<4>(&buf[q + 8..q + 12]));
+                    if (canon as i64) <= prev_canon || off != next_off || len == 0 {
+                        break 'records;
+                    }
+                    prev_canon = canon as i64;
+                    next_off = off + len;
+                    rec.push((canon, off, len));
                 }
-                tables.push(Arc::new(ranges));
+                if next_off != want_len {
+                    break;
+                }
+                tables.push((bid, rec));
                 at += body;
                 valid_bytes = at as u64;
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         // Drop everything past the valid prefix (torn tail, or records
-        // beyond the manifest's view after a crash between the two
-        // appends), then reconstruct the missing entries.
+        // racing ahead of the manifest's view), then reconstruct the
+        // missing entries by sequentially decoding the extents.
         file.set_len(valid_bytes)?;
         let mut appender = BufWriter::new(file);
-        for (bid, loc) in locations.iter().enumerate().skip(tables.len()) {
-            let bytes = reader.read(*loc)?;
-            let block = Block::from_bytes(&bytes)
-                .map_err(|e| StorageError::Corrupt(format!("block {bid}: {e}")))?;
-            let ranges = tx_ranges_of(&block);
-            appender.write_all(&txtab_record(bid as u64, &ranges))?;
-            tables.push(Arc::new(ranges));
+        for &(bid, _) in expected.iter().skip(tables.len()) {
+            let entry = &entries[bid as usize];
+            let (_, routes) = decode_chain_record(&chain_reader.read(entry.chain)?, bid)?;
+            let ext_loc = entry
+                .parts
+                .iter()
+                .find(|(q, _)| *q as usize == part)
+                .map(|(_, l)| *l)
+                .ok_or_else(|| {
+                    StorageError::Corrupt(format!("block {bid} missing partition {part} extent"))
+                })?;
+            let extent = reader.read(ext_loc)?;
+            let mut dec = Decoder::new(&extent);
+            let mut rec = Vec::new();
+            for (canon, &route) in routes.iter().enumerate() {
+                if route as usize != part {
+                    continue;
+                }
+                let before = dec.remaining();
+                let off = (extent.len() - before) as u32;
+                Transaction::decode(&mut dec).map_err(|e| {
+                    StorageError::Corrupt(format!(
+                        "block {bid} partition {part} tuple {canon}: {e}"
+                    ))
+                })?;
+                rec.push((canon as u32, off, (before - dec.remaining()) as u32));
+            }
+            if !dec.is_exhausted() || rec.is_empty() {
+                return Err(StorageError::Corrupt(format!(
+                    "block {bid} partition {part} extent does not match its routes"
+                )));
+            }
+            appender.write_all(&offsets_record(bid, &rec))?;
+            tables.push((bid, rec));
         }
         appender.flush()?;
         let file = appender
@@ -315,60 +841,97 @@ impl BlockStore {
         Ok((tables, file))
     }
 
-    /// Creates a memory-backed store (tests, pure-CPU benchmarks).
-    /// Blocks are held encoded; reads decode, so access-path costs stay
-    /// realistic.
-    pub fn in_memory() -> Self {
-        BlockStore {
-            backend: Backend::Memory {
-                blocks: RwLock::new(Vec::new()),
-            },
-            config: StoreConfig::default(),
-            stats: IoStats::default(),
+    /// Merges the per-partition offset tables into one canonical-order
+    /// tuple location table per block, validating that each block's
+    /// canonical indexes form a permutation of `0..ntx`.
+    fn assemble_tx_locs(entries: &[BlockEntry], tables: &[OffsetsTable]) -> Result<Vec<TxLocs>> {
+        let mut per_block: Vec<Vec<(u32, TxLoc)>> =
+            (0..entries.len()).map(|_| Vec::new()).collect();
+        for (p, table) in tables.iter().enumerate() {
+            for (bid, rec) in table {
+                let slot = per_block.get_mut(*bid as usize).ok_or_else(|| {
+                    StorageError::Corrupt(format!("offsets for unknown block {bid}"))
+                })?;
+                for &(canon, off, len) in rec {
+                    slot.push((
+                        canon,
+                        TxLoc {
+                            part: p as u8,
+                            off,
+                            len,
+                        },
+                    ));
+                }
+            }
         }
+        let mut out = Vec::with_capacity(entries.len());
+        for (bid, items) in per_block.into_iter().enumerate() {
+            let n = items.len();
+            let mut slots: Vec<Option<TxLoc>> = vec![None; n];
+            for (canon, loc) in items {
+                match slots.get_mut(canon as usize) {
+                    Some(slot) if slot.is_none() => *slot = Some(loc),
+                    _ => {
+                        return Err(StorageError::Corrupt(format!(
+                            "block {bid}: tuple index {canon} out of range or duplicated"
+                        )))
+                    }
+                }
+            }
+            let locs = slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.ok_or_else(|| {
+                        StorageError::Corrupt(format!("block {bid}: tuple {i} has no location"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            out.push(Arc::new(locs));
+        }
+        Ok(out)
     }
 
-    fn replay_manifest(path: &PathBuf) -> Result<Vec<Location>> {
-        let mut locations = Vec::new();
-        let Ok(mut f) = File::open(path) else {
-            return Ok(locations);
-        };
-        let mut buf = Vec::new();
-        f.read_to_end(&mut buf)?;
-        // invariant: chunks_exact(MANIFEST_REC) yields exactly
-        // MANIFEST_REC-byte records, so every fixed-width field slice
-        // below converts infallibly.
-        fn field<const N: usize>(rec: &[u8], at: usize) -> [u8; N] {
-            let mut out = [0u8; N];
-            out.copy_from_slice(&rec[at..at + N]);
-            out
-        }
-        for (i, rec) in buf.chunks_exact(MANIFEST_REC).enumerate() {
-            let bid = u64::from_le_bytes(field(rec, 0));
-            if bid != i as u64 {
+    /// Resolved relation partition count (1 = single-sequence layout).
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Installs (or clears) the write fault hook — fault-injection
+    /// tests tear appends at chosen [`WriteStep`] boundaries.
+    pub fn set_write_fault(&self, hook: Option<Box<WriteFaultFn>>) {
+        *self.write_fault.write() = hook;
+    }
+
+    fn check_fault(&self, step: WriteStep) -> Result<()> {
+        if let Some(hook) = self.write_fault.read().as_ref() {
+            if hook(step) {
                 return Err(StorageError::Corrupt(format!(
-                    "manifest record {i} has bid {bid}"
+                    "injected write fault at {step:?}"
                 )));
             }
-            locations.push(Location {
-                segment: u32::from_le_bytes(field(rec, 8)),
-                offset: u64::from_le_bytes(field(rec, 12)),
-                len: u32::from_le_bytes(field(rec, 20)),
-            });
         }
-        Ok(locations)
+        Ok(())
     }
 
     /// Number of stored blocks (= chain height).
     pub fn height(&self) -> u64 {
         match &self.backend {
-            Backend::Disk { locations, .. } => locations.read().len() as u64,
+            Backend::Disk { entries, .. } => entries.read().len() as u64,
             Backend::Memory { blocks } => blocks.read().len() as u64,
         }
     }
 
     /// Appends a sealed block. The block's height must equal the current
     /// store height (blocks arrive strictly in order).
+    ///
+    /// On disk the chain record and every touched partition's extent
+    /// fan out across `sebdb-parallel` workers (each partition has its
+    /// own writer lock, so the bytes each file receives are identical
+    /// under any scheduling); the chain-order manifest record is the
+    /// commit point, written only after every partition write landed.
+    /// A failed append leaves torn partition state that restart replay
+    /// heals; the in-memory view is untouched.
     pub fn append(&self, block: &Block) -> Result<()> {
         let expect = self.height();
         if block.header.height != expect {
@@ -377,73 +940,104 @@ impl BlockStore {
                 block.header.height, expect
             )));
         }
-        self.stats.blocks_written.fetch_add(1, Ordering::Relaxed);
-        // One encoding pass yields both the stored bytes and the
-        // transaction offset table.
-        let (bytes, ranges) = encode_with_ranges(block);
         match &self.backend {
             Backend::Disk {
-                writer,
+                chain_writer,
+                parts,
                 manifest,
-                locations,
-                txtab,
-                tx_tables,
+                entries,
+                tx_locs,
                 ..
             } => {
-                let mut w = writer.lock();
-                let loc = w.append(&bytes)?;
-                if self.config.sync_writes {
-                    w.sync()?;
-                } else {
-                    w.flush()?;
+                let bid = block.header.height;
+                let enc = encode_partitioned(block, self.partitions);
+                let mut jobs: Vec<usize> = vec![CHAIN_PARTITION];
+                jobs.extend((0..self.partitions).filter(|&p| !enc.extents[p].is_empty()));
+                let written =
+                    sebdb_parallel::par_map(&jobs, 1, |&job| -> Result<(usize, Location)> {
+                        self.check_fault(WriteStep::PartitionWrite(job))?;
+                        if job == CHAIN_PARTITION {
+                            let mut w = chain_writer.lock();
+                            let loc = w.append(&enc.chain)?;
+                            if self.config.sync_writes {
+                                w.sync()?;
+                            } else {
+                                w.flush()?;
+                            }
+                            Ok((job, loc))
+                        } else {
+                            let part = &parts[job];
+                            let loc = {
+                                let mut w = part.writer.lock();
+                                let loc = w.append(&enc.extents[job])?;
+                                if self.config.sync_writes {
+                                    w.sync()?;
+                                } else {
+                                    w.flush()?;
+                                }
+                                loc
+                            };
+                            self.check_fault(WriteStep::OffsetsWrite(job))?;
+                            let mut o = part.offsets.lock();
+                            o.write_all(&offsets_record(bid, &enc.offsets[job]))?;
+                            o.flush()?;
+                            Ok((job, loc))
+                        }
+                    });
+                let mut chain_loc = None;
+                let mut part_locs: Vec<(u8, Location)> = Vec::with_capacity(jobs.len() - 1);
+                for r in written {
+                    let (job, loc) = r?;
+                    if job == CHAIN_PARTITION {
+                        chain_loc = Some(loc);
+                    } else {
+                        part_locs.push((job as u8, loc));
+                    }
                 }
-                drop(w);
-                let mut rec = [0u8; MANIFEST_REC];
-                rec[0..8].copy_from_slice(&block.header.height.to_le_bytes());
-                rec[8..12].copy_from_slice(&loc.segment.to_le_bytes());
-                rec[12..20].copy_from_slice(&loc.offset.to_le_bytes());
-                rec[20..24].copy_from_slice(&loc.len.to_le_bytes());
+                let chain_loc = chain_loc.ok_or_else(|| {
+                    StorageError::Corrupt("chain write missing from append fan-out".into())
+                })?;
+                part_locs.sort_by_key(|&(p, _)| p);
+                self.check_fault(WriteStep::ManifestWrite)?;
                 let mut m = manifest.lock();
-                m.write_all(&rec)?;
+                m.write_all(&manifest_record(bid, chain_loc, &part_locs))?;
                 m.flush()?;
-                locations.write().push(loc);
+                // The in-memory view commits with the manifest, under
+                // its lock, so entry order always matches record order.
+                entries.write().push(BlockEntry {
+                    chain: chain_loc,
+                    parts: part_locs,
+                });
+                tx_locs.write().push(Arc::new(enc.locs));
                 drop(m);
-                // The offset table trails the manifest; a crash between
-                // the two appends heals on open (reconstruction).
-                let mut t = txtab.lock();
-                t.write_all(&txtab_record(block.header.height, &ranges))?;
-                t.flush()?;
-                tx_tables.write().push(Arc::new(ranges));
             }
             Backend::Memory { blocks } => {
+                let (bytes, ranges) = encode_with_ranges(block);
+                let routes = block
+                    .transactions
+                    .iter()
+                    .map(|t| route_of(&t.tname, self.partitions))
+                    .collect();
                 blocks.write().push(MemBlock {
                     bytes: Arc::new(bytes),
                     tx_ranges: Arc::new(ranges),
+                    routes: Arc::new(routes),
                 });
             }
         }
+        self.stats.blocks_written.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Reads block `bid` from the backend (no caching here — see
-    /// [`CachedStore`]).
+    /// [`CachedStore`]): the chain record plus every touched
+    /// partition's extent, reassembled into canonical order.
     pub fn read(&self, bid: BlockId) -> Result<Arc<Block>> {
         self.stats.blocks_read.fetch_add(1, Ordering::Relaxed);
         match &self.backend {
-            Backend::Disk {
-                reader, locations, ..
-            } => {
-                let loc = *locations
-                    .read()
-                    .get(bid as usize)
-                    .ok_or(StorageError::NotFound(bid))?;
-                let bytes = reader.read(loc)?;
-                self.stats
-                    .bytes_read
-                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                let block = Block::from_bytes(&bytes)
-                    .map_err(|e| StorageError::Corrupt(format!("block {bid}: {e}")))?;
-                Ok(Arc::new(block))
+            Backend::Disk { .. } => {
+                let mut v = self.assemble_span(bid, 1)?;
+                v.pop().ok_or(StorageError::NotFound(bid))
             }
             Backend::Memory { blocks } => {
                 let bytes = blocks
@@ -462,40 +1056,35 @@ impl BlockStore {
     }
 
     /// Reads several consecutive blocks starting at `start`, coalescing
-    /// physically adjacent blocks (same segment, back-to-back offsets)
-    /// into single positioned reads — the readahead path of sequential
-    /// scans (Figs. 11–12). Counters match `count` individual reads:
-    /// one `blocks_read` per block; `bytes_read` is identical because
-    /// coalesced blocks are contiguous on disk.
+    /// physically adjacent records *within each partition* (consecutive
+    /// blocks' extents are back-to-back in a partition's segment) into
+    /// single positioned reads — the readahead path of sequential scans
+    /// (Figs. 11–12). Counters match `count` individual reads.
     pub fn read_span(&self, start: BlockId, count: usize) -> Result<Vec<Arc<Block>>> {
         if count == 0 {
             return Ok(Vec::new());
         }
-        let Backend::Disk {
-            reader, locations, ..
-        } = &self.backend
-        else {
-            return (start..start + count as u64)
+        match &self.backend {
+            Backend::Memory { .. } => (start..start + count as u64)
                 .map(|b| self.read(b))
-                .collect();
-        };
-        let locs: Vec<Location> = {
-            let guard = locations.read();
-            (start..start + count as u64)
-                .map(|b| {
-                    guard
-                        .get(b as usize)
-                        .copied()
-                        .ok_or(StorageError::NotFound(b))
-                })
-                .collect::<Result<_>>()?
-        };
-        let mut out = Vec::with_capacity(count);
+                .collect(),
+            Backend::Disk { .. } => {
+                self.stats
+                    .blocks_read
+                    .fetch_add(count as u64, Ordering::Relaxed);
+                self.assemble_span(start, count)
+            }
+        }
+    }
+
+    /// Fetches `locs` from `reader`, coalescing contiguity runs (same
+    /// segment, back-to-back offsets, combined span ≤ `u32::MAX`) into
+    /// single positioned reads. Returns one byte vector per location,
+    /// in input order; `bytes_read` is charged per span.
+    fn read_coalesced(&self, reader: &SegmentSet, locs: &[Location]) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::with_capacity(locs.len());
         let mut run_start = 0usize;
         while run_start < locs.len() {
-            // Extend the run while the next block sits immediately after
-            // the previous one in the same segment (and the combined
-            // span still fits a u32 length).
             let mut run_end = run_start + 1;
             while run_end < locs.len() {
                 let prev = locs[run_end - 1];
@@ -519,17 +1108,113 @@ impl BlockStore {
             self.stats
                 .bytes_read
                 .fetch_add(span.len() as u64, Ordering::Relaxed);
-            self.stats
-                .blocks_read
-                .fetch_add((run_end - run_start) as u64, Ordering::Relaxed);
-            for (i, loc) in locs[run_start..run_end].iter().enumerate() {
+            for loc in &locs[run_start..run_end] {
                 let rel = (loc.offset - first.offset) as usize;
-                let bid = start + (run_start + i) as u64;
-                let block = Block::from_bytes(&span[rel..rel + loc.len as usize])
-                    .map_err(|e| StorageError::Corrupt(format!("block {bid}: {e}")))?;
-                out.push(Arc::new(block));
+                out.push(span[rel..rel + loc.len as usize].to_vec());
             }
             run_start = run_end;
+        }
+        Ok(out)
+    }
+
+    /// Reassembles blocks `start..start + count` from the chain records
+    /// and partition extents (disk backend only; `blocks_read` is the
+    /// caller's charge).
+    fn assemble_span(&self, start: BlockId, count: usize) -> Result<Vec<Arc<Block>>> {
+        let Backend::Disk {
+            chain_reader,
+            parts,
+            entries,
+            tx_locs,
+            ..
+        } = &self.backend
+        else {
+            return Err(StorageError::Corrupt(
+                "partitioned span read on memory backend".into(),
+            ));
+        };
+        let (ents, locs): (Vec<BlockEntry>, Vec<TxLocs>) = {
+            let eg = entries.read();
+            let lg = tx_locs.read();
+            let mut es = Vec::with_capacity(count);
+            let mut ls = Vec::with_capacity(count);
+            for b in start..start + count as u64 {
+                es.push(
+                    eg.get(b as usize)
+                        .cloned()
+                        .ok_or(StorageError::NotFound(b))?,
+                );
+                ls.push(
+                    lg.get(b as usize)
+                        .map(Arc::clone)
+                        .ok_or(StorageError::NotFound(b))?,
+                );
+            }
+            (es, ls)
+        };
+        let chain_locs: Vec<Location> = ents.iter().map(|e| e.chain).collect();
+        let chain_bytes = self.read_coalesced(chain_reader, &chain_locs)?;
+        let mut ext_bytes: Vec<Vec<Vec<u8>>> = ents
+            .iter()
+            .map(|e| vec![Vec::new(); e.parts.len()])
+            .collect();
+        for (p, partition) in parts.iter().enumerate() {
+            let mut items: Vec<(usize, usize)> = Vec::new();
+            let mut plocs: Vec<Location> = Vec::new();
+            for (k, e) in ents.iter().enumerate() {
+                if let Some(pos) = e.parts.iter().position(|(q, _)| *q as usize == p) {
+                    items.push((k, pos));
+                    plocs.push(e.parts[pos].1);
+                }
+            }
+            if plocs.is_empty() {
+                continue;
+            }
+            let fetched = self.read_coalesced(&partition.reader, &plocs)?;
+            for ((k, pos), bytes) in items.into_iter().zip(fetched) {
+                ext_bytes[k][pos] = bytes;
+            }
+        }
+        let mut out = Vec::with_capacity(count);
+        for (k, e) in ents.iter().enumerate() {
+            let bid = start + k as u64;
+            let (header, routes) = decode_chain_record(&chain_bytes[k], bid)?;
+            let tl = &locs[k];
+            if routes.len() != tl.len() {
+                return Err(StorageError::Corrupt(format!(
+                    "block {bid}: offset tables cover {} of {} tuples",
+                    tl.len(),
+                    routes.len()
+                )));
+            }
+            let mut txs = Vec::with_capacity(tl.len());
+            for (canon, l) in tl.iter().enumerate() {
+                let pos = e
+                    .parts
+                    .iter()
+                    .position(|(q, _)| *q == l.part)
+                    .ok_or_else(|| {
+                        StorageError::Corrupt(format!(
+                            "block {bid}: tuple {canon} routed to absent partition {}",
+                            l.part
+                        ))
+                    })?;
+                let bytes = &ext_bytes[k][pos];
+                let s = l.off as usize;
+                let t = s + l.len as usize;
+                if t > bytes.len() {
+                    return Err(StorageError::Corrupt(format!(
+                        "block {bid}: tuple {canon} overruns its extent"
+                    )));
+                }
+                let tx = Transaction::from_bytes(&bytes[s..t])
+                    .map_err(|e2| StorageError::Corrupt(format!("tx {bid}/{canon}: {e2}")))?;
+                txs.push(tx);
+            }
+            out.push(Arc::new(Block {
+                header,
+                transactions: txs,
+            }));
         }
         Ok(out)
     }
@@ -537,7 +1222,7 @@ impl BlockStore {
     /// Reads *one transaction* without materializing its block — the
     /// tuple-granular random read of the layered-index cost model
     /// (Eq. 3). On disk this is a single positioned read of exactly the
-    /// tuple's bytes, located via the persistent offset table.
+    /// tuple's bytes inside its partition extent.
     pub fn read_tx_direct(&self, ptr: TxPtr) -> Result<Transaction> {
         match &self.backend {
             Backend::Memory { blocks } => {
@@ -569,12 +1254,12 @@ impl BlockStore {
 
     /// Reads the transactions at `indexes` within block `bid` without
     /// materializing the block. On disk the requested tuples are
-    /// coalesced into one positioned read covering their contiguous
-    /// span, and only the requested tuples are decoded; `bytes_read` is
-    /// charged the span (which may include gap bytes between requested
-    /// tuples). Results come back in `indexes` order; duplicates are
-    /// decoded per occurrence so `txs_read` accounting matches
-    /// issuing the pointers one by one.
+    /// coalesced into one positioned read per touched partition
+    /// (covering their contiguous span within that partition's extent),
+    /// and only the requested tuples are decoded; `bytes_read` is
+    /// charged the spans. Results come back in `indexes` order;
+    /// duplicates are decoded per occurrence so `txs_read` accounting
+    /// matches issuing the pointers one by one.
     pub fn read_txs_in_block(&self, bid: BlockId, indexes: &[u32]) -> Result<Vec<Transaction>> {
         if indexes.is_empty() {
             return Ok(Vec::new());
@@ -590,47 +1275,63 @@ impl BlockStore {
                 })
                 .collect(),
             Backend::Disk {
-                reader,
-                locations,
-                tx_tables,
+                parts,
+                entries,
+                tx_locs,
                 ..
             } => {
-                let loc = *locations
+                let entry = entries
                     .read()
                     .get(bid as usize)
+                    .cloned()
                     .ok_or(StorageError::NotFound(bid))?;
-                let table = tx_tables
+                let table = tx_locs
                     .read()
                     .get(bid as usize)
                     .map(Arc::clone)
                     .ok_or(StorageError::NotFound(bid))?;
-                let mut lo = u32::MAX;
-                let mut hi = 0u32;
+                use std::collections::HashMap;
+                let mut lohi: HashMap<u8, (u32, u32)> = HashMap::new();
                 for &i in indexes {
-                    let &(off, len) = table.get(i as usize).ok_or(StorageError::NotFound(bid))?;
-                    lo = lo.min(off);
-                    hi = hi.max(off + len);
+                    let l = table.get(i as usize).ok_or(StorageError::NotFound(bid))?;
+                    let e = lohi.entry(l.part).or_insert((u32::MAX, 0));
+                    e.0 = e.0.min(l.off);
+                    e.1 = e.1.max(l.off + l.len);
                 }
-                let span = reader.read(Location {
-                    segment: loc.segment,
-                    offset: loc.offset + lo as u64,
-                    len: hi - lo,
-                })?;
+                let mut fetched: HashMap<u8, (u32, Vec<u8>)> = HashMap::new();
+                for (&part, &(lo, hi)) in &lohi {
+                    let ext = entry
+                        .parts
+                        .iter()
+                        .find(|(q, _)| *q == part)
+                        .map(|(_, l)| *l)
+                        .ok_or_else(|| {
+                            StorageError::Corrupt(format!(
+                                "block {bid}: tuples routed to absent partition {part}"
+                            ))
+                        })?;
+                    let bytes = parts[part as usize].reader.read(Location {
+                        segment: ext.segment,
+                        offset: ext.offset + lo as u64,
+                        len: hi - lo,
+                    })?;
+                    self.stats
+                        .bytes_read
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                    fetched.insert(part, (lo, bytes));
+                }
                 self.stats
                     .txs_read
                     .fetch_add(indexes.len() as u64, Ordering::Relaxed);
-                self.stats
-                    .bytes_read
-                    .fetch_add(span.len() as u64, Ordering::Relaxed);
                 indexes
                     .iter()
                     .map(|&i| {
-                        // invariant: every index was bounds-checked in
-                        // the span pass above, so this get always hits.
-                        let &(off, len) =
-                            table.get(i as usize).ok_or(StorageError::NotFound(bid))?;
-                        let rel = (off - lo) as usize;
-                        Transaction::from_bytes(&span[rel..rel + len as usize])
+                        let l = table.get(i as usize).ok_or(StorageError::NotFound(bid))?;
+                        let (lo, bytes) = fetched.get(&l.part).ok_or_else(|| {
+                            StorageError::Corrupt(format!("block {bid}: span missing partition"))
+                        })?;
+                        let rel = (l.off - lo) as usize;
+                        Transaction::from_bytes(&bytes[rel..rel + l.len as usize])
                             .map_err(|e| StorageError::Corrupt(format!("tx {bid}/{i}: {e}")))
                     })
                     .collect()
@@ -638,24 +1339,146 @@ impl BlockStore {
         }
     }
 
-    /// The [`SegmentSet`] backing a disk store, exposing its open/
-    /// in-flight instrumentation and read probe to concurrency tests
-    /// and benches; `None` on the memory backend.
-    pub fn segment_reader(&self) -> Option<&SegmentSet> {
+    /// Reads, for each block in `bids`, only the tuples of `table`'s
+    /// relation partition — the per-relation scan that stops paying for
+    /// unrelated relations' bytes. Returns `(canonical index, tx)`
+    /// pairs in canonical order per block (blocks without the partition
+    /// yield empty vectors). Note: at partition counts below the table
+    /// count, co-located relations share an extent, so callers still
+    /// filter by table name; canonical indexes let them keep block-
+    /// order semantics. Charges one `blocks_read` per block and only
+    /// the partition extents' `bytes_read` (no `txs_read`, matching
+    /// full-scan accounting).
+    pub fn read_relation_txs(
+        &self,
+        bids: &[BlockId],
+        table: &str,
+    ) -> Result<Vec<Vec<(u32, Transaction)>>> {
+        if bids.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.stats
+            .blocks_read
+            .fetch_add(bids.len() as u64, Ordering::Relaxed);
+        let route = route_of(table, self.partitions);
         match &self.backend {
-            Backend::Disk { reader, .. } => Some(reader),
+            Backend::Disk {
+                parts,
+                entries,
+                tx_locs,
+                ..
+            } => {
+                let (ents, locs): (Vec<BlockEntry>, Vec<TxLocs>) = {
+                    let eg = entries.read();
+                    let lg = tx_locs.read();
+                    let mut es = Vec::with_capacity(bids.len());
+                    let mut ls = Vec::with_capacity(bids.len());
+                    for &b in bids {
+                        es.push(
+                            eg.get(b as usize)
+                                .cloned()
+                                .ok_or(StorageError::NotFound(b))?,
+                        );
+                        ls.push(
+                            lg.get(b as usize)
+                                .map(Arc::clone)
+                                .ok_or(StorageError::NotFound(b))?,
+                        );
+                    }
+                    (es, ls)
+                };
+                let mut items: Vec<usize> = Vec::new();
+                let mut plocs: Vec<Location> = Vec::new();
+                for (k, e) in ents.iter().enumerate() {
+                    if let Some((_, loc)) = e.parts.iter().find(|(q, _)| *q == route) {
+                        items.push(k);
+                        plocs.push(*loc);
+                    }
+                }
+                let extents = self.read_coalesced(&parts[route as usize].reader, &plocs)?;
+                let mut out: Vec<Vec<(u32, Transaction)>> = vec![Vec::new(); bids.len()];
+                for (k, ext) in items.into_iter().zip(extents) {
+                    let bid = bids[k];
+                    let mut txs = Vec::new();
+                    for (canon, l) in locs[k].iter().enumerate() {
+                        if l.part != route {
+                            continue;
+                        }
+                        let s = l.off as usize;
+                        let t = s + l.len as usize;
+                        if t > ext.len() {
+                            return Err(StorageError::Corrupt(format!(
+                                "block {bid}: tuple {canon} overruns its extent"
+                            )));
+                        }
+                        let tx = Transaction::from_bytes(&ext[s..t])
+                            .map_err(|e| StorageError::Corrupt(format!("tx {bid}/{canon}: {e}")))?;
+                        txs.push((canon as u32, tx));
+                    }
+                    out[k] = txs;
+                }
+                Ok(out)
+            }
+            Backend::Memory { blocks } => {
+                let guard = blocks.read();
+                bids.iter()
+                    .map(|&b| {
+                        let m = guard.get(b as usize).ok_or(StorageError::NotFound(b))?;
+                        let mut txs = Vec::new();
+                        let mut charged = 0u64;
+                        for (i, &r) in m.routes.iter().enumerate() {
+                            if r != route {
+                                continue;
+                            }
+                            let (off, len) = m.tx_ranges[i];
+                            charged += len as u64;
+                            let tx = Transaction::from_bytes(
+                                &m.bytes[off as usize..(off + len) as usize],
+                            )
+                            .map_err(|e| StorageError::Corrupt(format!("tx {b}/{i}: {e}")))?;
+                            txs.push((i as u32, tx));
+                        }
+                        self.stats.bytes_read.fetch_add(charged, Ordering::Relaxed);
+                        Ok(txs)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Shared read instrumentation (opens, in-flight gauges, probe)
+    /// across the chain and every partition reader of a disk store;
+    /// `None` on the memory backend.
+    pub fn read_gauges(&self) -> Option<&Arc<ReadGauges>> {
+        match &self.backend {
+            Backend::Disk { gauges, .. } => Some(gauges),
             Backend::Memory { .. } => None,
         }
     }
 
-    /// Serialized size of block `bid` in bytes.
+    /// Serialized size of block `bid` in bytes (its canonical encoding:
+    /// on disk, the chain record minus the route bytes plus the
+    /// partition extents).
     pub fn block_size(&self, bid: BlockId) -> Result<usize> {
         match &self.backend {
-            Backend::Disk { locations, .. } => Ok(locations
-                .read()
-                .get(bid as usize)
-                .ok_or(StorageError::NotFound(bid))?
-                .len as usize),
+            Backend::Disk {
+                entries, tx_locs, ..
+            } => {
+                let (chain_len, ext): (usize, u64) = {
+                    let eg = entries.read();
+                    let e = eg.get(bid as usize).ok_or(StorageError::NotFound(bid))?;
+                    (
+                        e.chain.len as usize,
+                        e.parts.iter().map(|(_, l)| l.len as u64).sum(),
+                    )
+                };
+                let ntx = tx_locs
+                    .read()
+                    .get(bid as usize)
+                    .map(|t| t.len())
+                    .ok_or(StorageError::NotFound(bid))?;
+                Ok(chain_len - ntx + ext as usize)
+            }
             Backend::Memory { blocks } => blocks
                 .read()
                 .get(bid as usize)
@@ -782,7 +1605,7 @@ impl CachedStore {
 
     /// Fetches one block's worth of grouped pointers. In tx-cache and
     /// no-cache modes the members that miss the cache are coalesced
-    /// into one span read ([`BlockStore::read_txs_in_block`]) instead
+    /// into span reads ([`BlockStore::read_txs_in_block`]) instead
     /// of issuing a pread per pointer; counters stay equivalent to
     /// pointwise reads (one `txs_read` per member, hits included).
     fn read_group(
@@ -892,6 +1715,53 @@ impl CachedStore {
             })
             .collect()
     }
+
+    /// Relation-partition scan through the cache: block-cache hits are
+    /// filtered in memory (same tuples the partition extent holds);
+    /// misses go straight to the store's partition read *without*
+    /// populating the cache — a relation scan reading one partition
+    /// must not evict whole blocks it never materialized.
+    pub fn read_relation_txs(
+        &self,
+        bids: &[BlockId],
+        table: &str,
+    ) -> Result<Vec<Vec<(u32, Transaction)>>> {
+        let CacheMode::Block(cache) = &self.cache else {
+            return self.store.read_relation_txs(bids, table);
+        };
+        let partitions = self.store.partitions();
+        let route = route_of(table, partitions);
+        let mut out: Vec<Option<Vec<(u32, Transaction)>>> = vec![None; bids.len()];
+        let mut misses: Vec<(usize, BlockId)> = Vec::new();
+        for (slot, &bid) in bids.iter().enumerate() {
+            if let Some(b) = cache.get(bid) {
+                let txs = b
+                    .transactions
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, tx)| route_of(&tx.tname, partitions) == route)
+                    .map(|(i, tx)| (i as u32, tx.clone()))
+                    .collect();
+                out[slot] = Some(txs);
+            } else {
+                misses.push((slot, bid));
+            }
+        }
+        if !misses.is_empty() {
+            let miss_bids: Vec<BlockId> = misses.iter().map(|&(_, b)| b).collect();
+            let fetched = self.store.read_relation_txs(&miss_bids, table)?;
+            for ((slot, _), txs) in misses.iter().zip(fetched) {
+                out[*slot] = Some(txs);
+            }
+        }
+        out.into_iter()
+            .map(|v| {
+                v.ok_or_else(|| {
+                    StorageError::Corrupt("relation read left a block unresolved".into())
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -901,12 +1771,16 @@ mod tests {
     use sebdb_types::Value;
 
     fn block(height: u64, prev: Digest, ntx: usize) -> Block {
+        block_tables(height, prev, ntx, &["donate"])
+    }
+
+    fn block_tables(height: u64, prev: Digest, ntx: usize, tables: &[&str]) -> Block {
         let txs = (0..ntx)
             .map(|i| {
                 let mut t = Transaction::new(
                     height * 1000 + i as u64,
                     sebdb_crypto::sig::KeyId([1; 8]),
-                    "donate",
+                    tables[i % tables.len()],
                     vec![Value::Int(i as i64)],
                 );
                 t.tid = height * 100 + i as u64;
@@ -920,6 +1794,21 @@ mod tests {
         let d = std::env::temp_dir().join(format!("sebdb-store-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
+    }
+
+    fn count_segments(dir: &Path) -> usize {
+        let mut n = 0;
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for e in rd.flatten() {
+                let path = e.path();
+                if path.is_dir() {
+                    n += count_segments(&path);
+                } else if e.file_name().to_string_lossy().starts_with("seg-") {
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 
     #[test]
@@ -942,8 +1831,8 @@ mod tests {
     #[test]
     fn disk_roundtrip_and_restart() {
         let dir = tmpdir("roundtrip");
-        let b0 = block(0, Digest::ZERO, 2);
-        let b1 = block(1, b0.header.block_hash, 3);
+        let b0 = block_tables(0, Digest::ZERO, 4, &["donate", "volunteer", "need"]);
+        let b1 = block_tables(1, b0.header.block_hash, 3, &["volunteer", "donate"]);
         {
             let s = BlockStore::open(&dir, StoreConfig::default()).unwrap();
             s.append(&b0).unwrap();
@@ -966,7 +1855,7 @@ mod tests {
         let dir = tmpdir("roll");
         let cfg = StoreConfig {
             segment_size: 256, // force a roll every block or two
-            sync_writes: false,
+            ..StoreConfig::default()
         };
         let s = BlockStore::open(&dir, cfg.clone()).unwrap();
         let mut prev = Digest::ZERO;
@@ -980,18 +1869,29 @@ mod tests {
         for (h, b) in blocks.iter().enumerate() {
             assert_eq!(*s.read(h as u64).unwrap(), *b);
         }
-        // More than one segment file must exist.
-        let segs = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter(|e| {
-                e.as_ref()
-                    .unwrap()
-                    .file_name()
-                    .to_string_lossy()
-                    .starts_with("seg-")
-            })
-            .count();
+        // More than one segment file must exist across the partitions.
+        let segs = count_segments(&dir);
         assert!(segs > 1, "expected multiple segments, got {segs}");
+    }
+
+    #[test]
+    fn partitions_one_collapses_to_single_extent() {
+        let dir = tmpdir("p1");
+        let cfg = StoreConfig {
+            partitions: 1,
+            ..StoreConfig::default()
+        };
+        let s = BlockStore::open(&dir, cfg).unwrap();
+        let b0 = block_tables(0, Digest::ZERO, 5, &["donate", "volunteer", "need"]);
+        s.append(&b0).unwrap();
+        assert_eq!(s.partitions(), 1);
+        assert_eq!(*s.read(0).unwrap(), b0);
+        // Reopen keeps the on-disk partition count even if the config
+        // asks for more.
+        drop(s);
+        let s = BlockStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.partitions(), 1);
+        assert_eq!(*s.read(0).unwrap(), b0);
     }
 
     #[test]
@@ -1070,6 +1970,32 @@ mod tests {
         assert!(grouped
             .read_txs_grouped(&[TxPtr { block: 9, index: 0 }, TxPtr { block: 0, index: 0 }])
             .is_err());
+    }
+
+    #[test]
+    fn relation_reads_return_only_the_tables_partition() {
+        for partitions in [1usize, 8] {
+            let store = BlockStore::in_memory_with(StoreConfig {
+                partitions,
+                ..StoreConfig::default()
+            });
+            let b = block_tables(0, Digest::ZERO, 6, &["donate", "volunteer"]);
+            store.append(&b).unwrap();
+            let got = store.read_relation_txs(&[0], "donate").unwrap();
+            let route = route_of("donate", partitions);
+            let expect: Vec<(u32, Transaction)> = b
+                .transactions
+                .iter()
+                .enumerate()
+                .filter(|(_, tx)| route_of(&tx.tname, partitions) == route)
+                .map(|(i, tx)| (i as u32, tx.clone()))
+                .collect();
+            assert_eq!(got[0], expect);
+            // The queried table's tuples are always present.
+            assert!(got[0]
+                .iter()
+                .any(|(_, tx)| tx.tname.eq_ignore_ascii_case("donate")));
+        }
     }
 
     #[test]

@@ -12,8 +12,9 @@ pub mod cache;
 pub mod segment;
 
 pub use blockstore::{
-    readahead_blocks, set_readahead_blocks, BlockStore, CacheMode, CachedStore, IoStats,
-    StoreConfig, TxPtr, DEFAULT_READAHEAD_BLOCKS, READAHEAD_ENV,
+    partition_of, readahead_blocks, set_readahead_blocks, BlockStore, CacheMode, CachedStore,
+    IoStats, StoreConfig, TxPtr, WriteStep, CHAIN_PARTITION, DEFAULT_READAHEAD_BLOCKS,
+    READAHEAD_ENV, RELATION_PARTITIONS, STORE_PARTITIONS_ENV,
 };
 pub use cache::{BlockCache, Lru, TxCache};
-pub use segment::{Location, ReadProbe, SegmentSet, SegmentWriter, StorageError};
+pub use segment::{Location, ReadGauges, ReadProbe, SegmentSet, SegmentWriter, StorageError};

@@ -58,7 +58,7 @@ pub struct Location {
     pub len: u32,
 }
 
-fn segment_path(dir: &Path, n: u32) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, n: u32) -> PathBuf {
     dir.join(format!("seg-{n:05}.dat"))
 }
 
@@ -155,6 +155,45 @@ const HANDLE_SHARDS: usize = 8;
 /// paths never set it.
 pub type ReadProbe = dyn Fn(u64) + Send + Sync;
 
+/// Read instrumentation shared by one or more [`SegmentSet`]s: the
+/// open/in-flight counters and the optional read probe. A partitioned
+/// store hands the *same* gauges to the segment set of every partition,
+/// so open-once and read-overlap assertions hold across the whole
+/// store, not per partition.
+#[derive(Default)]
+pub struct ReadGauges {
+    /// `File::open` calls performed (tests pin open-once semantics).
+    opens: AtomicU64,
+    /// Reads currently between entry and completion.
+    in_flight: AtomicU64,
+    /// High-water mark of `in_flight` (proves reads overlapped).
+    peak_in_flight: AtomicU64,
+    read_probe: RwLock<Option<Box<ReadProbe>>>,
+}
+
+impl ReadGauges {
+    /// Fresh gauges (all counters zero, no probe).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Number of `File::open` calls so far (open-once instrumentation).
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously in-flight reads.
+    pub fn peak_in_flight(&self) -> u64 {
+        self.peak_in_flight.load(Ordering::Acquire)
+    }
+
+    /// Installs (or clears) a probe run inside every read while it is
+    /// in flight — test instrumentation for read concurrency.
+    pub fn set_read_probe(&self, probe: Option<Box<ReadProbe>>) {
+        *self.read_probe.write() = probe;
+    }
+}
+
 /// Serves random reads from the segment files.
 ///
 /// Handles are cached in [`HANDLE_SHARDS`] independent `RwLock`ed
@@ -166,25 +205,22 @@ pub type ReadProbe = dyn Fn(u64) + Send + Sync;
 pub struct SegmentSet {
     dir: PathBuf,
     shards: [RwLock<Vec<Option<Arc<File>>>>; HANDLE_SHARDS],
-    /// `File::open` calls performed (tests pin open-once semantics).
-    opens: AtomicU64,
-    /// Reads currently between entry and completion.
-    in_flight: AtomicU64,
-    /// High-water mark of `in_flight` (proves reads overlapped).
-    peak_in_flight: AtomicU64,
-    read_probe: RwLock<Option<Box<ReadProbe>>>,
+    gauges: Arc<ReadGauges>,
 }
 
 impl SegmentSet {
-    /// Creates a reader over `dir`.
+    /// Creates a reader over `dir` with its own private gauges.
     pub fn new(dir: &Path) -> Self {
+        Self::with_gauges(dir, ReadGauges::new())
+    }
+
+    /// Creates a reader over `dir` reporting into `gauges` (shared
+    /// across the segment sets of a partitioned store).
+    pub fn with_gauges(dir: &Path, gauges: Arc<ReadGauges>) -> Self {
         SegmentSet {
             dir: dir.to_owned(),
             shards: std::array::from_fn(|_| RwLock::new(Vec::new())),
-            opens: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
-            peak_in_flight: AtomicU64::new(0),
-            read_probe: RwLock::new(None),
+            gauges,
         }
     }
 
@@ -199,13 +235,13 @@ impl SegmentSet {
     /// with one positioned read (no seek, no lock held across I/O).
     pub fn read_into(&self, loc: Location, buf: &mut [u8]) -> Result<()> {
         let file = self.handle(loc.segment)?;
-        let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
-        self.peak_in_flight.fetch_max(now, Ordering::AcqRel);
-        if let Some(probe) = self.read_probe.read().as_ref() {
+        let now = self.gauges.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.gauges.peak_in_flight.fetch_max(now, Ordering::AcqRel);
+        if let Some(probe) = self.gauges.read_probe.read().as_ref() {
             probe(now);
         }
         let res = read_exact_at(&file, buf, loc.offset);
-        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.gauges.in_flight.fetch_sub(1, Ordering::AcqRel);
         res?;
         Ok(())
     }
@@ -227,25 +263,30 @@ impl SegmentSet {
             return Ok(Arc::clone(file));
         }
         let file = Arc::new(File::open(segment_path(&self.dir, segment))?);
-        self.opens.fetch_add(1, Ordering::Relaxed);
+        self.gauges.opens.fetch_add(1, Ordering::Relaxed);
         cache[slot] = Some(Arc::clone(&file));
         Ok(file)
     }
 
+    /// The gauges this set reports into.
+    pub fn gauges(&self) -> &Arc<ReadGauges> {
+        &self.gauges
+    }
+
     /// Number of `File::open` calls so far (open-once instrumentation).
     pub fn opens(&self) -> u64 {
-        self.opens.load(Ordering::Relaxed)
+        self.gauges.opens()
     }
 
     /// High-water mark of simultaneously in-flight reads.
     pub fn peak_in_flight(&self) -> u64 {
-        self.peak_in_flight.load(Ordering::Acquire)
+        self.gauges.peak_in_flight()
     }
 
     /// Installs (or clears) a probe run inside every read while it is
     /// in flight — test instrumentation for read concurrency.
     pub fn set_read_probe(&self, probe: Option<Box<ReadProbe>>) {
-        *self.read_probe.write() = probe;
+        self.gauges.set_read_probe(probe)
     }
 }
 

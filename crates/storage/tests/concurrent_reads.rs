@@ -49,6 +49,7 @@ fn chain_on_disk(dir: &std::path::Path, nblocks: u64) -> BlockStore {
         StoreConfig {
             segment_size: 1,
             sync_writes: false,
+            ..StoreConfig::default()
         },
     )
     .unwrap();
@@ -71,8 +72,8 @@ fn grouped_reads_overlap_across_eight_threads() {
     let seen_peak = Arc::new(AtomicU64::new(0));
     {
         let seen_peak = Arc::clone(&seen_peak);
-        let reader = store.segment_reader().expect("disk backend");
-        reader.set_read_probe(Some(Box::new(move |in_flight| {
+        let gauges = store.read_gauges().expect("disk backend");
+        gauges.set_read_probe(Some(Box::new(move |in_flight| {
             seen_peak.fetch_max(in_flight, Ordering::AcqRel);
             let deadline = Instant::now() + Duration::from_secs(5);
             while seen_peak.load(Ordering::Acquire) < 2 && Instant::now() < deadline {
@@ -113,12 +114,12 @@ fn grouped_reads_overlap_across_eight_threads() {
         h.join().unwrap();
     }
 
-    let reader = store.segment_reader().unwrap();
-    reader.set_read_probe(None);
+    let gauges = store.read_gauges().unwrap();
+    gauges.set_read_probe(None);
     assert!(
-        reader.peak_in_flight() >= 2,
+        gauges.peak_in_flight() >= 2,
         "reads never overlapped: peak in-flight {}",
-        reader.peak_in_flight()
+        gauges.peak_in_flight()
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -149,11 +150,14 @@ fn racing_first_reads_open_each_segment_once() {
     for h in handles {
         h.join().unwrap();
     }
-    let reader = store.segment_reader().unwrap();
+    // 3 chain-record segments + 3 partition-extent segments (the
+    // 1-byte segment size forces one record per file, and the gauges
+    // are shared across the chain and every partition reader).
+    let gauges = store.read_gauges().unwrap();
     assert_eq!(
-        reader.opens(),
-        3,
-        "each of the 3 segments must be opened exactly once"
+        gauges.opens(),
+        6,
+        "each of the 6 segment files must be opened exactly once"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

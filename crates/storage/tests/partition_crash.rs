@@ -1,0 +1,356 @@
+//! Crash-recovery and migration contracts for the partitioned layout.
+//!
+//! The chain-order manifest is the commit point of an append: a crash
+//! torn at *any* write boundary — a partition extent, a per-partition
+//! offsets record, the chain record, or the manifest record itself —
+//! must heal on the next open with the store rolled back to the last
+//! fully-committed block, and the healed store must keep serving
+//! byte-identical blocks and accept new appends. A store written in
+//! the pre-partitioning single-sequence (v1) format migrates in place
+//! on first open, after which single-relation scans are strictly
+//! cheaper in `bytes_read` than the unpartitioned layout.
+
+use sebdb_crypto::sha256::Digest;
+use sebdb_storage::{
+    partition_of, BlockStore, SegmentWriter, StoreConfig, WriteStep, CHAIN_PARTITION,
+};
+use sebdb_types::{Block, Codec, Transaction, Value};
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sebdb-partcrash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn cfg() -> StoreConfig {
+    StoreConfig {
+        segment_size: 4096,
+        sync_writes: false,
+        ..StoreConfig::default()
+    }
+}
+
+/// Table names spanning at least two distinct relation partitions, so
+/// every block fans out across several partition writers.
+fn spanning_tables() -> Vec<&'static str> {
+    let candidates = [
+        "donate", "account", "project", "member", "audit", "voting", "pledge", "badge",
+    ];
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for c in candidates {
+        if seen.insert(partition_of(c)) {
+            out.push(c);
+        }
+        if out.len() == 3 {
+            break;
+        }
+    }
+    assert!(out.len() >= 2, "candidate tables all hash to one partition");
+    out
+}
+
+/// A deterministic multi-relation block: tuples round-robin over
+/// `tables`, so rebuilding `block(h, ..)` always yields identical
+/// bytes for comparison against what the store serves.
+fn block(height: u64, tables: &[&str], ntx: usize) -> Block {
+    let txs = (0..ntx)
+        .map(|i| {
+            let mut t = Transaction::new(
+                height * 1000 + i as u64,
+                sebdb_crypto::sig::KeyId([1; 8]),
+                tables[i % tables.len()],
+                vec![
+                    Value::Int((height * 31 + i as u64) as i64),
+                    Value::Str(format!("row-{height}-{i}")),
+                ],
+            );
+            t.tid = height * 100 + i as u64;
+            t
+        })
+        .collect();
+    Block::seal(Digest::ZERO, height, height, txs, |_| vec![0u8; 4])
+}
+
+fn assert_chain_identical(store: &BlockStore, tables: &[&str], ntx: usize, upto: u64, ctx: &str) {
+    for h in 0..upto {
+        assert_eq!(
+            store.read(h).unwrap().to_bytes(),
+            block(h, tables, ntx).to_bytes(),
+            "{ctx}: block {h} differs after heal"
+        );
+    }
+}
+
+/// A crash injected at every write-order boundary of an append — each
+/// touched partition's extent write, its offsets-record write, the
+/// chain-record write, and the manifest write — fails that append
+/// without advancing the height, and a reopen heals the torn on-disk
+/// state back to the last committed block.
+#[test]
+fn crash_at_every_write_boundary_heals_on_reopen() {
+    let tables = spanning_tables();
+    let ntx = 6;
+    let mut touched: Vec<usize> = tables.iter().map(|t| partition_of(t)).collect();
+    touched.sort_unstable();
+    touched.dedup();
+    let mut steps = vec![
+        WriteStep::PartitionWrite(CHAIN_PARTITION),
+        WriteStep::ManifestWrite,
+    ];
+    for &p in &touched {
+        steps.push(WriteStep::PartitionWrite(p));
+        steps.push(WriteStep::OffsetsWrite(p));
+    }
+    for (si, step) in steps.into_iter().enumerate() {
+        let dir = tmpdir(&format!("boundary-{si}"));
+        {
+            let store = BlockStore::open(&dir, cfg()).unwrap();
+            for h in 0..3 {
+                store.append(&block(h, &tables, ntx)).unwrap();
+            }
+            store.set_write_fault(Some(Box::new(move |s| s == step)));
+            let err = store.append(&block(3, &tables, ntx)).unwrap_err();
+            assert!(
+                err.to_string().contains("injected write fault"),
+                "{step:?}: unexpected error {err}"
+            );
+            assert_eq!(
+                store.height(),
+                3,
+                "{step:?}: failed append advanced the height"
+            );
+        }
+        // Restart replay: the torn state (orphan extents, orphan offsets
+        // records, or a missing manifest record) truncates away.
+        let store = BlockStore::open(&dir, cfg()).unwrap();
+        assert_eq!(store.height(), 3, "{step:?}: reopen lost committed blocks");
+        for h in 3..5 {
+            store.append(&block(h, &tables, ntx)).unwrap();
+        }
+        assert_chain_identical(&store, &tables, ntx, 5, &format!("{step:?}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The last segment file under `dir` (the partitions' own directories
+/// hold `seg-%05d.dat` files; zero-padding makes the lexical max the
+/// physical tail).
+fn last_segment(dir: &Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+        .map(|e| e.path())
+        .collect();
+    segs.sort();
+    segs.pop().expect("no segment files")
+}
+
+/// Seeded negative for write reordering: a manifest record that reached
+/// disk *before* its partition data (simulated by truncating a
+/// partition or chain segment after a clean shutdown) is torn state —
+/// reopen must cut the manifest back to the blocks whose bytes all
+/// physically exist, then serve those byte-identically and accept
+/// re-appends.
+#[test]
+fn manifest_ahead_of_partition_data_rolls_back_on_reopen() {
+    let tables = spanning_tables();
+    let ntx = 6;
+    // Every block routes tuples to every chosen table, so tearing the
+    // tail of any touched directory damages exactly the last block.
+    let mut victims: Vec<PathBuf> = vec![PathBuf::from("chain")];
+    for t in &tables {
+        victims.push(PathBuf::from(format!("part-{}", partition_of(t))));
+    }
+    victims.dedup();
+    for (vi, victim) in victims.iter().enumerate() {
+        let dir = tmpdir(&format!("reorder-{vi}"));
+        {
+            let store = BlockStore::open(&dir, cfg()).unwrap();
+            for h in 0..4 {
+                store.append(&block(h, &tables, ntx)).unwrap();
+            }
+        }
+        let seg = last_segment(&dir.join(victim));
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 1).unwrap();
+        drop(f);
+        let store = BlockStore::open(&dir, cfg()).unwrap();
+        assert_eq!(
+            store.height(),
+            3,
+            "{}: manifest must roll back past the torn extent",
+            victim.display()
+        );
+        assert_chain_identical(&store, &tables, ntx, 3, &victim.display().to_string());
+        store.append(&block(3, &tables, ntx)).unwrap();
+        assert_chain_identical(&store, &tables, ntx, 4, &victim.display().to_string());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Hand-writes a chain in the single-sequence v1 format: root-level
+/// segment files holding whole-block encodings, indexed by a root
+/// `manifest.idx` of `bid(8) seg(4) off(8) len(4)` records.
+fn write_v1_store(dir: &Path, blocks: &[Block]) {
+    std::fs::create_dir_all(dir).unwrap();
+    let mut w = SegmentWriter::open(dir, 4096, None).unwrap();
+    let mut manifest = Vec::new();
+    for (bid, b) in blocks.iter().enumerate() {
+        let loc = w.append(&b.to_bytes()).unwrap();
+        manifest.extend_from_slice(&(bid as u64).to_le_bytes());
+        manifest.extend_from_slice(&loc.segment.to_le_bytes());
+        manifest.extend_from_slice(&loc.offset.to_le_bytes());
+        manifest.extend_from_slice(&loc.len.to_le_bytes());
+    }
+    w.sync().unwrap();
+    std::fs::write(dir.join("manifest.idx"), &manifest).unwrap();
+}
+
+/// Opening a v1 store migrates it in place: same blocks byte for byte,
+/// v1 root files gone, second open skips the migration, and the
+/// migrated layout's single-relation scans undercut the unpartitioned
+/// baseline in `bytes_read`.
+#[test]
+fn v1_single_sequence_store_migrates_on_open() {
+    let tables = spanning_tables();
+    let ntx = 6;
+    let nblocks = 5u64;
+    let blocks: Vec<Block> = (0..nblocks).map(|h| block(h, &tables, ntx)).collect();
+    let dir = tmpdir("migrate");
+    write_v1_store(&dir, &blocks);
+
+    let store = BlockStore::open(&dir, cfg()).unwrap();
+    assert_eq!(store.height(), nblocks);
+    assert_chain_identical(&store, &tables, ntx, nblocks, "migrated");
+    assert!(
+        !dir.join("manifest.idx").exists(),
+        "v1 manifest must be removed after migration"
+    );
+    let root_segs = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with("seg-") && e.path().is_file())
+        .count();
+    assert_eq!(root_segs, 0, "v1 root segment files must be removed");
+    drop(store);
+
+    // Second open: plain v2 open, nothing left to migrate, and the
+    // store still appends.
+    let store = BlockStore::open(&dir, cfg()).unwrap();
+    assert_eq!(store.height(), nblocks);
+    store.append(&block(nblocks, &tables, ntx)).unwrap();
+    assert_chain_identical(&store, &tables, ntx, nblocks + 1, "reopened");
+
+    // The migration bought relation-granular reads: scanning one table
+    // moves strictly fewer bytes than the same scan on an equivalent
+    // unpartitioned (partitions = 1) store.
+    let flat_dir = tmpdir("migrate-flat");
+    let flat = BlockStore::open(
+        &flat_dir,
+        StoreConfig {
+            partitions: 1,
+            ..cfg()
+        },
+    )
+    .unwrap();
+    for b in &blocks {
+        flat.append(b).unwrap();
+    }
+    flat.append(&block(nblocks, &tables, ntx)).unwrap();
+    let bids: Vec<u64> = (0..=nblocks).collect();
+    store.stats.reset();
+    let part_rows = store.read_relation_txs(&bids, tables[0]).unwrap();
+    let part_bytes = store.stats.bytes_read();
+    flat.stats.reset();
+    let flat_rows = flat.read_relation_txs(&bids, tables[0]).unwrap();
+    let flat_bytes = flat.stats.bytes_read();
+    assert_eq!(
+        rows_digest(&part_rows, tables[0]),
+        rows_digest(&flat_rows, tables[0])
+    );
+    assert!(
+        part_bytes < flat_bytes,
+        "migrated relation scan read {part_bytes} bytes, unpartitioned baseline {flat_bytes}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&flat_dir);
+}
+
+/// `read_relation_txs` returns every tuple co-located in the table's
+/// partition (callers filter by name, as the executor does) — so
+/// cross-layout comparisons must apply that filter too.
+fn rows_digest(rows: &[Vec<(u32, Transaction)>], table: &str) -> Vec<Vec<(u32, Vec<u8>)>> {
+    rows.iter()
+        .map(|b| {
+            b.iter()
+                .filter(|(_, t)| t.tname.eq_ignore_ascii_case(table))
+                .map(|(c, t)| (*c, t.to_bytes()))
+                .collect()
+        })
+        .collect()
+}
+
+/// The acceptance bound: on a multi-relation chain, a single-relation
+/// scan over the partitioned layout reads strictly fewer bytes than
+/// (a) the same scan on the unpartitioned layout and (b) a full block
+/// scan on the partitioned layout — for every relation in the chain.
+#[test]
+fn relation_scan_reads_strictly_fewer_bytes_than_unpartitioned() {
+    let tables = spanning_tables();
+    let ntx = 9;
+    let nblocks = 8u64;
+    let dir8 = tmpdir("bytes-p8");
+    let dir1 = tmpdir("bytes-p1");
+    let part = BlockStore::open(&dir8, cfg()).unwrap();
+    let flat = BlockStore::open(
+        &dir1,
+        StoreConfig {
+            partitions: 1,
+            ..cfg()
+        },
+    )
+    .unwrap();
+    assert!(part.partitions() > 1, "default partition count collapsed");
+    assert_eq!(flat.partitions(), 1);
+    for h in 0..nblocks {
+        let b = block(h, &tables, ntx);
+        part.append(&b).unwrap();
+        flat.append(&b).unwrap();
+    }
+    let bids: Vec<u64> = (0..nblocks).collect();
+    part.stats.reset();
+    let full = part.read_span(0, nblocks as usize).unwrap();
+    assert_eq!(full.len(), nblocks as usize);
+    let full_bytes = part.stats.bytes_read();
+    for table in &tables {
+        part.stats.reset();
+        let part_rows = part.read_relation_txs(&bids, table).unwrap();
+        let part_bytes = part.stats.bytes_read();
+        flat.stats.reset();
+        let flat_rows = flat.read_relation_txs(&bids, table).unwrap();
+        let flat_bytes = flat.stats.bytes_read();
+        assert_eq!(
+            rows_digest(&part_rows, table),
+            rows_digest(&flat_rows, table),
+            "{table}: partitioned and flat scans disagree"
+        );
+        assert!(
+            part_rows.iter().map(Vec::len).sum::<usize>() > 0,
+            "{table}: scan returned no tuples"
+        );
+        assert!(
+            part_bytes < flat_bytes,
+            "{table}: partitioned scan read {part_bytes} bytes, unpartitioned {flat_bytes}"
+        );
+        assert!(
+            part_bytes < full_bytes,
+            "{table}: relation scan read {part_bytes} bytes, full block scan {full_bytes}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir8);
+    let _ = std::fs::remove_dir_all(&dir1);
+}

@@ -119,6 +119,7 @@ fn grouped_reads_byte_identical_on_disk() {
         StoreConfig {
             segment_size: 4096,
             sync_writes: false,
+            ..StoreConfig::default()
         },
     )
     .unwrap();
@@ -135,8 +136,22 @@ fn grouped_reads_byte_identical_in_memory() {
     assert_equivalence(Arc::new(store), 6, 8);
 }
 
-/// A chain written by the old manifest-only format (no offset-table
-/// file) opens via full reconstruction and serves identical reads.
+/// Every per-partition offset-table file in `dir` (the tests tear or
+/// delete these to exercise reconstruction on open).
+fn partition_offset_tables(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    for p in 0..sebdb_storage::RELATION_PARTITIONS {
+        let path = dir.join(format!("part-{p}")).join("txoffsets.idx");
+        if path.exists() {
+            found.push(path);
+        }
+    }
+    found
+}
+
+/// A chain whose per-partition offset-table files are missing (written
+/// by the manifest-only era, or lost) opens via full reconstruction
+/// from the chain records' routes and serves identical reads.
 #[test]
 fn old_format_chain_reconstructs_offset_table() {
     let _guard = threads_lock().lock().unwrap();
@@ -145,8 +160,12 @@ fn old_format_chain_reconstructs_offset_table() {
         let store = BlockStore::open(&dir, StoreConfig::default()).unwrap();
         build_chain(&store, 5, 6);
     }
-    // Simulate a pre-offset-table chain: delete the table outright.
-    std::fs::remove_file(dir.join("txoffsets.idx")).unwrap();
+    // Simulate a pre-offset-table chain: delete every table outright.
+    let tables = partition_offset_tables(&dir);
+    assert!(!tables.is_empty(), "chain wrote no offset tables");
+    for path in tables {
+        std::fs::remove_file(path).unwrap();
+    }
     let store = BlockStore::open(&dir, StoreConfig::default()).unwrap();
     assert_eq!(store.height(), 5);
     assert_equivalence(Arc::new(store), 5, 6);
@@ -171,11 +190,20 @@ fn torn_offset_table_tail_heals_on_open() {
         let store = BlockStore::open(&dir, StoreConfig::default()).unwrap();
         build_chain(&store, 4, 5);
     }
-    let path = dir.join("txoffsets.idx");
-    let len = std::fs::metadata(&path).unwrap().len();
-    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
-    f.set_len(len - 7).unwrap(); // tear mid-record
-    drop(f);
+    // All tuples route to one relation partition; tear its table (the
+    // other partitions' tables exist but are empty).
+    let mut torn = 0;
+    for path in partition_offset_tables(&dir) {
+        let len = std::fs::metadata(&path).unwrap().len();
+        if len < 8 {
+            continue;
+        }
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 7).unwrap(); // tear mid-record
+        drop(f);
+        torn += 1;
+    }
+    assert!(torn > 0, "chain wrote no non-empty offset tables");
     let store = BlockStore::open(&dir, StoreConfig::default()).unwrap();
     assert_eq!(store.height(), 4);
     assert_equivalence(Arc::new(store), 4, 5);
@@ -231,6 +259,7 @@ fn span_reads_match_pointwise_block_reads() {
         StoreConfig {
             segment_size: 2048,
             sync_writes: false,
+            ..StoreConfig::default()
         },
     )
     .unwrap();

@@ -23,6 +23,7 @@ fn store(dir: &Path) -> Arc<BlockStore> {
             StoreConfig {
                 segment_size: 4096, // force several segments
                 sync_writes: false,
+                ..StoreConfig::default()
             },
         )
         .unwrap(),

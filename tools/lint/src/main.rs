@@ -30,10 +30,10 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-// Ratcheted down as sites are burned down (was 25): only the two
-// deliberate simulation delays remain. Raising this requires burning
-// an argument into the PR, not just a bigger number.
-const MAX_ALLOWLIST_ENTRIES: usize = 2;
+// Ratcheted down as sites were burned down (25 → 2 → 0): the last two
+// simulation delays now park on condvar deadlines. Raising this
+// requires burning an argument into the PR, not just a bigger number.
+const MAX_ALLOWLIST_ENTRIES: usize = 0;
 
 /// Crates whose non-test code may call `thread::spawn` directly.
 const SPAWN_ALLOWED_DIRS: &[&str] = &["crates/parallel/", "crates/model/"];
