@@ -44,6 +44,15 @@ SEBDB_THREADS=4 cargo test -q -p sebdb --test pipeline_equivalence
 echo "==> SEBDB_APPLIER_LANES=4 cargo test -q -p sebdb --test pipeline_equivalence"
 SEBDB_APPLIER_LANES=4 cargo test -q -p sebdb --test pipeline_equivalence
 
+# Paged-index equivalence at both worker counts: queries answered
+# through on-disk index checkpoints (fence-pointer top level + bounded
+# index-block cache) must stay byte-identical to the fully-resident
+# reference whether the parallel primitives fan out or not.
+echo "==> SEBDB_THREADS=1 cargo test -q -p sebdb --test paged_equivalence"
+SEBDB_THREADS=1 cargo test -q -p sebdb --test paged_equivalence
+echo "==> SEBDB_THREADS=4 cargo test -q -p sebdb --test paged_equivalence"
+SEBDB_THREADS=4 cargo test -q -p sebdb --test paged_equivalence
+
 # Third pass with the parking_lot shim's lock-order cycle detector
 # compiled in: any lock-acquisition-order inversion anywhere in the
 # suite panics with both witness stacks.
@@ -68,6 +77,18 @@ SEBDB_BENCH_SMOKE=1 cargo bench -q -p sebdb-bench --bench pipeline_throughput >/
 smoke=target/BENCH_writepath_smoke.json
 for key in '"bench": "write_path"' '"cpus":' '"lanes"' '"depth"' '"relations"' \
            '"partitions"' '"batch_txs"' '"mean_ns_per_block"' '"speedup_vs_lane1"'; do
+  grep -q "$key" "$smoke" || { echo "ci: $smoke missing $key"; exit 1; }
+done
+
+# Disk-resident index bench smoke: the open-time × cache-capacity
+# sweep must run end to end and emit a well-formed JSON (schema
+# spot-checks below).
+echo "==> SEBDB_BENCH_SMOKE=1 cargo bench -p sebdb-bench --bench index_resident"
+SEBDB_BENCH_SMOKE=1 cargo bench -q -p sebdb-bench --bench index_resident >/dev/null
+smoke=target/BENCH_indexresident_smoke.json
+for key in '"bench": "index_resident"' '"cpus":' '"blocks"' '"checkpoint"' \
+           '"cache_blocks"' '"open_ms"' '"resident_index_bytes"' \
+           '"cache_resident_bytes"' '"cache_hits"' '"cache_misses"'; do
   grep -q "$key" "$smoke" || { echo "ci: $smoke missing $key"; exit 1; }
 done
 

@@ -73,6 +73,7 @@ fn build_chain(dir: &PathBuf, nblocks: u64, ntx: usize, partitions: usize) -> Ar
             segment_size: 64 * 1024,
             sync_writes: false,
             partitions,
+            ..StoreConfig::default()
         },
     )
     .expect("open bench store");

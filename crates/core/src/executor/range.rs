@@ -211,18 +211,25 @@ impl Executor<'_> {
         // of this table) scaled by bucket selectivity ≈ candidates ×
         // small constant. A coarse but monotone estimate is enough for
         // the crossover to appear.
-        let candidate_blocks = self
+        let (candidate_blocks, frozen_probes) = self
             .ledger
             .with_layered(Some(&schema.name), column_name, |idx| {
-                idx.candidate_blocks(key_pred).count_ones() as u64
+                let cand = idx.candidate_blocks(key_pred);
+                // Candidates below the frozen height each page one
+                // level-1 index block (the per-block entry list) through
+                // the index-block cache; tail candidates probe resident
+                // structures for free.
+                let base = idx.frozen_height();
+                let frozen = cand.iter_ones().take_while(|&b| (b as u64) < base).count() as u64;
+                (cand.count_ones() as u64, frozen)
             })
-            .unwrap_or(0);
+            .unwrap_or((0, 0));
         // Without per-index cardinality stats we charge a fixed
         // per-candidate-block hit estimate; monotone in selectivity,
         // which is all the crossover needs.
         const EST_HITS_PER_BLOCK: u64 = 64;
         let p = candidate_blocks * EST_HITS_PER_BLOCK;
-        match self.cost.choose(n, k, p) {
+        match self.cost.choose_paged(n, k, p, frozen_probes) {
             AccessPath::Scan => Strategy::Scan,
             AccessPath::Bitmap => Strategy::Bitmap,
             AccessPath::Layered => Strategy::Layered,

@@ -14,8 +14,8 @@ use sebdb_consensus::OrderedBlock;
 use sebdb_crypto::sha256::Digest;
 use sebdb_crypto::sig::{MacKeypair, Signer};
 use sebdb_index::{
-    AuthenticatedLayeredIndex, Bitmap, BlockLevelIndex, EqualDepthHistogram, LayeredIndex,
-    TableBitmapIndex,
+    column_slug, family_ali, family_block, family_layered, family_table, AuthenticatedLayeredIndex,
+    Bitmap, BlockLevelIndex, EqualDepthHistogram, LayeredIndex, TableBitmapIndex,
 };
 use sebdb_storage::{BlockCache, BlockStore, CacheMode, CachedStore, StorageError, TxCache, TxPtr};
 use sebdb_types::{Block, BlockId, ColumnRef, TableSchema, Timestamp, Transaction, Value};
@@ -101,6 +101,19 @@ struct IndexShard {
 /// paper sets the histogram depth to 100 in §VII-D).
 pub const DEFAULT_HISTOGRAM_BUCKETS: usize = 100;
 
+/// Environment variable selecting the index-checkpoint cadence: every
+/// `N` indexed blocks each index family freezes its state into an
+/// on-disk checkpoint and drops its resident tail. `0` (the default)
+/// disables automatic checkpointing.
+pub const INDEX_CHECKPOINT_EVERY_ENV: &str = "SEBDB_INDEX_CHECKPOINT_EVERY";
+
+fn checkpoint_every_from_env() -> u64 {
+    std::env::var(INDEX_CHECKPOINT_EVERY_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 /// Checks a transaction's `Sig` system attribute against the sender's
 /// registered key material ("Sig guarantees unforgeability of
 /// transactions", §IV-A). Returning `false` rejects the whole block.
@@ -137,6 +150,9 @@ pub struct Ledger {
     /// Concurrency tests use it to panic or park the indexer stage at
     /// a precise block boundary; production paths never install one.
     index_fault: RwLock<Option<Box<IndexFaultHook>>>,
+    /// Automatic index-checkpoint cadence in blocks (`0` = disabled);
+    /// seeded from [`INDEX_CHECKPOINT_EVERY_ENV`].
+    checkpoint_every: AtomicU64,
 }
 
 /// Hook invoked with each block just before it is indexed (see
@@ -148,6 +164,7 @@ impl Ledger {
     /// written by a ledger with the same configuration). The system
     /// tracking indexes on `SenID` and `Tname` are created immediately.
     pub fn new(store: Arc<BlockStore>, signer: MacKeypair) -> Result<Self, LedgerError> {
+        let opened = Instant::now();
         let cached = Arc::new(CachedStore::new(Arc::clone(&store), CacheMode::None));
         let ledger = Ledger {
             store,
@@ -163,41 +180,97 @@ impl Ledger {
             height_watch: Mutex::new(()),
             height_cv: Condvar::new(),
             index_fault: RwLock::new(None),
+            checkpoint_every: AtomicU64::new(checkpoint_every_from_env()),
         };
+        // Attach frozen prefixes first: each valid index checkpoint
+        // behind the manifest commit point replaces replaying the
+        // blocks it covers. Stale or corrupt checkpoints come back as
+        // `None` (the store already deleted them) and that family
+        // rebuilds from block zero.
+        let mut frozen_loaded = 0usize;
+        if let Some(r) = ledger.store.load_index_checkpoint(&family_block())? {
+            *ledger.block_index.write() = BlockLevelIndex::from_frozen(r);
+            frozen_loaded += 1;
+        }
+        if let Some(r) = ledger.store.load_index_checkpoint(&family_table())? {
+            *ledger.table_index.write() = TableBitmapIndex::from_frozen(r);
+            frozen_loaded += 1;
+        }
         {
             let chain = &ledger.shards[INDEX_SHARDS];
             let mut layered = chain.layered.write();
-            layered.insert(
-                (None, "sen_id".into()),
-                LayeredIndex::new_discrete(None, ColumnRef::SenId),
-            );
-            layered.insert(
-                (None, "tname".into()),
-                LayeredIndex::new_discrete(None, ColumnRef::Tname),
-            );
             let mut alis = chain.alis.write();
-            alis.insert(
-                (None, "sen_id".into()),
-                AuthenticatedLayeredIndex::new_discrete(None, ColumnRef::SenId),
-            );
-            alis.insert(
-                (None, "tname".into()),
-                AuthenticatedLayeredIndex::new_discrete(None, ColumnRef::Tname),
-            );
+            for (name, col) in [("sen_id", ColumnRef::SenId), ("tname", ColumnRef::Tname)] {
+                let idx = match ledger
+                    .store
+                    .load_index_checkpoint(&family_layered(None, name))?
+                {
+                    Some(r) => {
+                        frozen_loaded += 1;
+                        LayeredIndex::from_frozen(None, col, r)
+                    }
+                    None => LayeredIndex::new_discrete(None, col),
+                };
+                layered.insert((None, name.into()), idx);
+                let ali = match ledger
+                    .store
+                    .load_index_checkpoint(&family_ali(None, name))?
+                {
+                    Some(r) => {
+                        frozen_loaded += 1;
+                        AuthenticatedLayeredIndex::from_frozen(None, col, r)
+                    }
+                    None => AuthenticatedLayeredIndex::new_discrete(None, col),
+                };
+                alis.insert((None, name.into()), ali);
+            }
         }
-        // Rebuild indexes from any existing blocks (restart path). A
-        // crash between persist and index leaves blocks on disk with no
-        // index entries; this replay makes them whole again, so the
-        // applied height always restarts equal to the persisted height.
-        for bid in 0..ledger.store.height() {
+        // Rebuild indexes from blocks past the lowest frozen height
+        // (restart path). A crash between persist and index leaves
+        // blocks on disk with no index entries; this replay makes them
+        // whole again, so the applied height always restarts equal to
+        // the persisted height. Families whose checkpoints reach past
+        // the replay floor skip the blocks they already cover, so with
+        // up-to-date checkpoints the replayed tail is O(cadence), not
+        // O(chain).
+        let height = ledger.store.height();
+        let replay_from = ledger.replay_floor().min(height);
+        for bid in replay_from..height {
             let block = ledger.store.read(bid)?;
             ledger.index_block(&block);
-            *ledger.last_hash.write() = block.header.block_hash;
         }
+        if height > 0 {
+            *ledger.last_hash.write() = ledger.store.read(height - 1)?.header.block_hash;
+        }
+        ledger.applied.store(height, Ordering::Release);
         ledger
-            .applied
-            .store(ledger.store.height(), Ordering::Release);
+            .store
+            .stats
+            .open_millis
+            .store(opened.elapsed().as_millis() as u64, Ordering::Relaxed);
+        if frozen_loaded > 0 {
+            eprintln!(
+                "sebdb: ledger open loaded {frozen_loaded} index checkpoint(s), replayed {} tail block(s)",
+                height - replay_from
+            );
+        }
         Ok(ledger)
+    }
+
+    /// Lowest chain height any index family has state for — the block
+    /// the restart replay must resume from.
+    fn replay_floor(&self) -> u64 {
+        let mut floor = self.block_index.read().len() as u64;
+        floor = floor.min(self.table_index.read().blocks_seen());
+        for shard in &self.shards {
+            for idx in shard.layered.read().values() {
+                floor = floor.min(idx.covered());
+            }
+            for ali in shard.alis.read().values() {
+                floor = floor.min(ali.covered());
+            }
+        }
+        floor
     }
 
     /// Applied chain height: every block below it is persisted and
@@ -438,6 +511,11 @@ impl Ledger {
         }
         self.index_block(block);
         self.advance_applied(block.header.height + 1);
+        if self.checkpoint_due(block.header.height + 1) {
+            // Best-effort: a failed or interrupted checkpoint leaves
+            // the previous one in place and heals at the next open.
+            let _ = self.checkpoint_indexes();
+        }
     }
 
     /// Installs (or clears) a fault-injection hook invoked with each
@@ -454,7 +532,17 @@ impl Ledger {
         // (Merkle work per bucket) dominate; giving them their own
         // worker overlaps them with the cheap bitmap updates.
         sebdb_parallel::join_all!(
-            || self.block_index.write().append(block),
+            || {
+                // Guarded so the restart replay (which resumes at the
+                // lowest frozen height across ALL families) can feed
+                // blocks an up-to-date block-index checkpoint already
+                // covers; the other families skip covered blocks
+                // internally.
+                let mut bi = self.block_index.write();
+                if block.header.height >= bi.len() as u64 {
+                    bi.append(block);
+                }
+            },
             || self.table_index.write().update(block),
             || {
                 for shard in &self.shards {
@@ -511,6 +599,9 @@ impl Ledger {
                 }
             }
         );
+        if self.checkpoint_due(block.header.height + 1) {
+            let _ = self.checkpoint_chain_families();
+        }
     }
 
     /// Lane `lane`-of-`lanes`' relation share of indexing `block`:
@@ -540,6 +631,130 @@ impl Ledger {
                 ali.update_rows(block, covered.map_or(NO_ROWS, |r| r.as_slice()));
             }
         }
+        if self.checkpoint_due(block.header.height + 1) {
+            for s in (0..INDEX_SHARDS).filter(|s| s % lanes == lane) {
+                let _ = self.checkpoint_shard(s);
+            }
+        }
+    }
+
+    /// Whether the automatic checkpoint cadence fires once `covered`
+    /// blocks are indexed.
+    fn checkpoint_due(&self, covered: u64) -> bool {
+        let every = self.checkpoint_every.load(Ordering::Relaxed);
+        every > 0 && covered.is_multiple_of(every)
+    }
+
+    /// Sets the automatic index-checkpoint cadence in blocks (`0`
+    /// disables it; the constructor seeds it from
+    /// [`INDEX_CHECKPOINT_EVERY_ENV`]).
+    pub fn set_checkpoint_every(&self, every: u64) {
+        self.checkpoint_every.store(every, Ordering::Relaxed);
+    }
+
+    /// Writes one family's checkpoint behind the `.tmp` → rename commit
+    /// point and re-opens it; `None` on the in-memory backend (which
+    /// keeps every family fully resident).
+    fn publish_checkpoint(
+        &self,
+        cp: &sebdb_storage::IndexCheckpoint,
+    ) -> Result<Option<sebdb_storage::PagedIndexReader>, LedgerError> {
+        self.store.write_index_checkpoint(cp)?;
+        Ok(self.store.load_index_checkpoint(&cp.family)?)
+    }
+
+    /// Freezes the chain-level families — the block-level B⁺-tree, the
+    /// table bitmaps, and the chain shard's system indexes — into
+    /// on-disk checkpoints, dropping their resident tails. Returns how
+    /// many checkpoints were published. Lane 0 of a pipeline owns
+    /// exactly these families, so it may call this concurrently with
+    /// relation lanes checkpointing their own shards.
+    pub fn checkpoint_chain_families(&self) -> Result<usize, LedgerError> {
+        let mut published = 0;
+        {
+            let mut bi = self.block_index.write();
+            if let Some(r) = self.publish_checkpoint(&bi.checkpoint())? {
+                bi.adopt_frozen(r);
+                published += 1;
+            }
+        }
+        {
+            let mut ti = self.table_index.write();
+            if let Some(r) = self.publish_checkpoint(&ti.checkpoint())? {
+                ti.adopt_frozen(r);
+                published += 1;
+            }
+        }
+        Ok(published + self.checkpoint_shard_slot(INDEX_SHARDS)?)
+    }
+
+    /// Freezes every layered/ALI family living in relation shard `s`
+    /// (`s < INDEX_SHARDS`). Lane `s % lanes` of a pipeline owns the
+    /// shard, so distinct lanes checkpoint disjoint families.
+    pub fn checkpoint_shard(&self, s: usize) -> Result<usize, LedgerError> {
+        assert!(s < INDEX_SHARDS, "relation shard out of range");
+        self.checkpoint_shard_slot(s)
+    }
+
+    fn checkpoint_shard_slot(&self, s: usize) -> Result<usize, LedgerError> {
+        let shard = &self.shards[s];
+        let mut published = 0;
+        {
+            let mut layered = shard.layered.write();
+            for idx in layered.values_mut() {
+                if let Some(r) = self.publish_checkpoint(&idx.checkpoint())? {
+                    idx.adopt_frozen(r);
+                    published += 1;
+                }
+            }
+        }
+        {
+            let mut alis = shard.alis.write();
+            for ali in alis.values_mut() {
+                if let Some(r) = self.publish_checkpoint(&ali.checkpoint())? {
+                    ali.adopt_frozen(r);
+                    published += 1;
+                }
+            }
+        }
+        Ok(published)
+    }
+
+    /// Freezes every index family into an on-disk checkpoint (chain
+    /// families plus all relation shards); subsequent opens replay only
+    /// blocks indexed after this point. Returns how many checkpoints
+    /// were published (0 on the in-memory backend).
+    pub fn checkpoint_indexes(&self) -> Result<usize, LedgerError> {
+        let mut published = self.checkpoint_chain_families()?;
+        for s in 0..INDEX_SHARDS {
+            published += self.checkpoint_shard_slot(s)?;
+        }
+        Ok(published)
+    }
+
+    /// Resident bytes across every index family: tail structures plus
+    /// each frozen checkpoint's fence/meta top level. Paged level-1
+    /// index blocks live in the store's bounded index-block cache and
+    /// are counted there ([`sebdb_storage::IndexBlockCache`]), not
+    /// here.
+    pub fn index_memory_bytes(&self) -> usize {
+        let mut bytes =
+            self.block_index.read().memory_bytes() + self.table_index.read().memory_bytes();
+        for shard in &self.shards {
+            bytes += shard
+                .layered
+                .read()
+                .values()
+                .map(|i| i.memory_bytes())
+                .sum::<usize>();
+            bytes += shard
+                .alis
+                .read()
+                .values()
+                .map(|a| a.memory_bytes())
+                .sum::<usize>();
+        }
+        bytes
     }
 
     /// Installs a fresh all-zero applied-height vector with one slot
@@ -630,28 +845,52 @@ impl Ledger {
             return Ok(());
         }
         let continuous = col.data_type(schema).is_continuous();
-        let (mut layered, mut ali) = if continuous {
+        // A previous run of this node may have checkpointed the same
+        // family; reattaching the frozen prefix turns the replay below
+        // into a tail replay. The histogram travels in the checkpoint
+        // meta, so sampling only happens when a family starts cold.
+        let slug = column_slug(&col);
+        let frozen_layered = self
+            .store
+            .load_index_checkpoint(&family_layered(Some(&schema.name), &slug))?;
+        let frozen_ali = self
+            .store
+            .load_index_checkpoint(&family_ali(Some(&schema.name), &slug))?;
+        let hist = if continuous && (frozen_layered.is_none() || frozen_ali.is_none()) {
             let sample = match sample {
                 Some(s) => s,
                 None => self.sample_ranks(schema, col)?,
             };
-            let hist = EqualDepthHistogram::from_sample(sample, DEFAULT_HISTOGRAM_BUCKETS);
-            (
-                LayeredIndex::new_continuous(Some(schema.name.clone()), col, hist.clone()),
-                AuthenticatedLayeredIndex::new_continuous(Some(schema.name.clone()), col, hist),
-            )
+            Some(EqualDepthHistogram::from_sample(
+                sample,
+                DEFAULT_HISTOGRAM_BUCKETS,
+            ))
         } else {
-            (
-                LayeredIndex::new_discrete(Some(schema.name.clone()), col),
-                AuthenticatedLayeredIndex::new_discrete(Some(schema.name.clone()), col),
-            )
+            None
+        };
+        let mut layered = match (frozen_layered, &hist) {
+            (Some(r), _) => LayeredIndex::from_frozen(Some(schema.name.clone()), col, r),
+            (None, Some(h)) => {
+                LayeredIndex::new_continuous(Some(schema.name.clone()), col, h.clone())
+            }
+            (None, None) => LayeredIndex::new_discrete(Some(schema.name.clone()), col),
+        };
+        let mut ali = match (frozen_ali, hist) {
+            (Some(r), _) => {
+                AuthenticatedLayeredIndex::from_frozen(Some(schema.name.clone()), col, r)
+            }
+            (None, Some(h)) => {
+                AuthenticatedLayeredIndex::new_continuous(Some(schema.name.clone()), col, h)
+            }
+            (None, None) => AuthenticatedLayeredIndex::new_discrete(Some(schema.name.clone()), col),
         };
         // Replay only applied blocks: a block the pipeline has persisted
         // but not yet indexed will reach the new index through
         // `index_appended` once it is registered below. (Index creation
         // is a control-plane operation; callers run it with the applier
-        // quiescent, as before.)
-        for bid in 0..self.height() {
+        // quiescent, as before.) Each structure skips blocks its frozen
+        // prefix already covers.
+        for bid in layered.covered().min(ali.covered())..self.height() {
             let block = self.store.read(bid)?;
             layered.update(&block);
             ali.update(&block);

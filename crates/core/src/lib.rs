@@ -36,7 +36,7 @@ pub mod thin_client;
 pub use access::{AccessController, AccessDenied, Permission};
 pub use contract::{Contract, ContractError, ContractRegistry};
 pub use executor::{ExecError, Executor, QueryResult, Strategy};
-pub use ledger::{shard_of, Ledger, LedgerError, INDEX_SHARDS};
+pub use ledger::{shard_of, Ledger, LedgerError, INDEX_CHECKPOINT_EVERY_ENV, INDEX_SHARDS};
 pub use node::{ExecOutcome, NodeError, SebdbNode};
 pub use pipeline::{
     applier_lanes_from_env, auto_applier_lanes, auto_pipeline_depth, pipeline_depth_from_env,

@@ -6,15 +6,27 @@
 //! height `h` touches only blocks `< h`, and the auxiliary full node's
 //! digest is the hash of the concatenation of the MB-tree roots of
 //! exactly the blocks the query must visit.
+//!
+//! Paged backend (DESIGN §13): frozen blocks keep their sorted leaf
+//! entries and 32-byte MB-roots in the checkpoint. Roots answer
+//! auxiliary/pruning queries without touching leaf data; a frozen
+//! block's tree is rebuilt from its stored leaves only when a VO must
+//! be produced for it (`MbTree::build` sorts stably over the already
+//! sorted list, so the rebuilt tree is byte-identical).
 
 use crate::bitmap::Bitmap;
 use crate::histogram::EqualDepthHistogram;
 use crate::layered::KeyPredicate;
 use crate::mbtree::{AuthEntry, MbTree, RangeProof, VerifyError, DEFAULT_FANOUT};
+use crate::paged::{
+    auth_entries_bytes, auth_entries_from_bytes, bid_key, bitmap_bytes, bitmap_from_bytes,
+    bucket_key, column_slug, decode_value_key, family_ali, frozen_bitmap, read_fail, value_key,
+    TAG_ALL_BLOCKS, TAG_BLOCK_BUCKETS, TAG_BLOCK_ENTRIES, TAG_BLOCK_ROOT, TAG_VALUE_BLOCKS,
+};
 use sebdb_crypto::sha256::{Digest, Sha256};
-use sebdb_storage::TxPtr;
-use sebdb_types::{Block, BlockId, ColumnRef, Value};
-use std::collections::HashMap;
+use sebdb_storage::{IndexCheckpoint, PagedIndexReader, TxPtr};
+use sebdb_types::{Block, BlockId, ColumnRef, Decoder, Encoder, Value};
+use std::collections::{BTreeMap, HashMap};
 
 /// Authenticated layered index over one attribute.
 #[derive(Debug)]
@@ -24,10 +36,14 @@ pub struct AuthenticatedLayeredIndex {
     /// Indexed column.
     pub column: ColumnRef,
     fanout: usize,
+    /// Continuous first level; bitmaps are tail-relative
+    /// (slot = bid − base).
     first_continuous: Option<(EqualDepthHistogram, Vec<Option<Bitmap>>)>,
+    /// Discrete first level; bitmaps are tail-relative.
     first_discrete: Option<HashMap<Value, Bitmap>>,
-    /// Per-block MB-trees.
+    /// Per-block MB-trees for the tail (slot = bid − base).
     trees: Vec<Option<MbTree>>,
+    frozen: Option<(PagedIndexReader, u64)>,
 }
 
 /// The verification object returned by a full node for one
@@ -91,6 +107,50 @@ pub fn auxiliary_digest(roots: &[(BlockId, Digest)]) -> Digest {
     h.finalize()
 }
 
+/// Checkpoint meta: fanout + kind tag (+ histogram bounds when
+/// continuous).
+fn encode_meta(fanout: usize, continuous: Option<&EqualDepthHistogram>) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u32(fanout as u32);
+    match continuous {
+        Some(hist) => {
+            enc.put_u8(0);
+            enc.put_u32(hist.bounds().len() as u32);
+            for b in hist.bounds() {
+                enc.put_i64(*b);
+            }
+        }
+        None => enc.put_u8(1),
+    }
+    enc.finish()
+}
+
+/// Rebuilds `(fanout, continuous histogram)` out of checkpoint meta.
+fn decode_meta(meta: &[u8]) -> (usize, Option<EqualDepthHistogram>) {
+    let mut dec = Decoder::new(meta);
+    let parse = |dec: &mut Decoder<'_>| -> Result<
+        (usize, Option<EqualDepthHistogram>),
+        sebdb_types::TypeError,
+    > {
+        let fanout = dec.get_u32("ali meta fanout")? as usize;
+        match dec.get_u8("ali meta kind")? {
+            0 => {
+                let n = dec.get_u32("ali meta bounds")?;
+                let mut bounds = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    bounds.push(dec.get_i64("ali meta bound")?);
+                }
+                Ok((fanout, Some(EqualDepthHistogram::from_bounds(bounds))))
+            }
+            _ => Ok((fanout, None)),
+        }
+    };
+    match parse(&mut dec) {
+        Ok(v) => v,
+        Err(e) => panic!("ali checkpoint meta failed to decode: {e}"),
+    }
+}
+
 impl AuthenticatedLayeredIndex {
     /// Continuous-attribute ALI.
     pub fn new_continuous(
@@ -105,6 +165,7 @@ impl AuthenticatedLayeredIndex {
             first_continuous: Some((hist, Vec::new())),
             first_discrete: None,
             trees: Vec::new(),
+            frozen: None,
         }
     }
 
@@ -117,7 +178,58 @@ impl AuthenticatedLayeredIndex {
             first_continuous: None,
             first_discrete: Some(HashMap::new()),
             trees: Vec::new(),
+            frozen: None,
         }
+    }
+
+    /// Rebuilds an ALI from a frozen checkpoint; fanout and kind come
+    /// from the checkpoint meta, the tail starts empty.
+    pub fn from_frozen(table: Option<String>, column: ColumnRef, reader: PagedIndexReader) -> Self {
+        let (fanout, hist) = decode_meta(reader.meta());
+        let base = reader.height();
+        AuthenticatedLayeredIndex {
+            table,
+            column,
+            fanout,
+            first_discrete: hist.is_none().then(HashMap::new),
+            first_continuous: hist.map(|h| (h, Vec::new())),
+            trees: Vec::new(),
+            frozen: Some((reader, base)),
+        }
+    }
+
+    /// Freezes the state covered so far behind a newly written
+    /// checkpoint; the reader must cover exactly [`Self::covered`].
+    pub fn adopt_frozen(&mut self, reader: PagedIndexReader) {
+        assert_eq!(
+            reader.height(),
+            self.covered(),
+            "adopting a checkpoint that does not match the indexed height"
+        );
+        let base = reader.height();
+        if let Some((_, entries)) = &mut self.first_continuous {
+            entries.clear();
+        }
+        if let Some(per_value) = &mut self.first_discrete {
+            per_value.clear();
+        }
+        self.trees.clear();
+        self.frozen = Some((reader, base));
+    }
+
+    /// First tail block: blocks below this are frozen.
+    fn base(&self) -> u64 {
+        self.frozen.as_ref().map(|(_, b)| *b).unwrap_or(0)
+    }
+
+    /// Chain height this index has state for (`base + tail length`).
+    pub fn covered(&self) -> u64 {
+        self.base() + self.trees.len() as u64
+    }
+
+    /// The family name of this index's checkpoint file.
+    pub fn family(&self) -> Vec<u8> {
+        family_ali(self.table.as_deref(), &column_slug(&self.column))
     }
 
     /// MB-tree fanout (needed by clients to verify).
@@ -147,11 +259,16 @@ impl AuthenticatedLayeredIndex {
     /// relation; the caller guarantees they are exactly the covered
     /// positions, making this equivalent to [`Self::update`].
     pub fn update_rows(&mut self, block: &Block, rows: &[u32]) {
-        let bid = block.header.height as usize;
-        if self.trees.len() <= bid {
-            self.trees.resize_with(bid + 1, || None);
+        let bid = block.header.height;
+        let base = self.base();
+        if bid < base {
+            return;
+        }
+        let slot = (bid - base) as usize;
+        if self.trees.len() <= slot {
+            self.trees.resize_with(slot + 1, || None);
             if let Some((_, entries)) = &mut self.first_continuous {
-                entries.resize_with(bid + 1, || None);
+                entries.resize_with(slot + 1, || None);
             }
         }
         let mut auth_entries: Vec<AuthEntry> = Vec::new();
@@ -184,37 +301,53 @@ impl AuthenticatedLayeredIndex {
                     bucket_map.set(hist.bucket_of(rank));
                 }
             }
-            entries[bid] = Some(bucket_map);
+            entries[slot] = Some(bucket_map);
         }
         if let Some(per_value) = &mut self.first_discrete {
             for e in &auth_entries {
-                per_value.entry(e.key.clone()).or_default().set(bid);
+                per_value.entry(e.key.clone()).or_default().set(slot);
             }
         }
-        self.trees[bid] = Some(MbTree::build(auth_entries, self.fanout));
+        self.trees[slot] = Some(MbTree::build(auth_entries, self.fanout));
+    }
+
+    /// Blocks with any indexed entries (frozen ∪ tail), absolute.
+    fn all_blocks(&self) -> Bitmap {
+        let mut out = match &self.frozen {
+            Some((r, _)) => frozen_bitmap(r, "ali all-blocks bitmap", &[TAG_ALL_BLOCKS]),
+            None => Bitmap::new(),
+        };
+        let base = self.base() as usize;
+        for (slot, t) in self.trees.iter().enumerate() {
+            if t.is_some() {
+                out.set(base + slot);
+            }
+        }
+        out
     }
 
     /// First-level pruning, as in the plain layered index.
     pub fn candidate_blocks(&self, pred: &KeyPredicate) -> Bitmap {
+        let base = self.base() as usize;
         if let Some((hist, entries)) = &self.first_continuous {
             let (lo, hi) = pred.bounds();
             let (Some(lo_r), Some(hi_r)) = (lo.numeric_rank(), hi.numeric_rank()) else {
-                let mut out = Bitmap::new();
-                for (bid, e) in entries.iter().enumerate() {
-                    if e.is_some() {
-                        out.set(bid);
-                    }
-                }
-                return out;
+                // Non-numeric probe on a continuous index: no pruning.
+                return self.all_blocks();
             };
             let range = hist.buckets_for_range(lo_r, hi_r);
             let mut probe = Bitmap::with_capacity(hist.bucket_count());
             probe.set_range(*range.start(), *range.end());
             let mut out = Bitmap::new();
-            for (bid, e) in entries.iter().enumerate() {
+            if let Some((r, _)) = &self.frozen {
+                for bucket in range {
+                    out.or_assign(&frozen_bitmap(r, "ali bucket bitmap", &bucket_key(bucket)));
+                }
+            }
+            for (slot, e) in entries.iter().enumerate() {
                 if let Some(e) = e {
                     if e.intersects(&probe) {
-                        out.set(bid);
+                        out.set(base + slot);
                     }
                 }
             }
@@ -222,12 +355,32 @@ impl AuthenticatedLayeredIndex {
         }
         if let Some(per_value) = &self.first_discrete {
             return match pred {
-                KeyPredicate::Eq(v) => per_value.get(v).cloned().unwrap_or_default(),
+                KeyPredicate::Eq(v) => {
+                    let mut out = match &self.frozen {
+                        Some((r, _)) => frozen_bitmap(r, "ali value bitmap", &value_key(v)),
+                        None => Bitmap::new(),
+                    };
+                    if let Some(bits) = per_value.get(v) {
+                        out.or_assign_shifted(bits, base);
+                    }
+                    out
+                }
                 KeyPredicate::Range(lo, hi) => {
                     let mut out = Bitmap::new();
+                    if let Some((r, _)) = &self.frozen {
+                        read_fail(
+                            "ali value sweep",
+                            r.scan_prefix(&[TAG_VALUE_BLOCKS], &mut |k, bytes| {
+                                let v = decode_value_key(k);
+                                if &v >= lo && &v <= hi {
+                                    out.or_assign(&bitmap_from_bytes(bytes));
+                                }
+                            }),
+                        );
+                    }
                     for (v, bits) in per_value {
                         if v >= lo && v <= hi {
-                            out.or_assign(bits);
+                            out.or_assign_shifted(bits, base);
                         }
                     }
                     out
@@ -238,12 +391,34 @@ impl AuthenticatedLayeredIndex {
     }
 
     /// The MB-tree root of block `bid` (ZERO if the block has no
-    /// indexed entries).
+    /// indexed entries). Frozen blocks answer from their stored root
+    /// without touching leaf data.
     pub fn mb_root(&self, bid: BlockId) -> Digest {
-        match self.trees.get(bid as usize) {
+        let base = self.base();
+        if bid < base {
+            let Some((r, _)) = &self.frozen else {
+                return Digest::ZERO;
+            };
+            return match read_fail("ali mb root", r.get(&bid_key(TAG_BLOCK_ROOT, bid))) {
+                Some(bytes) => {
+                    let mut d = [0u8; 32];
+                    d.copy_from_slice(&bytes[..32]);
+                    Digest(d)
+                }
+                None => Digest::ZERO,
+            };
+        }
+        match self.trees.get((bid - base) as usize) {
             Some(Some(t)) => t.root(),
             _ => Digest::ZERO,
         }
+    }
+
+    /// Rebuilds one frozen block's MB-tree from its stored leaf level.
+    fn frozen_tree(&self, bid: BlockId) -> Option<MbTree> {
+        let (r, _) = self.frozen.as_ref()?;
+        read_fail("ali block entries", r.get(&bid_key(TAG_BLOCK_ENTRIES, bid)))
+            .map(|bytes| MbTree::build(auth_entries_from_bytes(&bytes), self.fanout))
     }
 
     /// Phase 1 (full node): execute `pred` over blocks `mask ∩
@@ -259,13 +434,26 @@ impl AuthenticatedLayeredIndex {
             cand = cand.and(mask);
         }
         let (lo, hi) = pred.bounds();
+        let base = self.base();
         let mut per_block = Vec::new();
         for bid in cand.iter_ones() {
             if bid as BlockId >= height {
                 break;
             }
-            let Some(Some(tree)) = self.trees.get(bid) else {
-                continue;
+            let rebuilt;
+            let tree = if (bid as BlockId) < base {
+                match self.frozen_tree(bid as BlockId) {
+                    Some(t) => {
+                        rebuilt = t;
+                        &rebuilt
+                    }
+                    None => continue,
+                }
+            } else {
+                match self.trees.get(bid - base as usize) {
+                    Some(Some(t)) => t,
+                    _ => continue,
+                }
             };
             let (results, proof) = tree.range_query(lo, hi);
             per_block.push(BlockVo {
@@ -296,6 +484,103 @@ impl AuthenticatedLayeredIndex {
             .map(|bid| (bid as BlockId, self.mb_root(bid as BlockId)))
             .collect();
         auxiliary_digest(&roots)
+    }
+
+    /// Resident bytes (tail structures + frozen fence/meta top level).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        if let Some((hist, entries)) = &self.first_continuous {
+            bytes += hist.bounds().len() * 8;
+            for e in entries.iter().flatten() {
+                bytes += e.byte_len();
+            }
+        }
+        if let Some(per_value) = &self.first_discrete {
+            for (v, bits) in per_value {
+                bytes += crate::paged::value_resident_bytes(v) + bits.byte_len();
+            }
+        }
+        for tree in self.trees.iter().flatten() {
+            for e in tree.entries() {
+                bytes += crate::paged::value_resident_bytes(&e.key) + 32 + 16;
+            }
+            // Interior digest levels: ≈ n/(fanout-1) digests.
+            bytes += tree.len() * 32 / self.fanout.saturating_sub(1).max(1);
+        }
+        if let Some((r, _)) = &self.frozen {
+            bytes += r.memory_bytes();
+        }
+        bytes
+    }
+
+    /// Freezes the complete state (frozen ∪ tail) into one checkpoint
+    /// covering `[0, covered)`.
+    pub fn checkpoint(&self) -> IndexCheckpoint {
+        let mut map: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        if let Some((r, _)) = &self.frozen {
+            read_fail(
+                "ali checkpoint sweep",
+                r.scan_range(&[], None, &mut |k, v| {
+                    map.insert(k.to_vec(), v.to_vec());
+                }),
+            );
+        }
+        let base = self.base();
+        if let Some((hist, entries)) = &self.first_continuous {
+            let mut bucket_blocks: Vec<Bitmap> = vec![Bitmap::new(); hist.bucket_count()];
+            for (slot, e) in entries.iter().enumerate() {
+                let Some(e) = e else { continue };
+                map.insert(
+                    bid_key(TAG_BLOCK_BUCKETS, base + slot as u64),
+                    bitmap_bytes(e),
+                );
+                for bucket in e.iter_ones() {
+                    bucket_blocks[bucket].set(base as usize + slot);
+                }
+            }
+            for (bucket, tail_bits) in bucket_blocks.iter().enumerate() {
+                if tail_bits.is_empty() {
+                    continue;
+                }
+                let key = bucket_key(bucket);
+                let mut merged = map
+                    .get(&key)
+                    .map(|b| bitmap_from_bytes(b))
+                    .unwrap_or_default();
+                merged.or_assign(tail_bits);
+                map.insert(key, bitmap_bytes(&merged));
+            }
+        }
+        if let Some(per_value) = &self.first_discrete {
+            for (v, tail_bits) in per_value {
+                let key = value_key(v);
+                let mut merged = map
+                    .get(&key)
+                    .map(|b| bitmap_from_bytes(b))
+                    .unwrap_or_default();
+                merged.or_assign_shifted(tail_bits, base as usize);
+                map.insert(key, bitmap_bytes(&merged));
+            }
+        }
+        for (slot, tree) in self.trees.iter().enumerate() {
+            let Some(tree) = tree else { continue };
+            let bid = base + slot as u64;
+            map.insert(
+                bid_key(TAG_BLOCK_ENTRIES, bid),
+                auth_entries_bytes(tree.entries()),
+            );
+            map.insert(
+                bid_key(TAG_BLOCK_ROOT, bid),
+                tree.root().as_bytes().to_vec(),
+            );
+        }
+        map.insert(vec![TAG_ALL_BLOCKS], bitmap_bytes(&self.all_blocks()));
+        IndexCheckpoint {
+            family: self.family(),
+            height: self.covered(),
+            meta: encode_meta(self.fanout, self.first_continuous.as_ref().map(|(h, _)| h)),
+            entries: map.into_iter().collect(),
+        }
     }
 }
 
@@ -444,5 +729,25 @@ mod tests {
         let pred = KeyPredicate::Range(Value::decimal(50), Value::decimal(350));
         let vo = ali.authenticated_query(&pred, None, 1);
         assert!(vo.byte_len() > 0);
+    }
+
+    #[test]
+    fn checkpoint_captures_roots_and_entries() {
+        let ali = ali_with_blocks(&[&[100, 200], &[300]]);
+        let cp = ali.checkpoint();
+        assert_eq!(cp.height, 2);
+        assert_eq!(cp.family, family_ali(Some("donate"), "app2"));
+        assert!(cp.entries.windows(2).all(|w| w[0].0 < w[1].0));
+        // Per block: buckets + entries + root; plus all-blocks + bucket
+        // inversions.
+        assert!(cp.entries.len() >= 7);
+        // Leaf lists round-trip through the codec.
+        let (_, bytes) = cp
+            .entries
+            .iter()
+            .find(|(k, _)| k[0] == TAG_BLOCK_ENTRIES)
+            .unwrap();
+        let entries = auth_entries_from_bytes(bytes);
+        assert_eq!(MbTree::build(entries, ali.fanout()).root(), ali.mb_root(0));
     }
 }

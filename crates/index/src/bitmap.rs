@@ -121,6 +121,25 @@ impl Bitmap {
     pub fn byte_len(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// The raw words, low bit = bit 0 (checkpoint serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from raw words (checkpoint deserialization).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        Bitmap { words }
+    }
+
+    /// ORs `other`'s bits into `self` with every position shifted up by
+    /// `shift` — merges a base-relative tail bitmap into an
+    /// absolute-block view.
+    pub fn or_assign_shifted(&mut self, other: &Bitmap, shift: usize) {
+        for i in other.iter_ones() {
+            self.set(i + shift);
+        }
+    }
 }
 
 impl FromIterator<usize> for Bitmap {

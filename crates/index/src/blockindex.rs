@@ -5,9 +5,16 @@
 //! so the same tree resolves a block id, a transaction id, or a
 //! timestamp to the target block ("we go from the root down to the
 //! leaf node to get the location of the target block").
+//!
+//! Paged backend (DESIGN §13): appends only ever touch the rightmost
+//! edge, so the resident tail is a plain sorted vector (operationally
+//! identical to the B⁺-tree under monotone appends) and the frozen
+//! prefix is served from an on-disk checkpoint whose fence-pointer top
+//! level plays the role of the tree's internal nodes.
 
-use crate::bptree::BPlusTree;
-use sebdb_types::{Block, BlockId, Timestamp, TxId};
+use crate::paged::{family_block, read_fail};
+use sebdb_storage::{IndexCheckpoint, PagedIndexReader};
+use sebdb_types::{Block, BlockId, Decoder, Encoder, Timestamp, TxId};
 
 /// The composite key `(bid, first_tid, block_ts)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -21,10 +28,41 @@ pub struct BlockKey {
     pub ts: Timestamp,
 }
 
+fn key_bytes(k: &BlockKey) -> (Vec<u8>, Vec<u8>) {
+    // BE bid key keeps byte order = numeric order for the fence search.
+    let mut val = Encoder::new();
+    val.put_u64(k.tid);
+    val.put_u64(k.ts);
+    (k.bid.to_be_bytes().to_vec(), val.finish())
+}
+
+fn key_from_bytes(key: &[u8], value: &[u8]) -> BlockKey {
+    let parse = || -> Result<BlockKey, sebdb_types::TypeError> {
+        let bid = u64::from_be_bytes(key.try_into().map_err(|_| {
+            sebdb_types::TypeError::UnexpectedEof {
+                context: "block index key",
+            }
+        })?);
+        let mut dec = Decoder::new(value);
+        Ok(BlockKey {
+            bid,
+            tid: dec.get_u64("block index tid")?,
+            ts: dec.get_u64("block index ts")?,
+        })
+    };
+    match parse() {
+        Ok(k) => k,
+        Err(e) => panic!("block index checkpoint entry failed to decode: {e}"),
+    }
+}
+
 /// Block-level index: resolves bid / tid / timestamp probes to blocks.
 #[derive(Debug, Default)]
 pub struct BlockLevelIndex {
-    tree: BPlusTree<BlockKey, ()>,
+    /// Resident tail, ascending on every key component; holds blocks
+    /// `[base, covered)`.
+    tail: Vec<BlockKey>,
+    frozen: Option<PagedIndexReader>,
     last: Option<BlockKey>,
 }
 
@@ -34,14 +72,54 @@ impl BlockLevelIndex {
         Self::default()
     }
 
+    /// Rebuilds an index from a frozen checkpoint; the tail starts
+    /// empty at the checkpoint height.
+    pub fn from_frozen(reader: PagedIndexReader) -> Self {
+        let last = (!reader.meta().is_empty()).then(|| {
+            let mut dec = Decoder::new(reader.meta());
+            let parse = |d: &mut Decoder<'_>| -> Result<BlockKey, sebdb_types::TypeError> {
+                Ok(BlockKey {
+                    bid: d.get_u64("block index meta bid")?,
+                    tid: d.get_u64("block index meta tid")?,
+                    ts: d.get_u64("block index meta ts")?,
+                })
+            };
+            match parse(&mut dec) {
+                Ok(k) => k,
+                Err(e) => panic!("block index checkpoint meta failed to decode: {e}"),
+            }
+        });
+        BlockLevelIndex {
+            tail: Vec::new(),
+            frozen: Some(reader),
+            last,
+        }
+    }
+
+    /// Freezes the state covered so far behind a newly written
+    /// checkpoint; the reader must cover exactly [`Self::len`] blocks.
+    pub fn adopt_frozen(&mut self, reader: PagedIndexReader) {
+        assert_eq!(
+            reader.height(),
+            self.len() as u64,
+            "adopting a checkpoint that does not match the indexed height"
+        );
+        self.tail.clear();
+        self.frozen = Some(reader);
+    }
+
+    fn frozen_count(&self) -> u64 {
+        self.frozen.as_ref().map(|f| f.entry_count()).unwrap_or(0)
+    }
+
     /// Number of indexed blocks.
     pub fn len(&self) -> usize {
-        self.tree.len()
+        (self.frozen_count() as usize) + self.tail.len()
     }
 
     /// True when no block is indexed.
     pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
+        self.len() == 0
     }
 
     /// Appends the entry for a newly chained block. Panics if the
@@ -58,27 +136,65 @@ impl BlockLevelIndex {
                 "block index append out of order: {key:?} after {last:?}"
             );
         }
-        self.tree.insert(key, ());
+        self.tail.push(key);
         self.last = Some(key);
+    }
+
+    /// The frozen key at position `i` (`i < frozen_count`).
+    fn frozen_at(&self, i: u64) -> BlockKey {
+        let f = match &self.frozen {
+            Some(f) => f,
+            None => panic!("frozen_at without a checkpoint"),
+        };
+        match read_fail("block index entry", f.entry_at(i)) {
+            Some((k, v)) => key_from_bytes(&k, &v),
+            None => panic!("block index checkpoint entry {i} out of range"),
+        }
+    }
+
+    /// Last key (frozen ∪ tail) with `field(key) ≤ probe` — the floor
+    /// search the tid/ts probes run. All key components ascend together,
+    /// so the tail/frozen split point works for every field.
+    fn floor_by(&self, probe: u64, field: fn(&BlockKey) -> u64) -> Option<BlockKey> {
+        if let Some(first) = self.tail.first() {
+            if field(first) <= probe {
+                let i = self.tail.partition_point(|k| field(k) <= probe);
+                return Some(self.tail[i - 1]);
+            }
+        }
+        // Probe precedes the tail: binary-search the frozen prefix
+        // (O(log n) fence probes through the index-block cache).
+        let n = self.frozen_count();
+        let (mut lo, mut hi) = (0u64, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if field(&self.frozen_at(mid)) <= probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            None
+        } else {
+            Some(self.frozen_at(lo - 1))
+        }
     }
 
     /// The block with id `bid`, if indexed.
     pub fn by_bid(&self, bid: BlockId) -> Option<BlockKey> {
-        self.tree
-            .floor_by(&bid, |k| k.bid)
-            .filter(|(k, _)| k.bid == bid)
-            .map(|(k, _)| *k)
+        self.floor_by(bid, |k| k.bid).filter(|k| k.bid == bid)
     }
 
     /// The block containing transaction `tid`: the last block whose
     /// first tid is ≤ `tid`.
     pub fn by_tid(&self, tid: TxId) -> Option<BlockKey> {
-        self.tree.floor_by(&tid, |k| k.tid).map(|(k, _)| *k)
+        self.floor_by(tid, |k| k.tid)
     }
 
     /// The last block packaged at or before `ts`.
     pub fn by_ts(&self, ts: Timestamp) -> Option<BlockKey> {
-        self.tree.floor_by(&ts, |k| k.ts).map(|(k, _)| *k)
+        self.floor_by(ts, |k| k.ts)
     }
 
     /// Conservative inclusive block-id range for a time window
@@ -117,6 +233,46 @@ impl BlockLevelIndex {
             return None;
         }
         Some((lo, hi))
+    }
+
+    /// Resident bytes (tail keys + frozen fence/meta top level).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.tail.capacity() * std::mem::size_of::<BlockKey>()
+            + self.frozen.as_ref().map(|f| f.memory_bytes()).unwrap_or(0)
+    }
+
+    /// Freezes the complete state (frozen ∪ tail) into one checkpoint.
+    pub fn checkpoint(&self) -> IndexCheckpoint {
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(self.len());
+        if let Some(f) = &self.frozen {
+            read_fail(
+                "block index checkpoint sweep",
+                f.scan_range(&[], None, &mut |k, v| {
+                    entries.push((k.to_vec(), v.to_vec()));
+                }),
+            );
+        }
+        for k in &self.tail {
+            let (key, val) = key_bytes(k);
+            entries.push((key, val));
+        }
+        let meta = match &self.last {
+            Some(k) => {
+                let mut enc = Encoder::new();
+                enc.put_u64(k.bid);
+                enc.put_u64(k.tid);
+                enc.put_u64(k.ts);
+                enc.finish()
+            }
+            None => Vec::new(),
+        };
+        IndexCheckpoint {
+            family: family_block(),
+            height: self.len() as u64,
+            meta,
+            entries,
+        }
     }
 }
 
@@ -229,5 +385,20 @@ mod tests {
             assert!(w[0].first_tid().unwrap() < w[1].first_tid().unwrap());
             assert!(w[0].header.timestamp <= w[1].header.timestamp);
         }
+    }
+
+    #[test]
+    fn checkpoint_carries_all_keys() {
+        let idx = index(5);
+        let cp = idx.checkpoint();
+        assert_eq!(cp.height, 5);
+        assert_eq!(cp.entries.len(), 5);
+        assert_eq!(cp.family, family_block());
+        for (i, (k, v)) in cp.entries.iter().enumerate() {
+            let key = key_from_bytes(k, v);
+            assert_eq!(key.bid, i as u64);
+            assert_eq!(key, idx.by_bid(i as u64).unwrap());
+        }
+        assert!(!cp.meta.is_empty());
     }
 }

@@ -27,6 +27,13 @@ pub struct CostParams {
     /// read actually transfers now that the store serves tuple-granular
     /// preads (rather than a full chain block per tuple).
     pub tuple_bytes: u64,
+    /// In-memory probe of one frozen-index fence table, in µs — the
+    /// CPU-side part of a paged index-block access (binary search over
+    /// the resident fence array).
+    pub fence_probe_us: f64,
+    /// Expected hit rate of the index-block cache in [0, 1]; misses pay
+    /// a seek + one disk-block transfer to page the level-1 block in.
+    pub index_cache_hit_rate: f64,
 }
 
 impl Default for CostParams {
@@ -41,6 +48,8 @@ impl Default for CostParams {
             chain_block_bytes: 4 * 1024 * 1024,
             disk_block_bytes: 4 * 1024,
             tuple_bytes: 256,
+            fence_probe_us: 1.0,
+            index_cache_hit_rate: 0.9,
         }
     }
 }
@@ -80,12 +89,38 @@ impl CostParams {
         p as f64 * (self.seek_us + blocks_per_tuple * self.transfer_us)
     }
 
+    /// Cost of probing `index_blocks` level-1 blocks of a disk-resident
+    /// index: every probe binary-searches the resident fence array;
+    /// cache misses additionally seek and transfer one disk block
+    /// (Eq. 3's per-block transfer term applied to the index itself).
+    /// With `index_cache_hit_rate = 1` this degenerates to the
+    /// in-memory probe cost — the `cache=∞` reference.
+    pub fn cost_index_probe(&self, index_blocks: u64) -> f64 {
+        let miss = (1.0 - self.index_cache_hit_rate).clamp(0.0, 1.0);
+        index_blocks as f64 * (self.fence_probe_us + miss * (self.seek_us + self.transfer_us))
+    }
+
+    /// Eq. (3) on a paged index: the layered tuple reads plus the cost
+    /// of paging the index blocks consulted along the way.
+    pub fn cost_layered_paged(&self, p: u64, index_blocks: u64) -> f64 {
+        self.cost_layered(p) + self.cost_index_probe(index_blocks)
+    }
+
     /// Picks the cheapest path given the chain height `n`, the bitmap
-    /// candidate count `k`, and the estimated result cardinality `p`.
+    /// candidate count `k`, and the estimated result cardinality `p`,
+    /// with a fully resident layered index (`index_blocks = 0`).
     pub fn choose(&self, n: u64, k: u64, p: u64) -> AccessPath {
+        self.choose_paged(n, k, p, 0)
+    }
+
+    /// [`Self::choose`] for a disk-resident layered index that must
+    /// page in an estimated `index_blocks` level-1 index blocks along
+    /// the way. The scan and bitmap paths never consult the layered
+    /// index, so only the layered term moves.
+    pub fn choose_paged(&self, n: u64, k: u64, p: u64, index_blocks: u64) -> AccessPath {
         let scan = self.cost_scan(n);
         let bitmap = self.cost_bitmap(k);
-        let layered = self.cost_layered(p);
+        let layered = self.cost_layered_paged(p, index_blocks);
         if layered <= bitmap && layered <= scan {
             AccessPath::Layered
         } else if bitmap <= scan {
@@ -145,6 +180,42 @@ mod tests {
         // At the defaults a tuple fits in one disk block, so the
         // per-tuple transfer is exactly one t_T.
         assert!((small.cost_layered(1) - (small.seek_us + small.transfer_us)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paged_probe_cost_vanishes_at_full_hit_rate() {
+        let c = CostParams {
+            index_cache_hit_rate: 1.0,
+            ..CostParams::default()
+        };
+        // Only the in-memory fence probes remain.
+        assert!((c.cost_index_probe(100) - 100.0 * c.fence_probe_us).abs() < 1e-9);
+        let cold = CostParams {
+            index_cache_hit_rate: 0.0,
+            ..CostParams::default()
+        };
+        // A cold cache pays a full random read per index block.
+        assert!(cold.cost_index_probe(10) > cold.cost_layered(9));
+        assert!(
+            cold.cost_layered_paged(100, 10) > cold.cost_layered(100),
+            "paged path must not be free"
+        );
+    }
+
+    #[test]
+    fn paged_probes_shift_the_crossover() {
+        // A cold index cache makes the layered path strictly less
+        // attractive: a (n, k, p) point that picks Layered when the
+        // index is resident flips once every candidate block also
+        // pages an index block at hit rate 0.
+        let cold = CostParams {
+            index_cache_hit_rate: 0.0,
+            ..CostParams::default()
+        };
+        let (n, k, p) = (10_000, 98, 2_000);
+        assert_eq!(cold.choose(n, k, p), AccessPath::Layered);
+        assert_eq!(cold.choose_paged(n, k, p, 0), AccessPath::Layered);
+        assert_eq!(cold.choose_paged(n, k, p, 100_000), AccessPath::Bitmap);
     }
 
     #[test]

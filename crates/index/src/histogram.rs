@@ -58,6 +58,18 @@ impl EqualDepthHistogram {
         self.bucket_of(lo)..=self.bucket_of(hi.max(lo))
     }
 
+    /// The interior boundaries (checkpoint serialization).
+    pub fn bounds(&self) -> &[i64] {
+        &self.bounds
+    }
+
+    /// Rebuilds a histogram from its boundaries (checkpoint
+    /// deserialization). Boundaries must be strictly ascending, as
+    /// [`Self::bounds`] yields them.
+    pub fn from_bounds(bounds: Vec<i64>) -> Self {
+        EqualDepthHistogram { bounds }
+    }
+
     /// The rank bounds `(lower_exclusive, upper_inclusive)` of bucket
     /// `i`; `None` means unbounded on that side.
     pub fn bucket_bounds(&self, i: usize) -> (Option<i64>, Option<i64>) {

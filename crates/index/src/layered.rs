@@ -15,13 +15,26 @@
 //! Queries intersect the first level with a block mask (e.g. a time
 //! window from the block-level index) to prune blocks, then use the
 //! per-block trees to fetch exactly the matching transactions.
+//!
+//! **Paged backend** (DESIGN §13): the index can carry a frozen
+//! on-disk checkpoint covering blocks `[0, base)`; the structures here
+//! then hold only the tail `[base, covered)`, indexed relative to
+//! `base`, and every query merges the frozen view (read lazily through
+//! the store's index-block cache) with the tail. With no checkpoint
+//! attached the index is the original fully-resident structure — the
+//! `cache=∞` reference.
 
 use crate::bitmap::Bitmap;
 use crate::bptree::BPlusTree;
 use crate::histogram::EqualDepthHistogram;
-use sebdb_storage::TxPtr;
-use sebdb_types::{Block, BlockId, ColumnRef, Transaction, Value};
-use std::collections::HashMap;
+use crate::paged::{
+    bid_key, bitmap_bytes, bitmap_from_bytes, bucket_key, column_slug, decode_value_key,
+    entries_bytes, entries_from_bytes, family_layered, frozen_bitmap, read_fail, value_key,
+    TAG_ALL_BLOCKS, TAG_BLOCK_BUCKETS, TAG_BLOCK_ENTRIES, TAG_VALUE_BLOCKS,
+};
+use sebdb_storage::{IndexCheckpoint, PagedIndexReader, TxPtr};
+use sebdb_types::{Block, BlockId, ColumnRef, Decoder, Encoder, Transaction, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Order of second-level trees: sized so a 4 KB page holds one node of
 /// ~64-byte entries (the paper's MB-tree page size, §VII-A).
@@ -56,14 +69,23 @@ impl KeyPredicate {
 enum FirstLevel {
     Continuous {
         hist: EqualDepthHistogram,
-        /// Per block: bitmap over histogram buckets (None = block holds
-        /// no indexed transactions).
+        /// Per tail block (slot `bid - base`): bitmap over histogram
+        /// buckets (None = block holds no indexed transactions).
         entries: Vec<Option<Bitmap>>,
     },
     Discrete {
-        /// Per distinct value: bitmap over blocks.
+        /// Per distinct value: bitmap over tail blocks, bit `i` =
+        /// block `base + i`.
         per_value: HashMap<Value, Bitmap>,
     },
+}
+
+/// The frozen prefix of a paged layered index.
+#[derive(Debug)]
+struct Frozen {
+    reader: PagedIndexReader,
+    /// Blocks `[0, base)` are served from the checkpoint.
+    base: u64,
 }
 
 /// A layered index on one attribute of one table (or of *all* tables
@@ -76,9 +98,53 @@ pub struct LayeredIndex {
     /// Indexed column.
     pub column: ColumnRef,
     first: FirstLevel,
-    /// Per-block second-level trees, indexed by block id.
+    /// Per-block second-level trees for the tail, slot = `bid - base`.
     second: Vec<Option<BPlusTree<Value, TxPtr>>>,
     order: usize,
+    frozen: Option<Frozen>,
+}
+
+/// Checkpoint meta: kind tag (+ histogram bounds when continuous).
+fn encode_meta(first: &FirstLevel) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    match first {
+        FirstLevel::Continuous { hist, .. } => {
+            enc.put_u8(0);
+            enc.put_u32(hist.bounds().len() as u32);
+            for b in hist.bounds() {
+                enc.put_i64(*b);
+            }
+        }
+        FirstLevel::Discrete { .. } => enc.put_u8(1),
+    }
+    enc.finish()
+}
+
+/// Rebuilds the (empty-tail) first level out of checkpoint meta.
+fn decode_meta(meta: &[u8]) -> FirstLevel {
+    let mut dec = Decoder::new(meta);
+    let parse = |dec: &mut Decoder<'_>| -> Result<FirstLevel, sebdb_types::TypeError> {
+        match dec.get_u8("layered meta kind")? {
+            0 => {
+                let n = dec.get_u32("layered meta bounds")?;
+                let mut bounds = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    bounds.push(dec.get_i64("layered meta bound")?);
+                }
+                Ok(FirstLevel::Continuous {
+                    hist: EqualDepthHistogram::from_bounds(bounds),
+                    entries: Vec::new(),
+                })
+            }
+            _ => Ok(FirstLevel::Discrete {
+                per_value: HashMap::new(),
+            }),
+        }
+    };
+    match parse(&mut dec) {
+        Ok(f) => f,
+        Err(e) => panic!("layered index checkpoint meta failed to decode: {e}"),
+    }
 }
 
 impl LayeredIndex {
@@ -99,6 +165,7 @@ impl LayeredIndex {
             },
             second: Vec::new(),
             order: SECOND_LEVEL_ORDER,
+            frozen: None,
         }
     }
 
@@ -112,7 +179,65 @@ impl LayeredIndex {
             },
             second: Vec::new(),
             order: SECOND_LEVEL_ORDER,
+            frozen: None,
         }
+    }
+
+    /// Rebuilds an index from a frozen checkpoint: kind and histogram
+    /// come from the checkpoint meta, the tail starts empty at the
+    /// checkpoint height.
+    pub fn from_frozen(table: Option<String>, column: ColumnRef, reader: PagedIndexReader) -> Self {
+        let base = reader.height();
+        LayeredIndex {
+            table,
+            column,
+            first: decode_meta(reader.meta()),
+            second: Vec::new(),
+            order: SECOND_LEVEL_ORDER,
+            frozen: Some(Frozen { reader, base }),
+        }
+    }
+
+    /// Freezes the index behind a newly written checkpoint: the tail
+    /// it covered is dropped and future queries page it back through
+    /// the reader. The reader must cover exactly [`Self::covered`].
+    pub fn adopt_frozen(&mut self, reader: PagedIndexReader) {
+        assert_eq!(
+            reader.height(),
+            self.covered(),
+            "adopting a checkpoint that does not match the indexed height"
+        );
+        let base = reader.height();
+        match &mut self.first {
+            FirstLevel::Continuous { entries, .. } => entries.clear(),
+            FirstLevel::Discrete { per_value } => per_value.clear(),
+        }
+        self.second.clear();
+        self.frozen = Some(Frozen { reader, base });
+    }
+
+    /// First tail block: blocks below this are frozen.
+    fn base(&self) -> u64 {
+        self.frozen.as_ref().map(|f| f.base).unwrap_or(0)
+    }
+
+    /// Chain height this index has state for (`base + tail length`).
+    pub fn covered(&self) -> u64 {
+        self.base() + self.second.len() as u64
+    }
+
+    /// Height of the frozen prefix: probes into blocks below this page
+    /// on-disk index blocks through the index-block cache; `0` when the
+    /// index is fully resident. The planner uses this to charge the
+    /// paged access path (Eq. 3's transfer term applied to the index
+    /// itself).
+    pub fn frozen_height(&self) -> u64 {
+        self.base()
+    }
+
+    /// The family name of this index's checkpoint file.
+    pub fn family(&self) -> Vec<u8> {
+        family_layered(self.table.as_deref(), &column_slug(&self.column))
     }
 
     /// Whether `tx` is covered by this index.
@@ -145,11 +270,18 @@ impl LayeredIndex {
     /// Equivalent to [`Self::update`] when `rows` holds exactly the
     /// covered positions, which the caller guarantees.
     pub fn update_rows(&mut self, block: &Block, rows: &[u32]) {
-        let bid = block.header.height as usize;
-        if self.second.len() <= bid {
-            self.second.resize_with(bid + 1, || None);
+        let bid = block.header.height;
+        let base = self.base();
+        if bid < base {
+            // Already frozen — replay catching up over checkpointed
+            // blocks has nothing to do.
+            return;
+        }
+        let slot = (bid - base) as usize;
+        if self.second.len() <= slot {
+            self.second.resize_with(slot + 1, || None);
             if let FirstLevel::Continuous { entries, .. } = &mut self.first {
-                entries.resize_with(bid + 1, || None);
+                entries.resize_with(slot + 1, || None);
             }
         }
 
@@ -184,17 +316,100 @@ impl LayeredIndex {
                         bucket_map.set(hist.bucket_of(rank));
                     }
                 }
-                entries[bid] = Some(bucket_map);
+                entries[slot] = Some(bucket_map);
             }
             FirstLevel::Discrete { per_value } => {
                 for (v, _) in &keyed {
-                    per_value.entry(v.clone()).or_default().set(bid);
+                    per_value.entry(v.clone()).or_default().set(slot);
                 }
             }
         }
 
         keyed.sort_by(|a, b| a.0.cmp(&b.0));
-        self.second[bid] = Some(BPlusTree::bulk_load(self.order, keyed));
+        self.second[slot] = Some(BPlusTree::bulk_load(self.order, keyed));
+    }
+
+    /// The frozen block-bucket bitmap of block `bid`, if any
+    /// (continuous indexes).
+    fn frozen_block_buckets(&self, bid: BlockId) -> Option<Bitmap> {
+        let f = self.frozen.as_ref()?;
+        if bid >= f.base {
+            return None;
+        }
+        read_fail(
+            "layered first level",
+            f.reader.get(&bid_key(TAG_BLOCK_BUCKETS, bid)),
+        )
+        .map(|bytes| bitmap_from_bytes(&bytes))
+    }
+
+    /// Block `bid`'s bucket bitmap, wherever it lives (continuous).
+    fn block_buckets(&self, bid: BlockId) -> Option<Bitmap> {
+        let base = self.base();
+        if bid < base {
+            return self.frozen_block_buckets(bid);
+        }
+        let FirstLevel::Continuous { entries, .. } = &self.first else {
+            return None;
+        };
+        entries.get((bid - base) as usize)?.clone()
+    }
+
+    /// The absolute block bitmap of one discrete value, merged across
+    /// the frozen checkpoint and the tail.
+    fn value_blocks(&self, v: &Value) -> Bitmap {
+        let mut out = match &self.frozen {
+            Some(f) => frozen_bitmap(&f.reader, "layered value bitmap", &value_key(v)),
+            None => Bitmap::new(),
+        };
+        if let FirstLevel::Discrete { per_value } = &self.first {
+            if let Some(bits) = per_value.get(v) {
+                out.or_assign_shifted(bits, self.base() as usize);
+            }
+        }
+        out
+    }
+
+    /// Visits every distinct discrete value with its merged absolute
+    /// block bitmap (frozen ∪ tail), each value exactly once.
+    fn for_each_value(&self, mut f: impl FnMut(&Value, &Bitmap)) {
+        let FirstLevel::Discrete { per_value } = &self.first else {
+            return;
+        };
+        let base = self.base() as usize;
+        if let Some(frozen) = &self.frozen {
+            let mut visit = |key: &[u8], bytes: &[u8]| {
+                let v = decode_value_key(key);
+                let mut bits = bitmap_from_bytes(bytes);
+                if let Some(tail) = per_value.get(&v) {
+                    bits.or_assign_shifted(tail, base);
+                }
+                f(&v, &bits);
+            };
+            read_fail(
+                "layered value sweep",
+                frozen
+                    .reader
+                    .scan_prefix(&[TAG_VALUE_BLOCKS], &mut |k, v| visit(k, v)),
+            );
+            // Tail-only values follow; frozen values were all merged
+            // above, so skip any tail value the checkpoint already has.
+            for (v, tail) in per_value {
+                if read_fail(
+                    "layered value probe",
+                    frozen.reader.get(&value_key(v)).map(|r| r.is_some()),
+                ) {
+                    continue;
+                }
+                let mut bits = Bitmap::new();
+                bits.or_assign_shifted(tail, base);
+                f(v, &bits);
+            }
+        } else {
+            for (v, bits) in per_value {
+                f(v, bits);
+            }
+        }
     }
 
     /// First-level filter: blocks that may contain values matching
@@ -211,24 +426,36 @@ impl LayeredIndex {
                 let mut probe = Bitmap::with_capacity(hist.bucket_count());
                 probe.set_range(*range.start(), *range.end());
                 let mut out = Bitmap::new();
-                for (bid, entry) in entries.iter().enumerate() {
+                if let Some(f) = &self.frozen {
+                    // The inverted bucket→blocks entries answer the
+                    // frozen half in O(buckets in range) block reads.
+                    for bucket in range {
+                        out.or_assign(&frozen_bitmap(
+                            &f.reader,
+                            "layered bucket bitmap",
+                            &bucket_key(bucket),
+                        ));
+                    }
+                }
+                let base = self.base() as usize;
+                for (slot, entry) in entries.iter().enumerate() {
                     if let Some(e) = entry {
                         if e.intersects(&probe) {
-                            out.set(bid);
+                            out.set(base + slot);
                         }
                     }
                 }
                 out
             }
-            FirstLevel::Discrete { per_value } => match pred {
-                KeyPredicate::Eq(v) => per_value.get(v).cloned().unwrap_or_default(),
+            FirstLevel::Discrete { .. } => match pred {
+                KeyPredicate::Eq(v) => self.value_blocks(v),
                 KeyPredicate::Range(lo, hi) => {
                     let mut out = Bitmap::new();
-                    for (v, bits) in per_value {
+                    self.for_each_value(|v, bits| {
                         if v >= lo && v <= hi {
                             out.or_assign(bits);
                         }
-                    }
+                    });
                     out
                 }
             },
@@ -238,41 +465,68 @@ impl LayeredIndex {
     /// Blocks containing any indexed transaction — the
     /// `First_level_bitmap(I)` of Algorithms 2 and 3.
     pub fn all_blocks(&self) -> Bitmap {
+        let mut out = match &self.frozen {
+            Some(f) => frozen_bitmap(&f.reader, "layered all-blocks bitmap", &[TAG_ALL_BLOCKS]),
+            None => Bitmap::new(),
+        };
+        let base = self.base() as usize;
         match &self.first {
             FirstLevel::Continuous { entries, .. } => {
-                let mut out = Bitmap::new();
-                for (bid, e) in entries.iter().enumerate() {
+                for (slot, e) in entries.iter().enumerate() {
                     if e.is_some() {
-                        out.set(bid);
+                        out.set(base + slot);
                     }
                 }
-                out
             }
             FirstLevel::Discrete { per_value } => {
-                let mut out = Bitmap::new();
                 for bits in per_value.values() {
-                    out.or_assign(bits);
+                    out.or_assign_shifted(bits, base);
                 }
-                out
             }
         }
+        out
     }
 
     /// Second-level search within one block: pointers to transactions
     /// whose value matches `pred`, in value order.
     pub fn search_block(&self, bid: BlockId, pred: &KeyPredicate) -> Vec<TxPtr> {
-        let Some(Some(tree)) = self.second.get(bid as usize) else {
+        let (lo, hi) = pred.bounds();
+        let base = self.base();
+        if bid < base {
+            let entries = self.frozen_block_entries(bid);
+            let start = entries.partition_point(|(v, _)| v < lo);
+            let end = entries.partition_point(|(v, _)| v <= hi);
+            return entries[start..end].iter().map(|(_, p)| *p).collect();
+        }
+        let Some(Some(tree)) = self.second.get((bid - base) as usize) else {
             return Vec::new();
         };
-        let (lo, hi) = pred.bounds();
         tree.range(Some(lo), Some(hi)).map(|(_, p)| *p).collect()
+    }
+
+    /// One frozen block's sorted second-level entries (empty when the
+    /// block holds none).
+    fn frozen_block_entries(&self, bid: BlockId) -> Vec<(Value, TxPtr)> {
+        let Some(f) = &self.frozen else {
+            return Vec::new();
+        };
+        read_fail(
+            "layered second level",
+            f.reader.get(&bid_key(TAG_BLOCK_ENTRIES, bid)),
+        )
+        .map(|bytes| entries_from_bytes(&bytes))
+        .unwrap_or_default()
     }
 
     /// All (value, pointer) pairs of one block in value order — the
     /// sorted leaf scan the per-block sort-merge joins rely on
     /// ("transactions are sorted at the leaf level").
     pub fn block_sorted_entries(&self, bid: BlockId) -> Vec<(Value, TxPtr)> {
-        match self.second.get(bid as usize) {
+        let base = self.base();
+        if bid < base {
+            return self.frozen_block_entries(bid);
+        }
+        match self.second.get((bid - base) as usize) {
             Some(Some(tree)) => tree.iter().map(|(k, p)| (k.clone(), *p)).collect(),
             _ => Vec::new(),
         }
@@ -282,10 +536,10 @@ impl LayeredIndex {
     /// (continuous indexes only): the union of its set buckets' bounds.
     /// `None` on either side means unbounded.
     pub fn block_rank_envelope(&self, bid: BlockId) -> Option<(Option<i64>, Option<i64>)> {
-        let FirstLevel::Continuous { hist, entries } = &self.first else {
+        let FirstLevel::Continuous { hist, .. } = &self.first else {
             return None;
         };
-        let entry = entries.get(bid as usize)?.as_ref()?;
+        let entry = self.block_buckets(bid)?;
         let mut lo: Option<Option<i64>> = None;
         let mut hi: Option<Option<i64>> = None;
         for bucket in entry.iter_ones() {
@@ -306,15 +560,8 @@ impl LayeredIndex {
     /// share join keys?
     pub fn blocks_intersect(&self, bid_r: BlockId, other: &LayeredIndex, bid_s: BlockId) -> bool {
         match (&self.first, &other.first) {
-            (
-                FirstLevel::Continuous { hist, entries },
-                FirstLevel::Continuous {
-                    hist: hist_s,
-                    entries: entries_s,
-                },
-            ) => {
-                let (Some(Some(er)), Some(Some(es))) =
-                    (entries.get(bid_r as usize), entries_s.get(bid_s as usize))
+            (FirstLevel::Continuous { hist, .. }, FirstLevel::Continuous { hist: hist_s, .. }) => {
+                let (Some(er), Some(es)) = (self.block_buckets(bid_r), other.block_buckets(bid_s))
                 else {
                     return false;
                 };
@@ -333,12 +580,17 @@ impl LayeredIndex {
                 }
                 false
             }
-            (FirstLevel::Discrete { per_value }, FirstLevel::Discrete { per_value: pv_s }) => {
+            (FirstLevel::Discrete { .. }, FirstLevel::Discrete { .. }) => {
                 // "depends on whether there are join results of each
                 // bitmap key": some shared value present in both blocks.
-                per_value.iter().any(|(v, bits)| {
-                    bits.get(bid_r as usize) && pv_s.get(v).is_some_and(|b| b.get(bid_s as usize))
-                })
+                let mut hit = false;
+                self.for_each_value(|v, bits| {
+                    if !hit && bits.get(bid_r as usize) && other.value_blocks(v).get(bid_s as usize)
+                    {
+                        hit = true;
+                    }
+                });
+                hit
             }
             // Mixed continuous/discrete join attributes: cannot prune.
             _ => true,
@@ -356,29 +608,23 @@ impl LayeredIndex {
         other: &LayeredIndex,
         mask_s: &Bitmap,
     ) -> Vec<(BlockId, BlockId)> {
-        use std::collections::HashSet;
         match (&self.first, &other.first) {
-            (FirstLevel::Discrete { per_value }, FirstLevel::Discrete { per_value: pv_s }) => {
-                // Iterate the smaller value map, probe the larger.
+            (FirstLevel::Discrete { .. }, FirstLevel::Discrete { .. }) => {
+                // The output is an order-insensitive set (sorted below),
+                // so driving from this side is equivalent to driving
+                // from the smaller map.
                 let mut pairs: HashSet<(BlockId, BlockId)> = HashSet::new();
-                let (small, large, swapped) = if per_value.len() <= pv_s.len() {
-                    (per_value, pv_s, false)
-                } else {
-                    (pv_s, per_value, true)
-                };
-                for (v, bits_a) in small {
-                    let Some(bits_b) = large.get(v) else { continue };
-                    let (bits_r, bits_s) = if swapped {
-                        (bits_b, bits_a)
-                    } else {
-                        (bits_a, bits_b)
-                    };
+                self.for_each_value(|v, bits_r| {
+                    let bits_s = other.value_blocks(v);
+                    if bits_s.is_empty() {
+                        return;
+                    }
                     for br in bits_r.and(mask_r).iter_ones() {
                         for bs in bits_s.and(mask_s).iter_ones() {
                             pairs.insert((br as BlockId, bs as BlockId));
                         }
                     }
-                }
+                });
                 let mut out: Vec<_> = pairs.into_iter().collect();
                 out.sort_unstable();
                 out
@@ -406,16 +652,17 @@ impl LayeredIndex {
     /// (¬(k.u ≤ s_min ∨ k.l ≥ s_max) for some set bucket k)?
     pub fn block_intersects_range(&self, bid: BlockId, s_min: i64, s_max: i64) -> bool {
         match &self.first {
-            FirstLevel::Continuous { hist, entries } => {
-                let Some(Some(entry)) = entries.get(bid as usize) else {
+            FirstLevel::Continuous { hist, .. } => {
+                let Some(entry) = self.block_buckets(bid) else {
                     return false;
                 };
-                entry.iter_ones().any(|k| {
+                let hit = entry.iter_ones().any(|k| {
                     let (kl, ku) = hist.bucket_bounds(k);
                     let below = matches!(ku, Some(u) if u <= s_min);
                     let above = matches!(kl, Some(l) if l >= s_max);
                     !(below || above)
-                })
+                });
+                hit
             }
             FirstLevel::Discrete { .. } => true,
         }
@@ -437,6 +684,106 @@ impl LayeredIndex {
         match &self.first {
             FirstLevel::Continuous { hist, .. } => Some(hist),
             FirstLevel::Discrete { .. } => None,
+        }
+    }
+
+    /// Resident bytes of this index: the in-memory tail structures plus
+    /// the frozen checkpoint's always-loaded fence/meta top level
+    /// (lazily cached level-1 blocks are accounted by the store's
+    /// index-block cache, not per family).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        match &self.first {
+            FirstLevel::Continuous { hist, entries } => {
+                bytes += hist.bounds().len() * 8;
+                for e in entries.iter().flatten() {
+                    bytes += e.byte_len();
+                }
+            }
+            FirstLevel::Discrete { per_value } => {
+                for (v, bits) in per_value {
+                    bytes += crate::paged::value_resident_bytes(v) + bits.byte_len();
+                }
+            }
+        }
+        for tree in self.second.iter().flatten() {
+            for (v, _) in tree.iter() {
+                bytes += crate::paged::value_resident_bytes(v) + std::mem::size_of::<TxPtr>() + 16;
+            }
+        }
+        if let Some(f) = &self.frozen {
+            bytes += f.reader.memory_bytes();
+        }
+        bytes
+    }
+
+    /// Freezes the complete state (frozen ∪ tail) into one checkpoint
+    /// covering `[0, covered)` — the full-rewrite merge an LSM
+    /// compaction would do, run by the indexer lane that owns this
+    /// family.
+    pub fn checkpoint(&self) -> IndexCheckpoint {
+        let mut map: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        if let Some(f) = &self.frozen {
+            read_fail(
+                "layered checkpoint sweep",
+                f.reader.scan_range(&[], None, &mut |k, v| {
+                    map.insert(k.to_vec(), v.to_vec());
+                }),
+            );
+        }
+        let base = self.base();
+        match &self.first {
+            FirstLevel::Continuous { hist, entries } => {
+                let mut bucket_blocks: Vec<Bitmap> = vec![Bitmap::new(); hist.bucket_count()];
+                for (slot, e) in entries.iter().enumerate() {
+                    let Some(e) = e else { continue };
+                    map.insert(
+                        bid_key(TAG_BLOCK_BUCKETS, base + slot as u64),
+                        bitmap_bytes(e),
+                    );
+                    for bucket in e.iter_ones() {
+                        bucket_blocks[bucket].set(base as usize + slot);
+                    }
+                }
+                for (bucket, tail_bits) in bucket_blocks.iter().enumerate() {
+                    if tail_bits.is_empty() {
+                        continue;
+                    }
+                    let key = bucket_key(bucket);
+                    let mut merged = map
+                        .get(&key)
+                        .map(|b| bitmap_from_bytes(b))
+                        .unwrap_or_default();
+                    merged.or_assign(tail_bits);
+                    map.insert(key, bitmap_bytes(&merged));
+                }
+            }
+            FirstLevel::Discrete { per_value } => {
+                for (v, tail_bits) in per_value {
+                    let key = value_key(v);
+                    let mut merged = map
+                        .get(&key)
+                        .map(|b| bitmap_from_bytes(b))
+                        .unwrap_or_default();
+                    merged.or_assign_shifted(tail_bits, base as usize);
+                    map.insert(key, bitmap_bytes(&merged));
+                }
+            }
+        }
+        for (slot, tree) in self.second.iter().enumerate() {
+            let Some(tree) = tree else { continue };
+            let entries: Vec<(Value, TxPtr)> = tree.iter().map(|(k, p)| (k.clone(), *p)).collect();
+            map.insert(
+                bid_key(TAG_BLOCK_ENTRIES, base + slot as u64),
+                entries_bytes(&entries),
+            );
+        }
+        map.insert(vec![TAG_ALL_BLOCKS], bitmap_bytes(&self.all_blocks()));
+        IndexCheckpoint {
+            family: self.family(),
+            height: self.covered(),
+            meta: encode_meta(&self.first),
+            entries: map.into_iter().collect(),
         }
     }
 }
@@ -616,5 +963,20 @@ mod tests {
         idx.update(&block(0, &[10, 20], "donate"));
         let pred = KeyPredicate::Range(Value::decimal(5000), Value::decimal(6000));
         assert!(idx.candidate_blocks(&pred).is_empty());
+    }
+
+    #[test]
+    fn covered_tracks_height_and_checkpoint_is_complete() {
+        let mut idx = amount_index();
+        idx.update(&block(0, &[10, 20], "donate"));
+        idx.update(&block(1, &[500], "donate"));
+        assert_eq!(idx.covered(), 2);
+        let cp = idx.checkpoint();
+        assert_eq!(cp.height, 2);
+        assert_eq!(cp.family, family_layered(Some("donate"), "app2"));
+        // Sorted, unique keys — the checkpoint writer's contract.
+        assert!(cp.entries.windows(2).all(|w| w[0].0 < w[1].0));
+        // all-blocks + 2 × (block buckets + block entries) + bucket inversions.
+        assert!(cp.entries.len() >= 5);
     }
 }

@@ -25,6 +25,7 @@ pub mod cost;
 pub mod histogram;
 pub mod layered;
 pub mod mbtree;
+pub mod paged;
 pub mod tableindex;
 
 pub use ali::{auxiliary_digest, verify_query_vo, AuthenticatedLayeredIndex, BlockVo, QueryVo};
@@ -35,4 +36,5 @@ pub use cost::{AccessPath, CostParams};
 pub use histogram::EqualDepthHistogram;
 pub use layered::{KeyPredicate, LayeredIndex};
 pub use mbtree::{AuthEntry, MbTree, RangeProof, VerifyError};
+pub use paged::{column_slug, family_ali, family_block, family_layered, family_table};
 pub use tableindex::TableBitmapIndex;

@@ -1,0 +1,302 @@
+//! Shared plumbing for the paged index backends (DESIGN §13).
+//!
+//! Every index family can split its state into a **frozen** on-disk
+//! checkpoint covering blocks `[0, base)` — served lazily through
+//! [`sebdb_storage::PagedIndexReader`] and the store's bounded
+//! index-block cache — plus an **in-memory tail** covering
+//! `[base, covered)`, indexed relative to `base` so resident memory is
+//! O(tail), not O(chain). With no frozen checkpoint attached
+//! (`base = 0`) a family degenerates to the original fully-resident
+//! structure — the `cache=∞` reference the equivalence suite pins the
+//! paged path against.
+//!
+//! This module holds the pieces all families share: the key-tag
+//! namespace inside one checkpoint file, `Value`/bitmap/pointer codecs
+//! for checkpoint entries, family naming, and the fail-stop read
+//! wrapper (a storage error under an index query has no recovery path
+//! mid-plan; the store heals checkpoints at open, so a read failure
+//! here means bytes rotted underneath a validated file).
+
+use crate::bitmap::Bitmap;
+use sebdb_storage::{PagedIndexReader, StorageError, TxPtr};
+use sebdb_types::{ColumnRef, Decoder, Encoder, Value};
+
+/// Key tag: the family's precomputed all-blocks bitmap.
+pub const TAG_ALL_BLOCKS: u8 = 0x00;
+/// Key tag: `0x01 ‖ bid(u64 BE)` → the block's bucket bitmap
+/// (continuous first level).
+pub const TAG_BLOCK_BUCKETS: u8 = 0x01;
+/// Key tag: `0x02 ‖ enc(Value)` → the value's absolute block bitmap
+/// (discrete first level).
+pub const TAG_VALUE_BLOCKS: u8 = 0x02;
+/// Key tag: `0x03 ‖ bid(u64 BE)` → the block's sorted second-level
+/// entry list.
+pub const TAG_BLOCK_ENTRIES: u8 = 0x03;
+/// Key tag: `0x04 ‖ bucket(u32 BE)` → the bucket's absolute block
+/// bitmap (continuous first level, inverted — the candidate-block
+/// probe reads O(buckets) entries instead of O(blocks)).
+pub const TAG_BUCKET_BLOCKS: u8 = 0x04;
+/// Key tag: `0x05 ‖ bid(u64 BE)` → the block's 32-byte MB-tree root.
+pub const TAG_BLOCK_ROOT: u8 = 0x05;
+
+/// Unit separator between family-name components.
+const FAMILY_SEP: u8 = 0x1f;
+
+/// Family name of the block-level index checkpoint.
+pub fn family_block() -> Vec<u8> {
+    b"block".to_vec()
+}
+
+/// Family name of the table-bitmap index checkpoint.
+pub fn family_table() -> Vec<u8> {
+    b"table".to_vec()
+}
+
+fn family_scoped(prefix: &[u8], table: Option<&str>, column: &str) -> Vec<u8> {
+    let mut name = prefix.to_vec();
+    name.push(FAMILY_SEP);
+    if let Some(t) = table {
+        name.extend_from_slice(t.as_bytes());
+    }
+    name.push(FAMILY_SEP);
+    name.extend_from_slice(column.as_bytes());
+    name
+}
+
+/// Family name of one layered index (`table = None` for the system
+/// columns indexed across all tables).
+pub fn family_layered(table: Option<&str>, column: &str) -> Vec<u8> {
+    family_scoped(b"layered", table, column)
+}
+
+/// Family name of one authenticated layered index.
+pub fn family_ali(table: Option<&str>, column: &str) -> Vec<u8> {
+    family_scoped(b"ali", table, column)
+}
+
+/// Stable textual name of a column reference, used in family names
+/// (application columns are positional, so the slug is positional too).
+pub fn column_slug(c: &ColumnRef) -> String {
+    match c {
+        ColumnRef::Tid => "tid".into(),
+        ColumnRef::Ts => "ts".into(),
+        ColumnRef::Sig => "sig".into(),
+        ColumnRef::SenId => "sen_id".into(),
+        ColumnRef::Tname => "tname".into(),
+        ColumnRef::App(i) => format!("app{i}"),
+    }
+}
+
+/// Resident heap bytes of one `Value` (enum footprint plus any heap
+/// payload) — the unit the per-family memory gauges sum over.
+pub fn value_resident_bytes(v: &Value) -> usize {
+    std::mem::size_of::<Value>()
+        + match v {
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+            _ => 0,
+        }
+}
+
+/// Unwraps a frozen-index read. Fail-stop by design: the checkpoint
+/// was validated at open and heals by deletion + replay on restart, so
+/// a read error mid-query is unrecoverable state rot.
+pub fn read_fail<T>(what: &str, r: Result<T, StorageError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("paged {what} read failed: {e}"),
+    }
+}
+
+/// `tag ‖ bid(u64 BE)` — per-block entry key (BE keeps byte order =
+/// numeric order within the tag).
+pub fn bid_key(tag: u8, bid: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(9);
+    k.push(tag);
+    k.extend_from_slice(&bid.to_be_bytes());
+    k
+}
+
+/// `0x04 ‖ bucket(u32 BE)` — per-bucket entry key.
+pub fn bucket_key(bucket: usize) -> Vec<u8> {
+    let mut k = Vec::with_capacity(5);
+    k.push(TAG_BUCKET_BLOCKS);
+    k.extend_from_slice(&(bucket as u32).to_be_bytes());
+    k
+}
+
+/// `0x02 ‖ enc(value)` — per-value entry key (tagged `Value` codec;
+/// round-trips exactly, equality-preserving).
+pub fn value_key(v: &Value) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_value(v);
+    let mut k = Vec::with_capacity(9);
+    k.push(TAG_VALUE_BLOCKS);
+    k.extend_from_slice(&enc.finish());
+    k
+}
+
+/// Decodes the `Value` out of a [`value_key`]-shaped key.
+pub fn decode_value_key(key: &[u8]) -> Value {
+    let mut dec = Decoder::new(&key[1..]);
+    match dec.get_value() {
+        Ok(v) => v,
+        Err(e) => panic!("paged index value key failed to decode: {e}"),
+    }
+}
+
+/// Serializes a bitmap as its raw words, little-endian.
+pub fn bitmap_bytes(b: &Bitmap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(b.words().len() * 8);
+    for w in b.words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Rebuilds a bitmap from [`bitmap_bytes`] output.
+pub fn bitmap_from_bytes(bytes: &[u8]) -> Bitmap {
+    let words = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect();
+    Bitmap::from_words(words)
+}
+
+/// Reads a frozen bitmap entry, or an empty bitmap when absent.
+pub fn frozen_bitmap(reader: &PagedIndexReader, what: &str, key: &[u8]) -> Bitmap {
+    read_fail(what, reader.get(key))
+        .map(|bytes| bitmap_from_bytes(&bytes))
+        .unwrap_or_default()
+}
+
+/// Serializes a sorted `(Value, TxPtr)` list (one block's second-level
+/// entries).
+pub fn entries_bytes(entries: &[(Value, TxPtr)]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u32(entries.len() as u32);
+    for (v, p) in entries {
+        enc.put_value(v);
+        enc.put_u64(p.block);
+        enc.put_u32(p.index);
+    }
+    enc.finish()
+}
+
+/// Decodes [`entries_bytes`] output.
+pub fn entries_from_bytes(bytes: &[u8]) -> Vec<(Value, TxPtr)> {
+    let mut dec = Decoder::new(bytes);
+    let parse = |dec: &mut Decoder<'_>| -> Result<Vec<(Value, TxPtr)>, sebdb_types::TypeError> {
+        let n = dec.get_u32("paged entries count")?;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let v = dec.get_value()?;
+            let block = dec.get_u64("paged entry block")?;
+            let index = dec.get_u32("paged entry index")?;
+            out.push((v, TxPtr { block, index }));
+        }
+        Ok(out)
+    };
+    match parse(&mut dec) {
+        Ok(v) => v,
+        Err(e) => panic!("paged second-level entries failed to decode: {e}"),
+    }
+}
+
+/// Serializes a sorted [`AuthEntry`] list (one block's MB-tree leaf
+/// level, in tree order — rebuilding via `MbTree::build` reproduces
+/// the tree byte-identically because the build sort is stable).
+pub fn auth_entries_bytes(entries: &[crate::mbtree::AuthEntry]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u32(entries.len() as u32);
+    for e in entries {
+        enc.put_value(&e.key);
+        enc.put_raw(e.tx_hash.as_bytes());
+        enc.put_u64(e.ptr.block);
+        enc.put_u32(e.ptr.index);
+    }
+    enc.finish()
+}
+
+/// Decodes [`auth_entries_bytes`] output.
+pub fn auth_entries_from_bytes(bytes: &[u8]) -> Vec<crate::mbtree::AuthEntry> {
+    use sebdb_crypto::sha256::Digest;
+    let mut dec = Decoder::new(bytes);
+    let parse =
+        |dec: &mut Decoder<'_>| -> Result<Vec<crate::mbtree::AuthEntry>, sebdb_types::TypeError> {
+            let n = dec.get_u32("paged auth entries count")?;
+            let mut out = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let key = dec.get_value()?;
+                let mut hash = [0u8; 32];
+                for b in &mut hash {
+                    *b = dec.get_u8("paged auth entry hash")?;
+                }
+                let block = dec.get_u64("paged auth entry block")?;
+                let index = dec.get_u32("paged auth entry index")?;
+                out.push(crate::mbtree::AuthEntry {
+                    key,
+                    tx_hash: Digest(hash),
+                    ptr: TxPtr { block, index },
+                });
+            }
+            Ok(out)
+        };
+    match parse(&mut dec) {
+        Ok(v) => v,
+        Err(e) => panic!("paged auth entries failed to decode: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_key_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Int(-5),
+            Value::decimal(123),
+            Value::str("donate"),
+            Value::Bool(true),
+            Value::Timestamp(99),
+            Value::Bytes(vec![1, 2, 3]),
+        ] {
+            assert_eq!(decode_value_key(&value_key(&v)), v);
+        }
+    }
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let b = Bitmap::from_bits([0, 63, 64, 1000]);
+        assert_eq!(bitmap_from_bytes(&bitmap_bytes(&b)), b);
+        assert!(bitmap_from_bytes(&[]).is_empty());
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let entries = vec![
+            (Value::decimal(1), TxPtr { block: 7, index: 0 }),
+            (Value::decimal(2), TxPtr { block: 7, index: 3 }),
+        ];
+        assert_eq!(entries_from_bytes(&entries_bytes(&entries)), entries);
+    }
+
+    #[test]
+    fn family_names_are_distinct() {
+        let names = [
+            family_block(),
+            family_table(),
+            family_layered(None, "sen_id"),
+            family_layered(Some("donate"), "amount"),
+            family_ali(None, "sen_id"),
+            family_ali(Some("donate"), "amount"),
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for (j, b) in names.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
+        }
+    }
+}

@@ -21,6 +21,7 @@
 //! tests and pure-CPU benchmarks.
 
 use crate::cache::{BlockCache, TxCache};
+use crate::indexseg::{self, IndexBlockCache, IndexCheckpoint, PagedIndexReader};
 use crate::segment::{
     segment_path, Location, ReadGauges, Result, SegmentSet, SegmentWriter, StorageError,
 };
@@ -123,6 +124,13 @@ pub enum WriteStep {
     /// About to append the chain-order manifest record — the commit
     /// point.
     ManifestWrite,
+    /// About to write level-1 block `i` of an index checkpoint.
+    IndexBlockWrite(usize),
+    /// About to write an index checkpoint's fence table + footer tail.
+    IndexFenceWrite,
+    /// About to publish an index checkpoint (the `.tmp` → `.icp`
+    /// rename — the checkpoint's commit point).
+    IndexPublish,
 }
 
 /// Fault hook signature: return `true` to fail the append at `step`.
@@ -157,6 +165,11 @@ pub struct StoreConfig {
     /// layout (every relation shares one partition). Reopening an
     /// existing store keeps the count in its manifest header.
     pub partitions: usize,
+    /// Total level-1 index blocks the index-block cache may keep
+    /// resident (`Some(0)` = unbounded, the `cache=∞` reference);
+    /// `None` reads [`crate::indexseg::INDEX_CACHE_BLOCKS_ENV`] or
+    /// falls back to the default bounded capacity.
+    pub index_cache_blocks: Option<usize>,
 }
 
 impl Default for StoreConfig {
@@ -165,6 +178,7 @@ impl Default for StoreConfig {
             segment_size: 256 * 1024 * 1024,
             sync_writes: false,
             partitions: default_partitions(),
+            index_cache_blocks: None,
         }
     }
 }
@@ -185,6 +199,13 @@ pub struct IoStats {
     /// charges only its partition's extents — this is the counter that
     /// makes the Eq. 3 tuple-vs-block comparison honest.
     pub bytes_read: AtomicU64,
+    /// Level-1 index blocks served from the index-block cache.
+    pub index_cache_hits: AtomicU64,
+    /// Level-1 index blocks loaded cold from a checkpoint file.
+    pub index_cache_misses: AtomicU64,
+    /// Milliseconds the last `Ledger::open`-style recovery spent
+    /// (checkpoint load + tail replay) — the O(1)-open regression hook.
+    pub open_millis: AtomicU64,
 }
 
 impl IoStats {
@@ -202,12 +223,28 @@ impl IoStats {
         self.bytes_read.load(Ordering::Relaxed)
     }
 
+    /// Index-block cache counters as (hits, misses).
+    pub fn index_cache_counts(&self) -> (u64, u64) {
+        (
+            self.index_cache_hits.load(Ordering::Relaxed),
+            self.index_cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Milliseconds the last recovery (open) spent.
+    pub fn open_millis(&self) -> u64 {
+        self.open_millis.load(Ordering::Relaxed)
+    }
+
     /// Zeroes all counters.
     pub fn reset(&self) {
         self.blocks_read.store(0, Ordering::Relaxed);
         self.blocks_written.store(0, Ordering::Relaxed);
         self.txs_read.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
+        self.index_cache_hits.store(0, Ordering::Relaxed);
+        self.index_cache_misses.store(0, Ordering::Relaxed);
+        self.open_millis.store(0, Ordering::Relaxed);
     }
 }
 
@@ -345,9 +382,15 @@ pub struct BlockStore {
     config: StoreConfig,
     /// Resolved partition count (the manifest header's on reopen).
     partitions: usize,
+    /// Store directory (disk backend only) — index checkpoints live in
+    /// its [`crate::indexseg::INDEX_CHECKPOINT_DIR`] subdirectory.
+    dir: Option<PathBuf>,
     write_fault: RwLock<Option<Box<WriteFaultFn>>>,
-    /// I/O counters.
-    pub stats: IoStats,
+    /// Bounded cache of level-1 index blocks, shared by every paged
+    /// index reader opened through this store.
+    index_cache: Arc<IndexBlockCache>,
+    /// I/O counters (shared with the index-block cache tier).
+    pub stats: Arc<IoStats>,
 }
 
 /// The chain-order manifest — the commit point of every append.
@@ -471,14 +514,19 @@ impl BlockStore {
     /// count steers relation routing).
     pub fn in_memory_with(config: StoreConfig) -> Self {
         let partitions = config.partitions.clamp(1, RELATION_PARTITIONS);
+        let stats = Arc::new(IoStats::default());
+        let index_cache =
+            IndexBlockCache::new(config.index_cache_blocks.unwrap_or(0), Arc::clone(&stats));
         BlockStore {
             backend: Backend::Memory {
                 blocks: RwLock::new(Vec::new()),
             },
             config,
             partitions,
+            dir: None,
             write_fault: RwLock::new(None),
-            stats: IoStats::default(),
+            index_cache,
+            stats,
         }
     }
 
@@ -641,6 +689,17 @@ impl BlockStore {
             tables.push(table);
         }
         let tx_locs = Self::assemble_tx_locs(&entries, &tables)?;
+        // Torn index-checkpoint writers (never published) leave `.tmp`
+        // artifacts; sweep them so the directory holds only committed
+        // checkpoints.
+        indexseg::sweep_tmp_checkpoints(&dir.join(indexseg::INDEX_CHECKPOINT_DIR));
+        let stats = Arc::new(IoStats::default());
+        let index_cache = IndexBlockCache::new(
+            config
+                .index_cache_blocks
+                .unwrap_or_else(IndexBlockCache::capacity_from_env),
+            Arc::clone(&stats),
+        );
         Ok(BlockStore {
             backend: Backend::Disk {
                 chain_writer: Mutex::new(chain_writer),
@@ -653,8 +712,10 @@ impl BlockStore {
             },
             config,
             partitions,
+            dir: Some(dir.to_path_buf()),
             write_fault: RwLock::new(None),
-            stats: IoStats::default(),
+            index_cache,
+            stats,
         })
     }
 
@@ -895,6 +956,70 @@ impl BlockStore {
     /// Resolved relation partition count (1 = single-sequence layout).
     pub fn partitions(&self) -> usize {
         self.partitions
+    }
+
+    /// The store's shared index-block cache tier.
+    pub fn index_cache(&self) -> &Arc<IndexBlockCache> {
+        &self.index_cache
+    }
+
+    /// Persists one index family's checkpoint behind the `.tmp` →
+    /// rename commit point. The chain-order manifest remains the real
+    /// commit point: a checkpoint must only be written for state the
+    /// manifest already covers (`cp.height <= self.height()`), and
+    /// [`Self::load_index_checkpoint`] discards any file that runs
+    /// ahead of the manifest after a rollback. No-op on the memory
+    /// backend (nothing survives the process anyway).
+    pub fn write_index_checkpoint(&self, cp: &IndexCheckpoint) -> Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        if cp.height > self.height() {
+            return Err(StorageError::Corrupt(format!(
+                "index checkpoint height {} runs ahead of store height {}",
+                cp.height,
+                self.height()
+            )));
+        }
+        indexseg::write_checkpoint(
+            &dir.join(indexseg::INDEX_CHECKPOINT_DIR),
+            cp,
+            self.config.sync_writes,
+            &|step| self.check_fault(step),
+        )
+    }
+
+    /// Opens one family's published checkpoint, if any. Healing path:
+    /// a torn or corrupt file, or one whose height exceeds the current
+    /// manifest height (the manifest rolled back past it), is deleted
+    /// and `None` is returned — the caller replays the chain instead,
+    /// which reconstructs the same state.
+    pub fn load_index_checkpoint(&self, family: &[u8]) -> Result<Option<PagedIndexReader>> {
+        let Some(dir) = &self.dir else {
+            return Ok(None);
+        };
+        let path = dir
+            .join(indexseg::INDEX_CHECKPOINT_DIR)
+            .join(indexseg::checkpoint_file_name(family));
+        if !path.exists() {
+            return Ok(None);
+        }
+        match PagedIndexReader::open(
+            &path,
+            Arc::clone(&self.index_cache),
+            Arc::clone(&self.stats),
+        ) {
+            Ok(reader) if reader.height() <= self.height() => Ok(Some(reader)),
+            Ok(_stale) => {
+                indexseg::discard_checkpoint(&path, &self.index_cache, None);
+                Ok(None)
+            }
+            Err(StorageError::Corrupt(_)) => {
+                indexseg::discard_checkpoint(&path, &self.index_cache, None);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Installs (or clears) the write fault hook — fault-injection

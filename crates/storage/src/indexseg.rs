@@ -1,0 +1,984 @@
+//! On-disk paged index checkpoints (DESIGN §13).
+//!
+//! Every index family can freeze its state at a chain height into one
+//! self-validating checkpoint file shaped like an LSM index segment:
+//! sorted `(key, value)` entries chunked into ~4 KB **level-1 blocks**,
+//! described by a fully-loaded top-level **fence-pointer array** (first
+//! key, extent, entry count, checksum per block). Opening a checkpoint
+//! touches only the fence/meta tail — O(fences), not O(entries) — and
+//! level-1 blocks are loaded lazily through a bounded, sharded
+//! [`IndexBlockCache`] tier, so resident memory is O(cache), not
+//! O(chain).
+//!
+//! Durability follows the store's commit-point discipline: a checkpoint
+//! is written to a `.tmp` file and published by a single atomic rename,
+//! and a published file whose height runs ahead of the block manifest
+//! (the real commit point) is discarded on open. Any torn or stale
+//! artifact heals by deletion — the family simply replays the chain
+//! tail it would have replayed anyway.
+
+use crate::blockstore::{IoStats, WriteStep};
+use crate::segment::{read_exact_at, Result, StorageError};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Checkpoint file magic, versioned with the format.
+pub const INDEX_MAGIC: &[u8; 8] = b"SEBDBIX1";
+/// Target payload size of one level-1 index block (one disk page).
+pub const INDEX_BLOCK_TARGET: usize = 4 * 1024;
+/// Subdirectory of the store holding index checkpoints.
+pub const INDEX_CHECKPOINT_DIR: &str = "indexcp";
+/// Cache-capacity override: total cached level-1 blocks across all
+/// checkpoint files (0 = unbounded, the `cache=∞` reference).
+pub const INDEX_CACHE_BLOCKS_ENV: &str = "SEBDB_INDEX_CACHE_BLOCKS";
+/// Default bounded capacity when the env var is unset.
+pub const DEFAULT_INDEX_CACHE_BLOCKS: usize = 1024;
+/// Cache shards (same fan-out as the segment handle cache).
+const CACHE_SHARDS: usize = 8;
+/// Fixed-size footer: fence_off(8) ‖ fence_count(4) ‖ meta_off(8) ‖
+/// entry_count(8) ‖ height(8) ‖ tail_checksum(8) ‖ magic(8).
+const FOOTER_LEN: u64 = 52;
+
+/// FNV-1a 64 — the checksum of fence extents and the footer tail.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One frozen index family, ready to write: `entries` sorted strictly
+/// ascending by key, an opaque `meta` blob the family interprets, and
+/// the chain height the state covers (`[0, height)`).
+#[derive(Debug, Clone)]
+pub struct IndexCheckpoint {
+    /// Family identity (also the on-disk file name, hex-encoded).
+    pub family: Vec<u8>,
+    /// Chain height covered: the frozen state reflects blocks `< height`.
+    pub height: u64,
+    /// Opaque family metadata, fully loaded at open.
+    pub meta: Vec<u8>,
+    /// Sorted `(key, value)` entries.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+/// File name of a family's checkpoint: `ix-<hex(family)>.icp`.
+pub fn checkpoint_file_name(family: &[u8]) -> String {
+    let mut name = String::with_capacity(4 + family.len() * 2 + 4);
+    name.push_str("ix-");
+    for b in family {
+        let hi = b >> 4;
+        let lo = b & 0xf;
+        for n in [hi, lo] {
+            name.push(char::from_digit(u32::from(n), 16).unwrap_or('0'));
+        }
+    }
+    name.push_str(".icp");
+    name
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn get_u64(buf: &[u8], at: usize) -> Option<u64> {
+    let bytes: [u8; 8] = buf.get(at..at + 8)?.try_into().ok()?;
+    Some(u64::from_be_bytes(bytes))
+}
+
+fn get_u32(buf: &[u8], at: usize) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(at..at + 4)?.try_into().ok()?;
+    Some(u32::from_be_bytes(bytes))
+}
+
+fn get_u16(buf: &[u8], at: usize) -> Option<u16> {
+    let bytes: [u8; 2] = buf.get(at..at + 2)?.try_into().ok()?;
+    Some(u16::from_be_bytes(bytes))
+}
+
+fn corrupt(path: &Path, what: &str) -> StorageError {
+    StorageError::Corrupt(format!("index checkpoint {}: {what}", path.display()))
+}
+
+/// Serializes one entry into a level-1 block body.
+fn encode_entry(out: &mut Vec<u8>, key: &[u8], value: &[u8]) {
+    out.extend_from_slice(&(key.len() as u16).to_be_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(&(value.len() as u32).to_be_bytes());
+    out.extend_from_slice(value);
+}
+
+/// Parses a level-1 block body back into entries.
+fn decode_entries(path: &Path, bytes: &[u8], count: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    let mut entries = Vec::with_capacity(count);
+    let mut at = 0usize;
+    for _ in 0..count {
+        let klen = get_u16(bytes, at).ok_or_else(|| corrupt(path, "truncated entry key len"))?;
+        at += 2;
+        let key = bytes
+            .get(at..at + klen as usize)
+            .ok_or_else(|| corrupt(path, "truncated entry key"))?
+            .to_vec();
+        at += klen as usize;
+        let vlen = get_u32(bytes, at).ok_or_else(|| corrupt(path, "truncated entry value len"))?;
+        at += 4;
+        let value = bytes
+            .get(at..at + vlen as usize)
+            .ok_or_else(|| corrupt(path, "truncated entry value"))?
+            .to_vec();
+        at += vlen as usize;
+        entries.push((key, value));
+    }
+    if at != bytes.len() {
+        return Err(corrupt(path, "level-1 block has trailing bytes"));
+    }
+    Ok(entries)
+}
+
+/// Writes `cp` into `dir` behind the `.tmp` → rename commit point.
+/// `fault` is the store's injectable crash hook, consulted before every
+/// write boundary (each level-1 block, the fence/footer tail, and the
+/// publishing rename).
+pub(crate) fn write_checkpoint(
+    dir: &Path,
+    cp: &IndexCheckpoint,
+    sync_writes: bool,
+    fault: &dyn Fn(WriteStep) -> Result<()>,
+) -> Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let final_path = dir.join(checkpoint_file_name(&cp.family));
+    let tmp_path = final_path.with_extension("icp.tmp");
+
+    let mut file = File::create(&tmp_path)?;
+    file.write_all(INDEX_MAGIC)?;
+    let mut off = INDEX_MAGIC.len() as u64;
+
+    // Level-1 blocks: cut at the target payload size.
+    struct FenceRec {
+        first_key: Vec<u8>,
+        off: u64,
+        len: u32,
+        count: u32,
+        checksum: u64,
+    }
+    let mut fences: Vec<FenceRec> = Vec::new();
+    let mut body = Vec::with_capacity(INDEX_BLOCK_TARGET + 256);
+    let mut first_key: Vec<u8> = Vec::new();
+    let mut count = 0u32;
+    let flush = |file: &mut File,
+                 off: &mut u64,
+                 body: &mut Vec<u8>,
+                 first_key: &mut Vec<u8>,
+                 count: &mut u32,
+                 fences: &mut Vec<FenceRec>|
+     -> Result<()> {
+        if body.is_empty() {
+            return Ok(());
+        }
+        fault(WriteStep::IndexBlockWrite(fences.len()))?;
+        file.write_all(body)?;
+        fences.push(FenceRec {
+            first_key: std::mem::take(first_key),
+            off: *off,
+            len: body.len() as u32,
+            count: *count,
+            checksum: fnv1a(body),
+        });
+        *off += body.len() as u64;
+        body.clear();
+        *count = 0;
+        Ok(())
+    };
+    for (key, value) in &cp.entries {
+        if body.is_empty() {
+            first_key = key.clone();
+        }
+        encode_entry(&mut body, key, value);
+        count += 1;
+        if body.len() >= INDEX_BLOCK_TARGET {
+            flush(
+                &mut file,
+                &mut off,
+                &mut body,
+                &mut first_key,
+                &mut count,
+                &mut fences,
+            )?;
+        }
+    }
+    flush(
+        &mut file,
+        &mut off,
+        &mut body,
+        &mut first_key,
+        &mut count,
+        &mut fences,
+    )?;
+
+    // Fence table + meta + footer, checksummed as one tail so open-time
+    // validation is O(fences) without touching any level-1 block.
+    fault(WriteStep::IndexFenceWrite)?;
+    let fence_off = off;
+    let mut tail = Vec::new();
+    for f in &fences {
+        put_u64(&mut tail, f.off);
+        put_u32(&mut tail, f.len);
+        put_u32(&mut tail, f.count);
+        put_u64(&mut tail, f.checksum);
+        tail.extend_from_slice(&(f.first_key.len() as u16).to_be_bytes());
+        tail.extend_from_slice(&f.first_key);
+    }
+    let meta_off = fence_off + tail.len() as u64;
+    tail.extend_from_slice(&cp.meta);
+    let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+    put_u64(&mut footer, fence_off);
+    put_u32(&mut footer, fences.len() as u32);
+    put_u64(&mut footer, meta_off);
+    put_u64(&mut footer, cp.entries.len() as u64);
+    put_u64(&mut footer, cp.height);
+    tail.extend_from_slice(&footer);
+    let checksum = fnv1a(&tail);
+    put_u64(&mut tail, checksum);
+    tail.extend_from_slice(INDEX_MAGIC);
+    file.write_all(&tail)?;
+    file.flush()?;
+    if sync_writes {
+        file.sync_all()?;
+    }
+    drop(file);
+
+    // The publishing rename is the checkpoint's commit point.
+    fault(WriteStep::IndexPublish)?;
+    std::fs::rename(&tmp_path, &final_path)?;
+    Ok(())
+}
+
+/// Removes stale `.tmp` checkpoint artifacts (torn writers that never
+/// reached their publishing rename).
+pub(crate) fn sweep_tmp_checkpoints(dir: &Path) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.flatten() {
+        let p = entry.path();
+        if p.extension().is_some_and(|e| e == "tmp") {
+            let _ = std::fs::remove_file(&p);
+        }
+    }
+}
+
+/// One fence-pointer record: the fully-loaded top level of a checkpoint.
+#[derive(Debug, Clone)]
+struct Fence {
+    first_key: Vec<u8>,
+    off: u64,
+    len: u32,
+    /// Global index of this block's first entry (cumulative count).
+    start: u64,
+    count: u32,
+    checksum: u64,
+}
+
+/// One lazily-loaded, parsed level-1 index block.
+#[derive(Debug)]
+pub struct IndexBlock {
+    /// The block's sorted entries.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+    bytes: usize,
+}
+
+impl IndexBlock {
+    /// Approximate resident size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Bounded, sharded cache of level-1 index blocks, shared by every
+/// checkpoint reader of one store. Loads are single-flight: concurrent
+/// readers of the same cold block wait on a condvar while one loader
+/// performs the pread, so each resident block is read from disk exactly
+/// once (the same open-once discipline as the segment handle cache).
+pub struct IndexBlockCache {
+    shards: Vec<(Mutex<CacheShard>, Condvar)>,
+    /// Total block capacity across shards (0 = unbounded).
+    capacity: usize,
+    stats: Arc<IoStats>,
+    next_file_id: AtomicU64,
+}
+
+#[derive(Default)]
+struct CacheShard {
+    map: HashMap<(u64, u32), (Arc<IndexBlock>, u64)>,
+    inflight: HashSet<(u64, u32)>,
+    tick: u64,
+}
+
+impl IndexBlockCache {
+    /// A cache holding at most `capacity` blocks (0 = unbounded),
+    /// reporting hits/misses into `stats`.
+    pub fn new(capacity: usize, stats: Arc<IoStats>) -> Arc<IndexBlockCache> {
+        Arc::new(IndexBlockCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| (Mutex::new(CacheShard::default()), Condvar::new()))
+                .collect(),
+            capacity,
+            stats,
+            next_file_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Capacity from the environment (or the default) when the store
+    /// config leaves it unset.
+    pub fn capacity_from_env() -> usize {
+        std::env::var(INDEX_CACHE_BLOCKS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_INDEX_CACHE_BLOCKS)
+    }
+
+    /// Configured total block capacity (0 = unbounded).
+    pub fn capacity_blocks(&self) -> usize {
+        self.capacity
+    }
+
+    fn register_file(&self) -> u64 {
+        self.next_file_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard_of(key: (u64, u32)) -> usize {
+        // Fibonacci hash over the packed key, as the block caches do.
+        let packed = (key.0 << 32) ^ u64::from(key.1);
+        (packed.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize % CACHE_SHARDS
+    }
+
+    /// Per-shard capacity: the bound each shard enforces locally.
+    fn shard_capacity(&self) -> usize {
+        if self.capacity == 0 {
+            0
+        } else {
+            std::cmp::max(1, self.capacity / CACHE_SHARDS)
+        }
+    }
+
+    /// Returns the cached block or loads it via `load`, single-flight.
+    pub fn get_or_load(
+        &self,
+        file_id: u64,
+        block_no: u32,
+        load: &dyn Fn() -> Result<IndexBlock>,
+    ) -> Result<Arc<IndexBlock>> {
+        let key = (file_id, block_no);
+        let (lock, cv) = &self.shards[Self::shard_of(key)];
+        let mut shard = lock.lock();
+        loop {
+            shard.tick += 1;
+            let now = shard.tick;
+            if let Some((block, tick)) = shard.map.get_mut(&key) {
+                *tick = now;
+                let block = Arc::clone(block);
+                drop(shard);
+                self.stats.index_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(block);
+            }
+            if shard.inflight.contains(&key) {
+                // Another reader is loading this block: wait rather
+                // than issuing a duplicate pread.
+                cv.wait(&mut shard);
+                continue;
+            }
+            shard.inflight.insert(key);
+            break;
+        }
+        drop(shard);
+
+        // The pread + parse happen outside the shard lock.
+        let loaded = load();
+
+        let mut shard = lock.lock();
+        shard.inflight.remove(&key);
+        let out = match loaded {
+            Ok(block) => {
+                let block = Arc::new(block);
+                shard.tick += 1;
+                let tick = shard.tick;
+                shard.map.insert(key, (Arc::clone(&block), tick));
+                let cap = self.shard_capacity();
+                while cap != 0 && shard.map.len() > cap {
+                    // Evict the least-recently-used entry (linear scan:
+                    // shards are small at realistic capacities).
+                    let Some(victim) = shard
+                        .map
+                        .iter()
+                        .min_by_key(|(_, (_, t))| *t)
+                        .map(|(k, _)| *k)
+                    else {
+                        break;
+                    };
+                    shard.map.remove(&victim);
+                }
+                self.stats
+                    .index_cache_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(block)
+            }
+            Err(e) => Err(e),
+        };
+        // Waiters must always be woken — on failure they retry the load
+        // themselves instead of sleeping forever.
+        cv.notify_all();
+        drop(shard);
+        out
+    }
+
+    /// Drops every cached block belonging to `file_id` (a replaced
+    /// checkpoint's blocks must never serve a newer reader).
+    fn invalidate_file(&self, file_id: u64) {
+        for (lock, _) in &self.shards {
+            lock.lock().map.retain(|(f, _), _| *f != file_id);
+        }
+    }
+
+    /// Number of currently cached blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.shards.iter().map(|(l, _)| l.lock().map.len()).sum()
+    }
+
+    /// Approximate bytes held by cached blocks.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|(l, _)| {
+                l.lock()
+                    .map
+                    .values()
+                    .map(|(b, _)| b.byte_len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// A reader over one published checkpoint file: the fence array and
+/// meta blob are resident; level-1 blocks are served through the
+/// store's [`IndexBlockCache`].
+pub struct PagedIndexReader {
+    file: File,
+    path: PathBuf,
+    file_id: u64,
+    fences: Vec<Fence>,
+    meta: Vec<u8>,
+    height: u64,
+    entry_count: u64,
+    cache: Arc<IndexBlockCache>,
+    stats: Arc<IoStats>,
+}
+
+impl std::fmt::Debug for PagedIndexReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedIndexReader")
+            .field("path", &self.path)
+            .field("height", &self.height)
+            .field("fences", &self.fences.len())
+            .field("entries", &self.entry_count)
+            .finish()
+    }
+}
+
+impl PagedIndexReader {
+    /// Opens and validates a checkpoint: footer magic, tail checksum,
+    /// and fence extents (monotone, within the data region). O(fences);
+    /// no level-1 block is read.
+    pub(crate) fn open(
+        path: &Path,
+        cache: Arc<IndexBlockCache>,
+        stats: Arc<IoStats>,
+    ) -> Result<PagedIndexReader> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let header = INDEX_MAGIC.len() as u64;
+        if file_len < header + FOOTER_LEN {
+            return Err(corrupt(path, "file too short"));
+        }
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        read_exact_at(&file, &mut footer, file_len - FOOTER_LEN)?;
+        if &footer[44..52] != INDEX_MAGIC {
+            return Err(corrupt(path, "bad footer magic"));
+        }
+        let fence_off = get_u64(&footer, 0).ok_or_else(|| corrupt(path, "footer"))?;
+        let fence_count = get_u32(&footer, 8).ok_or_else(|| corrupt(path, "footer"))?;
+        let meta_off = get_u64(&footer, 12).ok_or_else(|| corrupt(path, "footer"))?;
+        let entry_count = get_u64(&footer, 20).ok_or_else(|| corrupt(path, "footer"))?;
+        let height = get_u64(&footer, 28).ok_or_else(|| corrupt(path, "footer"))?;
+        let tail_checksum = get_u64(&footer, 36).ok_or_else(|| corrupt(path, "footer"))?;
+        if fence_off < header || fence_off > meta_off || meta_off > file_len - FOOTER_LEN {
+            return Err(corrupt(path, "footer offsets out of range"));
+        }
+        // The checksummed tail spans [fence_off, checksum position).
+        let tail_len = (file_len - FOOTER_LEN + 36 - fence_off) as usize;
+        let mut tail = vec![0u8; tail_len];
+        read_exact_at(&file, &mut tail, fence_off)?;
+        if fnv1a(&tail) != tail_checksum {
+            return Err(corrupt(path, "tail checksum mismatch"));
+        }
+        let mut header_magic = [0u8; 8];
+        read_exact_at(&file, &mut header_magic, 0)?;
+        if &header_magic != INDEX_MAGIC {
+            return Err(corrupt(path, "bad header magic"));
+        }
+
+        // Parse fences out of the validated tail.
+        let mut fences = Vec::with_capacity(fence_count as usize);
+        let mut at = 0usize;
+        let mut start = 0u64;
+        let mut prev_end = header;
+        for _ in 0..fence_count {
+            let off = get_u64(&tail, at).ok_or_else(|| corrupt(path, "truncated fence"))?;
+            let len = get_u32(&tail, at + 8).ok_or_else(|| corrupt(path, "truncated fence"))?;
+            let count = get_u32(&tail, at + 12).ok_or_else(|| corrupt(path, "truncated fence"))?;
+            let checksum =
+                get_u64(&tail, at + 16).ok_or_else(|| corrupt(path, "truncated fence"))?;
+            let klen = get_u16(&tail, at + 24).ok_or_else(|| corrupt(path, "truncated fence"))?;
+            at += 26;
+            let first_key = tail
+                .get(at..at + klen as usize)
+                .ok_or_else(|| corrupt(path, "truncated fence key"))?
+                .to_vec();
+            at += klen as usize;
+            // invariant-style validation: extents tile the data region
+            // in order and never reach into the fence table.
+            if off != prev_end || u64::from(len) == 0 || off + u64::from(len) > fence_off {
+                return Err(corrupt(path, "fence extent out of range"));
+            }
+            prev_end = off + u64::from(len);
+            fences.push(Fence {
+                first_key,
+                off,
+                len,
+                start,
+                count,
+                checksum,
+            });
+            start += u64::from(count);
+        }
+        if start != entry_count {
+            return Err(corrupt(path, "fence counts disagree with entry count"));
+        }
+        // Within the tail, meta spans [meta_off - fence_off, tail end
+        // minus the footer's 36 checksummed bytes).
+        let meta_at = (meta_off - fence_off) as usize;
+        let meta = tail
+            .get(meta_at..tail_len - 36)
+            .ok_or_else(|| corrupt(path, "meta region out of range"))?
+            .to_vec();
+        let file_id = cache.register_file();
+        Ok(PagedIndexReader {
+            file,
+            path: path.to_path_buf(),
+            file_id,
+            fences,
+            meta,
+            height,
+            entry_count,
+            cache,
+            stats,
+        })
+    }
+
+    /// The chain height this checkpoint covers (blocks `< height`).
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// The family's opaque metadata blob.
+    pub fn meta(&self) -> &[u8] {
+        &self.meta
+    }
+
+    /// Total entries across all level-1 blocks.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Number of level-1 blocks (== fences).
+    pub fn fence_count(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// Resident bytes of the always-loaded top level (fences + meta).
+    pub fn memory_bytes(&self) -> usize {
+        self.meta.len()
+            + self
+                .fences
+                .iter()
+                .map(|f| f.first_key.len() + 40)
+                .sum::<usize>()
+    }
+
+    /// Loads level-1 block `i` through the cache (checksum-verified).
+    fn block(&self, i: usize) -> Result<Arc<IndexBlock>> {
+        let fence = self
+            .fences
+            .get(i)
+            .ok_or_else(|| corrupt(&self.path, "fence index out of range"))?;
+        let (off, len, count, checksum) = (fence.off, fence.len, fence.count, fence.checksum);
+        self.cache.get_or_load(self.file_id, i as u32, &|| {
+            let mut buf = vec![0u8; len as usize];
+            read_exact_at(&self.file, &mut buf, off)?;
+            if fnv1a(&buf) != checksum {
+                return Err(corrupt(&self.path, "level-1 block checksum mismatch"));
+            }
+            self.stats
+                .bytes_read
+                .fetch_add(u64::from(len), Ordering::Relaxed);
+            let entries = decode_entries(&self.path, &buf, count as usize)?;
+            Ok(IndexBlock {
+                entries,
+                bytes: buf.len(),
+            })
+        })
+    }
+
+    /// Index of the fence whose block may contain `key` (the last fence
+    /// with `first_key <= key`), or `None` when `key` precedes all.
+    fn fence_for(&self, key: &[u8]) -> Option<usize> {
+        let n = self
+            .fences
+            .partition_point(|f| f.first_key.as_slice() <= key);
+        n.checked_sub(1)
+    }
+
+    /// Exact-key lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let Some(i) = self.fence_for(key) else {
+            return Ok(None);
+        };
+        let block = self.block(i)?;
+        match block
+            .entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+        {
+            Ok(pos) => Ok(Some(block.entries[pos].1.clone())),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Greatest entry with key ≤ `key`.
+    pub fn floor(&self, key: &[u8]) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let Some(i) = self.fence_for(key) else {
+            return Ok(None);
+        };
+        let block = self.block(i)?;
+        let n = block.entries.partition_point(|(k, _)| k.as_slice() <= key);
+        // The fence guarantees first_key <= key, so n >= 1 whenever the
+        // block is non-empty (fences never describe empty blocks).
+        Ok(n.checked_sub(1).map(|p| block.entries[p].clone()))
+    }
+
+    /// The entry at global index `idx` (entries numbered across blocks
+    /// in key order).
+    pub fn entry_at(&self, idx: u64) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        if idx >= self.entry_count {
+            return Ok(None);
+        }
+        let i = self
+            .fences
+            .partition_point(|f| f.start + u64::from(f.count) <= idx);
+        let fence = self
+            .fences
+            .get(i)
+            .ok_or_else(|| corrupt(&self.path, "entry index out of range"))?;
+        let block = self.block(i)?;
+        Ok(block.entries.get((idx - fence.start) as usize).cloned())
+    }
+
+    /// Visits every entry with `lo ≤ key` and (when `hi` is set)
+    /// `key ≤ hi`, in key order.
+    pub fn scan_range(
+        &self,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]),
+    ) -> Result<()> {
+        let start = self.fence_for(lo).unwrap_or(0);
+        for i in start..self.fences.len() {
+            if let Some(hi) = hi {
+                if self.fences[i].first_key.as_slice() > hi {
+                    break;
+                }
+            }
+            let block = self.block(i)?;
+            for (k, v) in &block.entries {
+                if k.as_slice() < lo {
+                    continue;
+                }
+                if let Some(hi) = hi {
+                    if k.as_slice() > hi {
+                        return Ok(());
+                    }
+                }
+                f(k, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Visits every entry whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8], f: &mut dyn FnMut(&[u8], &[u8])) -> Result<()> {
+        let start = self.fence_for(prefix).unwrap_or(0);
+        for i in start..self.fences.len() {
+            let first = &self.fences[i].first_key;
+            if first.as_slice() > prefix && !first.starts_with(prefix) {
+                break;
+            }
+            let block = self.block(i)?;
+            for (k, v) in &block.entries {
+                if k.as_slice() < prefix {
+                    continue;
+                }
+                if !k.starts_with(prefix) {
+                    return Ok(());
+                }
+                f(k, v);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Drops a checkpoint file (healing path: torn, stale, or ahead of the
+/// manifest commit point) and invalidates any of its cached blocks.
+pub(crate) fn discard_checkpoint(path: &Path, cache: &IndexBlockCache, file_id: Option<u64>) {
+    if let Some(id) = file_id {
+        cache.invalidate_file(id);
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sebdb-ixseg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn no_fault(_: WriteStep) -> Result<()> {
+        Ok(())
+    }
+
+    fn cp(n: u64) -> IndexCheckpoint {
+        IndexCheckpoint {
+            family: b"test-family".to_vec(),
+            height: n,
+            meta: b"meta-blob".to_vec(),
+            entries: (0..n)
+                .map(|i| {
+                    (
+                        i.to_be_bytes().to_vec(),
+                        format!("value-{i}").into_bytes().repeat(4),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn open(dir: &Path, family: &[u8], capacity: usize) -> Result<PagedIndexReader> {
+        let stats = Arc::new(IoStats::default());
+        let cache = IndexBlockCache::new(capacity, Arc::clone(&stats));
+        PagedIndexReader::open(&dir.join(checkpoint_file_name(family)), cache, stats)
+    }
+
+    #[test]
+    fn roundtrip_get_floor_scan() {
+        let dir = tmpdir("roundtrip");
+        let cp = cp(500);
+        write_checkpoint(&dir, &cp, false, &no_fault).unwrap();
+        let r = open(&dir, &cp.family, 0).unwrap();
+        assert_eq!(r.height(), 500);
+        assert_eq!(r.entry_count(), 500);
+        assert_eq!(r.meta(), b"meta-blob");
+        assert!(r.fence_count() > 1, "500 entries must span several blocks");
+        for i in [0u64, 1, 63, 64, 255, 499] {
+            assert_eq!(
+                r.get(&i.to_be_bytes()).unwrap().unwrap(),
+                cp.entries[i as usize].1,
+                "entry {i}"
+            );
+        }
+        assert!(r.get(&500u64.to_be_bytes()).unwrap().is_none());
+        // floor: exact and between-keys probes.
+        let (k, _) = r.floor(&42u64.to_be_bytes()).unwrap().unwrap();
+        assert_eq!(k, 42u64.to_be_bytes().to_vec());
+        // entry_at matches ordinal order.
+        let (k, v) = r.entry_at(123).unwrap().unwrap();
+        assert_eq!(k, 123u64.to_be_bytes().to_vec());
+        assert_eq!(v, cp.entries[123].1);
+        assert!(r.entry_at(500).unwrap().is_none());
+        // scan_range honours both bounds.
+        let mut seen = Vec::new();
+        r.scan_range(
+            &100u64.to_be_bytes(),
+            Some(&110u64.to_be_bytes()),
+            &mut |k, _| seen.push(u64::from_be_bytes(k.try_into().unwrap())),
+        )
+        .unwrap();
+        assert_eq!(seen, (100..=110).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_prefix_visits_only_prefix() {
+        let dir = tmpdir("prefix");
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for tag in [1u8, 2, 3] {
+            for i in 0..200u64 {
+                let mut k = vec![tag];
+                k.extend_from_slice(&i.to_be_bytes());
+                entries.push((k, vec![tag; 8]));
+            }
+        }
+        entries.sort();
+        let cp = IndexCheckpoint {
+            family: b"prefix".to_vec(),
+            height: 1,
+            meta: Vec::new(),
+            entries,
+        };
+        write_checkpoint(&dir, &cp, false, &no_fault).unwrap();
+        let r = open(&dir, b"prefix", 0).unwrap();
+        let mut n = 0usize;
+        r.scan_prefix(&[2u8], &mut |k, v| {
+            assert_eq!(k[0], 2);
+            assert_eq!(v, &[2u8; 8]);
+            n += 1;
+        })
+        .unwrap();
+        assert_eq!(n, 200);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_counts() {
+        let dir = tmpdir("cache");
+        let cp = cp(2000);
+        write_checkpoint(&dir, &cp, false, &no_fault).unwrap();
+        let stats = Arc::new(IoStats::default());
+        let cache = IndexBlockCache::new(8, Arc::clone(&stats));
+        let r = PagedIndexReader::open(
+            &dir.join(checkpoint_file_name(&cp.family)),
+            Arc::clone(&cache),
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        assert!(r.fence_count() > 16);
+        for i in 0..2000u64 {
+            assert!(r.get(&i.to_be_bytes()).unwrap().is_some());
+        }
+        assert!(cache.resident_blocks() <= 8);
+        assert!(cache.resident_bytes() > 0);
+        let hits = stats.index_cache_hits.load(Ordering::Relaxed);
+        let misses = stats.index_cache_misses.load(Ordering::Relaxed);
+        assert!(hits > 0, "sequential probes must hit the cached block");
+        assert!(
+            misses >= r.fence_count() as u64,
+            "every block is cold at least once"
+        );
+        // Warm re-read of one block: pure hits.
+        stats.reset();
+        for i in 0..4u64 {
+            let _ = r.get(&i.to_be_bytes()).unwrap();
+        }
+        assert_eq!(stats.index_cache_misses.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_rejected() {
+        let dir = tmpdir("torn");
+        let cp = cp(300);
+        write_checkpoint(&dir, &cp, false, &no_fault).unwrap();
+        let path = dir.join(checkpoint_file_name(&cp.family));
+        let bytes = std::fs::read(&path).unwrap();
+        // Truncate mid-fence-table: the footer (and its magic) vanish.
+        std::fs::write(&path, &bytes[..bytes.len() - 20]).unwrap();
+        assert!(open(&dir, &cp.family, 0).is_err());
+        // Flip one payload byte: open still succeeds (tail is intact)…
+        let mut flipped = bytes.clone();
+        flipped[16] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        let r = open(&dir, &cp.family, 0).unwrap();
+        // …but reading the poisoned level-1 block fails its checksum.
+        let mut any_err = false;
+        for i in 0..300u64 {
+            if r.get(&i.to_be_bytes()).is_err() {
+                any_err = true;
+                break;
+            }
+        }
+        assert!(any_err, "corrupt level-1 block must fail closed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_steps_fire_in_order() {
+        let dir = tmpdir("fault");
+        let cp = cp(400);
+        for step in [
+            WriteStep::IndexBlockWrite(0),
+            WriteStep::IndexBlockWrite(1),
+            WriteStep::IndexFenceWrite,
+            WriteStep::IndexPublish,
+        ] {
+            let err = write_checkpoint(&dir, &cp, false, &|s| {
+                if s == step {
+                    Err(StorageError::Corrupt(format!(
+                        "injected write fault at {s:?}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            })
+            .expect_err("fault must abort the write");
+            assert!(format!("{err}").contains("injected write fault"));
+            // Nothing published.
+            assert!(!dir.join(checkpoint_file_name(&cp.family)).exists());
+            sweep_tmp_checkpoints(&dir);
+        }
+        // A clean retry succeeds after any torn attempt.
+        write_checkpoint(&dir, &cp, false, &no_fault).unwrap();
+        assert!(open(&dir, &cp.family, 0).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let dir = tmpdir("empty");
+        let cp = IndexCheckpoint {
+            family: b"empty".to_vec(),
+            height: 0,
+            meta: b"m".to_vec(),
+            entries: Vec::new(),
+        };
+        write_checkpoint(&dir, &cp, false, &no_fault).unwrap();
+        let r = open(&dir, b"empty", 0).unwrap();
+        assert_eq!(r.entry_count(), 0);
+        assert_eq!(r.fence_count(), 0);
+        assert!(r.get(b"x").unwrap().is_none());
+        assert!(r.floor(b"x").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

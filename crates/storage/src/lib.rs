@@ -9,6 +9,7 @@
 
 pub mod blockstore;
 pub mod cache;
+pub mod indexseg;
 pub mod segment;
 
 pub use blockstore::{
@@ -17,4 +18,8 @@ pub use blockstore::{
     READAHEAD_ENV, RELATION_PARTITIONS, STORE_PARTITIONS_ENV,
 };
 pub use cache::{BlockCache, Lru, TxCache};
+pub use indexseg::{
+    IndexBlockCache, IndexCheckpoint, PagedIndexReader, DEFAULT_INDEX_CACHE_BLOCKS,
+    INDEX_CACHE_BLOCKS_ENV, INDEX_CHECKPOINT_DIR,
+};
 pub use segment::{Location, ReadGauges, ReadProbe, SegmentSet, SegmentWriter, StorageError};

@@ -293,7 +293,7 @@ impl SegmentSet {
 /// Positioned read: fills `buf` from `offset` without touching any
 /// shared cursor.
 #[cfg(unix)]
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+pub(crate) fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
     use std::os::unix::fs::FileExt;
     file.read_exact_at(buf, offset)
 }
@@ -302,7 +302,11 @@ fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()
 /// cursor is moved but never relied upon between calls on Windows —
 /// each call passes its own absolute offset).
 #[cfg(windows)]
-fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> std::io::Result<()> {
+pub(crate) fn read_exact_at(
+    file: &File,
+    mut buf: &mut [u8],
+    mut offset: u64,
+) -> std::io::Result<()> {
     use std::os::windows::fs::FileExt;
     while !buf.is_empty() {
         match file.seek_read(buf, offset) {
@@ -327,7 +331,7 @@ fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> std::io::R
 /// duplicate of the descriptor is seeked, so the cached handle's state
 /// is never mutated.
 #[cfg(not(any(unix, windows)))]
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+pub(crate) fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
     use std::io::{Read, Seek};
     let mut dup = file.try_clone()?;
     dup.seek(std::io::SeekFrom::Start(offset))?;

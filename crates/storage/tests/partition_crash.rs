@@ -12,7 +12,8 @@
 
 use sebdb_crypto::sha256::Digest;
 use sebdb_storage::{
-    partition_of, BlockStore, SegmentWriter, StoreConfig, WriteStep, CHAIN_PARTITION,
+    partition_of, BlockStore, IndexCheckpoint, SegmentWriter, StoreConfig, WriteStep,
+    CHAIN_PARTITION, INDEX_CHECKPOINT_DIR,
 };
 use sebdb_types::{Block, Codec, Transaction, Value};
 use std::path::{Path, PathBuf};
@@ -278,6 +279,161 @@ fn v1_single_sequence_store_migrates_on_open() {
     );
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&flat_dir);
+}
+
+/// A deterministic multi-block index checkpoint: enough distinct
+/// entries that the level-1 body spans several 4 KiB index blocks, so
+/// the per-block fault steps actually fire mid-file.
+fn index_cp(height: u64, entries: usize) -> IndexCheckpoint {
+    IndexCheckpoint {
+        family: b"crashtest".to_vec(),
+        height,
+        meta: vec![0xAB; 16],
+        entries: (0..entries)
+            .map(|i| {
+                (
+                    format!("key-{i:08}").into_bytes(),
+                    format!("value-{height}-{i:08}-{}", "x".repeat(64)).into_bytes(),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn assert_checkpoint_serves(store: &BlockStore, height: u64, entries: usize, ctx: &str) {
+    let r = store
+        .load_index_checkpoint(b"crashtest")
+        .unwrap()
+        .unwrap_or_else(|| panic!("{ctx}: committed checkpoint vanished"));
+    assert_eq!(r.height(), height, "{ctx}: wrong committed height");
+    assert_eq!(r.entry_count(), entries as u64, "{ctx}: wrong entry count");
+    let probe = format!("key-{:08}", entries / 2).into_bytes();
+    let got = r.get(&probe).unwrap().unwrap_or_else(|| {
+        panic!("{ctx}: committed checkpoint lost an entry");
+    });
+    assert_eq!(
+        got,
+        format!("value-{height}-{:08}-{}", entries / 2, "x".repeat(64)).into_bytes(),
+        "{ctx}: committed checkpoint serves wrong bytes"
+    );
+}
+
+/// The index-checkpoint fault ladder: a crash at *every* checkpoint
+/// write boundary — each level-1 index-block write, the fence/footer
+/// tail write, and the publishing rename — must leave the previously
+/// committed checkpoint intact and serving byte-identical entries, and
+/// a reopen must sweep the torn `.tmp` and accept a retried publish.
+#[test]
+fn crash_at_every_index_checkpoint_boundary_heals_on_reopen() {
+    let tables = spanning_tables();
+    let ntx = 6;
+    let steps = [
+        WriteStep::IndexBlockWrite(0),
+        WriteStep::IndexBlockWrite(1),
+        WriteStep::IndexFenceWrite,
+        WriteStep::IndexPublish,
+    ];
+    for (si, step) in steps.into_iter().enumerate() {
+        let dir = tmpdir(&format!("ixcp-{si}"));
+        {
+            let store = BlockStore::open(&dir, cfg()).unwrap();
+            for h in 0..4 {
+                store.append(&block(h, &tables, ntx)).unwrap();
+            }
+            // Commit a first checkpoint, then tear the upgrade to a
+            // taller one at this boundary.
+            store.write_index_checkpoint(&index_cp(3, 200)).unwrap();
+            store.set_write_fault(Some(Box::new(move |s| s == step)));
+            let err = store.write_index_checkpoint(&index_cp(4, 260)).unwrap_err();
+            assert!(
+                err.to_string().contains("injected write fault"),
+                "{step:?}: unexpected error {err}"
+            );
+            store.set_write_fault(None);
+            // The torn write never reached the commit point: the
+            // previous checkpoint still serves, byte-identically.
+            assert_checkpoint_serves(&store, 3, 200, &format!("{step:?} pre-reopen"));
+        }
+        // Reopen: the `.tmp` orphan sweeps away, the committed file
+        // still serves, and a retried publish supersedes it.
+        let store = BlockStore::open(&dir, cfg()).unwrap();
+        let cp_dir = dir.join(INDEX_CHECKPOINT_DIR);
+        let tmps = std::fs::read_dir(&cp_dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(tmps, 0, "{step:?}: torn .tmp survived the reopen sweep");
+        assert_checkpoint_serves(&store, 3, 200, &format!("{step:?} post-reopen"));
+        store.write_index_checkpoint(&index_cp(4, 260)).unwrap();
+        assert_checkpoint_serves(&store, 4, 260, &format!("{step:?} retried"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Longest-valid-prefix discipline for checkpoints vs the manifest: a
+/// checkpoint committed at height 4 whose chain is later rolled back
+/// to height 3 (torn tail extent) is *stale* — the reopen must discard
+/// it and report `None`, sending the ledger back to a full replay that
+/// reconstructs the same state. Corrupt checkpoint bytes heal the same
+/// way.
+#[test]
+fn stale_or_corrupt_index_checkpoint_is_discarded_on_open() {
+    let tables = spanning_tables();
+    let ntx = 6;
+    // Stale: checkpoint height outruns the rolled-back manifest.
+    let dir = tmpdir("ixcp-stale");
+    {
+        let store = BlockStore::open(&dir, cfg()).unwrap();
+        for h in 0..4 {
+            store.append(&block(h, &tables, ntx)).unwrap();
+        }
+        store.write_index_checkpoint(&index_cp(4, 120)).unwrap();
+    }
+    let seg = last_segment(&dir.join("chain"));
+    let len = std::fs::metadata(&seg).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+    f.set_len(len - 1).unwrap();
+    drop(f);
+    let store = BlockStore::open(&dir, cfg()).unwrap();
+    assert_eq!(store.height(), 3, "torn chain tail must roll back");
+    assert!(
+        store.load_index_checkpoint(b"crashtest").unwrap().is_none(),
+        "checkpoint ahead of the manifest must be discarded"
+    );
+    let cp_file = dir
+        .join(INDEX_CHECKPOINT_DIR)
+        .join(sebdb_storage::indexseg::checkpoint_file_name(b"crashtest"));
+    assert!(!cp_file.exists(), "stale checkpoint file must be deleted");
+    // A replacement at the healed height publishes cleanly.
+    store.write_index_checkpoint(&index_cp(3, 90)).unwrap();
+    assert_checkpoint_serves(&store, 3, 90, "post-rollback republish");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Corrupt: flipped bytes inside the committed file fail the tail
+    // checksum and the file is discarded, not served.
+    let dir = tmpdir("ixcp-corrupt");
+    let store = BlockStore::open(&dir, cfg()).unwrap();
+    for h in 0..3 {
+        store.append(&block(h, &tables, ntx)).unwrap();
+    }
+    store.write_index_checkpoint(&index_cp(3, 120)).unwrap();
+    let cp_file = dir
+        .join(INDEX_CHECKPOINT_DIR)
+        .join(sebdb_storage::indexseg::checkpoint_file_name(b"crashtest"));
+    let mut bytes = std::fs::read(&cp_file).unwrap();
+    // Flip a footer byte: the open-time validation checksums the
+    // fence/meta/footer tail (level-1 bodies carry their own per-block
+    // checksums, verified on load), so tail rot must fail the open.
+    let victim = bytes.len() - 20;
+    bytes[victim] ^= 0xFF;
+    std::fs::write(&cp_file, &bytes).unwrap();
+    assert!(
+        store.load_index_checkpoint(b"crashtest").unwrap().is_none(),
+        "corrupt checkpoint must be discarded, not served"
+    );
+    assert!(!cp_file.exists(), "corrupt checkpoint file must be deleted");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// `read_relation_txs` returns every tuple co-located in the table's
