@@ -12,7 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Repo-wide concurrency/robustness lint: thread-spawn discipline,
 # no sleep-polling, unwrap/expect ban in the hot crates, single
-# wall-clock site. Allowlist: tools/lint/allowlist.txt.
+# wall-clock site, and the std-sync lock ban (engine locks must go
+# through the parking_lot shim so the model checker and lock-order
+# detector cover them — DESIGN §14). Allowlist:
+# tools/lint/allowlist.txt.
 echo "==> cargo run -q -p sebdb-lint"
 cargo run -q -p sebdb-lint
 
@@ -20,8 +23,11 @@ echo "==> cargo test -q"
 cargo test -q
 
 # Deterministic interleaving checker: exhaustively explores schedules
-# of the pipeline/mempool/cache models and must find zero invariant
-# violations (and must still *find* the seeded negative-test bugs).
+# of the pipeline/mempool/cache/index/partition models with the
+# happens-before race detector active on every schedule (DESIGN §14),
+# and must find zero invariant violations and zero data races — while
+# still *finding* the seeded negative-test bugs, including the two
+# seeded races in race_model.rs.
 echo "==> cargo test -q -p sebdb-model"
 cargo test -q -p sebdb-model
 

@@ -25,6 +25,7 @@
 use crate::traits::{BatchConfig, CommitAck, ConsensusError};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
+use sebdb_parallel::Tracked;
 use sebdb_types::Transaction;
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -36,12 +37,16 @@ pub type AckSender = Sender<Result<CommitAck, ConsensusError>>;
 /// `false` rejects the transaction with [`ConsensusError::Rejected`].
 pub type AdmissionVerifier = dyn Fn(&Transaction) -> bool + Send + Sync;
 
+/// The coalescing buffer, every field under a zero-cost [`Tracked`]
+/// marker: the model checker's mempool suite wraps the same state in
+/// its race-detecting twin and proves the condvar-guarded discipline
+/// below (DESIGN.md §14).
 struct PoolState {
-    queue: VecDeque<(Transaction, AckSender)>,
+    queue: Tracked<VecDeque<(Transaction, AckSender)>>,
     /// Arrival time of the oldest pending transaction — the packaging
     /// timeout counts from here.
-    first_pending: Option<Instant>,
-    closed: bool,
+    first_pending: Tracked<Option<Instant>>,
+    closed: Tracked<bool>,
 }
 
 /// A condvar-guarded pending buffer shared between submitters and one
@@ -58,9 +63,9 @@ impl Mempool {
     pub fn new(config: BatchConfig) -> Mempool {
         Mempool {
             state: Mutex::new(PoolState {
-                queue: VecDeque::new(),
-                first_pending: None,
-                closed: false,
+                queue: Tracked::new(VecDeque::new()),
+                first_pending: Tracked::new(None),
+                closed: Tracked::new(false),
             }),
             arrived: Condvar::new(),
             config,
@@ -78,15 +83,15 @@ impl Mempool {
     pub fn submit(&self, tx: Transaction) -> Receiver<Result<CommitAck, ConsensusError>> {
         let (ack_tx, ack_rx) = bounded(1);
         let mut st = self.state.lock();
-        if st.closed {
+        if st.closed.get() {
             drop(st);
             let _ = ack_tx.send(Err(ConsensusError::Stopped));
             return ack_rx;
         }
-        if st.queue.is_empty() {
-            st.first_pending = Some(Instant::now());
+        if st.queue.with(VecDeque::is_empty) {
+            st.first_pending.set(Some(Instant::now()));
         }
-        st.queue.push_back((tx, ack_tx));
+        st.queue.with_mut(|q| q.push_back((tx, ack_tx)));
         drop(st);
         self.arrived.notify_one();
         ack_rx
@@ -94,7 +99,7 @@ impl Mempool {
 
     /// Number of transactions currently pending.
     pub fn len(&self) -> usize {
-        self.state.lock().queue.len()
+        self.state.lock().queue.with(VecDeque::len)
     }
 
     /// Whether the pending buffer is empty.
@@ -111,17 +116,17 @@ impl Mempool {
         let timeout = Duration::from_millis(self.config.timeout_ms);
         let mut st = self.state.lock();
         loop {
-            if st.closed {
+            if st.closed.get() {
                 return None;
             }
-            if st.queue.len() >= self.config.max_txs {
+            if st.queue.with(VecDeque::len) >= self.config.max_txs {
                 return Some(Self::drain(&mut st, self.config.max_txs));
             }
-            let wait = match st.first_pending {
+            let wait = match st.first_pending.get() {
                 Some(first) => {
                     let elapsed = first.elapsed();
-                    if elapsed >= timeout && !st.queue.is_empty() {
-                        let n = st.queue.len();
+                    if elapsed >= timeout && !st.queue.with(VecDeque::is_empty) {
+                        let n = st.queue.with(VecDeque::len);
                         return Some(Self::drain(&mut st, n));
                     }
                     timeout - elapsed
@@ -133,15 +138,15 @@ impl Mempool {
     }
 
     fn drain(st: &mut PoolState, n: usize) -> Vec<(Transaction, AckSender)> {
-        let batch: Vec<_> = st.queue.drain(..n).collect();
-        st.first_pending = if st.queue.is_empty() {
+        let batch: Vec<_> = st.queue.with_mut(|q| q.drain(..n).collect());
+        st.first_pending.set(if st.queue.with(VecDeque::is_empty) {
             None
         } else {
             // Leftovers start a fresh packaging window: their original
             // arrival instant is not tracked per transaction, and a
             // backlog this deep will hit the max_txs cut first anyway.
             Some(Instant::now())
-        };
+        });
         batch
     }
 
@@ -188,7 +193,7 @@ impl Mempool {
     /// [`ConsensusError::Stopped`] and [`Self::next_batch`] returns
     /// `None`.
     pub fn close(&self) {
-        self.state.lock().closed = true;
+        self.state.lock().closed.set(true);
         self.arrived.notify_all();
     }
 
@@ -196,8 +201,8 @@ impl Mempool {
     /// reject leftovers).
     pub fn take_remaining(&self) -> Vec<(Transaction, AckSender)> {
         let mut st = self.state.lock();
-        st.first_pending = None;
-        st.queue.drain(..).collect()
+        st.first_pending.set(None);
+        st.queue.with_mut(|q| q.drain(..).collect())
     }
 }
 

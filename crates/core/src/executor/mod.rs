@@ -122,12 +122,19 @@ pub struct Executor<'a> {
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor with default cost parameters.
+    /// Creates an executor with cost parameters calibrated from the
+    /// node's live I/O counters: the index-cache hit rate comes from
+    /// the store's observed hits/misses (defaulting until enough
+    /// accesses accumulate) and the fence-probe cost from a
+    /// once-per-process microprobe. A fresh store therefore plans
+    /// exactly like [`CostParams::default`] aside from the measured
+    /// probe cost.
     pub fn new(ledger: &'a Ledger, offchain: Option<&'a OffchainConnection>) -> Self {
+        let (hits, misses) = ledger.store().stats.index_cache_counts();
         Executor {
             ledger,
             offchain,
-            cost: CostParams::default(),
+            cost: CostParams::calibrated(hits, misses),
         }
     }
 

@@ -17,6 +17,7 @@ use sebdb_index::{
     column_slug, family_ali, family_block, family_layered, family_table, AuthenticatedLayeredIndex,
     Bitmap, BlockLevelIndex, EqualDepthHistogram, LayeredIndex, TableBitmapIndex,
 };
+use sebdb_parallel::Tracked;
 use sebdb_storage::{BlockCache, BlockStore, CacheMode, CachedStore, StorageError, TxCache, TxPtr};
 use sebdb_types::{Block, BlockId, ColumnRef, TableSchema, Timestamp, Transaction, Value};
 use std::collections::HashMap;
@@ -135,13 +136,17 @@ pub struct Ledger {
     /// indexed (schemas included, at the node layer). The write
     /// pipeline persists ahead of this; readers never see a height
     /// whose indexes are still being built.
-    applied: AtomicU64,
+    ///
+    /// Both applied-height cells carry the zero-cost [`Tracked`]
+    /// marker: the applier model suite wraps the same state in the
+    /// model checker's race-detecting twin (DESIGN.md §14).
+    applied: Tracked<AtomicU64>,
     /// Per-lane applied heights, installed by a lane pipeline via
     /// [`Self::install_applied_vector`]. `applied` is the running
     /// minimum over the vector, so cross-relation readers (joins,
     /// GET BLOCK, TRACE) wait on the min applied height and stay
     /// consistent. `None` outside a lane pipeline.
-    lane_heights: RwLock<Option<Arc<Vec<AtomicU64>>>>,
+    lane_heights: RwLock<Option<Arc<Vec<Tracked<AtomicU64>>>>>,
     /// Watch pair for [`Self::wait_for_height`]: `applied` is updated
     /// under this mutex so waiters cannot miss a notify.
     height_watch: Mutex<()>,
@@ -175,7 +180,7 @@ impl Ledger {
             last_hash: RwLock::new(Digest::ZERO),
             signer,
             tx_verifier: RwLock::new(None),
-            applied: AtomicU64::new(0),
+            applied: Tracked::new(AtomicU64::new(0)),
             lane_heights: RwLock::new(None),
             height_watch: Mutex::new(()),
             height_cv: Condvar::new(),
@@ -763,10 +768,13 @@ impl Ledger {
     /// by [`Self::lane_applied`]). The lane pipeline installs this at
     /// start and clears it (via [`Self::clear_applied_vector`]) on
     /// join, so the sequential path is untouched.
-    pub fn install_applied_vector(&self, lanes: usize) -> Arc<Vec<AtomicU64>> {
+    pub fn install_applied_vector(&self, lanes: usize) -> Arc<Vec<Tracked<AtomicU64>>> {
         let start = self.height();
-        let vec: Arc<Vec<AtomicU64>> =
-            Arc::new((0..lanes).map(|_| AtomicU64::new(start)).collect());
+        let vec: Arc<Vec<Tracked<AtomicU64>>> = Arc::new(
+            (0..lanes)
+                .map(|_| Tracked::new(AtomicU64::new(start)))
+                .collect(),
+        );
         *self.lane_heights.write() = Some(Arc::clone(&vec));
         vec
     }
@@ -777,7 +785,7 @@ impl Ledger {
     }
 
     /// The currently installed per-lane applied-height vector, if any.
-    pub fn applied_vector(&self) -> Option<Arc<Vec<AtomicU64>>> {
+    pub fn applied_vector(&self) -> Option<Arc<Vec<Tracked<AtomicU64>>>> {
         self.lane_heights.read().clone()
     }
 

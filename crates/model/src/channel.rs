@@ -6,7 +6,7 @@
 //! sends fail once every receiver is gone, receives fail once the
 //! buffer is drained and every sender is gone.
 
-use crate::sched::{ctx, ctx_opt, StateSig, Wake};
+use crate::sched::{ctx, ctx_opt, StateSig, VClock, Wake};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
@@ -34,7 +34,11 @@ pub enum TryRecvError {
 }
 
 struct ChanState<T> {
-    queue: VecDeque<T>,
+    /// Each queued message carries the sender's clock at send time: the
+    /// send→recv happens-before edge is per message, so receiving
+    /// message 1 does not spuriously order the receiver after the send
+    /// of message 2.
+    queue: VecDeque<(T, VClock)>,
     senders: usize,
     receivers: usize,
 }
@@ -58,7 +62,9 @@ impl<T: Hash + Send + 'static> StateSig for ChanCore<T> {
         4u64.hash(&mut h);
         st.senders.hash(&mut h);
         st.receivers.hash(&mut h);
-        for item in &st.queue {
+        for (item, _clock) in &st.queue {
+            // Clocks are exploration bookkeeping, not channel content —
+            // hashing them would make every state look novel to pruning.
             item.hash(&mut h);
         }
         h.finish()
@@ -122,10 +128,19 @@ impl<T: Send> Sender<T> {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             if st.receivers == 0 {
+                drop(st);
+                // Disconnect edge: the last receiver's drop published
+                // its clock; observing the disconnect is ordered after.
+                ex.sync_acquire(me, self.core.id());
                 return Err(SendError(value));
             }
             if self.core.cap.is_none_or(|cap| st.queue.len() < cap) {
-                st.queue.push_back(value);
+                // Stamp the message with the sender's clock (send→recv
+                // edge). Safe to call into the scheduler with `meta`
+                // held: only the running thread touches channel meta
+                // locks, and `signature()` is never concurrent with it.
+                let clock = ex.send_clock(me);
+                st.queue.push_back((value, clock));
                 drop(st);
                 ex.wake_all(self.core.id());
                 return Ok(());
@@ -148,12 +163,15 @@ impl<T: Send> Receiver<T> {
                 .meta
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
-            if let Some(value) = st.queue.pop_front() {
+            if let Some((value, clock)) = st.queue.pop_front() {
                 drop(st);
+                ex.recv_clock(me, &clock);
                 ex.wake_all(self.core.id());
                 return Ok(value);
             }
             if st.senders == 0 {
+                drop(st);
+                ex.sync_acquire(me, self.core.id());
                 return Err(RecvError);
             }
             drop(st);
@@ -173,12 +191,15 @@ impl<T: Send> Receiver<T> {
                 .meta
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
-            if let Some(value) = st.queue.pop_front() {
+            if let Some((value, clock)) = st.queue.pop_front() {
                 drop(st);
+                ex.recv_clock(me, &clock);
                 ex.wake_all(self.core.id());
                 return Ok(value);
             }
             if st.senders == 0 {
+                drop(st);
+                ex.sync_acquire(me, self.core.id());
                 return Err(RecvTimeoutError::Disconnected);
             }
             drop(st);
@@ -197,12 +218,15 @@ impl<T: Send> Receiver<T> {
             .meta
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if let Some(value) = st.queue.pop_front() {
+        if let Some((value, clock)) = st.queue.pop_front() {
             drop(st);
+            ex.recv_clock(me, &clock);
             ex.wake_all(self.core.id());
             return Ok(value);
         }
         if st.senders == 0 {
+            drop(st);
+            ex.sync_acquire(me, self.core.id());
             return Err(TryRecvError::Disconnected);
         }
         Err(TryRecvError::Empty)
@@ -237,7 +261,8 @@ impl<T> Drop for Sender<T> {
         // The last sender leaving wakes blocked receivers so they can
         // observe the disconnect.
         if disconnected {
-            if let Some((ex, _)) = ctx_opt() {
+            if let Some((ex, me)) = ctx_opt() {
+                ex.sync_release(me, self.core.id());
                 ex.wake_all(self.core.id());
             }
         }
@@ -270,7 +295,8 @@ impl<T> Drop for Receiver<T> {
         let disconnected = st.receivers == 0;
         drop(st);
         if disconnected {
-            if let Some((ex, _)) = ctx_opt() {
+            if let Some((ex, me)) = ctx_opt() {
+                ex.sync_release(me, self.core.id());
                 ex.wake_all(self.core.id());
             }
         }

@@ -38,6 +38,26 @@ enum Status {
     Finished,
 }
 
+/// A vector clock: `clock[t]` is the last epoch of thread `t` whose
+/// effects are ordered before the clock's owner. Grown on demand —
+/// a missing entry reads as 0.
+pub(crate) type VClock = Vec<u64>;
+
+/// `a := a ⊔ b` (element-wise max).
+pub(crate) fn vjoin(a: &mut VClock, b: &VClock) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = (*x).max(*y);
+    }
+}
+
+/// `clock[tid]`, treating missing entries as 0.
+pub(crate) fn ventry(clock: &VClock, tid: usize) -> u64 {
+    clock.get(tid).copied().unwrap_or(0)
+}
+
 struct ThreadRec {
     status: Status,
     wake: Option<Wake>,
@@ -45,6 +65,9 @@ struct ThreadRec {
     ops: u64,
     /// Object id joiners block on.
     join_obj: u64,
+    /// The thread's vector clock for happens-before race detection;
+    /// `clock[me]` is the thread's own epoch, bumped at every release.
+    clock: VClock,
 }
 
 /// One recorded scheduling decision: which of the eligible threads ran.
@@ -72,7 +95,13 @@ pub(crate) struct ExecState {
     /// Registered model objects, in creation order (creation order is
     /// deterministic per run, so ids line up across replays).
     objects: Vec<Option<Weak<dyn StateSig>>>,
+    /// Per-object vector clocks: the join of every clock released into
+    /// the object (lock release, condvar notify, thread exit). Indexed
+    /// by object id, parallel to `objects`.
+    obj_clocks: Vec<VClock>,
     pub(crate) failure: Option<String>,
+    /// Data races reported by `Tracked` cells during this run.
+    pub(crate) races: usize,
     abort: bool,
     /// Decision points where the explorer may branch (beyond the depth
     /// bound the first option is always taken).
@@ -137,7 +166,9 @@ impl Execution {
                 decisions: Vec::new(),
                 trace_hash: 0xcbf29ce484222325,
                 objects: Vec::new(),
+                obj_clocks: Vec::new(),
                 failure: None,
+                races: 0,
                 abort: false,
                 max_depth,
             }),
@@ -150,17 +181,81 @@ impl Execution {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Registers a new model thread; returns its id.
-    pub(crate) fn register_thread(&self) -> usize {
+    /// Registers a new model thread; returns its id. `parent` is the
+    /// spawning thread: the child inherits its clock (the spawn edge —
+    /// everything the parent did before `spawn` happens-before the
+    /// child), and the parent's epoch is bumped so the parent's *later*
+    /// accesses stay unordered with the child.
+    pub(crate) fn register_thread(&self, parent: Option<usize>) -> usize {
         let mut st = self.lock();
         let join_obj = st.alloc_object_id(None);
+        let tid = st.threads.len();
+        let mut clock = match parent {
+            Some(p) => {
+                let inherited = st.threads[p].clock.clone();
+                st.threads[p].clock[p] += 1;
+                inherited
+            }
+            None => VClock::new(),
+        };
+        if clock.len() <= tid {
+            clock.resize(tid + 1, 0);
+        }
+        clock[tid] = 1;
         st.threads.push(ThreadRec {
             status: Status::Ready,
             wake: None,
             ops: 0,
             join_obj,
+            clock,
         });
-        st.threads.len() - 1
+        tid
+    }
+
+    /// Release edge: publishes `me`'s clock into `obj` and advances
+    /// `me`'s epoch, so accesses after the release are not ordered
+    /// before whatever later acquires `obj`.
+    pub(crate) fn sync_release(&self, me: usize, obj: u64) {
+        let mut st = self.lock();
+        let clock = st.threads[me].clock.clone();
+        vjoin(&mut st.obj_clocks[obj as usize], &clock);
+        st.threads[me].clock[me] += 1;
+    }
+
+    /// Acquire edge: joins `obj`'s clock into `me`'s, ordering every
+    /// prior release of `obj` before `me`'s subsequent accesses.
+    pub(crate) fn sync_acquire(&self, me: usize, obj: u64) {
+        let mut st = self.lock();
+        let oc = st.obj_clocks[obj as usize].clone();
+        vjoin(&mut st.threads[me].clock, &oc);
+    }
+
+    /// Snapshot of `me`'s clock for a message send (channel send→recv
+    /// edge); bumps `me`'s epoch like a release.
+    pub(crate) fn send_clock(&self, me: usize) -> VClock {
+        let mut st = self.lock();
+        let snap = st.threads[me].clock.clone();
+        st.threads[me].clock[me] += 1;
+        snap
+    }
+
+    /// Joins a received message's clock into `me`'s (the recv side of
+    /// the send→recv edge).
+    pub(crate) fn recv_clock(&self, me: usize, clock: &VClock) {
+        let mut st = self.lock();
+        vjoin(&mut st.threads[me].clock, clock);
+    }
+
+    /// Snapshot of `me`'s current clock, for stamping a `Tracked`
+    /// access.
+    pub(crate) fn access_clock(&self, me: usize) -> VClock {
+        self.lock().threads[me].clock.clone()
+    }
+
+    /// Records that a `Tracked` cell observed a data race this run; the
+    /// caller then panics with the report, which lands in `failure`.
+    pub(crate) fn record_race(&self) {
+        self.lock().races += 1;
     }
 
     /// Registers a model object; returns its id.
@@ -265,6 +360,11 @@ impl Execution {
             st.fail(msg);
         }
         let join_obj = st.threads[me].join_obj;
+        // Exit edge: the thread's final clock is published on its join
+        // object; `join()` acquires it, ordering everything the child
+        // did before the joiner's subsequent accesses.
+        let clock = st.threads[me].clock.clone();
+        vjoin(&mut st.obj_clocks[join_obj as usize], &clock);
         for t in st.threads.iter_mut() {
             match t.status {
                 Status::Blocked(o) | Status::TimedWait(o) if o == join_obj => {
@@ -306,6 +406,7 @@ impl Execution {
                     decisions: st.decisions.clone(),
                     trace_hash: st.trace_hash,
                     failure: st.failure.clone(),
+                    races: st.races,
                 };
             }
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -423,6 +524,7 @@ impl ExecState {
 
     fn alloc_object_id(&mut self, sig: Option<Weak<dyn StateSig>>) -> u64 {
         self.objects.push(sig);
+        self.obj_clocks.push(VClock::new());
         self.objects.len() as u64 - 1
     }
 
@@ -453,4 +555,5 @@ pub(crate) struct RunOutcome {
     pub decisions: Vec<Decision>,
     pub trace_hash: u64,
     pub failure: Option<String>,
+    pub races: usize,
 }

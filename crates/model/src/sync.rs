@@ -102,6 +102,9 @@ impl<T: Hash + Send + 'static> Mutex<T> {
             drop(locked);
             ex.block_on(me, self.core.id(), false);
         }
+        // Acquire edge: everything released under this lock so far
+        // happens-before this holder's accesses.
+        ex.sync_acquire(me, self.core.id());
         MutexGuard {
             lock: self,
             inner: Some(
@@ -127,7 +130,10 @@ impl<T> MutexGuard<'_, T> {
             .unwrap_or_else(PoisonError::into_inner);
         *locked = false;
         drop(locked);
-        if let Some((ex, _)) = ctx_opt() {
+        if let Some((ex, me)) = ctx_opt() {
+            // Release edge: publish the holder's clock on the lock for
+            // the next acquirer.
+            ex.sync_release(me, self.lock.core.id());
             ex.wake_all(self.lock.core.id());
         }
     }
@@ -149,6 +155,7 @@ impl<T> MutexGuard<'_, T> {
             drop(locked);
             ex.block_on(me, self.lock.core.id(), false);
         }
+        ex.sync_acquire(me, self.lock.core.id());
         self.inner = Some(
             self.lock
                 .core
@@ -203,7 +210,11 @@ impl<T> RwLockCore<T> {
         let mut meta = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
         meta.readers -= 1;
         drop(meta);
-        if let Some((ex, _)) = ctx_opt() {
+        if let Some((ex, me)) = ctx_opt() {
+            // Read releases also publish: a writer blocked on the last
+            // reader is genuinely ordered after it. (This adds
+            // reader→reader edges too — conservative, see DESIGN §14.)
+            ex.sync_release(me, self.id());
             ex.wake_all(self.id());
         }
     }
@@ -212,7 +223,8 @@ impl<T> RwLockCore<T> {
         let mut meta = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
         meta.writer = false;
         drop(meta);
-        if let Some((ex, _)) = ctx_opt() {
+        if let Some((ex, me)) = ctx_opt() {
+            ex.sync_release(me, self.id());
             ex.wake_all(self.id());
         }
     }
@@ -277,6 +289,7 @@ impl<T: Hash + Send + Sync + 'static> RwLock<T> {
             drop(meta);
             ex.block_on(me, self.core.id(), false);
         }
+        ex.sync_acquire(me, self.core.id());
         RwLockReadGuard {
             core: &self.core,
             inner: Some(
@@ -304,6 +317,7 @@ impl<T: Hash + Send + Sync + 'static> RwLock<T> {
             drop(meta);
             ex.block_on(me, self.core.id(), false);
         }
+        ex.sync_acquire(me, self.core.id());
         RwLockWriteGuard {
             core: &self.core,
             inner: Some(
@@ -415,6 +429,9 @@ impl Condvar {
         let (ex, me) = ctx();
         guard.release();
         ex.block_on(me, self.id(), false);
+        // Notify→wake edge: the notifier's clock was published on the
+        // condvar by notify_one/notify_all.
+        ex.sync_acquire(me, self.id());
         guard.reacquire();
     }
 
@@ -430,6 +447,11 @@ impl Condvar {
         let (ex, me) = ctx();
         guard.release();
         let wake = ex.block_on(me, self.id(), true);
+        // Only a real notify carries the notifier's clock; a timeout
+        // (or spurious wakeup) synchronises with nothing.
+        if wake == Wake::Notified {
+            ex.sync_acquire(me, self.id());
+        }
         guard.reacquire();
         WaitTimeoutResult {
             timed_out: wake == Wake::TimedOut,
@@ -437,12 +459,14 @@ impl Condvar {
     }
 
     pub fn notify_one(&self) {
-        let (ex, _) = ctx();
+        let (ex, me) = ctx();
+        ex.sync_release(me, self.id());
         ex.wake_one(self.id());
     }
 
     pub fn notify_all(&self) {
-        let (ex, _) = ctx();
+        let (ex, me) = ctx();
+        ex.sync_release(me, self.id());
         ex.wake_all(self.id());
     }
 }

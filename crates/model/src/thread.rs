@@ -22,7 +22,8 @@ where
     T: Send + 'static,
 {
     let (ex, me) = ctx();
-    let tid = ex.register_thread();
+    // The child inherits the parent's vector clock (spawn edge).
+    let tid = ex.register_thread(Some(me));
     let handle = {
         let ex = Arc::clone(&ex);
         std::thread::Builder::new()
@@ -47,6 +48,9 @@ impl<T> JoinHandle<T> {
         while !ex.is_finished(self.tid) {
             ex.block_on(me, join_obj, false);
         }
+        // Join edge: the child's final clock was published on its join
+        // object at exit; everything it did happens-before this point.
+        ex.sync_acquire(me, join_obj);
         // The model thread has passed its finish point; the OS thread
         // exits right after, so this join is prompt.
         match self.handle.join() {

@@ -21,7 +21,7 @@
 //! vector that advances on max instead of min) prove the checker
 //! actually catches the violations.
 
-use sebdb_model::{channel, check, explore, sync, thread, Options};
+use sebdb_model::{channel, check, explore, race::Tracked, sync, thread, Options};
 use std::sync::Arc;
 
 const LANES: usize = 2;
@@ -33,10 +33,10 @@ const BLOCKS: u64 = 2;
 /// height waiters.
 #[derive(Hash)]
 struct State {
-    persisted: u64,
-    lane_heights: [u64; LANES],
-    applied: u64,
-    poisoned: bool,
+    persisted: Tracked<u64>,
+    lane_heights: [Tracked<u64>; LANES],
+    applied: Tracked<u64>,
+    poisoned: Tracked<bool>,
 }
 
 struct Ledger {
@@ -48,28 +48,29 @@ impl Ledger {
     fn new() -> Arc<Ledger> {
         Arc::new(Ledger {
             state: sync::Mutex::new(State {
-                persisted: 0,
-                lane_heights: [0; LANES],
-                applied: 0,
-                poisoned: false,
+                persisted: Tracked::new(0),
+                lane_heights: std::array::from_fn(|_| Tracked::new(0)),
+                applied: Tracked::new(0),
+                poisoned: Tracked::new(false),
             }),
             advanced: sync::Condvar::new(),
         })
     }
 
     fn check_invariant(s: &State) {
-        let min = *s.lane_heights.iter().min().unwrap();
+        let min = s.lane_heights.iter().map(Tracked::get).min().unwrap();
         assert!(
-            s.applied <= min,
+            s.applied.get() <= min,
             "applied height ran ahead of a lane: applied={} lanes={:?}",
-            s.applied,
+            s.applied.get(),
             s.lane_heights
         );
-        for (lane, &h) in s.lane_heights.iter().enumerate() {
+        let persisted = s.persisted.get();
+        for (lane, h) in s.lane_heights.iter().enumerate() {
+            let h = h.get();
             assert!(
-                h <= s.persisted,
-                "lane {lane} indexed unpersisted height {h} (persisted={})",
-                s.persisted
+                h <= persisted,
+                "lane {lane} indexed unpersisted height {h} (persisted={persisted})"
             );
         }
     }
@@ -79,19 +80,19 @@ impl Ledger {
     /// stale-vector bug), notify waiters. One critical section, as in
     /// the real code.
     fn lane_applied(&self, lane: usize, height: u64, stale_max_bug: bool) {
-        let mut s = self.state.lock();
-        s.lane_heights[lane] = height;
+        let s = self.state.lock();
+        s.lane_heights[lane].set(height);
         let next = if stale_max_bug {
-            *s.lane_heights.iter().max().unwrap()
+            s.lane_heights.iter().map(Tracked::get).max().unwrap()
         } else {
-            *s.lane_heights.iter().min().unwrap()
+            s.lane_heights.iter().map(Tracked::get).min().unwrap()
         };
         assert!(
-            next >= s.applied,
+            next >= s.applied.get(),
             "applied height moved backwards: {} -> {next}",
-            s.applied
+            s.applied.get()
         );
-        s.applied = next;
+        s.applied.set(next);
         Ledger::check_invariant(&s);
         drop(s);
         self.advanced.notify_all();
@@ -105,14 +106,14 @@ impl Ledger {
 /// model).
 fn run_persister(ledger: &Ledger, lanes: &[channel::Sender<u64>], reorder: bool) {
     let heights: Vec<u64> = if reorder {
-        ledger.state.lock().persisted = BLOCKS;
+        ledger.state.lock().persisted.set(BLOCKS);
         (1..=BLOCKS).rev().collect()
     } else {
         (1..=BLOCKS).collect()
     };
     for &h in &heights {
         if !reorder {
-            ledger.state.lock().persisted = h;
+            ledger.state.lock().persisted.set(h);
         }
         for tx in lanes {
             if tx.send(h).is_err() {
@@ -158,11 +159,11 @@ fn main_model(ledger: Arc<Ledger>, reorder: bool, stale_max_bug: bool) {
         let ledger = Arc::clone(&ledger);
         thread::spawn(move || {
             let mut guard = ledger.state.lock();
-            let mut prev = guard.applied;
-            while guard.applied < BLOCKS {
+            let mut prev = guard.applied.get();
+            while guard.applied.get() < BLOCKS {
                 Ledger::check_invariant(&guard);
-                assert!(guard.applied >= prev, "applied height went backwards");
-                prev = guard.applied;
+                assert!(guard.applied.get() >= prev, "applied height went backwards");
+                prev = guard.applied.get();
                 ledger
                     .advanced
                     .wait_timeout(&mut guard, std::time::Duration::from_millis(50));
@@ -176,8 +177,8 @@ fn main_model(ledger: Arc<Ledger>, reorder: bool, stale_max_bug: bool) {
     }
     waiter.join();
     let s = ledger.state.lock();
-    assert_eq!(s.applied, BLOCKS);
-    assert_eq!(s.lane_heights, [BLOCKS; LANES]);
+    assert_eq!(s.applied.get(), BLOCKS);
+    assert!(s.lane_heights.iter().all(|h| h.get() == BLOCKS));
     Ledger::check_invariant(&s);
 }
 
@@ -201,6 +202,10 @@ fn lane_order_and_height_vector_hold_on_every_schedule() {
         report.distinct_traces >= 500,
         "expected >= 500 distinct traces, saw {}",
         report.distinct_traces
+    );
+    assert_eq!(
+        report.races_found, 0,
+        "mainline applier model must be race-free"
     );
 }
 
@@ -273,7 +278,7 @@ fn lane_panic_poison_wakes_waiters_and_pins_applied() {
                 thread::spawn(move || {
                     if rx0.recv().is_ok() {
                         // Panic mid-block: drop guard poisons and wakes.
-                        ledger.state.lock().poisoned = true;
+                        ledger.state.lock().poisoned.set(true);
                         ledger.advanced.notify_all();
                     }
                 })
@@ -290,12 +295,12 @@ fn lane_panic_poison_wakes_waiters_and_pins_applied() {
                 let ledger = Arc::clone(&ledger);
                 thread::spawn(move || {
                     let mut guard = ledger.state.lock();
-                    while guard.applied < BLOCKS && !guard.poisoned {
+                    while guard.applied.get() < BLOCKS && !guard.poisoned.get() {
                         Ledger::check_invariant(&guard);
                         // No timeout: a lost poison wakeup deadlocks.
                         ledger.advanced.wait(&mut guard);
                     }
-                    guard.poisoned
+                    guard.poisoned.get()
                 })
             };
             persister.join();
@@ -304,10 +309,10 @@ fn lane_panic_poison_wakes_waiters_and_pins_applied() {
             let saw_poison = waiter.join();
             assert!(saw_poison, "waiter exited without poison at h < BLOCKS");
             let s = ledger.state.lock();
-            assert!(s.poisoned);
-            assert_eq!(s.lane_heights[0], 0, "dead lane never applied");
+            assert!(s.poisoned.get());
+            assert_eq!(s.lane_heights[0].get(), 0, "dead lane never applied");
             assert!(
-                s.applied == 0,
+                s.applied.get() == 0,
                 "applied (min over lanes) pinned by dead lane"
             );
             Ledger::check_invariant(&s);
@@ -358,19 +363,23 @@ fn crash_at_lane_boundary_recovers() {
             // Restart path: every persisted block is re-indexed into
             // every lane's shards; the vector and scalar catch up.
             {
-                let mut s = ledger.state.lock();
+                let s = ledger.state.lock();
                 Ledger::check_invariant(&s);
-                let persisted = s.persisted;
-                for h in s.lane_heights.iter_mut() {
-                    *h = persisted;
+                let persisted = s.persisted.get();
+                for h in s.lane_heights.iter() {
+                    h.set(persisted);
                 }
-                s.applied = persisted;
+                s.applied.set(persisted);
                 Ledger::check_invariant(&s);
             }
             ledger.advanced.notify_all();
             let s = ledger.state.lock();
-            assert_eq!(s.applied, s.persisted, "recovery must catch applied up");
-            assert_eq!(s.lane_heights, [s.persisted; LANES]);
+            assert_eq!(
+                s.applied.get(),
+                s.persisted.get(),
+                "recovery must catch applied up"
+            );
+            assert!(s.lane_heights.iter().all(|h| h.get() == s.persisted.get()));
         },
     );
 }

@@ -9,20 +9,25 @@
 //! sweep cannot deadlock. The seeded-inversion test flips the sweep
 //! order on one thread and requires the explorer to find the deadlock.
 
-use sebdb_model::{check, explore, sync, thread, Options};
+use sebdb_model::{check, explore, race::Tracked, sync, thread, Options};
 use std::sync::Arc;
 
 const SHARDS: usize = 2;
 const CAP_PER_SHARD: usize = 2;
 
+/// One shard: `(key, value)` entries in LRU order, race-tracked.
+type Shard = sync::Mutex<Tracked<Vec<(u64, u64)>>>;
+
 struct Cache {
-    shards: Vec<sync::Mutex<Vec<(u64, u64)>>>,
+    shards: Vec<Shard>,
 }
 
 impl Cache {
     fn new() -> Arc<Cache> {
         Arc::new(Cache {
-            shards: (0..SHARDS).map(|_| sync::Mutex::new(Vec::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| sync::Mutex::new(Tracked::new(Vec::new())))
+                .collect(),
         })
     }
 
@@ -32,19 +37,21 @@ impl Cache {
 
     /// Insert with front-of-list promotion and tail eviction.
     fn put(&self, key: u64, value: u64) {
-        let mut shard = self.shards[Self::shard_of(key)].lock();
-        shard.retain(|(k, _)| *k != key);
-        shard.insert(0, (key, value));
-        assert!(
-            shard.len() <= CAP_PER_SHARD + 1,
-            "shard grew past capacity before eviction"
-        );
-        shard.truncate(CAP_PER_SHARD);
+        let shard = self.shards[Self::shard_of(key)].lock();
+        shard.with_mut(|entries| {
+            entries.retain(|(k, _)| *k != key);
+            entries.insert(0, (key, value));
+            assert!(
+                entries.len() <= CAP_PER_SHARD + 1,
+                "shard grew past capacity before eviction"
+            );
+            entries.truncate(CAP_PER_SHARD);
+        });
     }
 
     fn get(&self, key: u64) -> Option<u64> {
         let shard = self.shards[Self::shard_of(key)].lock();
-        shard.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+        shard.with(|entries| entries.iter().find(|(k, _)| *k == key).map(|(_, v)| *v))
     }
 
     /// Cross-shard sweep (stats / clear paths): takes every shard lock,
@@ -53,11 +60,11 @@ impl Cache {
         if inverted {
             let s1 = self.shards[1].lock();
             let s0 = self.shards[0].lock();
-            s0.len() + s1.len()
+            s0.with(Vec::len) + s1.with(Vec::len)
         } else {
             let s0 = self.shards[0].lock();
             let s1 = self.shards[1].lock();
-            s0.len() + s1.len()
+            s0.with(Vec::len) + s1.with(Vec::len)
         }
     }
 }
@@ -109,6 +116,10 @@ fn sharded_cache_visibility_and_capacity() {
         report.schedules >= 200,
         "expected >= 200 schedules, explored {}",
         report.schedules
+    );
+    assert_eq!(
+        report.races_found, 0,
+        "mainline cache model must be race-free"
     );
 }
 

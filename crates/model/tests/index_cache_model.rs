@@ -10,24 +10,29 @@
 //! seeded negative removes the inflight dedup, proving the explorer
 //! catches the double-load the guard exists to prevent.
 
-use sebdb_model::{check, explore, sync, thread, Options};
+use sebdb_model::{check, explore, race::Tracked, sync, thread, Options};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One cache shard under model: `map[block]` holds `(token, tick)`
 /// for resident blocks, `inflight[block]` marks loads in progress.
+/// Every field is a `Tracked` cell so the race detector proves the
+/// shard-lock discipline orders all accesses.
 #[derive(Hash)]
 struct Shard {
-    map: Vec<Option<(u64, u64)>>,
-    inflight: Vec<bool>,
-    tick: u64,
+    map: Tracked<Vec<Option<(u64, u64)>>>,
+    inflight: Tracked<Vec<bool>>,
+    tick: Tracked<u64>,
 }
 
 struct CacheModel {
     state: sync::Mutex<Shard>,
     cv: sync::Condvar,
     /// Per-block disk-load counter — the "opened at most once while
-    /// resident" witness.
+    /// resident" witness. Deliberately an atomic, not a `Tracked` cell:
+    /// it models the production `IoStats` atomics (exempt from
+    /// tracking, DESIGN §14) and the seeded double-load negative must
+    /// fail on its own "loaded twice" assertion, not on a race report.
     loads: Vec<AtomicU64>,
     capacity: usize,
     /// When false, skip the inflight check — the double-load bug the
@@ -43,9 +48,9 @@ impl CacheModel {
     fn new(blocks: usize, capacity: usize, dedup_inflight: bool) -> Arc<CacheModel> {
         Arc::new(CacheModel {
             state: sync::Mutex::new(Shard {
-                map: vec![None; blocks],
-                inflight: vec![false; blocks],
-                tick: 0,
+                map: Tracked::new(vec![None; blocks]),
+                inflight: Tracked::new(vec![false; blocks]),
+                tick: Tracked::new(0),
             }),
             cv: sync::Condvar::new(),
             loads: (0..blocks).map(|_| AtomicU64::new(0)).collect(),
@@ -60,37 +65,41 @@ impl CacheModel {
     fn get_or_load(&self, block: usize) -> u64 {
         let mut s = self.state.lock();
         loop {
-            if let Some((tok, _)) = s.map[block] {
-                s.tick += 1;
-                let t = s.tick;
-                s.map[block] = Some((tok, t));
+            if let Some((tok, _)) = s.map.with(|m| m[block]) {
+                let t = s.tick.with_mut(|t| {
+                    *t += 1;
+                    *t
+                });
+                s.map.with_mut(|m| m[block] = Some((tok, t)));
                 return tok;
             }
-            if self.dedup_inflight && s.inflight[block] {
+            if self.dedup_inflight && s.inflight.with(|f| f[block]) {
                 self.cv.wait(&mut s);
                 continue;
             }
-            s.inflight[block] = true;
+            s.inflight.with_mut(|f| f[block] = true);
             drop(s);
             // The load happens outside the shard lock (positioned read
             // + checksum in the real code).
             self.loads[block].fetch_add(1, Ordering::SeqCst);
             let tok = token_of(block);
             s = self.state.lock();
-            s.inflight[block] = false;
-            s.tick += 1;
-            let t = s.tick;
-            s.map[block] = Some((tok, t));
-            while s.map.iter().flatten().count() > self.capacity {
-                let victim = s
-                    .map
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, e)| e.map(|(_, t)| (t, i)))
-                    .min()
-                    .map(|(_, i)| i)
-                    .unwrap();
-                s.map[victim] = None;
+            s.inflight.with_mut(|f| f[block] = false);
+            let t = s.tick.with_mut(|t| {
+                *t += 1;
+                *t
+            });
+            s.map.with_mut(|m| m[block] = Some((tok, t)));
+            while s.map.with(|m| m.iter().flatten().count()) > self.capacity {
+                let victim = s.map.with(|m| {
+                    m.iter()
+                        .enumerate()
+                        .filter_map(|(i, e)| e.map(|(_, t)| (t, i)))
+                        .min()
+                        .map(|(_, i)| i)
+                        .unwrap()
+                });
+                s.map.with_mut(|m| m[victim] = None);
             }
             self.cv.notify_all();
             return tok;
@@ -136,6 +145,10 @@ fn racing_first_reads_load_once_per_block() {
         "expected >= 100 schedules, explored {}",
         report.schedules
     );
+    assert_eq!(
+        report.races_found, 0,
+        "mainline index-cache model must be race-free"
+    );
 }
 
 /// Eviction vs concurrent readers: a capacity-1 cache thrashed by
@@ -172,10 +185,10 @@ fn eviction_under_pressure_stays_consistent_and_bounded() {
                 r.join();
             }
             let s = cache.state.lock();
-            let resident = s.map.iter().flatten().count();
+            let resident = s.map.with(|m| m.iter().flatten().count());
             assert!(resident <= 1, "cache over capacity: {resident} resident");
             assert!(
-                !s.inflight.iter().any(|&b| b),
+                !s.inflight.with(|f| f.iter().any(|&b| b)),
                 "quiescent cache still marks a load inflight"
             );
         },
@@ -186,6 +199,7 @@ fn eviction_under_pressure_stays_consistent_and_bounded() {
         "expected >= 100 schedules, explored {}",
         report.schedules
     );
+    assert_eq!(report.races_found, 0);
 }
 
 /// Negative control: with the inflight dedup removed, two racing

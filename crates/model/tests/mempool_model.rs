@@ -8,7 +8,7 @@
 //! submission appears in exactly one producer batch (or in the
 //! post-close leftovers), nothing is lost, nothing duplicated.
 
-use sebdb_model::{check, explore, sync, thread, Options};
+use sebdb_model::{check, explore, race::Tracked, sync, thread, Options};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -16,8 +16,8 @@ const MAX_TXS: usize = 2;
 
 #[derive(Hash)]
 struct PoolState {
-    queue: Vec<u64>,
-    closed: bool,
+    queue: Tracked<Vec<u64>>,
+    closed: Tracked<bool>,
 }
 
 struct Pool {
@@ -31,8 +31,8 @@ impl Pool {
     fn new(notify_on_submit: bool) -> Arc<Pool> {
         Arc::new(Pool {
             state: sync::Mutex::new(PoolState {
-                queue: Vec::new(),
-                closed: false,
+                queue: Tracked::new(Vec::new()),
+                closed: Tracked::new(false),
             }),
             arrived: sync::Condvar::new(),
             notify_on_submit,
@@ -42,11 +42,11 @@ impl Pool {
     /// Returns false if the pool is closed (the caller's tx was
     /// refused).
     fn submit(&self, tx: u64) -> bool {
-        let mut st = self.state.lock();
-        if st.closed {
+        let st = self.state.lock();
+        if st.closed.get() {
             return false;
         }
-        st.queue.push(tx);
+        st.queue.with_mut(|q| q.push(tx));
         drop(st);
         if self.notify_on_submit {
             self.arrived.notify_one();
@@ -61,11 +61,11 @@ impl Pool {
     fn next_batch(&self, timed: bool) -> Option<Vec<u64>> {
         let mut st = self.state.lock();
         loop {
-            if st.closed {
+            if st.closed.get() {
                 return None;
             }
-            if st.queue.len() >= MAX_TXS {
-                let batch = st.queue.drain(..MAX_TXS).collect();
+            if st.queue.with(Vec::len) >= MAX_TXS {
+                let batch = st.queue.with_mut(|q| q.drain(..MAX_TXS).collect());
                 return Some(batch);
             }
             if timed {
@@ -73,8 +73,8 @@ impl Pool {
                     .arrived
                     .wait_timeout(&mut st, Duration::from_millis(200));
                 // Timeout flush: whatever is pending ships now.
-                if res.timed_out() && !st.queue.is_empty() {
-                    let batch = st.queue.drain(..).collect();
+                if res.timed_out() && !st.queue.with(Vec::is_empty) {
+                    let batch = st.queue.with_mut(std::mem::take);
                     return Some(batch);
                 }
             } else {
@@ -84,12 +84,12 @@ impl Pool {
     }
 
     fn close(&self) {
-        self.state.lock().closed = true;
+        self.state.lock().closed.set(true);
         self.arrived.notify_all();
     }
 
     fn take_remaining(&self) -> Vec<u64> {
-        self.state.lock().queue.drain(..).collect()
+        self.state.lock().queue.with_mut(std::mem::take)
     }
 }
 
@@ -142,6 +142,10 @@ fn timeout_flush_racing_submit_delivers_exactly_once() {
         report.schedules >= 300,
         "expected >= 300 schedules, explored {}",
         report.schedules
+    );
+    assert_eq!(
+        report.races_found, 0,
+        "mainline mempool model must be race-free"
     );
 }
 

@@ -15,6 +15,7 @@
 //! height. The handle-cache model extends the segment open-once proof
 //! across partition directories.
 
+use sebdb_model::race::Tracked;
 use sebdb_model::{check, explore, sync, thread, Options};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,17 +27,26 @@ const PARTS: usize = 2;
 /// file), plus the manifest, each block entry recording the extent end
 /// offset it expects per partition.
 struct Disk {
+    /// Deliberately atomics, not `Tracked` cells: these model durable
+    /// file lengths that the recovery observer reads *concurrently
+    /// with the writers by design* (a crashed reader sees whatever
+    /// bytes landed), exactly the monotone-observation exemption of
+    /// DESIGN §14 — tracking them would flag the intended race.
     part_len: Vec<AtomicU64>,
     offsets_len: Vec<AtomicU64>,
-    manifest: sync::Mutex<Vec<Vec<(usize, u64)>>>,
+    manifest: sync::Mutex<Tracked<Manifest>>,
 }
+
+/// Chain-order manifest: one entry per committed block, recording the
+/// `(partition, extent-end)` pairs that block's tuples landed at.
+type Manifest = Vec<Vec<(usize, u64)>>;
 
 impl Disk {
     fn new() -> Arc<Disk> {
         Arc::new(Disk {
             part_len: (0..PARTS).map(|_| AtomicU64::new(0)).collect(),
             offsets_len: (0..PARTS).map(|_| AtomicU64::new(0)).collect(),
-            manifest: sync::Mutex::new(Vec::new()),
+            manifest: sync::Mutex::new(Tracked::new(Vec::new())),
         })
     }
 
@@ -59,7 +69,7 @@ impl Disk {
         }
         self.manifest
             .lock()
-            .push((0..PARTS).map(|p| (p, bid + 1)).collect());
+            .with_mut(|m| m.push((0..PARTS).map(|p| (p, bid + 1)).collect()));
     }
 
     /// The reordered (buggy) protocol the commit-point ordering exists
@@ -68,7 +78,7 @@ impl Disk {
     fn append_block_reordered(self: &Arc<Self>, bid: u64) {
         self.manifest
             .lock()
-            .push((0..PARTS).map(|p| (p, bid + 1)).collect());
+            .with_mut(|m| m.push((0..PARTS).map(|p| (p, bid + 1)).collect()));
         let writers: Vec<_> = (0..PARTS)
             .map(|p| {
                 let disk = Arc::clone(self);
@@ -89,7 +99,7 @@ impl Disk {
     /// reader saw), and keeps the longest prefix of records whose
     /// extents all physically exist.
     fn recover(&self) -> (usize, usize) {
-        let manifest = self.manifest.lock().clone();
+        let manifest = self.manifest.lock().with(Clone::clone);
         let lens: Vec<u64> = (0..PARTS)
             .map(|p| self.part_len[p].load(Ordering::SeqCst))
             .collect();
@@ -141,6 +151,10 @@ fn manifest_commits_only_after_partition_writes() {
         report.schedules >= 100,
         "expected >= 100 schedules, explored {}",
         report.schedules
+    );
+    assert_eq!(
+        report.races_found, 0,
+        "correct commit-point protocol must be race-free"
     );
 }
 
@@ -256,21 +270,24 @@ fn crash_after_every_write_boundary_recovers_to_commit_point() {
 #[test]
 fn racing_first_reads_open_each_partition_segment_once() {
     struct PartCaches {
-        slots: Vec<sync::RwLock<Option<u64>>>,
+        slots: Vec<sync::RwLock<Tracked<Option<u64>>>>,
+        /// Atomic, not `Tracked`: models the production `IoStats`
+        /// open counter (exempt, DESIGN §14) — the open-once proof
+        /// must fail on its own count assertion, not a race report.
         opens: Vec<AtomicU64>,
     }
     impl PartCaches {
         fn handle(&self, p: usize) -> u64 {
-            if let Some(tok) = *self.slots[p].read() {
+            if let Some(tok) = self.slots[p].read().get() {
                 return tok;
             }
-            let mut slot = self.slots[p].write();
-            if let Some(tok) = *slot {
+            let slot = self.slots[p].write();
+            if let Some(tok) = slot.get() {
                 return tok;
             }
             self.opens[p].fetch_add(1, Ordering::SeqCst);
             let tok = 1000 + p as u64;
-            *slot = Some(tok);
+            slot.set(Some(tok));
             tok
         }
     }
@@ -283,7 +300,9 @@ fn racing_first_reads_open_each_partition_segment_once() {
         },
         || {
             let caches = Arc::new(PartCaches {
-                slots: (0..PARTS).map(|_| sync::RwLock::new(None)).collect(),
+                slots: (0..PARTS)
+                    .map(|_| sync::RwLock::new(Tracked::new(None)))
+                    .collect(),
                 opens: (0..PARTS).map(|_| AtomicU64::new(0)).collect(),
             });
             let readers: Vec<_> = [0usize, 1, 0]
@@ -310,4 +329,5 @@ fn racing_first_reads_open_each_partition_segment_once() {
         "expected >= 100 schedules, explored {}",
         report.schedules
     );
+    assert_eq!(report.races_found, 0, "open-once cache must be race-free");
 }

@@ -8,7 +8,7 @@
 //! applied height only advances once a block is both persisted and
 //! indexed (chain height may run ahead; applied height never does).
 
-use sebdb_model::{channel, check, explore, sync, thread, Options};
+use sebdb_model::{channel, check, explore, race::Tracked, sync, thread, Options};
 use std::sync::Arc;
 
 const BLOCKS: u64 = 2;
@@ -18,10 +18,10 @@ const BLOCKS: u64 = 2;
 /// them, plus a condvar for height waiters.
 #[derive(Hash)]
 struct Heights {
-    persisted: u64,
-    indexed: u64,
-    applied: u64,
-    poisoned: bool,
+    persisted: Tracked<u64>,
+    indexed: Tracked<u64>,
+    applied: Tracked<u64>,
+    poisoned: Tracked<bool>,
 }
 
 struct Ledger {
@@ -33,22 +33,20 @@ impl Ledger {
     fn new() -> Arc<Ledger> {
         Arc::new(Ledger {
             heights: sync::Mutex::new(Heights {
-                persisted: 0,
-                indexed: 0,
-                applied: 0,
-                poisoned: false,
+                persisted: Tracked::new(0),
+                indexed: Tracked::new(0),
+                applied: Tracked::new(0),
+                poisoned: Tracked::new(false),
             }),
             advanced: sync::Condvar::new(),
         })
     }
 
     fn check_invariant(h: &Heights) {
+        let (applied, indexed, persisted) = (h.applied.get(), h.indexed.get(), h.persisted.get());
         assert!(
-            h.applied <= h.indexed && h.indexed <= h.persisted,
-            "height invariant violated: applied={} indexed={} persisted={}",
-            h.applied,
-            h.indexed,
-            h.persisted
+            applied <= indexed && indexed <= persisted,
+            "height invariant violated: applied={applied} indexed={indexed} persisted={persisted}"
         );
     }
 }
@@ -57,7 +55,7 @@ impl Ledger {
 /// Returns early if the indexer is gone (crash model).
 fn run_sealer(ledger: &Ledger, to_indexer: &channel::Sender<u64>) {
     for h in 1..=BLOCKS {
-        ledger.heights.lock().persisted = h;
+        ledger.heights.lock().persisted.set(h);
         if to_indexer.send(h).is_err() {
             return;
         }
@@ -78,11 +76,11 @@ fn main_model(ledger: Arc<Ledger>, broken_apply_first: bool) {
                     // The seeded bug: applied advances before the index
                     // write lands — waiters can observe an applied
                     // block that is not yet indexed.
-                    ledger.heights.lock().applied = h;
-                    ledger.heights.lock().indexed = h;
+                    ledger.heights.lock().applied.set(h);
+                    ledger.heights.lock().indexed.set(h);
                 } else {
-                    ledger.heights.lock().indexed = h;
-                    ledger.heights.lock().applied = h;
+                    ledger.heights.lock().indexed.set(h);
+                    ledger.heights.lock().applied.set(h);
                 }
                 ledger.advanced.notify_all();
             }
@@ -94,7 +92,7 @@ fn main_model(ledger: Arc<Ledger>, broken_apply_first: bool) {
         let ledger = Arc::clone(&ledger);
         thread::spawn(move || {
             let mut guard = ledger.heights.lock();
-            while guard.applied < BLOCKS {
+            while guard.applied.get() < BLOCKS {
                 Ledger::check_invariant(&guard);
                 ledger
                     .advanced
@@ -107,7 +105,7 @@ fn main_model(ledger: Arc<Ledger>, broken_apply_first: bool) {
     indexer.join();
     waiter.join();
     let h = ledger.heights.lock();
-    assert_eq!(h.applied, BLOCKS);
+    assert_eq!(h.applied.get(), BLOCKS);
     Ledger::check_invariant(&h);
 }
 
@@ -131,6 +129,10 @@ fn height_invariant_holds_on_every_schedule() {
         report.distinct_traces >= 500,
         "expected >= 500 distinct traces, saw {}",
         report.distinct_traces
+    );
+    assert_eq!(
+        report.races_found, 0,
+        "mainline pipeline model must be race-free"
     );
 }
 
@@ -182,12 +184,12 @@ fn indexer_poison_wakes_height_waiters() {
                             // Panic mid-block: the drop guard poisons
                             // health and wakes waiters; the stage (and
                             // its receiver) goes away.
-                            ledger.heights.lock().poisoned = true;
+                            ledger.heights.lock().poisoned.set(true);
                             ledger.advanced.notify_all();
                             return;
                         }
-                        ledger.heights.lock().indexed = h;
-                        ledger.heights.lock().applied = h;
+                        ledger.heights.lock().indexed.set(h);
+                        ledger.heights.lock().applied.set(h);
                         ledger.advanced.notify_all();
                     }
                 })
@@ -196,12 +198,12 @@ fn indexer_poison_wakes_height_waiters() {
                 let ledger = Arc::clone(&ledger);
                 thread::spawn(move || {
                     let mut guard = ledger.heights.lock();
-                    while guard.applied < BLOCKS && !guard.poisoned {
+                    while guard.applied.get() < BLOCKS && !guard.poisoned.get() {
                         Ledger::check_invariant(&guard);
                         // No timeout: a lost poison wakeup deadlocks.
                         ledger.advanced.wait(&mut guard);
                     }
-                    guard.poisoned
+                    guard.poisoned.get()
                 })
             };
             sealer.join();
@@ -209,7 +211,7 @@ fn indexer_poison_wakes_height_waiters() {
             let saw_poison = waiter.join();
             assert!(saw_poison, "waiter exited without poison at h < BLOCKS");
             let h = ledger.heights.lock();
-            assert!(h.applied < BLOCKS && h.poisoned);
+            assert!(h.applied.get() < BLOCKS && h.poisoned.get());
             Ledger::check_invariant(&h);
         },
     );
@@ -241,8 +243,8 @@ fn crash_at_stage_boundary_recovers() {
                     // Crashes after block 1: block 2 may land persisted
                     // but unindexed.
                     if let Ok(h) = seal_rx.recv() {
-                        ledger.heights.lock().indexed = h;
-                        ledger.heights.lock().applied = h;
+                        ledger.heights.lock().indexed.set(h);
+                        ledger.heights.lock().applied.set(h);
                         ledger.advanced.notify_all();
                     }
                 })
@@ -251,17 +253,21 @@ fn crash_at_stage_boundary_recovers() {
             indexer.join();
             // Restart path: replay everything persisted but unindexed.
             {
-                let mut guard = ledger.heights.lock();
+                let guard = ledger.heights.lock();
                 Ledger::check_invariant(&guard);
-                if guard.indexed < guard.persisted {
-                    guard.indexed = guard.persisted;
+                if guard.indexed.get() < guard.persisted.get() {
+                    guard.indexed.set(guard.persisted.get());
                 }
-                guard.applied = guard.indexed;
+                guard.applied.set(guard.indexed.get());
                 Ledger::check_invariant(&guard);
             }
             ledger.advanced.notify_all();
             let h = ledger.heights.lock();
-            assert_eq!(h.applied, h.persisted, "recovery must catch applied up");
+            assert_eq!(
+                h.applied.get(),
+                h.persisted.get(),
+                "recovery must catch applied up"
+            );
         },
     );
 }

@@ -11,7 +11,7 @@
 //! read protocol over a shared cursor (proving the explorer catches
 //! the torn read positioned I/O eliminates).
 
-use sebdb_model::{check, explore, sync, thread, Options};
+use sebdb_model::{check, explore, race::Tracked, sync, thread, Options};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -20,7 +20,10 @@ const SHARDS: usize = 2;
 /// The handle cache under model: "opening" a segment is bumping a
 /// per-segment open counter and storing a token.
 struct HandleCache {
-    shards: Vec<sync::RwLock<Vec<Option<u64>>>>,
+    shards: Vec<sync::RwLock<Tracked<Vec<Option<u64>>>>>,
+    /// Deliberately an atomic (models production `IoStats`-style
+    /// counters, exempt from tracking): the seeded double-open must
+    /// fail on its own assertion, not a race report.
     opens: Vec<AtomicU64>,
     /// When true, skip the re-check after upgrading to the write lock —
     /// the bug the double-checked pattern exists to prevent.
@@ -30,7 +33,9 @@ struct HandleCache {
 impl HandleCache {
     fn new(segments: usize, skip_double_check: bool) -> Arc<HandleCache> {
         Arc::new(HandleCache {
-            shards: (0..SHARDS).map(|_| sync::RwLock::new(Vec::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| sync::RwLock::new(Tracked::new(Vec::new())))
+                .collect(),
             opens: (0..segments).map(|_| AtomicU64::new(0)).collect(),
             skip_double_check,
         })
@@ -41,22 +46,24 @@ impl HandleCache {
     fn handle(&self, segment: usize) -> u64 {
         let shard = &self.shards[segment % SHARDS];
         let slot = segment / SHARDS;
-        if let Some(Some(tok)) = shard.read().get(slot).copied() {
+        if let Some(Some(tok)) = shard.read().with(|c| c.get(slot).copied()) {
             return tok;
         }
-        let mut cache = shard.write();
-        if cache.len() <= slot {
-            cache.resize_with(slot + 1, || None);
-        }
+        let cache = shard.write();
+        cache.with_mut(|c| {
+            if c.len() <= slot {
+                c.resize_with(slot + 1, || None);
+            }
+        });
         if !self.skip_double_check {
-            if let Some(tok) = cache[slot] {
+            if let Some(tok) = cache.with(|c| c[slot]) {
                 return tok;
             }
         }
         // "open" the file.
         self.opens[segment].fetch_add(1, Ordering::SeqCst);
         let tok = 1000 + segment as u64;
-        cache[slot] = Some(tok);
+        cache.with_mut(|c| c[slot] = Some(tok));
         tok
     }
 }
@@ -100,6 +107,10 @@ fn racing_first_reads_open_once_per_segment() {
         report.schedules >= 100,
         "expected >= 100 schedules, explored {}",
         report.schedules
+    );
+    assert_eq!(
+        report.races_found, 0,
+        "mainline segment model must be race-free"
     );
 }
 
@@ -174,6 +185,7 @@ fn positioned_reads_never_tear() {
         },
     );
     assert!(report.failure.is_none());
+    assert_eq!(report.races_found, 0);
 }
 
 /// Negative control: the *old* protocol — seek on a shared cursor,

@@ -11,6 +11,10 @@
 //! `SEBDB_THREADS` or [`set_max_threads`]), so single-threaded runs
 //! reproduce the pre-parallel engine byte for byte.
 
+mod tracked;
+
+pub use tracked::Tracked;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 

@@ -1,0 +1,164 @@
+//! Zero-cost marker for race-detector-tracked shared state.
+//!
+//! [`Tracked<T>`] is the production twin of `sebdb_model::race::Tracked`:
+//! a `#[repr(transparent)]` wrapper that compiles to nothing — same
+//! size, same alignment, every accessor an inlined passthrough — but
+//! marks a field as *shared mutable state whose synchronisation the
+//! model checker proves*. A model of the component wraps the same
+//! field in the model `Tracked`, which timestamps every access with
+//! the thread's vector clock and fails the run on an unordered
+//! conflicting pair, so the model reads like the production code while
+//! the production code pays nothing.
+//!
+//! Usage rules (DESIGN.md §14, abridged): wrap plain shared payloads
+//! that a lock, channel, or join edge is supposed to order — cache
+//! shard contents under their mutex, the mempool buffer, single-flight
+//! slots. Atomics wrapped in `Tracked` (for example the `IoStats`
+//! counters in `sebdb-storage`) document *which* atomics are modelled
+//! as exempt self-ordering cells rather than lock-protected data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Transparent wrapper marking race-detector-tracked shared state.
+/// See the module docs; the model twin is `sebdb_model::race::Tracked`.
+#[derive(Default)]
+#[repr(transparent)]
+pub struct Tracked<T>(T);
+
+impl<T> Tracked<T> {
+    /// Wraps `value`. `const` so statics and struct literals work.
+    pub const fn new(value: T) -> Tracked<T> {
+        Tracked(value)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+
+    /// An untracked (production) read returning a copy. The model twin
+    /// records this access against the thread's vector clock.
+    #[inline(always)]
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        self.0
+    }
+
+    /// A write. Takes `&mut self` — in production, exclusive access is
+    /// whatever lock guard the caller already holds.
+    #[inline(always)]
+    pub fn set(&mut self, value: T) {
+        self.0 = value;
+    }
+
+    /// Borrows the payload (a tracked read in the model).
+    #[inline(always)]
+    pub fn read(&self) -> &T {
+        &self.0
+    }
+
+    /// Mutably borrows the payload (a tracked write in the model).
+    #[inline(always)]
+    pub fn write(&mut self) -> &mut T {
+        &mut self.0
+    }
+
+    /// Read through a closure — the shape shared with the model twin,
+    /// whose closure variant exists because its payload sits behind an
+    /// internal mutex.
+    #[inline(always)]
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.0)
+    }
+
+    /// Write through a closure. See [`Self::with`].
+    #[inline(always)]
+    pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.0)
+    }
+}
+
+/// Atomic passthrough so counters like `IoStats` keep their call sites
+/// (`.load(..)`, `.store(..)`, `.fetch_add(..)`) unchanged when the
+/// field type gains the `Tracked` marker. Atomics are self-ordering;
+/// the marker documents that the model deliberately exempts them from
+/// clock checks (they model monotone observations, not lock-protected
+/// state).
+impl Tracked<AtomicU64> {
+    #[inline(always)]
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.0.load(order)
+    }
+
+    #[inline(always)]
+    pub fn store(&self, value: u64, order: Ordering) {
+        self.0.store(value, order);
+    }
+
+    #[inline(always)]
+    pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        self.0.fetch_add(value, order)
+    }
+
+    #[inline(always)]
+    pub fn fetch_max(&self, value: u64, order: Ordering) -> u64 {
+        self.0.fetch_max(value, order)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Tracked<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: Clone> Clone for Tracked<T> {
+    fn clone(&self) -> Tracked<T> {
+        Tracked(self.0.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The wrapper must be layout-identical to its payload — the
+    /// "zero-cost outside model builds" guarantee is a compile-time
+    /// fact of `#[repr(transparent)]`, checked here for the payload
+    /// shapes production actually wraps.
+    #[test]
+    fn transparent_layout() {
+        use std::mem::{align_of, size_of};
+        assert_eq!(size_of::<Tracked<AtomicU64>>(), size_of::<AtomicU64>());
+        assert_eq!(align_of::<Tracked<AtomicU64>>(), align_of::<AtomicU64>());
+        assert_eq!(size_of::<Tracked<Vec<u64>>>(), size_of::<Vec<u64>>());
+        assert_eq!(
+            align_of::<Tracked<Option<u64>>>(),
+            align_of::<Option<u64>>()
+        );
+        assert_eq!(size_of::<Tracked<()>>(), 0);
+    }
+
+    #[test]
+    fn accessors_pass_through() {
+        let mut cell = Tracked::new(5u64);
+        assert_eq!(cell.get(), 5);
+        cell.set(7);
+        assert_eq!(*cell.read(), 7);
+        *cell.write() += 1;
+        assert_eq!(cell.with(|v| v + 1), 9);
+        cell.with_mut(|v| *v = 100);
+        assert_eq!(cell.into_inner(), 100);
+    }
+
+    #[test]
+    fn atomic_passthrough() {
+        let counter = Tracked::new(AtomicU64::new(0));
+        counter.fetch_add(3, Ordering::Relaxed);
+        counter.fetch_max(2, Ordering::Relaxed);
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+        counter.store(9, Ordering::Relaxed);
+        assert_eq!(counter.load(Ordering::Relaxed), 9);
+    }
+}

@@ -26,6 +26,7 @@ use crate::segment::{
     segment_path, Location, ReadGauges, Result, SegmentSet, SegmentWriter, StorageError,
 };
 use parking_lot::{Mutex, RwLock};
+use sebdb_parallel::Tracked;
 use sebdb_types::{Block, BlockHeader, BlockId, Codec, Decoder, Encoder, Transaction};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -185,27 +186,32 @@ impl Default for StoreConfig {
 
 /// Read/write counters the benchmark harness reports (the paper's cost
 /// model, Eqs. 1–3, counts block accesses and tuple reads).
+///
+/// The counters are atomics under a zero-cost [`Tracked`] marker: the
+/// model checker's race-detection suites model them as self-ordering
+/// cells (exempt from happens-before checks — DESIGN.md §14), and the
+/// marker records that exemption at the type.
 #[derive(Debug, Default)]
 pub struct IoStats {
     /// Blocks fetched from disk (or the memory backend).
-    pub blocks_read: AtomicU64,
+    pub blocks_read: Tracked<AtomicU64>,
     /// Blocks appended.
-    pub blocks_written: AtomicU64,
+    pub blocks_written: Tracked<AtomicU64>,
     /// Individual transactions materialized.
-    pub txs_read: AtomicU64,
+    pub txs_read: Tracked<AtomicU64>,
     /// Payload bytes actually fetched from the backend. A tuple-granular
     /// read charges only the tuple's bytes (plus coalescing gaps inside
     /// one span); a block read charges the whole block; a relation scan
     /// charges only its partition's extents — this is the counter that
     /// makes the Eq. 3 tuple-vs-block comparison honest.
-    pub bytes_read: AtomicU64,
+    pub bytes_read: Tracked<AtomicU64>,
     /// Level-1 index blocks served from the index-block cache.
-    pub index_cache_hits: AtomicU64,
+    pub index_cache_hits: Tracked<AtomicU64>,
     /// Level-1 index blocks loaded cold from a checkpoint file.
-    pub index_cache_misses: AtomicU64,
+    pub index_cache_misses: Tracked<AtomicU64>,
     /// Milliseconds the last `Ledger::open`-style recovery spent
     /// (checkpoint load + tail replay) — the O(1)-open regression hook.
-    pub open_millis: AtomicU64,
+    pub open_millis: Tracked<AtomicU64>,
 }
 
 impl IoStats {

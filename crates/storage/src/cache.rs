@@ -7,6 +7,7 @@
 //! eviction, built on the generic [`Lru`] below.
 
 use parking_lot::Mutex;
+use sebdb_parallel::Tracked;
 use sebdb_types::{Block, BlockId, Transaction, TxId};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -208,10 +209,15 @@ fn shard_of(key: u64) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % CACHE_SHARDS
 }
 
+/// One lock-striped shard: an LRU under a zero-cost [`Tracked`]
+/// marker — the model checker's cache suite proves the per-shard lock
+/// discipline (DESIGN.md §14).
+type Shard<K, V> = Mutex<Tracked<Lru<K, V>>>;
+
 /// Thread-safe block cache: recently read whole blocks, lock-striped
 /// across [`CACHE_SHARDS`] independent LRUs.
 pub struct BlockCache {
-    shards: Vec<Mutex<Lru<BlockId, Arc<Block>>>>,
+    shards: Vec<Shard<BlockId, Arc<Block>>>,
 }
 
 impl BlockCache {
@@ -220,25 +226,29 @@ impl BlockCache {
         let per_shard = (capacity_bytes / CACHE_SHARDS).max(1);
         BlockCache {
             shards: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(Lru::new(per_shard)))
+                .map(|_| Mutex::new(Tracked::new(Lru::new(per_shard))))
                 .collect(),
         }
     }
 
     /// Fetches a cached block.
     pub fn get(&self, bid: BlockId) -> Option<Arc<Block>> {
-        self.shards[shard_of(bid)].lock().get(&bid).cloned()
+        self.shards[shard_of(bid)]
+            .lock()
+            .with_mut(|lru| lru.get(&bid).cloned())
     }
 
     /// Caches a block, charged at its serialized size.
     pub fn put(&self, bid: BlockId, block: Arc<Block>, size: usize) {
-        self.shards[shard_of(bid)].lock().put(bid, block, size);
+        self.shards[shard_of(bid)]
+            .lock()
+            .with_mut(|lru| lru.put(bid, block, size));
     }
 
     /// (hits, misses), aggregated over shards.
     pub fn stats(&self) -> (u64, u64) {
         self.shards.iter().fold((0, 0), |(h, m), s| {
-            let (sh, sm) = s.lock().stats();
+            let (sh, sm) = s.lock().with(Lru::stats);
             (h + sh, m + sm)
         })
     }
@@ -246,7 +256,7 @@ impl BlockCache {
     /// Drops all cached blocks.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().clear();
+            shard.lock().with_mut(Lru::clear);
         }
     }
 }
@@ -255,7 +265,7 @@ impl BlockCache {
 /// (keyed by tid), the winning strategy for index-driven queries in
 /// Fig. 22. Lock-striped like [`BlockCache`].
 pub struct TxCache {
-    shards: Vec<Mutex<Lru<TxId, Arc<Transaction>>>>,
+    shards: Vec<Shard<TxId, Arc<Transaction>>>,
 }
 
 impl TxCache {
@@ -265,25 +275,29 @@ impl TxCache {
         let per_shard = (capacity_bytes / CACHE_SHARDS).max(1);
         TxCache {
             shards: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(Lru::new(per_shard)))
+                .map(|_| Mutex::new(Tracked::new(Lru::new(per_shard))))
                 .collect(),
         }
     }
 
     /// Fetches a cached transaction.
     pub fn get(&self, tid: TxId) -> Option<Arc<Transaction>> {
-        self.shards[shard_of(tid)].lock().get(&tid).cloned()
+        self.shards[shard_of(tid)]
+            .lock()
+            .with_mut(|lru| lru.get(&tid).cloned())
     }
 
     /// Caches a transaction, charged at its serialized size.
     pub fn put(&self, tid: TxId, tx: Arc<Transaction>, size: usize) {
-        self.shards[shard_of(tid)].lock().put(tid, tx, size);
+        self.shards[shard_of(tid)]
+            .lock()
+            .with_mut(|lru| lru.put(tid, tx, size));
     }
 
     /// (hits, misses), aggregated over shards.
     pub fn stats(&self) -> (u64, u64) {
         self.shards.iter().fold((0, 0), |(h, m), s| {
-            let (sh, sm) = s.lock().stats();
+            let (sh, sm) = s.lock().with(Lru::stats);
             (h + sh, m + sm)
         })
     }
@@ -291,7 +305,7 @@ impl TxCache {
     /// Drops all cached transactions.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().clear();
+            shard.lock().with_mut(Lru::clear);
         }
     }
 }

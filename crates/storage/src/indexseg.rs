@@ -20,6 +20,7 @@
 use crate::blockstore::{IoStats, WriteStep};
 use crate::segment::{read_exact_at, Result, StorageError};
 use parking_lot::{Condvar, Mutex};
+use sebdb_parallel::Tracked;
 use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::Write;
@@ -318,12 +319,20 @@ pub struct IndexBlockCache {
     next_file_id: AtomicU64,
 }
 
+/// One shard: resident blocks, in-flight single-flight keys, and the
+/// LRU tick, each under a zero-cost [`Tracked`] marker — the model
+/// checker's index-cache suite wraps the same three fields in its
+/// race-detecting twin (DESIGN.md §14).
 #[derive(Default)]
 struct CacheShard {
-    map: HashMap<(u64, u32), (Arc<IndexBlock>, u64)>,
-    inflight: HashSet<(u64, u32)>,
-    tick: u64,
+    map: Tracked<ResidentBlocks>,
+    inflight: Tracked<HashSet<(u64, u32)>>,
+    tick: Tracked<u64>,
 }
+
+/// Resident level-1 blocks keyed by `(family, block_no)`, each tagged
+/// with its last-touch LRU tick.
+type ResidentBlocks = HashMap<(u64, u32), (Arc<IndexBlock>, u64)>;
 
 impl IndexBlockCache {
     /// A cache holding at most `capacity` blocks (0 = unbounded),
@@ -383,22 +392,28 @@ impl IndexBlockCache {
         let (lock, cv) = &self.shards[Self::shard_of(key)];
         let mut shard = lock.lock();
         loop {
-            shard.tick += 1;
-            let now = shard.tick;
-            if let Some((block, tick)) = shard.map.get_mut(&key) {
-                *tick = now;
-                let block = Arc::clone(block);
+            let now = shard.tick.with_mut(|t| {
+                *t += 1;
+                *t
+            });
+            let hit = shard.map.with_mut(|m| {
+                m.get_mut(&key).map(|(block, tick)| {
+                    *tick = now;
+                    Arc::clone(block)
+                })
+            });
+            if let Some(block) = hit {
                 drop(shard);
                 self.stats.index_cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(block);
             }
-            if shard.inflight.contains(&key) {
+            if shard.inflight.with(|i| i.contains(&key)) {
                 // Another reader is loading this block: wait rather
                 // than issuing a duplicate pread.
                 cv.wait(&mut shard);
                 continue;
             }
-            shard.inflight.insert(key);
+            shard.inflight.with_mut(|i| i.insert(key));
             break;
         }
         drop(shard);
@@ -407,27 +422,28 @@ impl IndexBlockCache {
         let loaded = load();
 
         let mut shard = lock.lock();
-        shard.inflight.remove(&key);
+        shard.inflight.with_mut(|i| i.remove(&key));
         let out = match loaded {
             Ok(block) => {
                 let block = Arc::new(block);
-                shard.tick += 1;
-                let tick = shard.tick;
-                shard.map.insert(key, (Arc::clone(&block), tick));
+                let tick = shard.tick.with_mut(|t| {
+                    *t += 1;
+                    *t
+                });
                 let cap = self.shard_capacity();
-                while cap != 0 && shard.map.len() > cap {
-                    // Evict the least-recently-used entry (linear scan:
-                    // shards are small at realistic capacities).
-                    let Some(victim) = shard
-                        .map
-                        .iter()
-                        .min_by_key(|(_, (_, t))| *t)
-                        .map(|(k, _)| *k)
-                    else {
-                        break;
-                    };
-                    shard.map.remove(&victim);
-                }
+                shard.map.with_mut(|m| {
+                    m.insert(key, (Arc::clone(&block), tick));
+                    while cap != 0 && m.len() > cap {
+                        // Evict the least-recently-used entry (linear
+                        // scan: shards are small at realistic
+                        // capacities).
+                        let Some(victim) = m.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| *k)
+                        else {
+                            break;
+                        };
+                        m.remove(&victim);
+                    }
+                });
                 self.stats
                     .index_cache_misses
                     .fetch_add(1, Ordering::Relaxed);
@@ -446,13 +462,18 @@ impl IndexBlockCache {
     /// checkpoint's blocks must never serve a newer reader).
     fn invalidate_file(&self, file_id: u64) {
         for (lock, _) in &self.shards {
-            lock.lock().map.retain(|(f, _), _| *f != file_id);
+            lock.lock()
+                .map
+                .with_mut(|m| m.retain(|(f, _), _| *f != file_id));
         }
     }
 
     /// Number of currently cached blocks.
     pub fn resident_blocks(&self) -> usize {
-        self.shards.iter().map(|(l, _)| l.lock().map.len()).sum()
+        self.shards
+            .iter()
+            .map(|(l, _)| l.lock().map.with(HashMap::len))
+            .sum()
     }
 
     /// Approximate bytes held by cached blocks.
@@ -462,9 +483,7 @@ impl IndexBlockCache {
             .map(|(l, _)| {
                 l.lock()
                     .map
-                    .values()
-                    .map(|(b, _)| b.byte_len())
-                    .sum::<usize>()
+                    .with(|m| m.values().map(|(b, _)| b.byte_len()).sum::<usize>())
             })
             .sum()
     }

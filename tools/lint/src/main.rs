@@ -21,6 +21,12 @@
 //! 4. `clock`  — no direct `SystemTime::now` outside the node clock
 //!    (`crates/consensus/src/traits.rs`), so tests can virtualize time
 //!    from one place.
+//! 5. `std-sync` — no `std::sync::{Mutex, RwLock, Condvar}` outside
+//!    `shims/` and `crates/model`. Engine code locks through the
+//!    `parking_lot` shim (and models through `sebdb_model::sync`), so
+//!    the model checker's instrumented primitives — including the
+//!    happens-before race detector's clock propagation — cover every
+//!    lock the engine actually takes.
 //!
 //! The allowlist lives in `tools/lint/allowlist.txt`; each line is
 //! `<rule> <path> <count>`. The file is capped at 25 entries and every
@@ -43,6 +49,17 @@ const UNWRAP_SCOPE: &[&str] = &["crates/core/", "crates/storage/", "crates/conse
 
 /// The single sanctioned wall-clock read (the node clock, `now_ms`).
 const CLOCK_FILE: &str = "crates/consensus/src/traits.rs";
+
+/// Directories whose non-test code may use the raw `std::sync` lock
+/// primitives: the shims wrap them, and the model checker builds its
+/// instrumented primitives (and the race detector's internal state) on
+/// them by necessity.
+const STD_SYNC_ALLOWED_DIRS: &[&str] = &["shims/", "crates/model/"];
+
+/// The banned `std::sync` lock types (`Arc`, atomics, and `OnceLock`
+/// remain fine everywhere — they are not lock-discipline state the
+/// model checker needs to interpose on).
+const STD_SYNC_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar"];
 
 struct Violation {
     rule: &'static str,
@@ -182,7 +199,7 @@ fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, String> {
                 i + 1
             ));
         };
-        if !matches!(rule, "spawn" | "sleep" | "unwrap" | "clock") {
+        if !matches!(rule, "spawn" | "sleep" | "unwrap" | "clock" | "std-sync") {
             return Err(format!("allowlist line {}: unknown rule `{rule}`", i + 1));
         }
         let count: usize = count
@@ -268,6 +285,24 @@ fn check_file(rel: &str, source: &str, out: &mut Vec<Violation>) {
                 path: rel.to_string(),
                 line: lineno,
                 text: format!("direct wall-clock read (route through the node clock): {shown}"),
+            });
+        }
+        // Catches direct paths (`std::sync::Mutex<...>`) and import
+        // lines naming a banned type (`use std::sync::{Arc, Mutex};`).
+        // Non-import lines only match on the full path, so legal
+        // `std::sync` items (Arc, OnceLock, atomics) sharing a line
+        // with a shim-provided `Mutex`/`Condvar` do not trip the rule.
+        let std_sync_hit = STD_SYNC_TYPES
+            .iter()
+            .any(|t| line.contains(&format!("std::sync::{t}")))
+            || (line.trim_start().starts_with("use std::sync::")
+                && STD_SYNC_TYPES.iter().any(|t| line.contains(t)));
+        if std_sync_hit && !STD_SYNC_ALLOWED_DIRS.iter().any(|d| rel.starts_with(d)) {
+            out.push(Violation {
+                rule: "std-sync",
+                path: rel.to_string(),
+                line: lineno,
+                text: format!("raw std::sync lock (use the parking_lot shim): {shown}"),
             });
         }
     }
@@ -517,5 +552,55 @@ mod tests {
             check_file(dir, src, &mut v);
             assert!(v.is_empty(), "{dir}: {:?}", v.len());
         }
+    }
+
+    #[test]
+    fn flags_std_sync_locks_in_engine_code() {
+        // Direct paths and grouped imports both trip the rule; Arc,
+        // atomics, and OnceLock stay legal.
+        for src in [
+            "struct S { m: std::sync::Mutex<u32> }\n",
+            "use std::sync::{Arc, RwLock};\n",
+            "use std::sync::Condvar;\n",
+        ] {
+            let mut v = Vec::new();
+            check_file("crates/storage/src/x.rs", src, &mut v);
+            assert_eq!(v.len(), 1, "{src}");
+            assert_eq!(v[0].rule, "std-sync");
+        }
+        let mut v = Vec::new();
+        check_file(
+            "crates/storage/src/x.rs",
+            "use std::sync::{Arc, OnceLock};\nuse std::sync::atomic::AtomicU64;\n\
+             static P: std::sync::OnceLock<(Mutex<()>, parking_lot::Condvar)> = \
+             std::sync::OnceLock::new();\n",
+            &mut v,
+        );
+        assert!(
+            v.is_empty(),
+            "legal std::sync items (even sharing a line with shim lock types) must pass"
+        );
+    }
+
+    #[test]
+    fn std_sync_allowed_in_shims_model_and_tests() {
+        let src = "use std::sync::Mutex;\n";
+        for path in [
+            "shims/parking_lot/src/lib.rs",
+            "crates/model/src/race.rs",
+            "crates/storage/tests/x.rs",
+        ] {
+            let mut v = Vec::new();
+            check_file(path, src, &mut v);
+            assert!(v.is_empty(), "{path} must be exempt");
+        }
+        // #[cfg(test)] modules inside engine crates are masked too.
+        let mut v = Vec::new();
+        check_file(
+            "crates/parallel/src/lib.rs",
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n",
+            &mut v,
+        );
+        assert!(v.is_empty(), "test-masked std::sync must be exempt");
     }
 }
