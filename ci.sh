@@ -98,6 +98,18 @@ for key in '"bench": "index_resident"' '"cpus":' '"blocks"' '"checkpoint"' \
   grep -q "$key" "$smoke" || { echo "ci: $smoke missing $key"; exit 1; }
 done
 
+# Materialized-view bench smoke: the mode=rescan|view sweep must run
+# end to end, emit a well-formed JSON (schema spot-checks below), and
+# its built-in assertion must hold — serving the delta-maintained view
+# beats re-running the trace on repeat queries, at 1 CPU.
+echo "==> SEBDB_BENCH_SMOKE=1 cargo bench -p sebdb-bench --bench tracking"
+SEBDB_BENCH_SMOKE=1 cargo bench -q -p sebdb-bench --bench tracking >/dev/null
+smoke=target/BENCH_views_smoke.json
+for key in '"bench": "views"' '"cpus":' '"blocks"' '"mode"' \
+           '"repeat_query_us"' '"append_us_per_block"' '"result_rows"'; do
+  grep -q "$key" "$smoke" || { echo "ci: $smoke missing $key"; exit 1; }
+done
+
 # Every committed bench JSON must record the host core count, so the
 # 1-CPU caveat in ROADMAP stays machine-checkable.
 for j in BENCH_*.json; do

@@ -115,6 +115,24 @@ fn checkpoint_every_from_env() -> u64 {
         .unwrap_or(0)
 }
 
+/// Environment variable selecting the adaptive index-checkpoint
+/// threshold in bytes: once an index scope's resident
+/// (`memory_bytes()`) footprint crosses it after a block, that scope
+/// freezes into an on-disk checkpoint and drops its tail — cadence
+/// driven by memory pressure instead of block count. `0` (the
+/// default) leaves the every-N cadence of
+/// [`INDEX_CHECKPOINT_EVERY_ENV`] alone. The threshold should sit
+/// comfortably above a scope's frozen fence/meta footprint (a few KB
+/// per family), which stays resident across checkpoints.
+pub const INDEX_CHECKPOINT_BYTES_ENV: &str = "SEBDB_INDEX_CHECKPOINT_BYTES";
+
+fn checkpoint_bytes_from_env() -> u64 {
+    std::env::var(INDEX_CHECKPOINT_BYTES_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 /// Checks a transaction's `Sig` system attribute against the sender's
 /// registered key material ("Sig guarantees unforgeability of
 /// transactions", §IV-A). Returning `false` rejects the whole block.
@@ -158,6 +176,12 @@ pub struct Ledger {
     /// Automatic index-checkpoint cadence in blocks (`0` = disabled);
     /// seeded from [`INDEX_CHECKPOINT_EVERY_ENV`].
     checkpoint_every: AtomicU64,
+    /// Adaptive checkpoint threshold in resident bytes (`0` =
+    /// disabled); seeded from [`INDEX_CHECKPOINT_BYTES_ENV`].
+    checkpoint_bytes: AtomicU64,
+    /// Registered incremental materialized `TRACE` views (see
+    /// [`crate::views`]).
+    views: crate::views::ViewEngine,
 }
 
 /// Hook invoked with each block just before it is indexed (see
@@ -186,6 +210,8 @@ impl Ledger {
             height_cv: Condvar::new(),
             index_fault: RwLock::new(None),
             checkpoint_every: AtomicU64::new(checkpoint_every_from_env()),
+            checkpoint_bytes: AtomicU64::new(checkpoint_bytes_from_env()),
+            views: crate::views::ViewEngine::default(),
         };
         // Attach frozen prefixes first: each valid index checkpoint
         // behind the manifest commit point replaces replaying the
@@ -248,6 +274,10 @@ impl Ledger {
             *ledger.last_hash.write() = ledger.store.read(height - 1)?.header.block_hash;
         }
         ledger.applied.store(height, Ordering::Release);
+        // Re-register persisted tracking views last: the chain and
+        // every index are whole at this point, so each registration
+        // re-backfills against a consistent applied height.
+        let views_loaded = ledger.load_trace_views()?;
         ledger
             .store
             .stats
@@ -258,6 +288,9 @@ impl Ledger {
                 "sebdb: ledger open loaded {frozen_loaded} index checkpoint(s), replayed {} tail block(s)",
                 height - replay_from
             );
+        }
+        if views_loaded > 0 {
+            eprintln!("sebdb: ledger open re-backfilled {views_loaded} tracking view(s)");
         }
         Ok(ledger)
     }
@@ -516,7 +549,20 @@ impl Ledger {
         }
         self.index_block(block);
         self.advance_applied(block.header.height + 1);
-        if self.checkpoint_due(block.header.height + 1) {
+        // Fold materialized views after the applied-height advance, so
+        // a view never observes a height above `height()`. Best-effort
+        // here: a fold that cannot read the chain leaves the view
+        // stale, and the serve path's catch-up surfaces the error to
+        // the query that needs the rows.
+        if let Err(e) = self.fold_views(block, None) {
+            eprintln!(
+                "sebdb: view fold failed at height {}: {e}",
+                block.header.height
+            );
+        }
+        if self.checkpoint_due(block.header.height + 1)
+            || self.bytes_due(|| self.index_memory_bytes())
+        {
             // Best-effort: a failed or interrupted checkpoint leaves
             // the previous one in place and heals at the next open.
             let _ = self.checkpoint_indexes();
@@ -604,7 +650,9 @@ impl Ledger {
                 }
             }
         );
-        if self.checkpoint_due(block.header.height + 1) {
+        if self.checkpoint_due(block.header.height + 1)
+            || self.bytes_due(|| self.chain_families_memory_bytes())
+        {
             let _ = self.checkpoint_chain_families();
         }
     }
@@ -636,8 +684,9 @@ impl Ledger {
                 ali.update_rows(block, covered.map_or(NO_ROWS, |r| r.as_slice()));
             }
         }
-        if self.checkpoint_due(block.header.height + 1) {
-            for s in (0..INDEX_SHARDS).filter(|s| s % lanes == lane) {
+        let every_due = self.checkpoint_due(block.header.height + 1);
+        for s in (0..INDEX_SHARDS).filter(|s| s % lanes == lane) {
+            if every_due || self.bytes_due(|| self.shard_memory_bytes(s)) {
                 let _ = self.checkpoint_shard(s);
             }
         }
@@ -655,6 +704,52 @@ impl Ledger {
     /// [`INDEX_CHECKPOINT_EVERY_ENV`]).
     pub fn set_checkpoint_every(&self, every: u64) {
         self.checkpoint_every.store(every, Ordering::Relaxed);
+    }
+
+    /// Whether the adaptive byte-threshold cadence fires for a scope
+    /// currently holding `bytes()` resident bytes. The footprint is
+    /// only computed when the threshold is enabled — the default path
+    /// costs one relaxed load per block.
+    fn bytes_due(&self, bytes: impl FnOnce() -> usize) -> bool {
+        let threshold = self.checkpoint_bytes.load(Ordering::Relaxed);
+        threshold > 0 && bytes() as u64 >= threshold
+    }
+
+    /// Sets the adaptive index-checkpoint threshold in resident bytes
+    /// (`0` disables it; the constructor seeds it from
+    /// [`INDEX_CHECKPOINT_BYTES_ENV`]). Scope-granular: the sequential
+    /// applier checks the whole footprint, lane 0 checks the chain
+    /// families, and each relation lane checks the shards it owns — so
+    /// under a lane pipeline only the scope that actually grew pays
+    /// for a freeze.
+    pub fn set_checkpoint_bytes(&self, bytes: u64) {
+        self.checkpoint_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Resident bytes of the chain-level scope: the block-level
+    /// B⁺-tree, the table bitmaps, and the chain shard's system
+    /// indexes (lane 0's checkpoint scope).
+    fn chain_families_memory_bytes(&self) -> usize {
+        self.block_index.read().memory_bytes()
+            + self.table_index.read().memory_bytes()
+            + self.shard_memory_bytes(INDEX_SHARDS)
+    }
+
+    /// Resident bytes of one index shard's layered/ALI families.
+    fn shard_memory_bytes(&self, s: usize) -> usize {
+        let shard = &self.shards[s];
+        shard
+            .layered
+            .read()
+            .values()
+            .map(|i| i.memory_bytes())
+            .sum::<usize>()
+            + shard
+                .alis
+                .read()
+                .values()
+                .map(|a| a.memory_bytes())
+                .sum::<usize>()
     }
 
     /// Writes one family's checkpoint behind the `.tmp` → rename commit
@@ -979,7 +1074,19 @@ impl Ledger {
         // whose indexes are still being built is invisible until the
         // indexer stage finishes it, so every strategy (scan, bitmap,
         // layered) answers over the same prefix of the chain.
-        let height = self.height();
+        self.window_mask_at(window, self.height())
+    }
+
+    /// [`Self::window_mask`] bounded at an explicit `height` instead
+    /// of the current applied height. A view backfill captures the
+    /// applied height once and masks at it, so the backfilled rows
+    /// cover exactly the blocks below the fold cursor even if the
+    /// applier advances mid-backfill.
+    pub fn window_mask_at(
+        &self,
+        window: Option<(Timestamp, Timestamp)>,
+        height: BlockId,
+    ) -> Bitmap {
         let mut mask = Bitmap::new();
         if height == 0 {
             return mask;
@@ -990,11 +1097,23 @@ impl Ledger {
             }
             Some((s, e)) => {
                 if let Some((lo, hi)) = self.with_block_index(|bi| bi.blocks_in_window(s, e)) {
-                    mask.set_range(lo as usize, hi as usize);
+                    // The block index may cover blocks the bound
+                    // excludes (lane 0 can index ahead of the min
+                    // applied height); clamp to the bound.
+                    let hi = hi.min(height - 1);
+                    if lo <= hi {
+                        mask.set_range(lo as usize, hi as usize);
+                    }
                 }
             }
         }
         mask
+    }
+
+    /// The registered incremental materialized `TRACE` views (see
+    /// [`crate::views`]).
+    pub fn trace_views(&self) -> &crate::views::ViewEngine {
+        &self.views
     }
 
     /// Verifies the whole chain (linkage + per-block integrity).

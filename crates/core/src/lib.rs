@@ -32,11 +32,15 @@ pub mod node;
 pub mod pipeline;
 pub mod schema_mgr;
 pub mod thin_client;
+pub mod views;
 
 pub use access::{AccessController, AccessDenied, Permission};
 pub use contract::{Contract, ContractError, ContractRegistry};
 pub use executor::{ExecError, Executor, QueryResult, Strategy};
-pub use ledger::{shard_of, Ledger, LedgerError, INDEX_CHECKPOINT_EVERY_ENV, INDEX_SHARDS};
+pub use ledger::{
+    shard_of, Ledger, LedgerError, INDEX_CHECKPOINT_BYTES_ENV, INDEX_CHECKPOINT_EVERY_ENV,
+    INDEX_SHARDS,
+};
 pub use node::{ExecOutcome, NodeError, SebdbNode};
 pub use pipeline::{
     applier_lanes_from_env, auto_applier_lanes, auto_pipeline_depth, pipeline_depth_from_env,
@@ -48,3 +52,4 @@ pub use thin_client::{
     verify_and_join, AuthenticatedJoinResponse, AuthenticatedResponse, ClientVerifyError,
     ThinClient,
 };
+pub use views::{TraceView, ViewEngine, ViewStats};

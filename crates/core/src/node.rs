@@ -229,6 +229,32 @@ impl SebdbNode {
             .copied()
     }
 
+    /// Registers an incremental materialized view for a `TRACE`
+    /// predicate: `window` over `Ts`, `operator` as a registered name
+    /// (resolved through the same registry `TRACE OPERATOR` queries
+    /// use), `operation` as a transaction type. Backfills immediately
+    /// and folds every applied block from then on; an `Auto`-strategy
+    /// `TRACE` with the same predicate is served from the view.
+    /// Returns whether the view is newly registered.
+    pub fn register_trace_view(
+        &self,
+        window: Option<(sebdb_types::Timestamp, sebdb_types::Timestamp)>,
+        operator: Option<&str>,
+        operation: Option<&str>,
+    ) -> Result<bool, NodeError> {
+        let operator = match operator {
+            Some(name) => Some(
+                self.resolve_operator(name)
+                    .ok_or_else(|| NodeError::Other(format!("unknown operator '{name}'")))?
+                    .0,
+            ),
+            None => None,
+        };
+        self.ledger
+            .register_trace_view(sebdb_sql::TraceSpec::new(window, operator, operation))
+            .map_err(|e| NodeError::Other(e.to_string()))
+    }
+
     /// The off-chain connection (if this node pairs with a local
     /// RDBMS).
     pub fn offchain(&self) -> Option<&OffchainConnection> {

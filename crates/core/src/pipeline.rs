@@ -42,6 +42,13 @@
 //! consistent. The schema catalog is applied by the persister before
 //! any lane sees the block, so it is never behind an observed height.
 //!
+//! A fourth consumer, the **view folder**, sits strictly downstream of
+//! the index lanes: it receives every persisted block (with the same
+//! relation→rows partition) but folds it into the registered
+//! materialized `TRACE` views only once the applied height covers it,
+//! so a view never observes a height above [`Ledger::height`] (see
+//! [`crate::views`]).
+//!
 //! Knobs: `SEBDB_PIPELINE_DEPTH` bounds blocks in flight past the
 //! consensus stream (depth 1 + lanes 1 is the sequential
 //! single-thread reference). `SEBDB_APPLIER_LANES` sets the lane
@@ -66,7 +73,7 @@ use sebdb_types::Block;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Environment knob naming the pipeline depth (blocks in flight).
 pub const PIPELINE_DEPTH_ENV: &str = "SEBDB_PIPELINE_DEPTH";
@@ -400,13 +407,18 @@ impl ApplyPipeline {
         // Stage 2: persister. Verifies + appends each sealed block,
         // applies schema transactions (before any lane can index the
         // block, so the catalog never lags an observed height), then
-        // partitions tuples by relation once and fans out to lanes.
+        // partitions tuples by relation once and fans out to lanes
+        // (and the view folder).
         let mut lane_channels: Vec<(Sender<LaneWork>, Receiver<LaneWork>)> = Vec::new();
         for _ in 0..lanes {
             lane_channels.push(bounded::<LaneWork>(buffer));
         }
-        let lane_txs: Vec<Sender<LaneWork>> =
-            lane_channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let (view_tx, view_rx) = bounded::<LaneWork>(buffer);
+        let lane_txs: Vec<Sender<LaneWork>> = lane_channels
+            .iter()
+            .map(|(tx, _)| tx.clone())
+            .chain(std::iter::once(view_tx))
+            .collect();
         threads.push({
             let ledger = Arc::clone(&ledger);
             let health = Arc::clone(&health);
@@ -474,6 +486,48 @@ impl ApplyPipeline {
                 guard.armed = false;
             }));
         }
+
+        // Stage 4: the view folder — the fourth pipeline consumer,
+        // strictly downstream of the index lanes. It receives the same
+        // per-block work the lanes do but waits for the applied height
+        // (the min over every lane) to cover a block before folding it
+        // into the registered materialized views, so a view never
+        // observes a height above `Ledger::height()`. The lanes drain
+        // independently of this channel, so the wait cannot deadlock
+        // the pipeline; on stop or poison any unfolded blocks heal via
+        // the serve path's catch-up.
+        threads.push({
+            let ledger = Arc::clone(&ledger);
+            let health = Arc::clone(&health);
+            let stopped = Arc::clone(&stopped);
+            sebdb_parallel::spawn_service("view-folder", move || {
+                let mut guard = PoisonOnPanic {
+                    health: Arc::clone(&health),
+                    ledger: Arc::clone(&ledger),
+                    stage: "view-folder".into(),
+                    armed: true,
+                };
+                for (block, rows) in view_rx.iter() {
+                    let target = block.header.height + 1;
+                    while !ledger.wait_for_height(
+                        target,
+                        Instant::now() + Duration::from_millis(100),
+                        || stopped.load(Ordering::Relaxed) || health.is_poisoned(),
+                    ) {
+                        if stopped.load(Ordering::Relaxed) || health.is_poisoned() {
+                            guard.armed = false;
+                            return;
+                        }
+                    }
+                    if let Err(e) = ledger.fold_views(&block, Some(&rows)) {
+                        health.poison(format!("view-folder: {e}"));
+                        ledger.notify_height_waiters();
+                        break;
+                    }
+                }
+                guard.armed = false;
+            })
+        });
         threads
     }
 }

@@ -22,5 +22,5 @@ pub use ast::{
 pub use lexer::SqlError;
 pub use parser::{parse, parse_script};
 pub use plan::{
-    plan, BoundBlockSelector, BoundPredicate, BoundPredicateKind, Catalog, LogicalPlan,
+    plan, BoundBlockSelector, BoundPredicate, BoundPredicateKind, Catalog, LogicalPlan, TraceSpec,
 };

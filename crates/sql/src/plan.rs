@@ -152,6 +152,72 @@ pub enum LogicalPlan {
     },
 }
 
+/// A normalized tracking predicate: the registration and routing key
+/// of a materialized `TRACE` view. Strategy-independent — every
+/// physical strategy answering the same `(window, operator,
+/// operation)` triple produces the same rows in the same chain order,
+/// so one spec identifies one result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceSpec {
+    /// Window over `Ts`, inclusive on both ends.
+    pub window: Option<(Timestamp, Timestamp)>,
+    /// Operator dimension: the sender's 8 id bytes (`SenID`).
+    pub operator: Option<[u8; 8]>,
+    /// Operation dimension: lowercased transaction type (`Tname`).
+    pub operation: Option<String>,
+}
+
+impl TraceSpec {
+    /// Builds a spec, lowercasing the operation the way the planner
+    /// does so equal predicates always compare equal.
+    pub fn new(
+        window: Option<(Timestamp, Timestamp)>,
+        operator: Option<[u8; 8]>,
+        operation: Option<&str>,
+    ) -> TraceSpec {
+        TraceSpec {
+            window,
+            operator,
+            operation: operation.map(|s| s.to_ascii_lowercase()),
+        }
+    }
+
+    /// Tracking needs at least one dimension (Algorithm 1 has no
+    /// "trace everything" walk).
+    pub fn is_valid(&self) -> bool {
+        self.operator.is_some() || self.operation.is_some()
+    }
+}
+
+impl LogicalPlan {
+    /// The normalized [`TraceSpec`] of a `Trace` plan whose operator
+    /// (if any) is already resolved to sender-id bytes — the key an
+    /// eligible `TRACE` is routed to a registered view under. `None`
+    /// for other plans or for an operator still carrying its name
+    /// (the node layer resolves names before execution).
+    pub fn trace_spec(&self) -> Option<TraceSpec> {
+        match self {
+            LogicalPlan::Trace {
+                window,
+                operator,
+                operation,
+            } => {
+                let operator = match operator {
+                    Some(Value::Bytes(b)) if b.len() == 8 => {
+                        let mut id = [0u8; 8];
+                        id.copy_from_slice(b);
+                        Some(id)
+                    }
+                    Some(_) => return None,
+                    None => None,
+                };
+                Some(TraceSpec::new(*window, operator, operation.as_deref()))
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Resolved `GET BLOCK` selector.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BoundBlockSelector {

@@ -401,6 +401,11 @@ pub struct BlockStore {
 
 /// The chain-order manifest — the commit point of every append.
 const BLOCK_MANIFEST: &str = "blockmanifest.idx";
+
+/// Persisted tracking-view registrations (see
+/// [`BlockStore::save_view_registrations`]).
+const VIEW_REGISTRATIONS: &str = "viewreg.idx";
+const VIEW_REGISTRATIONS_TMP: &str = "viewreg.idx.tmp";
 /// Manifest magic, versioned with the record format.
 const MANIFEST_MAGIC: &[u8; 8] = b"SEBDBMF1";
 /// Manifest header: magic(8) ‖ partitions(2) ‖ reserved(6).
@@ -1026,6 +1031,48 @@ impl BlockStore {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Persists the ledger's tracking-view registrations (an opaque,
+    /// versioned byte encoding owned by the core crate) behind the
+    /// same `.tmp` → rename commit point the index checkpoints use.
+    /// Registrations are *advisory* durable state: only the predicate
+    /// specs are saved — materialized rows are always rebuilt by
+    /// re-backfilling on open, so a torn or missing file costs a
+    /// backfill, never correctness. No-op on the memory backend.
+    pub fn save_view_registrations(&self, bytes: &[u8]) -> Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        let path = dir.join(VIEW_REGISTRATIONS);
+        let tmp = dir.join(VIEW_REGISTRATIONS_TMP);
+        {
+            let mut f = BufWriter::new(File::create(&tmp)?);
+            f.write_all(bytes)?;
+            f.flush()?;
+            if self.config.sync_writes {
+                f.get_ref().sync_all()?;
+            }
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Loads the persisted tracking-view registrations, if any
+    /// (`None` on the memory backend or when nothing was saved). The
+    /// core crate decodes the bytes; a failed decode there is treated
+    /// like a missing file.
+    pub fn load_view_registrations(&self) -> Result<Option<Vec<u8>>> {
+        let Some(dir) = &self.dir else {
+            return Ok(None);
+        };
+        let path = dir.join(VIEW_REGISTRATIONS);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        Ok(Some(bytes))
     }
 
     /// Installs (or clears) the write fault hook — fault-injection
